@@ -1,0 +1,20 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures.
+Experiment functions are deterministic simulations (no I/O, no
+randomness beyond fixed seeds), so a single round is meaningful;
+``once`` wraps ``benchmark.pedantic`` accordingly and returns the
+experiment's result so benches can assert the reproduced shape.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

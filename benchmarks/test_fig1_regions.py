@@ -1,0 +1,21 @@
+"""Figure 1: expected scaling regions (analytic model)."""
+
+from repro.experiments import fig1_regions
+
+
+class TestFig1:
+    def test_bench_fig1(self, once):
+        result = once(fig1_regions.run)
+        print()
+        print(result.render())
+        regions = result.column("region")
+        assert regions[0] == "sub-page"
+        assert "scalable" in regions
+        assert regions[-1] == "saturated"
+        # Non-overlap falls from near-total to complete overlap.
+        fractions = result.column("nonoverlap_fraction")
+        assert fractions[0] > 0.9
+        assert fractions[-1] == 0.0
+        # Speedup is monotone non-decreasing in the modeled curve.
+        speedups = result.column("speedup")
+        assert all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))

@@ -1,0 +1,95 @@
+"""Figure 3: speedup vs problem size for every application.
+
+The bench sweep caps the long-tailed applications at 1024 pages (the
+full sweeps are available via ``python -m repro.experiments.report``);
+the assertions check the paper's curve shapes: the three regions, who
+wins, and roughly by what factor.
+"""
+
+import pytest
+
+from repro.core.regions import Region, classify_regions
+from repro.experiments import fig3_speedup
+
+BENCH_SWEEPS = {
+    "array-insert": [0.25, 1, 4, 16, 64, 256, 1024],
+    "array-delete": [0.25, 1, 4, 16, 64, 256, 1024],
+    "array-find": [0.25, 1, 4, 16, 64, 256, 1024],
+    "database": [0.25, 1, 2, 4, 8, 16, 32, 64, 128, 256],
+    "median-kernel": [0.25, 1, 4, 16, 64, 256, 1024],
+    "dynamic-prog": [0.25, 1, 4, 16, 64, 128],
+    "matrix-simplex": [0.25, 1, 2, 4, 8, 16, 32, 64],
+    "matrix-boeing": [0.25, 1, 2, 4, 8, 16, 32, 64],
+    "mpeg-mmx": [0.25, 1, 2, 4, 8, 16, 32, 64, 128, 256],
+}
+
+
+def run_fig3():
+    rows = []
+    for name, sweep in BENCH_SWEEPS.items():
+        rows.extend(
+            fig3_speedup.run(apps=[name], sweep=sweep).rows
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def fig3_rows():
+    return run_fig3()
+
+
+class TestFig3:
+    def test_bench_fig3(self, once):
+        rows = once(run_fig3)
+        assert len(rows) == sum(len(s) for s in BENCH_SWEEPS.values())
+
+    def _series(self, rows, app):
+        pts = [(r["pages"], r["speedup"]) for r in rows if r["application"] == app]
+        return [p for p, _ in pts], [s for _, s in pts]
+
+    def test_all_apps_beat_conventional_at_scale(self, fig3_rows):
+        for name in BENCH_SWEEPS:
+            _, speedups = self._series(fig3_rows, name)
+            assert speedups[-1] > 4, name
+
+    def test_array_speedups_approach_three_orders(self, fig3_rows):
+        # The headline: "up to 1000X speedups".
+        _, s = self._series(fig3_rows, "array-insert")
+        assert s[-1] > 400
+
+    def test_median_is_the_fastest_growing(self, fig3_rows):
+        _, med = self._series(fig3_rows, "median-kernel")
+        assert med[-1] > 2000
+
+    def test_matrix_speedups_are_modest(self, fig3_rows):
+        # Processor-centric: matrix tops out around 5-10x.
+        for name in ("matrix-simplex", "matrix-boeing"):
+            _, s = self._series(fig3_rows, name)
+            assert 3 < s[-1] < 15, name
+
+    def test_database_saturates_mid_two_digits(self, fig3_rows):
+        _, s = self._series(fig3_rows, "database")
+        assert 50 < s[-1] < 100
+
+    def test_subpage_region_is_flat_and_small(self, fig3_rows):
+        for name in BENCH_SWEEPS:
+            pages, s = self._series(fig3_rows, name)
+            sub = [v for p, v in zip(pages, s) if p <= 1]
+            assert max(sub) < 20, name
+
+    def test_saturating_apps_show_all_three_regions(self, fig3_rows):
+        for name in ("database", "matrix-simplex", "mpeg-mmx"):
+            pages, s = self._series(fig3_rows, name)
+            labels = [p.region for p in classify_regions(pages, s)]
+            assert labels[0] is Region.SUB_PAGE, name
+            assert Region.SCALABLE in labels, name
+            assert labels[-1] is Region.SATURATED, name
+
+    def test_delete_subpage_anomaly(self, fig3_rows):
+        # The adaptive sub-page delete runs on the processor: no gain.
+        pages, s = self._series(fig3_rows, "array-delete")
+        assert s[0] == pytest.approx(1.0, rel=0.02)
+
+    def test_dynprog_speedup_bends_back_down(self, fig3_rows):
+        _, s = self._series(fig3_rows, "dynamic-prog")
+        assert max(s) > s[-1]  # communication starts to dominate

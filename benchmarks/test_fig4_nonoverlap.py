@@ -1,0 +1,46 @@
+"""Figure 4: percent cycles stalled vs problem size."""
+
+import pytest
+
+from repro.experiments import fig4_nonoverlap
+
+SWEEP = [1, 4, 16, 64, 256]
+APPS = ["array-insert", "database", "matrix-simplex", "matrix-boeing", "mpeg-mmx"]
+
+
+def run_fig4():
+    return fig4_nonoverlap.run(apps=APPS, sweep=SWEEP)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4()
+
+    def test_bench_fig4(self, once):
+        result = once(run_fig4)
+        print()
+        print(result.render())
+        assert len(result.rows) == len(APPS) * len(SWEEP)
+
+    def _series(self, result, app):
+        return [
+            r["stalled_percent"] for r in result.rows if r["application"] == app
+        ]
+
+    def test_saturating_apps_reach_complete_overlap(self, result):
+        # The paper: database, matrix-simplex, matrix-boeing (and mpeg)
+        # reach a point of complete processor-memory overlap.
+        for name in ("database", "matrix-simplex", "matrix-boeing", "mpeg-mmx"):
+            assert self._series(result, name)[-1] < 2.0, name
+
+    def test_array_primitives_stay_stalled(self, result):
+        # Memory-centric with little processor work: non-overlap stays
+        # high (they are "artificially forced into synchronous
+        # operation for this study").
+        assert min(self._series(result, "array-insert")) > 60
+
+    def test_stall_declines_monotonically_for_saturating_apps(self, result):
+        for name in ("database", "matrix-simplex"):
+            series = self._series(result, name)
+            assert all(a >= b - 1e-9 for a, b in zip(series, series[1:])), name

@@ -1,0 +1,69 @@
+"""Figure 5: execution time vs L1 D-cache size (plus the L2 text sweep)."""
+
+import pytest
+
+from repro.experiments import fig5_cache
+
+APPS = ["array-insert", "database", "median-kernel", "median-total", "matrix-simplex"]
+L1_SWEEP = [32, 48, 64, 128, 256]
+
+
+def run_fig5():
+    return fig5_cache.run(apps=APPS, l1_sweep_kb=L1_SWEEP, n_pages=2)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5()
+
+    def test_bench_fig5(self, once):
+        result = once(run_fig5)
+        print()
+        print(result.render())
+        assert len(result.rows) == len(APPS) * len(L1_SWEEP)
+
+    def _series(self, result, app, column):
+        return [r[column] for r in result.rows if r["application"] == app]
+
+    def test_conventional_mostly_unaffected(self, result):
+        # Figure 5 (left): within 32K-256K most conventional apps are
+        # flat.
+        for name in ("database", "matrix-simplex", "median-kernel"):
+            series = self._series(result, name, "conventional_ms")
+            assert max(series) < 1.03 * min(series), name
+
+    def test_some_conventional_apps_affected_below_64k(self, result):
+        # Figure 5 (left): "some conventional applications are
+        # affected by the size of the level one cache when it fell
+        # below 64 kilobytes" — the array memmove is one (its read
+        # stream evicts the about-to-be-written lines at 32K).
+        series = self._series(result, "array-insert", "conventional_ms")
+        at32, beyond64 = series[0], series[2:]
+        assert at32 > 1.02 * min(beyond64)
+        assert max(beyond64) < 1.03 * min(beyond64)
+
+    def test_radram_kernels_unaffected(self, result):
+        # Figure 5 (right): all but median-total are insensitive.
+        for name in ("array-insert", "database", "median-kernel", "matrix-simplex"):
+            series = self._series(result, name, "radram_ms")
+            assert max(series) < 1.03 * min(series), name
+
+    def test_median_total_stride_effects(self, result):
+        # median-total's transform phase degrades below 64K.
+        series = self._series(result, "median-total", "radram_ms")
+        at32 = series[0]
+        beyond = series[2:]  # 64K and larger
+        assert at32 > 1.05 * max(beyond)
+        assert max(beyond) < 1.02 * min(beyond)
+
+    def test_l2_sweep_no_significant_differences(self):
+        result = fig5_cache.run(
+            apps=["database", "median-kernel"],
+            l1_sweep_kb=[256, 1024, 4096],
+            n_pages=2,
+            level="l2",
+        )
+        for name in ("database", "median-kernel"):
+            conv = [r["conventional_ms"] for r in result.rows if r["application"] == name]
+            assert max(conv) < 1.05 * min(conv)

@@ -1,0 +1,38 @@
+"""Figure 6: processor/page activity timeline from a real run."""
+
+import pytest
+
+from repro.experiments import fig6_gantt
+
+
+class TestFig6:
+    def test_bench_fig6(self, once):
+        result = once(fig6_gantt.run)
+        print()
+        print(result.render())
+        assert len(result.rows) == 8
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_gantt.run()
+
+    def test_activations_are_sequential(self, result):
+        starts = result.column("activated_us")
+        assert starts == sorted(starts)
+        # Activation spacing is roughly constant (T_A per page).
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert max(gaps) < 2 * min(gaps)
+
+    def test_pages_compute_in_parallel(self, result):
+        # Page 2 starts before page 1 completes: overlapped execution.
+        assert result.rows[1]["activated_us"] < result.rows[0]["completed_us"]
+
+    def test_per_page_computation_constant(self, result):
+        tcs = result.column("t_c_us")
+        assert max(tcs) < 1.05 * min(tcs)
+        # Database T_C ~ 61 us per page.
+        assert 50 < tcs[0] < 75
+
+    def test_gantt_embedded_in_notes(self, result):
+        notes = "\n".join(result.notes)
+        assert "#" in notes and "processor" in notes

@@ -1,0 +1,49 @@
+"""Figure 8: speedup vs cache-to-memory latency (0-600 ns)."""
+
+import pytest
+
+from repro.experiments import fig8_latency
+
+APPS = ["array-insert", "database", "median-kernel", "matrix-simplex", "mpeg-mmx"]
+LATENCIES = [0, 50, 150, 300, 600]
+
+
+def run_fig8():
+    return fig8_latency.run(apps=APPS, latencies_ns=LATENCIES)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8()
+
+    def test_bench_fig8(self, once):
+        result = once(run_fig8)
+        print()
+        print(result.render())
+        assert len(result.rows) == len(APPS) * len(LATENCIES)
+
+    def _series(self, result, app):
+        return [r["speedup"] for r in result.rows if r["application"] == app]
+
+    def test_advantage_survives_the_whole_range(self, result):
+        # In-DRAM computation is unaffected by miss penalty: RADram
+        # keeps winning from 0 through 600 ns.
+        for name in APPS:
+            assert min(self._series(result, name)) > 1.0, name
+
+    def test_matrix_is_latency_sensitive(self, result):
+        # The partitioned matrix kernel's processor phase reads packed
+        # operands from memory: higher latency erodes its advantage.
+        series = self._series(result, "matrix-simplex")
+        assert series == sorted(series, reverse=True)
+        assert series[0] / series[-1] > 1.5
+
+    def test_slopes_vary_across_apps(self, result):
+        # "These changes can result in either increases or decreases"
+        # — the curves are not all parallel.
+        ratios = {
+            name: self._series(result, name)[-1] / self._series(result, name)[0]
+            for name in APPS
+        }
+        assert max(ratios.values()) / min(ratios.values()) > 1.3

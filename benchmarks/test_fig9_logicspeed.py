@@ -1,0 +1,55 @@
+"""Figure 9: speedup vs reconfigurable-logic speed (divisor form)."""
+
+import pytest
+
+from repro.experiments import fig9_logicspeed
+
+APPS = ["array-insert", "database", "median-kernel", "matrix-simplex", "mpeg-mmx"]
+DIVISORS = [2, 4, 10, 20, 50, 100]
+
+
+def run_fig9():
+    return fig9_logicspeed.run(apps=APPS, divisors=DIVISORS)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9()
+
+    def test_bench_fig9(self, once):
+        result = once(run_fig9)
+        print()
+        print(result.render())
+        assert len(result.rows) == len(APPS) * len(DIVISORS) * 2
+
+    def _series(self, result, app, region):
+        return [
+            r["speedup"]
+            for r in result.rows
+            if r["application"] == app and r["region"] == region
+        ]
+
+    def test_scalable_region_sensitive(self, result):
+        # Slower logic (higher divisor) hurts scalable-region speedups
+        # roughly proportionally.
+        for name in APPS:
+            series = self._series(result, name, "scalable")
+            assert series == sorted(series, reverse=True), name
+            assert series[0] / series[-1] > 5, name
+
+    def test_saturated_region_generally_insensitive(self, result):
+        # At saturation the processor is the bottleneck: from 500 MHz
+        # down to the reference 100 MHz the speedup barely moves.
+        for name in APPS:
+            series = self._series(result, name, "saturated")
+            at_div2, at_div10 = series[0], series[2]
+            assert at_div10 > 0.9 * at_div2, name
+
+    def test_sensitivity_gap_between_regions(self, result):
+        for name in APPS:
+            scal = self._series(result, name, "scalable")
+            sat = self._series(result, name, "saturated")
+            scal_drop = scal[0] / scal[-1]
+            sat_drop = sat[0] / sat[-1]
+            assert scal_drop > 1.5 * sat_drop, name

@@ -1,0 +1,72 @@
+"""STL array operations: conventional vs Active-Page backends.
+
+The Section 5.1 extension operations, measured head to head at the
+reference page size.  Data-parallel bulk operations win on pages; the
+comparison table is what a library user consults before picking a
+backend for a workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.radram.config import RADramConfig
+from repro.stl.array import APArray
+
+PAGES = 8
+FILL = 40_000
+CFG = RADramConfig.reference().with_page_bytes(64 * 1024)
+
+
+def run_stl_comparison():
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 1 << 16, FILL, dtype=np.uint32)
+    rows = []
+    operations = [
+        ("insert", lambda a: a.insert(100, 7)),
+        ("delete", lambda a: a.delete(100)),
+        ("count", lambda a: a.count(int(values[5]))),
+        ("accumulate", lambda a: a.accumulate()),
+        ("partial_sum", lambda a: a.partial_sum()),
+        ("rotate", lambda a: a.rotate(1234)),
+        ("adjacent_difference", lambda a: a.adjacent_difference()),
+    ]
+    for name, call in operations:
+        times = {}
+        results = {}
+        for backend in ("conventional", "radram"):
+            array = APArray(capacity_pages=PAGES, backend=backend, radram_config=CFG)
+            array.extend(values)
+            before = array.elapsed_ns
+            results[backend] = call(array)
+            times[backend] = array.elapsed_ns - before
+            results[f"{backend}_data"] = array.to_numpy()
+        assert np.array_equal(
+            results["conventional_data"], results["radram_data"]
+        ), name
+        rows.append(
+            {
+                "operation": name,
+                "conventional_us": times["conventional"] / 1e3,
+                "radram_us": times["radram"] / 1e3,
+                "speedup": times["conventional"] / times["radram"],
+            }
+        )
+    return rows
+
+
+class TestSTLOperations:
+    def test_bench_stl_operations(self, once):
+        rows = once(run_stl_comparison)
+        print()
+        print(f"{'operation':<22} {'conventional':>14} {'RADram':>12} {'speedup':>8}")
+        for r in rows:
+            print(
+                f"{r['operation']:<22} {r['conventional_us']:>12.1f}us "
+                f"{r['radram_us']:>10.1f}us {r['speedup']:>8.1f}"
+            )
+        by_op = {r["operation"]: r["speedup"] for r in rows}
+        # Bulk data manipulation belongs in memory...
+        for op in ("insert", "delete", "count", "accumulate", "adjacent_difference"):
+            assert by_op[op] > 1.0, op
+        # ...and the paper's headline primitives win big.
+        assert by_op["insert"] > 3.0

@@ -1,0 +1,45 @@
+"""Table 1 artifact: the reference machine and its parameter ranges.
+
+Benchmarks machine construction + a reference kernel run, and asserts
+the Table 1 reference values and variation ranges are all expressible.
+"""
+
+from repro.radram.config import RADramConfig
+from repro.sim import ops as O
+from repro.sim.config import KB, MB, MachineConfig
+from repro.sim.machine import Machine
+
+
+def build_and_run_reference():
+    machine = Machine(config=MachineConfig.reference())
+    machine.run(iter([O.Compute(1000), O.MemRead(0, 4096), O.MemRead(0, 4096)]))
+    return machine
+
+
+class TestTable1:
+    def test_bench_reference_machine(self, once):
+        machine = once(build_and_run_reference)
+        assert machine.processor.now > 0
+
+    def test_reference_values(self):
+        m = MachineConfig.reference()
+        r = RADramConfig.reference()
+        assert m.cpu.clock_hz == 1e9
+        assert m.l1i.size_bytes == 64 * KB
+        assert m.l1d.size_bytes == 64 * KB
+        assert m.l2.size_bytes == 1 * MB
+        assert r.logic_hz == 100e6
+        assert m.dram.miss_latency_ns == 50.0
+
+    def test_variation_ranges_expressible(self):
+        m = MachineConfig.reference()
+        for size in (32 * KB, 256 * KB):
+            assert m.with_l1d_size(size).l1d.size_bytes == size
+        for size in (256 * KB, 4 * MB):
+            assert m.with_l2_size(size).l2.size_bytes == size
+        for lat in (0.0, 600.0):
+            assert m.with_miss_latency(lat).dram.miss_latency_ns == lat
+        r = RADramConfig.reference()
+        for mhz in (10e6, 500e6):
+            divisor = 1e9 / mhz
+            assert r.with_logic_divisor(divisor).logic_hz // 1e6 == mhz // 1e6

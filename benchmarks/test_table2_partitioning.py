@@ -1,0 +1,19 @@
+"""Table 2: application partitioning summary."""
+
+from repro.experiments import table2_partitioning
+
+
+class TestTable2:
+    def test_bench_table2(self, once):
+        result = once(table2_partitioning.run)
+        print()
+        print(result.render())
+        assert len(result.rows) == 6
+        memory_centric = [
+            r["name"] for r in result.rows if r["partitioning"] == "memory-centric"
+        ]
+        assert memory_centric == ["Array", "Database", "Median", "Dynamic Prog"]
+        processor_centric = [
+            r["name"] for r in result.rows if r["partitioning"] == "processor-centric"
+        ]
+        assert processor_centric == ["Matrix", "MPEG-MMX"]

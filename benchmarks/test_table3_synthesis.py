@@ -1,0 +1,18 @@
+"""Table 3: synthesized logic — LEs, speed and code size per circuit."""
+
+import pytest
+
+from repro.experiments import table3_synthesis
+
+
+class TestTable3:
+    def test_bench_table3(self, once, benchmark):
+        result = once(table3_synthesis.run)
+        print()
+        print(result.render())
+        assert len(result.rows) == 7
+        for row in result.rows:
+            assert row["les"] == row["les_paper"]
+            assert row["speed_ns"] == pytest.approx(row["speed_ns_paper"], rel=0.08)
+            assert row["code_kb"] == pytest.approx(row["code_kb_paper"], rel=0.10)
+        benchmark.extra_info["max_les"] = max(r["les"] for r in result.rows)

@@ -1,0 +1,77 @@
+"""Table 4: measured constants, pages-for-overlap, model correlation."""
+
+import pytest
+
+from repro.experiments import table4_model
+
+SWEEP = [1, 2, 4, 8, 16, 32, 64]
+
+
+def run_table4():
+    return table4_model.run(sweep=SWEEP)
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table4()
+
+    def test_bench_table4(self, once):
+        result = once(run_table4)
+        print()
+        print(result.render())
+        assert len(result.rows) == 8
+
+    def _row(self, result, name):
+        return next(r for r in result.rows if r["application"] == name)
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "array-insert",
+            "array-delete",
+            "array-find",
+            "database",
+            "matrix-simplex",
+            "matrix-boeing",
+            "median-kernel",
+            "mpeg-mmx",
+        ],
+    )
+    def test_constants_close_to_paper(self, result, name):
+        row = self._row(result, name)
+        assert row["t_a_us"] == pytest.approx(row["t_a_paper"], rel=0.08)
+        assert row["t_p_us"] == pytest.approx(row["t_p_paper"], rel=0.10)
+        assert row["t_c_us"] == pytest.approx(row["t_c_paper"], rel=0.08)
+
+    @pytest.mark.parametrize(
+        "name, lo, hi",
+        [
+            ("array-insert", 2900, 3600),
+            ("array-delete", 2200, 2800),
+            ("array-find", 1450, 1800),
+            ("database", 70, 85),
+            ("matrix-simplex", 7, 10),
+            ("matrix-boeing", 8, 11),
+            ("median-kernel", 8700, 10200),
+        ],
+    )
+    def test_pages_for_overlap_near_paper(self, result, name, lo, hi):
+        # (mpeg is excluded: the paper's value of 9 is inconsistent
+        # with its own constants — see EXPERIMENTS.md.)
+        assert lo <= self._row(result, name)["pages_overlap"] <= hi
+
+    def test_correlations_reproduce_papers_ranking(self, result):
+        for name in (
+            "array-insert",
+            "array-delete",
+            "array-find",
+            "database",
+            "median-kernel",
+            "mpeg-mmx",
+        ):
+            assert self._row(result, name)["correlation"] > 0.98, name
+        assert self._row(result, "matrix-simplex")["correlation"] > 0.95
+        boeing = self._row(result, "matrix-boeing")["correlation"]
+        assert boeing < 0.95  # the paper's outlier
+        assert boeing == min(r["correlation"] for r in result.rows)

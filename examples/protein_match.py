@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Protein sequence matching via wavefront dynamic programming.
+
+The paper's "Dynamic Prog" workload: the largest-common-subsequence
+table of two homologous protein sequences is filled by Active Pages as
+a wavefront (each page owns a band of rows; the processor ferries
+boundary rows between pages — processor-mediated inter-page
+communication), then the processor backtracks.
+
+Run:  python examples/protein_match.py
+"""
+
+from repro.apps.data import lcs_reference, related_sequences
+from repro.apps.registry import get_app
+from repro.experiments.runner import run_conventional, run_radram
+
+PAGE_BYTES = 32 * 1024
+N_PAGES = 8
+
+
+def main() -> None:
+    app = get_app("dynamic-prog")
+
+    print("== LCS protein matching on Active Pages ==")
+    conv = run_conventional(
+        app, N_PAGES, page_bytes=PAGE_BYTES, functional=True, cap_pages=None
+    )
+    rad = run_radram(app, N_PAGES, page_bytes=PAGE_BYTES, functional=True)
+    app.check_equivalence(conv.workload, rad.workload)
+
+    w = rad.workload
+    n = w.data["n"]
+    lcs = w.results["lcs"]
+    a, b = w.data["seq_a"], w.data["seq_b"]
+    print(f"sequences: {n} residues each; LCS length {lcs} "
+          f"({100 * lcs / n:.0f}% conserved)")
+    assert lcs == lcs_reference(a, b)
+    print(f"table: {n}x{n} cells in {w.data['bands']} row bands "
+          f"({w.whole_pages} Active Pages)")
+
+    print(f"conventional: {conv.total_ns / 1e6:8.3f} ms")
+    print(f"RADram:       {rad.total_ns / 1e6:8.3f} ms  "
+          f"(speedup {conv.total_ns / rad.total_ns:.1f}x)")
+    print(f"inter-page boundary traffic handled by the processor; "
+          f"stalled {100 * rad.stall_fraction:.0f}% of cycles "
+          f"(dynamic programming stays coordination-heavy, Section 7.2)")
+
+    # Unrelated sequences for contrast.
+    from repro.apps.data import protein_sequence
+
+    x = protein_sequence(n, seed=1)
+    y = protein_sequence(n, seed=2)
+    print(f"for comparison, two unrelated sequences align only "
+          f"{100 * lcs_reference(x, y) / n:.0f}%")
+
+    # The full alignment suite: an actual LCS via Hirschberg's
+    # linear-space backtracking, plus global and local alignments.
+    from repro.align import hirschberg_lcs, needleman_wunsch, smith_waterman
+
+    lcs_string = hirschberg_lcs(a[:120], b[:120])
+    print(f"\nactual LCS of the first 120 residues "
+          f"({len(lcs_string)} residues): {lcs_string[:48].decode()}...")
+    nw = needleman_wunsch(a[:60], b[:60])
+    print(f"global alignment (first 60): score {nw.score}, "
+          f"{100 * nw.identity():.0f}% identity")
+    print(f"  {nw.aligned_a[:56].decode()}")
+    print(f"  {nw.aligned_b[:56].decode()}")
+    sw = smith_waterman(a[:200], b[:200])
+    print(f"best local alignment: score {sw.score}, residues "
+          f"{sw.span_a[0]}-{sw.span_a[1]} vs {sw.span_b[0]}-{sw.span_b[1]}")
+
+
+if __name__ == "__main__":
+    main()

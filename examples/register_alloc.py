@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Optimal register allocation with the simplex method (Section 5.2).
+
+The paper's ``matrix-simplex`` workload exists because register
+allocation can be posed as optimization [GW96] and solved with simplex
+[NM65], whose inner loop is the sparse kernel Active Pages accelerate.
+This example runs the whole stack: build an interference graph from
+live ranges (networkx), relax to an LP, solve it with this
+repository's simplex, round to an allocation — and time the solver's
+pivots on both memory systems.
+
+Run:  python examples/register_alloc.py
+"""
+
+import numpy as np
+
+from repro.lp.register import allocate_registers, interval_interference_graph
+from repro.lp.simplex import solve_timed
+
+
+def make_live_ranges(n_vars=24, seed=3):
+    rng = np.random.default_rng(seed)
+    starts = rng.integers(0, 60, n_vars)
+    lengths = rng.integers(2, 25, n_vars)
+    weights = {f"v{i}": float(rng.integers(1, 50)) for i in range(n_vars)}
+    return [(int(s), int(s + l)) for s, l in zip(starts, lengths)], weights
+
+
+def main() -> None:
+    print("== register allocation as linear programming ==")
+    ranges, weights = make_live_ranges()
+    graph = interval_interference_graph(ranges)
+    print(f"{len(ranges)} virtual registers, "
+          f"{graph.number_of_edges()} interferences")
+
+    for k in (2, 4, 8):
+        result = allocate_registers(graph, k=k, weights=weights)
+        total = sum(weights.values())
+        print(f"  k={k}: keep {len(result.in_registers):2d} in registers, "
+              f"spill {len(result.spilled):2d}  "
+              f"(saved {result.saved_cost:.0f}/{total:.0f} spill cost, "
+              f"LP bound {result.lp_bound:.1f}, "
+              f"tight={result.is_lp_tight})")
+
+    # Time the simplex pivots themselves on both systems.
+    print("\n== simplex pivot kernel on both memory systems ==")
+    rng = np.random.default_rng(0)
+    n, m = 48, 80
+    c = rng.uniform(0.1, 1.0, n)
+    a = (rng.random((m, n)) < 0.08) * rng.uniform(0.2, 1.5, (m, n))
+    b = rng.uniform(1.0, 4.0, m)
+    result, conv = solve_timed(c, a, b, system="conventional")
+    _, rad = solve_timed(c, a, b, system="radram")
+    print(f"  LP: {m} constraints x {n} variables, "
+          f"{np.count_nonzero(a)} nonzeros, {result.pivots} pivots")
+    print(f"  conventional: {conv.total_ns / 1e3:8.1f} us")
+    print(f"  RADram:       {rad.total_ns / 1e3:8.1f} us  "
+          f"(speedup {conv.total_ns / rad.total_ns:.1f}x — the paper's "
+          f"compare-gather-compute)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""The STL array template on Active Pages.
+
+The paper's motivating data-structure example: a dense array whose
+insert/delete/count operations run inside the memory system, so the
+programmer gets array-like random access *and* list-like mutation cost.
+Each page shifts its slice in parallel; the processor performs the
+cross-page carries.
+
+Run:  python examples/stl_array_demo.py
+"""
+
+import numpy as np
+
+from repro.apps.registry import get_app
+from repro.experiments.runner import run_conventional, run_radram
+
+PAGE_BYTES = 32 * 1024
+N_PAGES = 8
+
+
+def main() -> None:
+    print("== STL array primitives on Active Pages ==")
+    print(f"array of {N_PAGES * (PAGE_BYTES - 64) // 4} 32-bit words "
+          f"across {N_PAGES} pages\n")
+    print(f"{'primitive':>14} {'conventional':>14} {'RADram':>12} {'speedup':>8}")
+    for name in ("array-insert", "array-delete", "array-find"):
+        app = get_app(name)
+        conv = run_conventional(
+            app, N_PAGES, page_bytes=PAGE_BYTES, functional=True, cap_pages=None
+        )
+        rad = run_radram(app, N_PAGES, page_bytes=PAGE_BYTES, functional=True)
+        app.check_equivalence(conv.workload, rad.workload)
+        print(
+            f"{name:>14} {conv.total_ns / 1e3:>12.1f}us "
+            f"{rad.total_ns / 1e3:>10.1f}us "
+            f"{conv.total_ns / rad.total_ns:>8.1f}"
+        )
+
+    # Show the functional effect of an insert.
+    app = get_app("array-insert")
+    rad = run_radram(app, 2, page_bytes=PAGE_BYTES, functional=True)
+    w = rad.workload
+    pos = w.data["position"]
+    arr = w.results["array"]
+    print(f"\ninsert of {app.VALUE:#x} at index {pos}:")
+    print(f"  ...{w.data['initial'][pos - 2 : pos + 2]} (before)")
+    print(f"  ...{arr[pos - 2 : pos + 3]} (after: neighbours shifted up)")
+
+    # The sub-page anomaly: adaptive delete.
+    app = get_app("array-delete")
+    conv = run_conventional(app, 0.5, page_bytes=PAGE_BYTES, cap_pages=None)
+    rad = run_radram(app, 0.5, page_bytes=PAGE_BYTES)
+    print(f"\nsub-page delete (half a page): conventional "
+          f"{conv.total_ns / 1e3:.1f}us vs RADram {rad.total_ns / 1e3:.1f}us — "
+          f"the adaptive algorithm keeps sub-page deletes on the processor")
+
+
+if __name__ == "__main__":
+    main()

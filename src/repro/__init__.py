@@ -1,0 +1,36 @@
+"""Active Pages / RADram reproduction.
+
+This package reproduces *Active Pages: A Computation Model for
+Intelligent Memory* (Oskin, Chong, Sherwood; ISCA 1998).  It contains:
+
+``repro.sim``
+    A discrete-event machine simulator standing in for SimpleScalar:
+    an in-order processor timing model, set-associative LRU caches,
+    a 32-bit/10 ns memory bus, DRAM timing, and a functional paged
+    memory backing store.
+
+``repro.core``
+    The Active Pages computation model itself: pages, page groups,
+    the ``ap_alloc``/``ap_bind`` interface, synchronization variables,
+    and the analytic performance model of the paper's Figure 7.
+
+``repro.radram``
+    The RADram implementation: DRAM subarrays paired with blocks of
+    reconfigurable logic, activation dispatch, processor-mediated
+    inter-page communication, and wide MMX operations.
+
+``repro.synth``
+    A small FPGA synthesis estimator (netlist -> 4-LUT mapping ->
+    timing) used to regenerate the paper's Table 3.
+
+``repro.apps``
+    The six applications of the paper's evaluation, each in a
+    conventional and an Active-Page partitioned version.
+
+``repro.experiments``
+    Harness code regenerating every table and figure of the paper.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

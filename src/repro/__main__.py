@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+report       regenerate the paper's tables and figures
+app          run one application on both systems at a problem size
+synth        print Table 3 (circuit synthesis)
+yield        print the Section 3 yield/cost comparison
+power        print the Section 3 port-width power study
+trace        run an application on RADram and draw its Gantt chart
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps.registry import ALL_APPS, get_app
+from repro.experiments import report as report_mod
+from repro.experiments.runner import run_conventional, run_radram
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.only:
+        argv += ["--only"] + args.only
+    if args.extensions:
+        argv.append("--extensions")
+    if args.output:
+        argv += ["--output", args.output]
+    return report_mod.main(argv)
+
+
+def _cmd_app(args: argparse.Namespace) -> int:
+    app = get_app(args.name)
+    conv = run_conventional(app, args.pages, cap_pages=None if args.exact else 8.0)
+    rad = run_radram(app, args.pages)
+    print(f"{app.name} at {args.pages} pages ({app.partitioning.value}):")
+    print(f"  conventional: {conv.total_ns / 1e6:10.3f} ms")
+    print(f"  RADram:       {rad.total_ns / 1e6:10.3f} ms")
+    print(f"  speedup:      {conv.total_ns / rad.total_ns:10.1f}x")
+    print(f"  CPU stalled:  {100 * rad.stall_fraction:10.1f}%")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.synth.report import format_table3
+
+    print(format_table3())
+    return 0
+
+
+def _cmd_yield(args: argparse.Namespace) -> int:
+    from repro.radram.yieldmodel import yield_table
+
+    print(f"{'chip':<12} {'yield':>7} {'cost':>9} {'vs dram':>9}")
+    for row in yield_table(defect_density=args.defects):
+        print(
+            f"{row['chip']:<12} {row['yield']:>7.3f} "
+            f"${row['cost_dollars']:>8.2f} {row['cost_vs_dram']:>8.2f}x"
+        )
+    return 0
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    from repro.radram.power import port_width_study
+
+    print(f"{'port bits':>10} {'bandwidth':>10} {'power mW':>10} {'circuits fit':>13}")
+    for row in port_width_study():
+        print(
+            f"{row['port_bits']:>10} {row['relative_bandwidth']:>9.0f}x "
+            f"{row['page_power_mw']:>10.1f} "
+            f"{row['circuits_fitting']:>6}/{row['circuits_total']}"
+        )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.viz.gantt import render_gantt
+
+    app = get_app(args.name)
+    # Build the machine by hand so the memory system stays accessible.
+    from repro.radram.config import RADramConfig
+    from repro.radram.system import RADramMemorySystem
+    from repro.sim.machine import Machine
+    from repro.sim.memory import PagedMemory
+
+    rconfig = RADramConfig.reference()
+    memsys = RADramMemorySystem(rconfig)
+    machine = Machine(memory=PagedMemory(page_bytes=rconfig.page_bytes), memsys=memsys)
+    w = app.workload(args.pages, rconfig.page_bytes, functional=False)
+    w.data["radram_config"] = rconfig
+    stats = machine.run(app.radram_stream(w))
+    print(render_gantt(memsys, stats, max_pages=args.max_pages))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="regenerate tables and figures")
+    p_report.add_argument("--quick", action="store_true")
+    p_report.add_argument("--only", nargs="*", choices=sorted(report_mod.EXPERIMENTS))
+    p_report.add_argument("--extensions", action="store_true")
+    p_report.add_argument("--output", metavar="DIR")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_app = sub.add_parser("app", help="run one application")
+    p_app.add_argument("name", choices=sorted(ALL_APPS))
+    p_app.add_argument("--pages", type=float, default=16.0)
+    p_app.add_argument("--exact", action="store_true", help="no extrapolation")
+    p_app.set_defaults(func=_cmd_app)
+
+    p_synth = sub.add_parser("synth", help="print Table 3")
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_yield = sub.add_parser("yield", help="yield/cost comparison")
+    p_yield.add_argument("--defects", type=float, default=1.0, help="defects/cm^2")
+    p_yield.set_defaults(func=_cmd_yield)
+
+    p_power = sub.add_parser("power", help="port-width power study")
+    p_power.set_defaults(func=_cmd_power)
+
+    p_trace = sub.add_parser("trace", help="Gantt chart of a RADram run")
+    p_trace.add_argument("name", choices=sorted(ALL_APPS))
+    p_trace.add_argument("--pages", type=float, default=8.0)
+    p_trace.add_argument("--max-pages", type=int, default=16)
+    p_trace.set_defaults(func=_cmd_trace)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Sequence alignment suite (paper Section 5.1).
+
+"At the heart of the computer algorithm to reconstruct DNA sequences
+are string algorithms such as largest common subsequence, global
+alignment, and local alignment [Gus97]."
+
+The measured application covers LCS; this package completes the
+family:
+
+* :func:`repro.align.lcs.hirschberg_lcs` — an actual longest common
+  subsequence (not just its length) in linear space, the
+  divide-and-conquer backtracking a processor would run over
+  page-resident DP data.
+* :func:`repro.align.alignment.needleman_wunsch` — global alignment
+  with affine-free linear gap scoring.
+* :func:`repro.align.alignment.smith_waterman` — local alignment.
+* :func:`repro.align.timed.align_timed` — both algorithms timed on
+  the conventional and Active-Page systems with the same wavefront
+  partitioning as the measured dynamic-programming kernel.
+"""
+
+from repro.align.alignment import AlignmentResult, needleman_wunsch, smith_waterman
+from repro.align.lcs import hirschberg_lcs, is_common_subsequence
+from repro.align.timed import align_timed
+
+__all__ = [
+    "AlignmentResult",
+    "align_timed",
+    "hirschberg_lcs",
+    "is_common_subsequence",
+    "needleman_wunsch",
+    "smith_waterman",
+]

@@ -1,0 +1,141 @@
+"""Global (Needleman-Wunsch) and local (Smith-Waterman) alignment.
+
+Linear gap scoring: ``match`` for equal residues, ``mismatch``
+otherwise, ``gap`` per inserted/deleted residue.  Both fill an
+(n+1) x (m+1) table — the same wavefront-parallel computation as LCS,
+with MAX units over three neighbours — and backtrack on the processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+GAP_CHAR = ord("-")
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """An alignment: score plus the two gapped strings."""
+
+    score: int
+    aligned_a: bytes
+    aligned_b: bytes
+    #: (start, end) of the aligned region in each input (local
+    #: alignment aligns substrings; global spans everything).
+    span_a: Tuple[int, int]
+    span_b: Tuple[int, int]
+
+    def identity(self) -> float:
+        """Fraction of aligned columns with equal residues."""
+        if not self.aligned_a:
+            return 0.0
+        matches = sum(
+            1
+            for x, y in zip(self.aligned_a, self.aligned_b)
+            if x == y and x != GAP_CHAR
+        )
+        return matches / len(self.aligned_a)
+
+
+def _fill_global(a: bytes, b: bytes, match: int, mismatch: int, gap: int) -> np.ndarray:
+    n, m = len(a), len(b)
+    table = np.zeros((n + 1, m + 1), dtype=np.int32)
+    table[0, :] = gap * np.arange(m + 1)
+    table[:, 0] = gap * np.arange(n + 1)
+    b_arr = np.frombuffer(b, dtype=np.uint8)
+    for i in range(1, n + 1):
+        sub = np.where(b_arr == a[i - 1], match, mismatch)
+        diag = table[i - 1, :-1] + sub
+        up = table[i - 1, 1:] + gap
+        best = np.maximum(diag, up)
+        # The left dependency is sequential; a scan resolves it.
+        row = table[i]
+        row[0] = gap * i
+        for j in range(1, m + 1):
+            row[j] = max(best[j - 1], row[j - 1] + gap)
+    return table
+
+
+def needleman_wunsch(
+    a: bytes, b: bytes, match: int = 2, mismatch: int = -1, gap: int = -2
+) -> AlignmentResult:
+    """Optimal global alignment of ``a`` and ``b``."""
+    if match <= 0 or mismatch > 0 or gap > 0:
+        raise ValueError("expect match > 0, mismatch <= 0, gap <= 0")
+    table = _fill_global(a, b, match, mismatch, gap)
+    # Backtrack from the corner.
+    out_a, out_b = bytearray(), bytearray()
+    i, j = len(a), len(b)
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            sub = match if a[i - 1] == b[j - 1] else mismatch
+            if table[i, j] == table[i - 1, j - 1] + sub:
+                out_a.append(a[i - 1])
+                out_b.append(b[j - 1])
+                i -= 1
+                j -= 1
+                continue
+        if i > 0 and table[i, j] == table[i - 1, j] + gap:
+            out_a.append(a[i - 1])
+            out_b.append(GAP_CHAR)
+            i -= 1
+        else:
+            out_a.append(GAP_CHAR)
+            out_b.append(b[j - 1])
+            j -= 1
+    return AlignmentResult(
+        score=int(table[len(a), len(b)]),
+        aligned_a=bytes(reversed(out_a)),
+        aligned_b=bytes(reversed(out_b)),
+        span_a=(0, len(a)),
+        span_b=(0, len(b)),
+    )
+
+
+def smith_waterman(
+    a: bytes, b: bytes, match: int = 2, mismatch: int = -1, gap: int = -2
+) -> AlignmentResult:
+    """Optimal local alignment (best-scoring substring pair)."""
+    if match <= 0 or mismatch > 0 or gap > 0:
+        raise ValueError("expect match > 0, mismatch <= 0, gap <= 0")
+    n, m = len(a), len(b)
+    table = np.zeros((n + 1, m + 1), dtype=np.int32)
+    b_arr = np.frombuffer(b, dtype=np.uint8) if m else np.empty(0, dtype=np.uint8)
+    for i in range(1, n + 1):
+        sub = np.where(b_arr == a[i - 1], match, mismatch)
+        diag = table[i - 1, :-1] + sub
+        up = table[i - 1, 1:] + gap
+        best = np.maximum(np.maximum(diag, up), 0)
+        row = table[i]
+        for j in range(1, m + 1):
+            row[j] = max(best[j - 1], row[j - 1] + gap, 0)
+    end = np.unravel_index(np.argmax(table), table.shape)
+    i, j = int(end[0]), int(end[1])
+    score = int(table[i, j])
+    out_a, out_b = bytearray(), bytearray()
+    end_a, end_b = i, j
+    while i > 0 and j > 0 and table[i, j] > 0:
+        sub = match if a[i - 1] == b[j - 1] else mismatch
+        if table[i, j] == table[i - 1, j - 1] + sub:
+            out_a.append(a[i - 1])
+            out_b.append(b[j - 1])
+            i -= 1
+            j -= 1
+        elif table[i, j] == table[i - 1, j] + gap:
+            out_a.append(a[i - 1])
+            out_b.append(GAP_CHAR)
+            i -= 1
+        else:
+            out_a.append(GAP_CHAR)
+            out_b.append(b[j - 1])
+            j -= 1
+    return AlignmentResult(
+        score=score,
+        aligned_a=bytes(reversed(out_a)),
+        aligned_b=bytes(reversed(out_b)),
+        span_a=(i, end_a),
+        span_b=(j, end_b),
+    )

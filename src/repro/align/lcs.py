@@ -1,0 +1,49 @@
+"""Longest common subsequence with Hirschberg backtracking.
+
+The paper's partitioning keeps table *construction* in Active Pages
+and backtracking on the processor.  Hirschberg's divide-and-conquer
+recovers an actual LCS string from forward/backward score rows only —
+exactly the row data a page-banded table hands the processor — in
+linear space and O(n*m) time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _lcs_last_row(a: bytes, b: bytes) -> np.ndarray:
+    """Final DP row of LCS(a, b), vectorized per row."""
+    prev = np.zeros(len(b) + 1, dtype=np.int32)
+    if not a or not b:
+        return prev
+    b_arr = np.frombuffer(b, dtype=np.uint8)
+    for ch in a:
+        curr = np.zeros_like(prev)
+        candidate = np.maximum(prev[:-1] + (b_arr == ch), prev[1:])
+        np.maximum.accumulate(candidate, out=curr[1:])
+        prev = curr
+    return prev
+
+
+def hirschberg_lcs(a: bytes, b: bytes) -> bytes:
+    """An actual longest common subsequence of ``a`` and ``b``."""
+    if not a or not b:
+        return b""
+    if len(a) == 1:
+        return a if a[0] in b else b""
+    mid = len(a) // 2
+    left = _lcs_last_row(a[:mid], b)
+    right = _lcs_last_row(a[mid:][::-1], b[::-1])[::-1]
+    split = int(np.argmax(left + right))
+    return hirschberg_lcs(a[:mid], b[:split]) + hirschberg_lcs(a[mid:], b[split:])
+
+
+def is_common_subsequence(candidate: bytes, a: bytes, b: bytes) -> bool:
+    """Whether ``candidate`` is a subsequence of both strings."""
+
+    def is_subseq(needle: bytes, haystack: bytes) -> bool:
+        it = iter(haystack)
+        return all(ch in it for ch in needle)
+
+    return is_subseq(candidate, a) and is_subseq(candidate, b)

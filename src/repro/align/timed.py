@@ -1,0 +1,129 @@
+"""Timed alignment on conventional vs Active-Page systems.
+
+The alignment table fill has the same wavefront structure as the
+measured dynamic-programming kernel (three-neighbour MAX per cell),
+so the timing models are shared: pages fill band-rows at one logic
+cycle per cell with processor-ferried (or hardware) boundary rows,
+and the processor backtracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.align.alignment import AlignmentResult, needleman_wunsch, smith_waterman
+from repro.apps.lcs import BACKTRACK_OPS, CONV_OPS_PER_CELL, CYCLES_PER_CELL
+from repro.core.functions import PageTask
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+from repro.sim.stats import MachineStats
+
+#: global/local alignment cells cost slightly more than LCS cells
+#: (scored substitution instead of an equality bit).
+ALIGN_CYCLES_PER_CELL = 1.25 * CYCLES_PER_CELL
+ALIGN_CONV_OPS_PER_CELL = 8.0
+
+
+@dataclass(frozen=True)
+class TimedAlignment:
+    result: AlignmentResult
+    stats: MachineStats
+
+    @property
+    def total_ns(self) -> float:
+        return self.stats.total_ns
+
+
+def align_timed(
+    a: bytes,
+    b: bytes,
+    algorithm: str = "global",
+    system: str = "radram",
+    bands: int = 8,
+    machine_config: Optional[MachineConfig] = None,
+    radram_config: Optional[RADramConfig] = None,
+) -> TimedAlignment:
+    """Align functionally and account the execution time.
+
+    ``algorithm``: ``"global"`` (Needleman-Wunsch) or ``"local"``
+    (Smith-Waterman).  ``bands`` controls the Active-Page wavefront
+    decomposition.
+    """
+    if algorithm == "global":
+        result = needleman_wunsch(a, b)
+    elif algorithm == "local":
+        result = smith_waterman(a, b)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    cells = len(a) * len(b)
+    backtrack_steps = len(result.aligned_a)
+    if system == "conventional":
+        stats = _run_conventional(cells, len(b), backtrack_steps)
+    elif system == "radram":
+        stats = _run_radram(
+            cells, len(b), backtrack_steps, bands, machine_config, radram_config
+        )
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    return TimedAlignment(result=result, stats=stats)
+
+
+def _run_conventional(cells: int, width: int, backtrack: int) -> MachineStats:
+    machine = Machine()
+    base = 0x5000_0000
+    rows = max(1, cells // max(1, width))
+    stream = []
+    for r in range(rows):
+        stream.append(O.Compute(ALIGN_CONV_OPS_PER_CELL * width))
+        stream.append(O.MemWrite(base + r * width * 4, width * 4))
+    stream.append(O.Compute(BACKTRACK_OPS * backtrack))
+    return machine.run(iter(stream))
+
+
+def _run_radram(
+    cells: int,
+    width: int,
+    backtrack: int,
+    bands: int,
+    machine_config: Optional[MachineConfig],
+    radram_config: Optional[RADramConfig],
+) -> MachineStats:
+    rconfig = radram_config or RADramConfig.reference()
+    memsys = RADramMemorySystem(rconfig)
+    machine = Machine(
+        config=machine_config,
+        memory=PagedMemory(page_bytes=rconfig.page_bytes),
+        memsys=memsys,
+    )
+    base_page = 0x5000_0000 // rconfig.page_bytes
+    chunk_cells = max(1, cells // (bands * bands))
+    boundary = max(4, (width // bands) * 4)
+    stream = []
+    for step in range(2 * bands - 1):
+        active = [
+            (i, step - i)
+            for i in range(max(0, step - bands + 1), min(bands, step + 1))
+        ]
+        for band, _chunk in active:
+            if band > 0:
+                stream.append(O.MemRead(0x5000_0000 + band * boundary, boundary))
+                stream.append(O.MemWrite(0x5100_0000 + band * boundary, boundary))
+                stream.append(O.Compute(20))
+            stream.append(
+                O.Activate(
+                    base_page + band,
+                    2,
+                    PageTask.simple(chunk_cells * ALIGN_CYCLES_PER_CELL),
+                )
+            )
+        for band, _chunk in active:
+            stream.append(O.WaitPage(base_page + band))
+            stream.append(O.Compute(12))
+    stream.append(O.Compute(BACKTRACK_OPS * backtrack))
+    return machine.run(iter(stream))

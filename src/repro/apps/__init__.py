@@ -1,0 +1,27 @@
+"""The six applications of the paper's evaluation (Section 5).
+
+Each application exists in two versions sharing one functional memory
+image:
+
+* a **conventional** version — all work on the processor through the
+  cache hierarchy (the baseline the paper's speedups are measured
+  against), and
+* an **Active-Page** version — hand-partitioned between processor and
+  memory system per Table 2.
+
+Applications are registered in :mod:`repro.apps.registry`; experiment
+harnesses iterate the registry rather than naming applications.
+"""
+
+from repro.apps.base import Application, Partitioning, Table4Row, Workload
+from repro.apps.registry import ALL_APPS, FIG3_APPS, get_app
+
+__all__ = [
+    "ALL_APPS",
+    "Application",
+    "FIG3_APPS",
+    "Partitioning",
+    "Table4Row",
+    "Workload",
+    "get_app",
+]

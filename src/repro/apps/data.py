@@ -1,0 +1,276 @@
+"""Synthetic workload data generators.
+
+Replaces the paper's external inputs that are unavailable offline
+(DESIGN.md section 4): the synthetic address book, images for median
+filtering, protein sequences, Harwell-Boeing-like finite-element
+sparse data, simplex tableaus with register-allocation shape, and
+MPEG P/B-frame correction blocks.  All generators are deterministic in
+their ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# Address database (Section 5.1, "Database Query")
+
+#: Fixed record layout: field name -> (offset, length) in bytes.
+RECORD_LAYOUT = {
+    "lastname": (0, 32),
+    "firstname": (32, 32),
+    "street": (64, 64),
+    "city": (128, 32),
+    "state": (160, 2),
+    "zip": (162, 10),
+    "phone": (172, 16),
+    "email": (188, 48),
+}
+RECORD_BYTES = 512  # fields + padding
+
+_SYLLABLES = [
+    "an", "ber", "chen", "dov", "el", "far", "gar", "hoff", "is", "jo",
+    "kim", "lor", "man", "ner", "os", "pet", "qui", "ros", "son", "tov",
+    "ul", "vic", "wal", "xi", "yam", "zim",
+]
+
+
+def _random_name(rng: np.random.Generator, max_len: int) -> bytes:
+    parts = rng.integers(2, 4)
+    name = "".join(_SYLLABLES[i] for i in rng.integers(0, len(_SYLLABLES), parts))
+    return name.encode("ascii")[:max_len]
+
+
+def address_book(n_records: int, seed: int = 0) -> np.ndarray:
+    """A synthetic address database as raw record bytes.
+
+    Returns shape ``(n_records, RECORD_BYTES)`` uint8.  Names repeat
+    (the syllable space is small), so exact-match queries find several
+    records — matching the paper's count-of-exact-matches benchmark.
+    """
+    rng = np.random.default_rng(seed)
+    records = np.zeros((n_records, RECORD_BYTES), dtype=np.uint8)
+    for i in range(n_records):
+        for fld in ("lastname", "firstname", "city"):
+            off, length = RECORD_LAYOUT[fld]
+            name = _random_name(rng, length)
+            records[i, off : off + len(name)] = np.frombuffer(name, dtype=np.uint8)
+        off, length = RECORD_LAYOUT["zip"]
+        zipcode = f"{rng.integers(10000, 99999)}".encode()
+        records[i, off : off + len(zipcode)] = np.frombuffer(zipcode, dtype=np.uint8)
+    return records
+
+
+def field_bytes(record: np.ndarray, fld: str) -> bytes:
+    """Extract one field of a raw record as bytes."""
+    off, length = RECORD_LAYOUT[fld]
+    return bytes(record[off : off + length])
+
+
+# ----------------------------------------------------------------------
+# Images (Section 5.1, "Image Processing")
+
+
+def noisy_image(height: int, width: int, seed: int = 0) -> np.ndarray:
+    """A smooth gradient with salt-and-pepper noise, uint16.
+
+    Median filtering should remove most of the impulsive noise — the
+    examples use this to show the filter doing real work.
+    """
+    rng = np.random.default_rng(seed)
+    y = np.linspace(0, 4 * np.pi, height)[:, None]
+    x = np.linspace(0, 4 * np.pi, width)[None, :]
+    base = (2000 + 1500 * (np.sin(x) + np.cos(y))).astype(np.uint16)
+    noise_mask = rng.random((height, width)) < 0.05
+    noise = rng.integers(0, 4096, (height, width), dtype=np.uint16)
+    return np.where(noise_mask, noise, base).astype(np.uint16)
+
+
+def median3x3_reference(image: np.ndarray) -> np.ndarray:
+    """Reference 3x3 median filter (interior pixels; borders copied)."""
+    out = image.copy()
+    stack = np.stack(
+        [
+            image[i : i + image.shape[0] - 2, j : j + image.shape[1] - 2]
+            for i in range(3)
+            for j in range(3)
+        ]
+    )
+    out[1:-1, 1:-1] = np.median(stack, axis=0).astype(image.dtype)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Protein sequences (Section 5.1, "Largest Common Subsequence")
+
+_AMINO_ACIDS = b"ACDEFGHIKLMNPQRSTVWY"
+
+
+def protein_sequence(length: int, seed: int = 0) -> bytes:
+    """A random amino-acid sequence."""
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, len(_AMINO_ACIDS), length)
+    return bytes(bytearray(_AMINO_ACIDS[i] for i in idx))
+
+
+def related_sequences(length: int, mutation_rate: float = 0.15, seed: int = 0) -> Tuple[bytes, bytes]:
+    """Two sequences sharing long common subsequences.
+
+    The second is the first with point mutations and small indels —
+    the shape of real homologous proteins, so LCS backtracking finds
+    substantial alignments.
+    """
+    rng = np.random.default_rng(seed)
+    a = bytearray(protein_sequence(length, seed=seed))
+    b = bytearray(a)
+    n_mutations = int(length * mutation_rate)
+    for _ in range(n_mutations):
+        pos = rng.integers(0, len(b))
+        op = rng.integers(0, 3)
+        residue = _AMINO_ACIDS[rng.integers(0, len(_AMINO_ACIDS))]
+        if op == 0:
+            b[pos] = residue
+        elif op == 1 and len(b) > 10:
+            del b[pos]
+        else:
+            b.insert(pos, residue)
+    del b[length:]
+    while len(b) < length:
+        b.append(_AMINO_ACIDS[rng.integers(0, len(_AMINO_ACIDS))])
+    return bytes(a), bytes(b)
+
+
+def lcs_reference(a: bytes, b: bytes) -> int:
+    """Reference LCS length via the classic DP, vectorized by rows."""
+    prev = np.zeros(len(b) + 1, dtype=np.int32)
+    b_arr = np.frombuffer(b, dtype=np.uint8)
+    for ch in a:
+        curr = np.zeros_like(prev)
+        match = prev[:-1] + (b_arr == ch)
+        np.maximum.accumulate(np.maximum(match, prev[1:]), out=curr[1:])
+        # accumulate handles the curr[j-1] dependency for the max with
+        # the left neighbour because values increase by at most 1.
+        prev = curr
+    return int(prev[-1])
+
+
+# ----------------------------------------------------------------------
+# Sparse matrices (Section 5.2, "Sparse-Matrix Multiply")
+
+
+@dataclass(frozen=True)
+class SparseVectorPair:
+    """One sparse dot-product operand pair (sorted index arrays)."""
+
+    idx_a: np.ndarray
+    val_a: np.ndarray
+    idx_b: np.ndarray
+    val_b: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return len(self.idx_a) + len(self.idx_b)
+
+    def matches(self) -> np.ndarray:
+        """Indices present in both vectors."""
+        return np.intersect1d(self.idx_a, self.idx_b, assume_unique=True)
+
+    def dot(self) -> float:
+        """Reference sparse dot product."""
+        common, ia, ib = np.intersect1d(
+            self.idx_a, self.idx_b, assume_unique=True, return_indices=True
+        )
+        return float(np.dot(self.val_a[ia], self.val_b[ib]))
+
+
+def _sparse_vector(
+    rng: np.random.Generator, nnz: int, index_range: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    idx = np.sort(rng.choice(index_range, size=min(nnz, index_range), replace=False))
+    val = rng.standard_normal(len(idx))
+    return idx.astype(np.int32), val
+
+
+#: Simplex operating point: constant density, ~58 index matches/pair.
+SIMPLEX_NNZ = 606
+SIMPLEX_INDEX_RANGE = 6330
+
+
+def simplex_pairs(n_pairs: int, seed: int = 0, nnz: int = SIMPLEX_NNZ) -> List[SparseVectorPair]:
+    """Register-allocation simplex tableaus: uniform row density.
+
+    Constant nnz per vector — the data-independence that makes
+    matrix-simplex correlate well with the constant-time model.
+    Expected matches per pair: nnz^2 / index_range (~64 at defaults).
+    """
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(n_pairs):
+        idx_a, val_a = _sparse_vector(rng, nnz, SIMPLEX_INDEX_RANGE)
+        idx_b, val_b = _sparse_vector(rng, nnz, SIMPLEX_INDEX_RANGE)
+        pairs.append(SparseVectorPair(idx_a, val_a, idx_b, val_b))
+    return pairs
+
+
+#: Boeing operating point: banded rows, density varies ~3x around 480.
+BOEING_MEAN_NNZ = 480
+
+
+def boeing_pairs(
+    n_pairs: int, seed: int = 0, mean_nnz: int = BOEING_MEAN_NNZ
+) -> List[SparseVectorPair]:
+    """Harwell-Boeing-like finite-element rows: banded, varied density.
+
+    Row densities vary strongly, which violates the analytic model's
+    constant-T_C assumption — the cause of matrix-boeing's low Table 4
+    correlation.  Every fifth row pair is an *interface* row (finite-
+    element meshes couple boundary-node rows to many elements), an
+    order of magnitude denser than the interior rows; both vectors of
+    a pair share a band, so matches are frequent (~density/3).
+    """
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for i in range(n_pairs):
+        interface_row = i % 5 == 0
+        scale = 2.3 if interface_row else 0.26
+        density = int(
+            mean_nnz * (0.15 + scale) + rng.integers(0, mean_nnz // 6)
+        )
+        band_width = 3 * density
+        center = int(rng.integers(0, 8192))
+        lo = max(0, center - band_width // 2)
+        hi = lo + band_width
+        band = np.arange(lo, hi)
+        size = min(density, len(band))
+        idx_a = np.sort(rng.choice(band, size=size, replace=False))
+        idx_b = np.sort(rng.choice(band, size=size, replace=False))
+        pairs.append(
+            SparseVectorPair(
+                idx_a.astype(np.int32),
+                rng.standard_normal(len(idx_a)),
+                idx_b.astype(np.int32),
+                rng.standard_normal(len(idx_b)),
+            )
+        )
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# MPEG frames (Section 5.2, "MMX Primitives")
+
+
+def mpeg_blocks(n_blocks: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """P/B-frame data and motion-correction matrices, 8x8 int16 blocks.
+
+    Returns ``(frames, corrections)`` of shape ``(n_blocks, 64)``.
+    Values sit near the int16 saturation boundary often enough that
+    saturating adds (paddsw) behave differently from wrapping adds —
+    tests rely on this to catch wrong MMX semantics.
+    """
+    rng = np.random.default_rng(seed)
+    frames = rng.integers(-28000, 28000, (n_blocks, 64), dtype=np.int16)
+    corrections = rng.integers(-12000, 12000, (n_blocks, 64), dtype=np.int16)
+    return frames, corrections

@@ -1,0 +1,69 @@
+"""Application registry.
+
+``ALL_APPS`` maps names to singleton application instances;
+``FIG3_APPS`` lists the applications of the paper's Figure 3/4 sweeps
+in the paper's naming.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.array import ArrayDeleteApp, ArrayFindApp, ArrayInsertApp
+from repro.apps.base import Application
+from repro.apps.database import DatabaseApp
+from repro.apps.lcs import LCSApp
+from repro.apps.matrix import MatrixBoeingApp, MatrixSimplexApp
+from repro.apps.median import MedianApp, MedianTotalApp
+from repro.apps.mpeg import MpegMMXApp
+
+ALL_APPS: Dict[str, Application] = {
+    app.name: app
+    for app in [
+        ArrayInsertApp(),
+        ArrayDeleteApp(),
+        ArrayFindApp(),
+        DatabaseApp(),
+        MedianApp(),
+        MedianTotalApp(),
+        LCSApp(),
+        MatrixSimplexApp(),
+        MatrixBoeingApp(),
+        MpegMMXApp(),
+    ]
+}
+
+#: The Figure 3 / Figure 4 application set.
+FIG3_APPS: List[str] = [
+    "array-insert",
+    "array-delete",
+    "array-find",
+    "database",
+    "median-kernel",
+    "dynamic-prog",
+    "matrix-simplex",
+    "matrix-boeing",
+    "mpeg-mmx",
+]
+
+#: Applications with a Table 4 row, in the paper's row order.
+TABLE4_APPS: List[str] = [
+    "array-insert",
+    "array-delete",
+    "array-find",
+    "database",
+    "matrix-simplex",
+    "matrix-boeing",
+    "median-kernel",
+    "mpeg-mmx",
+]
+
+
+def get_app(name: str) -> Application:
+    """Look up an application by its registry name."""
+    try:
+        return ALL_APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown application {name!r}; available: {sorted(ALL_APPS)}"
+        ) from None

@@ -1,0 +1,43 @@
+"""The Active Pages computation model (the paper's contribution).
+
+This package is technology-agnostic: it defines what an Active Page
+*is* — a page of data plus bound functions, allocated in groups,
+coordinated through synchronization variables — and the analytic
+performance model of the paper's Section 7.4.  The RADram realization
+(timing, logic budgets, inter-page mechanics) lives in
+:mod:`repro.radram`.
+"""
+
+from repro.core.api import ActivePageSystem, HostEmulationSystem
+from repro.core.functions import APFunction, CommRequest, PageTask, Segment
+from repro.core.model import (
+    non_overlap_times,
+    pages_for_complete_overlap,
+    predict_speedup,
+    speedup_overall,
+    speedup_partitioned,
+)
+from repro.core.page import SYNC_BYTES, ActivePage, PageGroup
+from repro.core.regions import Region, classify_regions
+from repro.core.sync import SyncArea, SyncState
+
+__all__ = [
+    "APFunction",
+    "ActivePage",
+    "ActivePageSystem",
+    "CommRequest",
+    "HostEmulationSystem",
+    "PageGroup",
+    "PageTask",
+    "Region",
+    "SYNC_BYTES",
+    "Segment",
+    "SyncArea",
+    "SyncState",
+    "classify_regions",
+    "non_overlap_times",
+    "pages_for_complete_overlap",
+    "predict_speedup",
+    "speedup_overall",
+    "speedup_partitioned",
+]

@@ -1,0 +1,144 @@
+"""The Active Pages interface (paper Section 2, "Interface").
+
+The interface is deliberately shaped like a conventional virtual memory
+interface plus two calls:
+
+* ``ap_alloc(group_id, n_pages)`` — allocate Active Pages in a group.
+* ``ap_bind(group_id, functions)`` — (re)bind a function set to a group.
+* ``read``/``write`` — standard memory access.
+* ``activate(group_id, page_index, fn, args)`` — the memory-mapped
+  write that starts a page function (sugar over ``write`` to the sync
+  area, kept explicit so implementations can charge activation time).
+
+:class:`HostEmulationSystem` executes functions immediately on the
+host — the functional reference used by tests and by applications that
+only need semantics.  The timed RADram implementation is
+:class:`repro.radram.system.RADramSystem`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.errors import ActivationError, GroupError
+from repro.core.functions import APFunction
+from repro.core.page import ActivePage, PageGroup
+from repro.core.sync import SyncState
+from repro.sim.memory import PagedMemory
+
+
+class ActivePageSystem:
+    """Base Active-Page memory system: allocation, binding, access."""
+
+    #: per-page logic-element budget; 0 disables the bind-time check.
+    le_budget: int = 0
+
+    def __init__(self, memory: Optional[PagedMemory] = None) -> None:
+        self.memory = memory if memory is not None else PagedMemory()
+        self._groups: Dict[str, PageGroup] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation and binding
+
+    def ap_alloc(self, group_id: str, n_pages: int) -> PageGroup:
+        """Allocate ``n_pages`` Active Pages in group ``group_id``.
+
+        Repeated calls with the same group extend the group, matching
+        the paper's per-page ``AP_alloc(group_id, vaddr)`` used in a
+        loop; allocating page-at-a-time or in bulk is equivalent.
+        """
+        if n_pages <= 0:
+            raise GroupError("must allocate at least one page")
+        region = self.memory.alloc_pages(n_pages, name=group_id)
+        group = self._groups.get(group_id)
+        if group is None:
+            group = PageGroup(group_id=group_id, region=region)
+            self._groups[group_id] = group
+        for page_no in self.memory.pages_of(region):
+            group.pages.append(ActivePage(self.memory, page_no, group))
+        return group
+
+    def group(self, group_id: str) -> PageGroup:
+        try:
+            return self._groups[group_id]
+        except KeyError:
+            raise GroupError(f"unknown page group {group_id!r}") from None
+
+    def ap_bind(self, group_id: str, functions: Sequence[APFunction]) -> None:
+        """Bind (or re-bind) a function set to every page of a group."""
+        self.group(group_id).bind(list(functions), le_budget=self.le_budget)
+
+    # ------------------------------------------------------------------
+    # Standard memory interface
+
+    def read(self, vaddr: int, nbytes: int) -> np.ndarray:
+        return self.memory.read(vaddr, nbytes)
+
+    def write(self, vaddr: int, data: np.ndarray) -> None:
+        self.memory.write(vaddr, data)
+
+    # ------------------------------------------------------------------
+    # Activation
+
+    def activate(
+        self, group_id: str, page_index: int, fn_name: str, args: tuple = ()
+    ) -> ActivePage:
+        """Start ``fn_name`` on one page of the group.
+
+        Subclasses implement ``_dispatch`` to define *when* the function
+        runs; this base method performs the interface bookkeeping that
+        is common to all implementations.
+        """
+        group = self.group(group_id)
+        page = group.page(page_index)
+        fn = group.function_named(fn_name)
+        sync = page.sync
+        sync.function_id = group.function_ids[fn_name]
+        int_args = [a for a in args if isinstance(a, (int, np.integer))]
+        sync.write_args([int(a) for a in int_args[:6]])
+        sync.status = SyncState.ARMED
+        self._dispatch(page, fn, args)
+        return page
+
+    def _dispatch(self, page: ActivePage, fn: APFunction, args: tuple) -> None:
+        raise NotImplementedError
+
+    def is_done(self, group_id: str, page_index: int) -> bool:
+        """Poll a page's status variable."""
+        return self.group(group_id).page(page_index).sync.status == SyncState.DONE
+
+    def results(self, group_id: str, page_index: int, count: int) -> List[int]:
+        """Read result words from a page's sync area."""
+        page = self.group(group_id).page(page_index)
+        if page.sync.status != SyncState.DONE:
+            raise ActivationError(
+                f"page {page_index} of group {group_id!r} has no valid results"
+            )
+        return page.sync.read_results(count)
+
+
+class HostEmulationSystem(ActivePageSystem):
+    """Runs Active-Page functions immediately on the host.
+
+    The functional reference implementation: activation applies the
+    function synchronously, so ``is_done`` is True right after
+    ``activate``.  Used to validate application semantics independently
+    of timing, and as the "what the hardware computes" oracle against
+    which the RADram-timed runs are checked.
+    """
+
+    def _dispatch(self, page: ActivePage, fn: APFunction, args: tuple) -> None:
+        if fn.apply is None:
+            raise ActivationError(
+                f"function {fn.name!r} has no functional implementation"
+            )
+        page.sync.status = SyncState.RUNNING
+        result = fn.apply(page, args)
+        if result is not None:
+            if isinstance(result, (int, np.integer)):
+                page.sync.write_results([int(result)])
+            else:
+                page.sync.write_results([int(v) for v in result][:8])
+        page.sync.status = SyncState.DONE

@@ -1,0 +1,17 @@
+"""Exception types for the Active Pages model layer."""
+
+
+class ActivePageError(Exception):
+    """Base class for Active Pages model errors."""
+
+
+class GroupError(ActivePageError):
+    """Unknown page group, or a page used outside its group."""
+
+
+class BindError(ActivePageError):
+    """A function set cannot be bound (unknown name, over budget, ...)."""
+
+
+class ActivationError(ActivePageError):
+    """A page was activated with an unbound function or bad arguments."""

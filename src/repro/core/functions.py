@@ -1,0 +1,117 @@
+"""Active-Page functions and their abstract execution cost.
+
+An :class:`APFunction` pairs a *functional* implementation (what the
+circuit computes, applied to real page bytes) with a *cost model* (how
+many reconfigurable-logic cycles the synthesized circuit needs).  The
+cost model returns a :class:`PageTask`: an ordered list of
+:class:`Segment` s, each a run of logic cycles optionally followed by an
+inter-page memory reference (:class:`CommRequest`) on which the page
+blocks until the processor services it — the paper's processor-mediated
+communication (Section 3).
+
+Costs are expressed in *logic cycles*, not nanoseconds: the core model
+is technology-agnostic, and the implementing memory system (RADram at
+100 MHz, or the Section 8 variations) converts cycles to time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ActivationError
+
+
+@dataclass(frozen=True)
+class CommRequest:
+    """A non-local memory reference issued by a page function.
+
+    The page blocks; the processor is interrupted and performs the copy
+    (``nbytes`` between ``src_vaddr`` and ``dst_vaddr``) before the page
+    can resume.  Several references may be combined into one contiguous
+    copy, which is how applications are expected to use this.
+    """
+
+    nbytes: int
+    src_vaddr: int = 0
+    dst_vaddr: int = 0
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class Segment:
+    """``logic_cycles`` of page computation, then an optional block."""
+
+    logic_cycles: float
+    comm: Optional[CommRequest] = None
+
+    def __post_init__(self) -> None:
+        if self.logic_cycles < 0:
+            raise ActivationError("segment cycles cannot be negative")
+
+
+@dataclass(frozen=True)
+class PageTask:
+    """The complete page-side execution of one activation."""
+
+    segments: Tuple[Segment, ...]
+
+    @classmethod
+    def simple(cls, logic_cycles: float) -> "PageTask":
+        """A task with no inter-page communication."""
+        return cls(segments=(Segment(logic_cycles),))
+
+    @classmethod
+    def of(cls, segments: Sequence[Segment]) -> "PageTask":
+        return cls(segments=tuple(segments))
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(s.logic_cycles for s in self.segments)
+
+    @property
+    def comm_requests(self) -> List[CommRequest]:
+        return [s.comm for s in self.segments if s.comm is not None]
+
+
+# Functional implementation: receives the ActivePage and the activation
+# arguments; mutates page bytes and/or returns a result object that the
+# host emulation records in the page's sync area.
+FunctionalImpl = Callable[["ActivePage", tuple], object]  # noqa: F821
+# Cost model: receives the activation arguments, returns the PageTask.
+CostModel = Callable[[tuple], PageTask]
+
+
+@dataclass
+class APFunction:
+    """A function bindable to a page group via ``ap_bind``.
+
+    Parameters
+    ----------
+    name:
+        The name used at activation time.
+    apply:
+        Functional implementation (may be ``None`` for timing-only use).
+    cost:
+        Cost model producing a :class:`PageTask` per activation.
+        Defaults to a zero-cycle task.
+    le_count:
+        Logic elements the synthesized circuit occupies (Table 3);
+        checked against the implementation's per-page budget at bind
+        time.  ``0`` means "unknown/not enforced".
+    descriptor_words:
+        32-bit parameter words an activation writes to the page
+        (drives activation time T_A in timed implementations).
+    """
+
+    name: str
+    apply: Optional[FunctionalImpl] = None
+    cost: Optional[CostModel] = None
+    le_count: int = 0
+    descriptor_words: int = 8
+
+    def task_for(self, args: tuple) -> PageTask:
+        """The page-side task for an activation with ``args``."""
+        if self.cost is None:
+            return PageTask.simple(0.0)
+        return self.cost(args)

@@ -1,0 +1,178 @@
+"""Analytic performance model for partitioned applications.
+
+Implements the equations of the paper's Figure 7:
+
+.. math::
+
+    NO(i) = \\max\\Big(0,\\; T_C(i) - \\big(\\sum_{n=i+1}^{K} T_A(n)
+            + \\sum_{n=1}^{i-1} T_P(n) + \\sum_{n=1}^{i-1} NO(n)\\big)\\Big)
+
+    Speedup_{part} = \\frac{T_{conv} \\cdot \\alpha \\cdot K}
+                          {\\sum_{i=1}^{K} (T_A(i) + T_P(i) + NO(i))}
+
+    Speedup_{overall} = \\frac{1}{(1 - F) + F / Speedup_{part}}
+
+The abstract application (Figure 6): the processor activates all K
+pages in sequence (T_A each), then revisits them in order; before
+post-processing page i (T_P) it may stall for NO(i) — the non-overlap
+time — if the page has not finished its computation (T_C).
+
+Table 4's "pages for complete overlap" is the smallest problem size at
+which no page ever stalls the processor; we compute it directly from
+the NO recursion rather than from a closed form, because which term
+dominates depends on the relative sizes of T_A and T_P.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+
+def _per_page(value: ArrayLike, n_pages: int, name: str) -> np.ndarray:
+    """Broadcast a scalar or validate a per-page array."""
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        arr = np.full(n_pages, float(arr))
+    if arr.shape != (n_pages,):
+        raise ValueError(f"{name} must be scalar or length {n_pages}")
+    if np.any(arr < 0):
+        raise ValueError(f"{name} times cannot be negative")
+    return arr
+
+
+def non_overlap_times(
+    t_a: ArrayLike, t_p: ArrayLike, t_c: ArrayLike, n_pages: int
+) -> np.ndarray:
+    """Per-page non-overlap times NO(i), i = 1..K (Figure 7).
+
+    Scalars are broadcast to all pages (the "constant times" special
+    case used for Table 4); arrays give the general data-dependent
+    case (matrix-boeing).
+    """
+    if n_pages <= 0:
+        raise ValueError("need at least one page")
+    ta = _per_page(t_a, n_pages, "t_a")
+    tp = _per_page(t_p, n_pages, "t_p")
+    tc = _per_page(t_c, n_pages, "t_c")
+
+    # Time between finishing page i's activation and returning to it:
+    # remaining activations + earlier post-computes + earlier stalls.
+    remaining_ta = np.concatenate([np.cumsum(ta[::-1])[::-1][1:], [0.0]])
+    no = np.zeros(n_pages)
+    tp_sum = 0.0
+    no_sum = 0.0
+    for i in range(n_pages):
+        gap = remaining_ta[i] + tp_sum + no_sum
+        no[i] = max(0.0, tc[i] - gap)
+        tp_sum += tp[i]
+        no_sum += no[i]
+    return no
+
+
+def partitioned_time(
+    t_a: ArrayLike, t_p: ArrayLike, t_c: ArrayLike, n_pages: int
+) -> float:
+    """Total processor time of the partitioned kernel: Σ(T_A+T_P+NO)."""
+    ta = _per_page(t_a, n_pages, "t_a")
+    tp = _per_page(t_p, n_pages, "t_p")
+    no = non_overlap_times(t_a, t_p, t_c, n_pages)
+    return float(np.sum(ta) + np.sum(tp) + np.sum(no))
+
+
+def speedup_partitioned(
+    t_conv_per_item: float,
+    alpha: float,
+    t_a: ArrayLike,
+    t_p: ArrayLike,
+    t_c: ArrayLike,
+    n_pages: int,
+) -> float:
+    """Speedup of the partitioned kernel over the conventional kernel.
+
+    The conventional time is ``t_conv_per_item * alpha * n_pages`` —
+    ``alpha`` items per page, ``t_conv_per_item`` each (Figure 7).
+    """
+    denom = partitioned_time(t_a, t_p, t_c, n_pages)
+    if denom <= 0:
+        raise ValueError("partitioned time must be positive")
+    return (t_conv_per_item * alpha * n_pages) / denom
+
+
+def speedup_overall(fraction_partitioned: float, speedup_part: float) -> float:
+    """Amdahl's Law bound on whole-application speedup (Figure 7)."""
+    if not 0.0 <= fraction_partitioned <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if speedup_part <= 0:
+        raise ValueError("partitioned speedup must be positive")
+    return 1.0 / ((1.0 - fraction_partitioned) + fraction_partitioned / speedup_part)
+
+
+def pages_for_complete_overlap(
+    t_a: float, t_p: float, t_c: float, max_pages: int = 1 << 24
+) -> int:
+    """Smallest K at which the processor never stalls (Table 4).
+
+    Uses the NO recursion with constant per-page times.  Returns
+    ``max_pages`` if even that many pages cannot hide T_C (e.g. when
+    T_A and T_P are both zero).
+    """
+    if t_c <= 0:
+        return 1
+    if t_a <= 0 and t_p <= 0:
+        return max_pages
+
+    def fully_overlapped(k: int) -> bool:
+        return float(np.sum(non_overlap_times(t_a, t_p, t_c, k))) == 0.0
+
+    # Exponential search then binary search.
+    lo, hi = 1, 1
+    while not fully_overlapped(hi):
+        lo = hi
+        hi *= 2
+        if hi >= max_pages:
+            if not fully_overlapped(max_pages):
+                return max_pages
+            hi = max_pages
+            break
+    while lo + 1 < hi:
+        mid = (lo + hi) // 2
+        if fully_overlapped(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi if not fully_overlapped(lo) else lo
+
+
+def predict_speedup(
+    t_conv_per_page: float,
+    t_a: float,
+    t_p: float,
+    t_c: float,
+    n_pages: int,
+) -> float:
+    """Predicted speedup at ``n_pages`` from constant per-page times.
+
+    This is the "simplified version of the formulas in Figure 7" used
+    for the Table 4 correlation study: ``t_conv_per_page`` plays the
+    role of T_conv·α.
+    """
+    return speedup_partitioned(t_conv_per_page, 1.0, t_a, t_p, t_c, n_pages)
+
+
+def speedup_correlation(predicted: Sequence[float], measured: Sequence[float]) -> float:
+    """Pearson correlation between predicted and measured speedups.
+
+    The rightmost column of Table 4.  Returns 1.0 for degenerate
+    (constant) inputs, matching "perfectly predicted".
+    """
+    p = np.asarray(predicted, dtype=float)
+    m = np.asarray(measured, dtype=float)
+    if p.shape != m.shape or p.size < 2:
+        raise ValueError("need two same-length series of at least 2 points")
+    if np.allclose(p, p[0]) or np.allclose(m, m[0]):
+        return 1.0 if np.allclose(p / p[0], m / m[0]) else 0.0
+    return float(np.corrcoef(p, m)[0, 1])

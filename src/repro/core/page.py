@@ -1,0 +1,118 @@
+"""Active Pages and page groups.
+
+An :class:`ActivePage` is one superpage of the shared functional memory
+plus its reserved synchronization area.  Pages operating on the same
+data belong to a :class:`PageGroup` (the paper's ``group_id``), the unit
+to which function sets are bound with ``ap_bind``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.errors import BindError, GroupError
+from repro.core.functions import APFunction
+from repro.core.sync import SYNC_WORDS, SyncArea
+from repro.sim.memory import PagedMemory, Region
+
+# Bytes reserved at the top of every Active Page for sync variables.
+SYNC_BYTES = SYNC_WORDS * 4
+
+
+class ActivePage:
+    """One superpage with data area and synchronization area."""
+
+    def __init__(self, memory: PagedMemory, page_no: int, group: "PageGroup") -> None:
+        self.memory = memory
+        self.page_no = page_no
+        self.group = group
+        self._raw = memory.page_view(page_no)
+
+    @property
+    def page_bytes(self) -> int:
+        return self.memory.page_bytes
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes usable for data (page minus the sync area)."""
+        return self.page_bytes - SYNC_BYTES
+
+    @property
+    def base_vaddr(self) -> int:
+        return self.page_no * self.page_bytes
+
+    def data_view(self, dtype: np.dtype = np.uint8, count: int = -1) -> np.ndarray:
+        """Typed view of the page's data area."""
+        dt = np.dtype(dtype)
+        usable = self.data_bytes - (self.data_bytes % dt.itemsize)
+        view = self._raw[:usable].view(dt)
+        if count >= 0:
+            view = view[:count]
+        return view
+
+    @property
+    def sync(self) -> SyncArea:
+        """The page's synchronization variables."""
+        words = self._raw[self.data_bytes :].view(np.uint32)
+        return SyncArea(words)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ActivePage(page_no={self.page_no}, group={self.group.group_id!r})"
+
+
+@dataclass
+class PageGroup:
+    """A named group of Active Pages sharing one bound function set."""
+
+    group_id: str
+    region: Region
+    pages: List[ActivePage] = field(default_factory=list)
+    functions: Dict[str, APFunction] = field(default_factory=dict)
+    function_ids: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __iter__(self):
+        return iter(self.pages)
+
+    def page(self, index: int) -> ActivePage:
+        """The ``index``-th page of the group."""
+        if not 0 <= index < len(self.pages):
+            raise GroupError(
+                f"group {self.group_id!r} has {len(self.pages)} pages; "
+                f"index {index} out of range"
+            )
+        return self.pages[index]
+
+    def bind(self, functions: "list[APFunction]", le_budget: int = 0) -> None:
+        """Replace the group's function set (repeated ``ap_bind``).
+
+        ``le_budget`` > 0 enforces the per-page logic capacity: the
+        *sum* of bound circuits must fit (they share the page's LEs).
+        """
+        if le_budget > 0:
+            total = sum(f.le_count for f in functions)
+            if total > le_budget:
+                raise BindError(
+                    f"function set needs {total} LEs; "
+                    f"page budget is {le_budget} "
+                    f"(rebind with fewer functions, see Section 2)"
+                )
+        names = [f.name for f in functions]
+        if len(set(names)) != len(names):
+            raise BindError(f"duplicate function names in bind: {names}")
+        self.functions = {f.name: f for f in functions}
+        self.function_ids = {f.name: i for i, f in enumerate(functions)}
+
+    def function_named(self, name: str) -> APFunction:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise BindError(
+                f"function {name!r} is not bound to group {self.group_id!r}; "
+                f"bound: {sorted(self.functions)}"
+            ) from None

@@ -1,0 +1,93 @@
+"""Speedup-region classification (paper Figure 1).
+
+The paper predicts three regions as problem size grows:
+
+* **sub-page** — the problem occupies at most one Active Page;
+  activation overhead dominates and speedup is flat and small.
+* **scalable** — pages (and thus compute engines) grow with the
+  problem; speedup grows roughly linearly.
+* **saturated** — the fixed processor resource limits progress; the
+  speedup curve levels off (and may decline as coordination costs
+  grow).
+
+``classify_regions`` labels each point of a measured speedup curve by
+its local log-log slope: near-unit slope is scalable, near-zero (or
+negative) slope at large sizes is saturated, and sizes at or below one
+page are sub-page.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+class Region(enum.Enum):
+    SUB_PAGE = "sub-page"
+    SCALABLE = "scalable"
+    SATURATED = "saturated"
+
+
+@dataclass(frozen=True)
+class RegionPoint:
+    """One classified point of a speedup curve."""
+
+    n_pages: float
+    speedup: float
+    region: Region
+    slope: float  # local d log(speedup) / d log(pages)
+
+
+def classify_regions(
+    n_pages: Sequence[float],
+    speedups: Sequence[float],
+    scalable_slope: float = 0.5,
+    saturated_slope: float = 0.15,
+) -> List[RegionPoint]:
+    """Label each (pages, speedup) point with its Figure 1 region.
+
+    ``scalable_slope`` is the minimum local log-log slope to count as
+    scalable growth; below ``saturated_slope`` a point past the first
+    page counts as saturated.  Points between the thresholds inherit
+    the preceding label, which keeps single noisy points from
+    splitting a region.
+    """
+    k = np.asarray(n_pages, dtype=float)
+    s = np.asarray(speedups, dtype=float)
+    if k.shape != s.shape or k.size < 2:
+        raise ValueError("need two same-length series of at least 2 points")
+    if np.any(k <= 0) or np.any(s <= 0):
+        raise ValueError("pages and speedups must be positive")
+    if np.any(np.diff(k) <= 0):
+        raise ValueError("page counts must be strictly increasing")
+
+    slopes = np.gradient(np.log(s), np.log(k))
+    points: List[RegionPoint] = []
+    previous = Region.SUB_PAGE
+    for ki, si, gi in zip(k, s, slopes):
+        if ki <= 1.0:
+            region = Region.SUB_PAGE
+        elif gi >= scalable_slope:
+            region = Region.SCALABLE
+        elif gi <= saturated_slope:
+            # Leveling off before any growth is still sub-page behaviour.
+            region = Region.SATURATED if previous != Region.SUB_PAGE else Region.SUB_PAGE
+            if previous == Region.SCALABLE or previous == Region.SATURATED:
+                region = Region.SATURATED
+        else:
+            region = previous
+        points.append(RegionPoint(float(ki), float(si), region, float(gi)))
+        previous = region
+    return points
+
+
+def region_boundaries(points: Sequence[RegionPoint]) -> dict:
+    """First page count at which each region begins (for reports)."""
+    bounds = {}
+    for p in points:
+        if p.region not in bounds:
+            bounds[p.region] = p.n_pages
+    return bounds

@@ -1,0 +1,81 @@
+"""Synchronization variables (paper Section 2, "Coordination").
+
+Applications coordinate processor and page through ordinary memory
+locations.  The model reserves the last :data:`repro.core.page.SYNC_BYTES`
+bytes of every Active Page as a small, conventionally laid out sync
+area: a status word, a function selector, argument words, and result
+words.  This mirrors the paper's "memory-mapped registers used for
+network interfaces" analogy; nothing about it requires special
+hardware — reads and writes suffice, and accesses are atomic.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class SyncState(enum.IntEnum):
+    """Status-word protocol between processor and page."""
+
+    IDLE = 0  # page allocated, no work dispatched
+    ARMED = 1  # processor wrote arguments, function polling
+    RUNNING = 2  # page function executing
+    BLOCKED = 3  # waiting on processor-mediated inter-page reference
+    DONE = 4  # results valid in the result words
+
+
+# Word layout of the sync area (32-bit words).
+STATUS_WORD = 0
+FUNCTION_WORD = 1
+N_ARG_WORDS = 6
+ARGS_FIRST_WORD = 2
+N_RESULT_WORDS = 8
+RESULTS_FIRST_WORD = ARGS_FIRST_WORD + N_ARG_WORDS
+SYNC_WORDS = RESULTS_FIRST_WORD + N_RESULT_WORDS
+
+
+class SyncArea:
+    """Typed accessor over a page's synchronization words."""
+
+    def __init__(self, words: np.ndarray) -> None:
+        if len(words) < SYNC_WORDS:
+            raise ValueError(
+                f"sync area needs {SYNC_WORDS} words, got {len(words)}"
+            )
+        self._words = words
+
+    @property
+    def status(self) -> SyncState:
+        return SyncState(int(self._words[STATUS_WORD]))
+
+    @status.setter
+    def status(self, value: SyncState) -> None:
+        self._words[STATUS_WORD] = int(value)
+
+    @property
+    def function_id(self) -> int:
+        return int(self._words[FUNCTION_WORD])
+
+    @function_id.setter
+    def function_id(self, value: int) -> None:
+        self._words[FUNCTION_WORD] = value
+
+    def write_args(self, args: "list[int]") -> None:
+        if len(args) > N_ARG_WORDS:
+            raise ValueError(f"at most {N_ARG_WORDS} argument words")
+        for i, a in enumerate(args):
+            self._words[ARGS_FIRST_WORD + i] = np.uint32(a & 0xFFFFFFFF)
+
+    def read_args(self, count: int) -> "list[int]":
+        return [int(self._words[ARGS_FIRST_WORD + i]) for i in range(count)]
+
+    def write_results(self, values: "list[int]") -> None:
+        if len(values) > N_RESULT_WORDS:
+            raise ValueError(f"at most {N_RESULT_WORDS} result words")
+        for i, v in enumerate(values):
+            self._words[RESULTS_FIRST_WORD + i] = np.uint32(v & 0xFFFFFFFF)
+
+    def read_results(self, count: int) -> "list[int]":
+        return [int(self._words[RESULTS_FIRST_WORD + i]) for i in range(count)]

@@ -1,0 +1,22 @@
+"""Experiment harnesses regenerating every table and figure.
+
+Each ``figN_*``/``tableN_*`` module exposes a ``run()`` returning rows
+and a ``format_*`` renderer; ``repro.experiments.report`` drives them
+all.  The shared machinery lives in :mod:`repro.experiments.runner`.
+"""
+
+from repro.experiments.runner import (
+    RunResult,
+    SpeedupPoint,
+    measure_speedup,
+    run_conventional,
+    run_radram,
+)
+
+__all__ = [
+    "RunResult",
+    "SpeedupPoint",
+    "measure_speedup",
+    "run_conventional",
+    "run_radram",
+]

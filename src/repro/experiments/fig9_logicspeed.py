@@ -1,0 +1,71 @@
+"""Figure 9: RADram speedup as reconfigurable-logic speed varies.
+
+Logic speed is expressed as a *divisor* of the processor clock: the
+reference 100 MHz logic is divisor 10 against the 1 GHz core; a higher
+divisor is slower logic (down to 10 MHz = divisor 100, up to 500 MHz =
+divisor 2 — the paper's Table 1 range).
+
+Expected generalization (Section 8): applications operating in the
+*scalable* region are sensitive to logic speed; applications in the
+*saturated* region are generally insensitive (the processor, not the
+pages, is the bottleneck).  Each application is therefore measured at
+two sizes, one in each region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.registry import get_app
+from repro.experiments.results import ExperimentResult
+from repro.experiments.runner import measure_speedup
+from repro.radram.config import RADramConfig
+from repro.sim.memory import DEFAULT_PAGE_BYTES
+
+#: Logic-clock divisors: 500 MHz down to 10 MHz at a 1 GHz core.
+DIVISOR_SWEEP = [2, 4, 10, 20, 50, 100]
+
+#: (scalable-region pages, saturated-region pages) per application.
+DEFAULT_SIZES: Dict[str, Tuple[float, float]] = {
+    "array-insert": (64, 4096),
+    "database": (8, 256),
+    "median-kernel": (64, 8192),
+    "matrix-simplex": (2, 32),
+    "mpeg-mmx": (8, 512),
+}
+
+
+def run(
+    apps: Optional[Sequence[str]] = None,
+    divisors: Optional[Sequence[float]] = None,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+) -> ExperimentResult:
+    """Regenerate Figure 9's speedup-vs-logic-divisor series."""
+    apps = list(apps) if apps is not None else list(DEFAULT_SIZES)
+    sweep = list(divisors) if divisors is not None else DIVISOR_SWEEP
+    rows: List[dict] = []
+    for name in apps:
+        app = get_app(name)
+        scalable_pages, saturated_pages = DEFAULT_SIZES.get(name, (8, 256))
+        for region, n_pages in (("scalable", scalable_pages), ("saturated", saturated_pages)):
+            for divisor in sweep:
+                rconfig = RADramConfig.reference().with_logic_divisor(divisor)
+                point = measure_speedup(
+                    app, n_pages, page_bytes=page_bytes, radram_config=rconfig
+                )
+                rows.append(
+                    {
+                        "application": name,
+                        "region": region,
+                        "pages": n_pages,
+                        "logic_divisor": divisor,
+                        "speedup": point.speedup,
+                    }
+                )
+    return ExperimentResult(
+        experiment_id="figure-9",
+        title="RADram speedup as logic speed varies (higher divisor = slower)",
+        columns=["application", "region", "pages", "logic_divisor", "speedup"],
+        rows=rows,
+        notes=["reference divisor is 10 (100 MHz logic, 1 GHz core)"],
+    )

@@ -1,0 +1,106 @@
+"""Run every experiment and print the full reproduction report.
+
+``python -m repro.experiments.report`` regenerates every table and
+figure of the paper's evaluation; ``--quick`` uses reduced sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    fig1_regions,
+    fig3_speedup,
+    fig4_nonoverlap,
+    fig5_cache,
+    fig6_gantt,
+    fig8_latency,
+    fig9_logicspeed,
+    table2_partitioning,
+    table3_synthesis,
+    table4_model,
+)
+from repro.experiments.results import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table-2": table2_partitioning.run,
+    "table-3": table3_synthesis.run,
+    "figure-1": fig1_regions.run,
+    "figure-3": fig3_speedup.run,
+    "figure-4": fig4_nonoverlap.run,
+    "figure-5": fig5_cache.run,
+    "figure-6": fig6_gantt.run,
+    "figure-8": fig8_latency.run,
+    "figure-9": fig9_logicspeed.run,
+    "table-4": table4_model.run,
+}
+
+QUICK_OVERRIDES: Dict[str, Callable[[], ExperimentResult]] = {
+    "figure-3": lambda: fig3_speedup.run(sweep=fig3_speedup.SMOKE_SWEEP),
+    "figure-4": lambda: fig4_nonoverlap.run(sweep=fig3_speedup.SMOKE_SWEEP),
+    "figure-5": lambda: fig5_cache.run(l1_sweep_kb=[32, 64, 256], n_pages=2),
+    "figure-8": lambda: fig8_latency.run(latencies_ns=[0, 50, 600]),
+    "figure-9": lambda: fig9_logicspeed.run(divisors=[2, 10, 100]),
+    "table-4": lambda: table4_model.run(sweep=[1, 4, 16]),
+}
+
+
+def run_all(quick: bool = False, only: Optional[List[str]] = None) -> List[ExperimentResult]:
+    """Run the selected experiments, in paper order."""
+    results = []
+    for name, runner in EXPERIMENTS.items():
+        if only and name not in only:
+            continue
+        if quick and name in QUICK_OVERRIDES:
+            runner = QUICK_OVERRIDES[name]
+        results.append(runner())
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced sweeps")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(EXPERIMENTS),
+        help="run a subset of experiments",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also write one CSV and JSON file per experiment into DIR",
+    )
+    parser.add_argument(
+        "--extensions",
+        action="store_true",
+        help="also run the extension studies (Sections 2/3/8/10)",
+    )
+    args = parser.parse_args(argv)
+    t0 = time.time()
+    results = run_all(quick=args.quick, only=args.only)
+    if args.extensions:
+        from repro.experiments.extensions import run_all_extensions
+
+        results += run_all_extensions()
+    for result in results:
+        print(result.render())
+        print()
+    if args.output:
+        import pathlib
+
+        out = pathlib.Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            (out / f"{result.experiment_id}.csv").write_text(result.to_csv())
+            (out / f"{result.experiment_id}.json").write_text(result.to_json())
+        print(f"[wrote {2 * len(results)} files to {out}]")
+    print(f"[report complete in {time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Result containers and plain-text rendering for experiments.
+
+Every experiment returns an :class:`ExperimentResult`: a title, column
+names, and rows.  ``render`` prints the same rows/series the paper's
+tables and figures report, as aligned text (this reproduction has no
+plotting dependency; series are printed as columns, which is what the
+benchmark logs capture).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    experiment_id: str  # e.g. "figure-3"
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]]
+    notes: List[str] = field(default_factory=list)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned text rendering."""
+        def fmt(value: object) -> str:
+            if isinstance(value, float):
+                if value == 0:
+                    return "0"
+                if abs(value) >= 1000 or abs(value) < 0.01:
+                    return f"{value:.3g}"
+                return f"{value:.3f}".rstrip("0").rstrip(".")
+            return str(value)
+
+        cells = [[fmt(row.get(col, "")) for col in self.columns] for row in self.rows]
+        widths = [
+            max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(col.rjust(w) for col, w in zip(self.columns, widths)))
+        for row_cells in cells:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row_cells, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """The rows as CSV (header row first)."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=self.columns, extrasaction="ignore")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """The full result (metadata + rows) as JSON."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "columns": self.columns,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+            default=str,
+        )

@@ -1,0 +1,182 @@
+"""Shared experiment machinery: run one application on one system.
+
+Large conventional runs use a *measure-and-extrapolate* strategy: the
+baseline kernels are streaming computations whose cost is linear in
+pages once the working set exceeds the caches, so the harness simulates
+``cap_pages`` pages and scales (validated by
+``tests/experiments/test_runner.py::test_extrapolation_matches_direct``).
+RADram runs are always simulated directly — the partitioned kernels'
+processor cost is small per page, and overlap effects (the whole point)
+are not linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.apps.base import Application, Workload
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.memory import DEFAULT_PAGE_BYTES, PagedMemory
+from repro.sim.stats import MachineStats
+
+#: Default conventional-simulation cap (pages) before extrapolating.
+DEFAULT_CAP_PAGES = 8.0
+
+
+@dataclass
+class RunResult:
+    """One simulated (or extrapolated) kernel execution."""
+
+    app_name: str
+    system: str  # "conventional" | "radram"
+    n_pages: float
+    total_ns: float
+    stats: MachineStats
+    workload: Workload
+    scaled_from_pages: Optional[float] = None  # set when extrapolated
+    mean_page_busy_ns: float = 0.0  # RADram only: measured T_C
+
+    @property
+    def stall_fraction(self) -> float:
+        return self.stats.wait_ns / self.total_ns if self.total_ns else 0.0
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One point of a Figure 3 / Figure 4 style sweep."""
+
+    app_name: str
+    n_pages: float
+    conventional_ns: float
+    radram_ns: float
+    stall_fraction: float
+
+    @property
+    def speedup(self) -> float:
+        return self.conventional_ns / self.radram_ns
+
+
+def run_conventional(
+    app: Application,
+    n_pages: float,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    machine_config: Optional[MachineConfig] = None,
+    functional: bool = False,
+    seed: int = 0,
+    cap_pages: Optional[float] = DEFAULT_CAP_PAGES,
+) -> RunResult:
+    """Run the baseline version of ``app`` at ``n_pages``."""
+    simulate_pages = n_pages
+    scaled_from = None
+    if (
+        cap_pages is not None
+        and app.linear_conventional
+        and not functional
+        and n_pages > cap_pages
+    ):
+        simulate_pages = cap_pages
+        scaled_from = cap_pages
+
+    machine = Machine(config=machine_config, memory=PagedMemory(page_bytes=page_bytes))
+    if functional:
+        w = getattr(app, "conventional_workload", app.workload)(
+            simulate_pages, page_bytes, functional=True, memory=machine.memory, seed=seed
+        )
+    else:
+        w = getattr(app, "conventional_workload", app.workload)(
+            simulate_pages, page_bytes, functional=False, seed=seed
+        )
+    stats = machine.run(app.conventional_stream(w))
+    total = stats.total_ns
+    if scaled_from is not None:
+        total *= n_pages / simulate_pages
+    return RunResult(
+        app_name=app.name,
+        system="conventional",
+        n_pages=n_pages,
+        total_ns=total,
+        stats=stats,
+        workload=w,
+        scaled_from_pages=scaled_from,
+    )
+
+
+def run_radram(
+    app: Application,
+    n_pages: float,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    machine_config: Optional[MachineConfig] = None,
+    radram_config: Optional[RADramConfig] = None,
+    functional: bool = False,
+    seed: int = 0,
+) -> RunResult:
+    """Run the Active-Page version of ``app`` at ``n_pages``."""
+    rconfig = radram_config or RADramConfig.reference()
+    if rconfig.page_bytes != page_bytes:
+        rconfig = rconfig.with_page_bytes(page_bytes)
+    memsys = RADramMemorySystem(rconfig)
+    machine = Machine(
+        config=machine_config,
+        memory=PagedMemory(page_bytes=page_bytes),
+        memsys=memsys,
+    )
+    if functional:
+        w = app.workload(
+            n_pages, page_bytes, functional=True, memory=machine.memory, seed=seed
+        )
+    else:
+        w = app.workload(n_pages, page_bytes, functional=False, seed=seed)
+    # Applications may adapt their partitioning to the technology
+    # (e.g. LCS uses in-page references when hardware comm exists).
+    w.data["radram_config"] = rconfig
+    stats = machine.run(app.radram_stream(w))
+    activations = memsys.total_activations
+    busy = sum(memsys.page_busy_ns(p) for p in memsys.subarrays)
+    return RunResult(
+        app_name=app.name,
+        system="radram",
+        n_pages=n_pages,
+        total_ns=stats.total_ns,
+        stats=stats,
+        workload=w,
+        mean_page_busy_ns=busy / activations if activations else 0.0,
+    )
+
+
+def measure_speedup(
+    app: Application,
+    n_pages: float,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    machine_config: Optional[MachineConfig] = None,
+    radram_config: Optional[RADramConfig] = None,
+    seed: int = 0,
+    cap_pages: Optional[float] = DEFAULT_CAP_PAGES,
+) -> SpeedupPoint:
+    """Conventional vs RADram at one problem size (timing mode)."""
+    conv = run_conventional(
+        app,
+        n_pages,
+        page_bytes=page_bytes,
+        machine_config=machine_config,
+        seed=seed,
+        cap_pages=cap_pages,
+    )
+    rad = run_radram(
+        app,
+        n_pages,
+        page_bytes=page_bytes,
+        machine_config=machine_config,
+        radram_config=radram_config,
+        seed=seed,
+    )
+    return SpeedupPoint(
+        app_name=app.name,
+        n_pages=n_pages,
+        conventional_ns=conv.total_ns,
+        radram_ns=rad.total_ns,
+        stall_fraction=rad.stall_fraction,
+    )

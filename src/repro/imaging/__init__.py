@@ -1,0 +1,30 @@
+"""Image-processing filters on Active Pages (paper Section 5.1).
+
+"Image processing and signal processing have been traditional
+strengths of FPGA's and custom processor technologies" — the paper
+measures median filtering; this package generalizes the same
+row-banded partitioning to the rest of the 3x3 neighbourhood family:
+convolution (sharpen/blur/Sobel), and morphological erosion/dilation.
+Every filter has a functional implementation, a circuit netlist that
+fits the 256-LE budget, and a timed run on both systems.
+"""
+
+from repro.imaging.filters import (
+    FILTERS,
+    Filter,
+    convolve3x3,
+    dilate3x3,
+    erode3x3,
+    filter_timed,
+    sobel_magnitude,
+)
+
+__all__ = [
+    "FILTERS",
+    "Filter",
+    "convolve3x3",
+    "dilate3x3",
+    "erode3x3",
+    "filter_timed",
+    "sobel_magnitude",
+]

@@ -1,0 +1,236 @@
+"""3x3 neighbourhood filters: functional, circuit, and timed forms.
+
+All filters follow the median application's layout: the image splits
+into row bands (one Active Page each, with halo rows), the page logic
+streams pixels through a small neighbourhood datapath, and borders are
+copied unchanged.  Functional implementations are pure numpy and are
+the oracles for both systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.functions import PageTask
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+from repro.sim.stats import MachineStats
+from repro.synth.lut import le_count
+from repro.synth.netlist import Netlist, OpKind
+
+# ----------------------------------------------------------------------
+# Functional implementations
+
+
+def _neighbourhood(image: np.ndarray) -> np.ndarray:
+    """Stack of the nine 3x3 neighbours for interior pixels."""
+    h, w = image.shape
+    return np.stack(
+        [image[i : i + h - 2, j : j + w - 2] for i in range(3) for j in range(3)]
+    )
+
+
+def _apply_interior(image: np.ndarray, interior: np.ndarray) -> np.ndarray:
+    out = image.copy()
+    out[1:-1, 1:-1] = interior
+    return out
+
+
+def convolve3x3(image: np.ndarray, kernel: np.ndarray, shift: int = 0) -> np.ndarray:
+    """Integer 3x3 convolution with a power-of-two normalizing shift.
+
+    Fixed-point semantics a page circuit implements: multiply-accumulate
+    in wide precision, arithmetic shift right, clamp to the pixel type.
+    Borders are copied.
+    """
+    kernel = np.asarray(kernel, dtype=np.int32)
+    if kernel.shape != (3, 3):
+        raise ValueError("kernel must be 3x3")
+    stack = _neighbourhood(image.astype(np.int64))
+    acc = np.tensordot(kernel.ravel(), stack, axes=(0, 0))
+    acc >>= shift
+    info = np.iinfo(image.dtype)
+    return _apply_interior(image, np.clip(acc, info.min, info.max).astype(image.dtype))
+
+
+def erode3x3(image: np.ndarray) -> np.ndarray:
+    """Morphological erosion: each pixel becomes its 3x3 minimum."""
+    return _apply_interior(image, np.min(_neighbourhood(image), axis=0))
+
+
+def dilate3x3(image: np.ndarray) -> np.ndarray:
+    """Morphological dilation: each pixel becomes its 3x3 maximum."""
+    return _apply_interior(image, np.max(_neighbourhood(image), axis=0))
+
+
+SOBEL_X = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]])
+SOBEL_Y = SOBEL_X.T
+
+
+def sobel_magnitude(image: np.ndarray) -> np.ndarray:
+    """Edge strength: |Gx| + |Gy| (the hardware-friendly L1 form)."""
+    stack = _neighbourhood(image.astype(np.int64))
+    gx = np.tensordot(SOBEL_X.ravel(), stack, axes=(0, 0))
+    gy = np.tensordot(SOBEL_Y.ravel(), stack, axes=(0, 0))
+    mag = np.abs(gx) + np.abs(gy)
+    info = np.iinfo(image.dtype)
+    return _apply_interior(image, np.clip(mag, 0, info.max).astype(image.dtype))
+
+
+# ----------------------------------------------------------------------
+# Circuits
+
+
+def _filter_circuit(name: str, datapath_adds: int, comparators: int) -> Netlist:
+    """Shared 3x3 filter skeleton: line buffers + datapath + walk."""
+    n = Netlist(name)
+    n.add(OpKind.COUNTER, 19, stage=0, name="addr")
+    n.add(OpKind.LT, 19, stage=0, name="addr<end")
+    # Two line buffers' worth of shift registers (window formation).
+    n.add(OpKind.REG, 48, stage=1, name="window registers")
+    for i in range(datapath_adds):
+        n.add(OpKind.ADD, 16, stage=2, name=f"acc{i}")
+    for i in range(comparators):
+        n.add(OpKind.LT, 16, stage=2, name=f"cmp{i}")
+        n.add(OpKind.MUX2, 16, stage=2, name=f"sel{i}")
+    n.add(OpKind.FSM, 3, stage=1, name="control")
+    return n
+
+
+def convolve_circuit() -> Netlist:
+    # Shift-add MACs for small integer kernels: 4 adders + clamp.
+    n = _filter_circuit("Imaging-convolve", datapath_adds=4, comparators=0)
+    n.add(OpKind.SATCLAMP, 16, stage=2, name="clamp")
+    return n
+
+
+def morphology_circuit() -> Netlist:
+    # Min/max over 9 values: a 4-deep comparator tree, time-shared.
+    return _filter_circuit("Imaging-morphology", datapath_adds=0, comparators=3)
+
+
+def sobel_circuit() -> Netlist:
+    n = _filter_circuit("Imaging-sobel", datapath_adds=5, comparators=1)
+    n.add(OpKind.SATCLAMP, 16, stage=2, name="clamp")
+    return n
+
+
+# ----------------------------------------------------------------------
+# The filter registry
+
+
+@dataclass(frozen=True)
+class Filter:
+    """One neighbourhood filter: semantics plus cost models."""
+
+    name: str
+    apply: Callable[[np.ndarray], np.ndarray]
+    circuit: Callable[[], Netlist]
+    #: page-logic cycles per pixel.
+    logic_cycles_per_pixel: float
+    #: conventional instructions per pixel.
+    conv_ops_per_pixel: float
+
+    @property
+    def le_count(self) -> int:
+        return le_count(self.circuit())
+
+
+FILTERS: Dict[str, Filter] = {
+    f.name: f
+    for f in [
+        Filter(
+            "sharpen",
+            lambda img: convolve3x3(
+                img, [[0, -1, 0], [-1, 8, -1], [0, -1, 0]], shift=2
+            ),
+            convolve_circuit,
+            logic_cycles_per_pixel=1.5,
+            conv_ops_per_pixel=22.0,
+        ),
+        Filter(
+            "blur",
+            lambda img: convolve3x3(
+                img, [[1, 2, 1], [2, 4, 2], [1, 2, 1]], shift=4
+            ),
+            convolve_circuit,
+            logic_cycles_per_pixel=1.5,
+            conv_ops_per_pixel=22.0,
+        ),
+        Filter(
+            "erode", erode3x3, morphology_circuit,
+            logic_cycles_per_pixel=1.25, conv_ops_per_pixel=18.0,
+        ),
+        Filter(
+            "dilate", dilate3x3, morphology_circuit,
+            logic_cycles_per_pixel=1.25, conv_ops_per_pixel=18.0,
+        ),
+        Filter(
+            "sobel", sobel_magnitude, sobel_circuit,
+            logic_cycles_per_pixel=2.0, conv_ops_per_pixel=30.0,
+        ),
+    ]
+}
+
+
+# ----------------------------------------------------------------------
+# Timed execution
+
+
+def filter_timed(
+    image: np.ndarray,
+    filter_name: str,
+    system: str = "radram",
+    bands: Optional[int] = None,
+    machine_config: Optional[MachineConfig] = None,
+    radram_config: Optional[RADramConfig] = None,
+) -> Tuple[np.ndarray, MachineStats]:
+    """Apply a filter functionally and account the execution time."""
+    try:
+        filt = FILTERS[filter_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown filter {filter_name!r}; available: {sorted(FILTERS)}"
+        ) from None
+    result = filt.apply(image)
+    h, w = image.shape
+    pixels = h * w
+    row_bytes = w * image.dtype.itemsize
+    if system == "conventional":
+        machine = Machine(config=machine_config)
+        base = 0x7000_0000
+        stream = []
+        for r in range(h):
+            stream.append(O.MemRead(base + r * row_bytes, row_bytes))
+            stream.append(O.Compute(filt.conv_ops_per_pixel * w))
+            stream.append(O.MemWrite(base + pixels * 2 + r * row_bytes, row_bytes))
+        stats = machine.run(iter(stream))
+    elif system == "radram":
+        rconfig = radram_config or RADramConfig.reference()
+        n_bands = bands or max(1, (pixels * image.dtype.itemsize) // (rconfig.page_bytes // 2))
+        memsys = RADramMemorySystem(rconfig)
+        machine = Machine(
+            config=machine_config,
+            memory=PagedMemory(page_bytes=rconfig.page_bytes),
+            memsys=memsys,
+        )
+        base_page = 0x7000_0000 // rconfig.page_bytes
+        per_band = pixels / n_bands
+        stream = []
+        for band in range(n_bands):
+            task = PageTask.simple(per_band * filt.logic_cycles_per_pixel)
+            stream.append(O.Activate(base_page + band, 3, task))
+        for band in range(n_bands):
+            stream.append(O.WaitPage(base_page + band))
+            stream.append(O.Compute(400))
+        stats = machine.run(iter(stream))
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    return result, stats

@@ -1,0 +1,27 @@
+"""Linear programming substrate (paper Section 5.2).
+
+The paper's ``matrix-simplex`` workload comes from "using the Simplex
+method [NM65] to perform optimal register allocation [GW96]".  The
+measured kernel is the sparse dot product inside a simplex pivot; this
+package builds the rest of that stack:
+
+* :mod:`repro.lp.simplex` — a standard-form simplex solver with
+  Bland's anti-cycling rule.
+* :mod:`repro.lp.register` — register allocation as an LP relaxation
+  over the interference graph, with rounding — the [GW96] shape.
+* :func:`repro.lp.simplex.solve_timed` — the solver with per-pivot
+  timing on conventional vs Active-Page systems (pivot row updates
+  are the measured compare-gather-compute kernel).
+"""
+
+from repro.lp.register import AllocationResult, allocate_registers
+from repro.lp.simplex import LPResult, LPStatus, simplex_solve, solve_timed
+
+__all__ = [
+    "AllocationResult",
+    "LPResult",
+    "LPStatus",
+    "allocate_registers",
+    "simplex_solve",
+    "solve_timed",
+]

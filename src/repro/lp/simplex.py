@@ -1,0 +1,152 @@
+"""Standard-form simplex with Bland's rule.
+
+Solves ``maximize c @ x`` subject to ``A @ x <= b``, ``x >= 0`` with
+``b >= 0`` (the form register allocation produces).  Slack variables
+make the initial basis feasible; Bland's smallest-index rule prevents
+cycling on degenerate tableaus.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+_EPS = 1e-9
+
+
+class LPStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    status: LPStatus
+    objective: float
+    x: np.ndarray
+    pivots: int
+
+
+def simplex_solve(
+    c: np.ndarray, a: np.ndarray, b: np.ndarray, max_pivots: int = 10_000
+) -> LPResult:
+    """Solve max c@x s.t. A@x <= b, x >= 0 (requires b >= 0)."""
+    c = np.asarray(c, dtype=float)
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    m, n = a.shape
+    if c.shape != (n,) or b.shape != (m,):
+        raise ValueError("inconsistent LP dimensions")
+    if np.any(b < -_EPS):
+        raise ValueError("this solver requires b >= 0 (slack-feasible start)")
+
+    # Tableau: [A | I | b] with objective row [-c | 0 | 0].
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = a
+    tableau[:m, n : n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    tableau[m, :n] = -c
+    basis: List[int] = list(range(n, n + m))
+
+    pivots = 0
+    while pivots < max_pivots:
+        obj_row = tableau[m, : n + m]
+        entering_candidates = np.where(obj_row < -_EPS)[0]
+        if len(entering_candidates) == 0:
+            break  # optimal
+        entering = int(entering_candidates[0])  # Bland: smallest index
+        column = tableau[:m, entering]
+        positive = column > _EPS
+        if not np.any(positive):
+            return LPResult(LPStatus.UNBOUNDED, float("inf"), np.full(n, np.nan), pivots)
+        ratios = np.full(m, np.inf)
+        ratios[positive] = tableau[:m, -1][positive] / column[positive]
+        min_ratio = ratios.min()
+        # Bland again: among minimal ratios, smallest basis index.
+        tied = np.where(ratios <= min_ratio + _EPS)[0]
+        leaving_row = int(min(tied, key=lambda r: basis[r]))
+        _pivot(tableau, leaving_row, entering)
+        basis[leaving_row] = entering
+        pivots += 1
+
+    x = np.zeros(n)
+    for row, var in enumerate(basis):
+        if var < n:
+            x[var] = tableau[row, -1]
+    return LPResult(LPStatus.OPTIMAL, float(tableau[m, -1]), x, pivots)
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    tableau[row] /= tableau[row, col]
+    for r in range(tableau.shape[0]):
+        if r != row and abs(tableau[r, col]) > _EPS:
+            tableau[r] -= tableau[r, col] * tableau[row]
+
+
+# ----------------------------------------------------------------------
+# Timed execution
+
+
+def solve_timed(
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    system: str = "radram",
+) -> Tuple[LPResult, "MachineStats"]:
+    """Solve the LP and account pivot time on the chosen system.
+
+    Each pivot is a rank-1 tableau update: the conventional system
+    streams the whole (sparse-ish) tableau per pivot; the Active-Page
+    system gathers only the nonzero entries of the pivot row/column
+    in memory (the paper's compare-gather-compute) and the processor
+    does the floating-point eliminations on packed data.
+    """
+    from repro.core.functions import PageTask
+    from repro.radram.config import RADramConfig
+    from repro.radram.system import RADramMemorySystem
+    from repro.sim import ops as O
+    from repro.sim.machine import Machine
+    from repro.sim.memory import PagedMemory
+
+    result = simplex_solve(c, a, b)
+    m, n = np.asarray(a).shape
+    tableau_cells = (m + 1) * (n + m + 1)
+    nnz = int(np.count_nonzero(a)) + 2 * m  # data plus slack/rhs
+    density = max(0.05, nnz / (m * (n + m + 1)))
+    useful = int(tableau_cells * density)
+
+    if system == "conventional":
+        machine = Machine()
+        base = 0x6000_0000
+        stream = []
+        for _ in range(max(1, result.pivots)):
+            stream.append(O.MemRead(base, tableau_cells * 8))
+            stream.append(O.Compute(3.0 * tableau_cells))
+            stream.append(O.MemWrite(base, tableau_cells * 8))
+        stats = machine.run(iter(stream))
+    elif system == "radram":
+        rconfig = RADramConfig.reference()
+        memsys = RADramMemorySystem(rconfig)
+        machine = Machine(
+            memory=PagedMemory(page_bytes=rconfig.page_bytes), memsys=memsys
+        )
+        base_page = 0x6000_0000 // rconfig.page_bytes
+        rows_per_page = max(1, (m + 1) // 4)
+        n_pages = -(-(m + 1) // rows_per_page)
+        per_page_useful = max(1, useful // n_pages)
+        stream = []
+        for _ in range(max(1, result.pivots)):
+            for p in range(n_pages):
+                task = PageTask.simple(per_page_useful * 3.0)  # compare+gather
+                stream.append(O.Activate(base_page + p, 29, task))
+            for p in range(n_pages):
+                stream.append(O.WaitPage(base_page + p))
+                stream.append(O.MemRead(0x6000_0000 + p * 4096, per_page_useful * 16))
+                stream.append(O.Compute(6.0 * per_page_useful))
+        stats = machine.run(iter(stream))
+    else:
+        raise ValueError(f"unknown system {system!r}")
+    return result, stats

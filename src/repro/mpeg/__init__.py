@@ -1,0 +1,25 @@
+"""MPEG encode/decode pipeline (paper Section 5.2, future work).
+
+The paper's measured MPEG kernel applies motion-correction matrices
+with MMX primitives; its stated plan partitions the rest of the codec:
+"The processor will be responsible for the Discrete Cosine Transform
+(DCT), while the RADram system will handle motion detection,
+application of motion correction matrices, run length encoding and
+decoding (RLE), and Huffman encoding and decoding."
+
+This package implements that full pipeline:
+
+* :mod:`repro.mpeg.dct` — 8x8 forward/inverse DCT and quantization
+  (the processor's floating-point share).
+* :mod:`repro.mpeg.motion` — SAD block-motion estimation and
+  compensation (page-side integer work).
+* :mod:`repro.mpeg.rle` — zigzag scan and run-length coding.
+* :mod:`repro.mpeg.huffman` — canonical Huffman coding of RLE symbols.
+* :mod:`repro.mpeg.pipeline` — the P-frame encoder/decoder in both
+  conventional and Active-Page partitioned forms, with timing models
+  for each stage.
+"""
+
+from repro.mpeg.pipeline import MpegPipeline, EncodedFrame
+
+__all__ = ["EncodedFrame", "MpegPipeline"]

@@ -1,0 +1,95 @@
+"""8x8 Discrete Cosine Transform and quantization.
+
+The DCT stays on the processor in the paper's partitioning — it is
+floating-point-heavy, exactly what Active Pages hand back to the CPU.
+The implementation is the standard type-II DCT as a separable pair of
+8x8 matrix multiplies, vectorized over whole block arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+BLOCK = 8
+
+#: MPEG-1-style intra quantization matrix (lower frequencies finer).
+DEFAULT_QUANT = np.array(
+    [
+        [8, 16, 19, 22, 26, 27, 29, 34],
+        [16, 16, 22, 24, 27, 29, 34, 37],
+        [19, 22, 26, 27, 29, 34, 34, 38],
+        [22, 22, 26, 27, 29, 34, 37, 40],
+        [22, 26, 27, 29, 32, 35, 40, 48],
+        [26, 27, 29, 32, 35, 40, 48, 58],
+        [26, 27, 29, 34, 38, 46, 56, 69],
+        [27, 29, 35, 38, 46, 56, 69, 83],
+    ],
+    dtype=np.float64,
+)
+
+
+def _dct_matrix() -> np.ndarray:
+    """The orthonormal 8x8 DCT-II basis matrix."""
+    k = np.arange(BLOCK)
+    n = np.arange(BLOCK)
+    basis = np.cos(np.pi * (2 * n[None, :] + 1) * k[:, None] / (2 * BLOCK))
+    basis *= np.sqrt(2.0 / BLOCK)
+    basis[0] *= np.sqrt(0.5)
+    return basis
+
+
+_C = _dct_matrix()
+_CT = _C.T
+
+
+def dct2(blocks: np.ndarray) -> np.ndarray:
+    """Forward 2-D DCT of ``(..., 8, 8)`` blocks."""
+    return _C @ blocks @ _CT
+
+
+def idct2(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse 2-D DCT of ``(..., 8, 8)`` coefficient blocks."""
+    return _CT @ coeffs @ _C
+
+
+def quantize(coeffs: np.ndarray, scale: float = 1.0) -> np.ndarray:
+    """Quantize DCT coefficients to integer levels.
+
+    Levels are int32: fine quantization scales produce level
+    magnitudes well beyond int16.
+    """
+    q = DEFAULT_QUANT * scale
+    return np.round(coeffs / q).astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, scale: float = 1.0) -> np.ndarray:
+    """Reconstruct coefficients from quantized levels."""
+    return levels.astype(np.float64) * (DEFAULT_QUANT * scale)
+
+
+def blockize(image: np.ndarray) -> np.ndarray:
+    """Split an (H, W) image into (H/8 * W/8, 8, 8) blocks."""
+    h, w = image.shape
+    if h % BLOCK or w % BLOCK:
+        raise ValueError(f"image {h}x{w} is not a multiple of {BLOCK}")
+    return (
+        image.reshape(h // BLOCK, BLOCK, w // BLOCK, BLOCK)
+        .swapaxes(1, 2)
+        .reshape(-1, BLOCK, BLOCK)
+    )
+
+
+def unblockize(blocks: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Inverse of :func:`blockize`."""
+    hb, wb = height // BLOCK, width // BLOCK
+    return (
+        blocks.reshape(hb, wb, BLOCK, BLOCK).swapaxes(1, 2).reshape(height, width)
+    )
+
+
+def dct_flops(n_blocks: int) -> int:
+    """Floating-point operations for ``n_blocks`` 8x8 DCTs.
+
+    Two 8x8 matrix multiplies per block: 2 * (8*8*8 mul + 8*8*7 add).
+    """
+    return n_blocks * 2 * (512 + 448)

@@ -1,0 +1,169 @@
+"""Canonical Huffman coding of RLE symbols.
+
+The last pipeline stage: ``(run, level)`` symbols become a compact
+bitstream.  We build a canonical Huffman code from symbol frequencies
+(package-merge is unnecessary at these alphabet sizes; plain Huffman
+with a canonical reassignment keeps tables tiny and decode simple),
+serialize the code table alongside the payload, and decode with a
+canonical first-code table — the structure a page-side decoder circuit
+would implement with a handful of comparators.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Symbol = Tuple[int, int]
+
+
+def _code_lengths(frequencies: Dict[Symbol, int]) -> Dict[Symbol, int]:
+    """Huffman code lengths per symbol."""
+    if not frequencies:
+        return {}
+    if len(frequencies) == 1:
+        return {next(iter(frequencies)): 1}
+    heap: List[Tuple[int, int, List[Symbol]]] = []
+    for i, (symbol, freq) in enumerate(sorted(frequencies.items())):
+        heapq.heappush(heap, (freq, i, [symbol]))
+    lengths = {symbol: 0 for symbol in frequencies}
+    counter = len(frequencies)
+    while len(heap) > 1:
+        fa, _, sa = heapq.heappop(heap)
+        fb, _, sb = heapq.heappop(heap)
+        for symbol in sa + sb:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (fa + fb, counter, sa + sb))
+        counter += 1
+    return lengths
+
+
+def canonical_codes(frequencies: Dict[Symbol, int]) -> Dict[Symbol, Tuple[int, int]]:
+    """Symbol -> (code value, code length), canonical ordering."""
+    lengths = _code_lengths(frequencies)
+    ordered = sorted(lengths.items(), key=lambda kv: (kv[1], kv[0]))
+    codes: Dict[Symbol, Tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for symbol, length in ordered:
+        code <<= length - prev_len
+        codes[symbol] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+@dataclass(frozen=True)
+class HuffmanTable:
+    """A canonical code table, serializable with the bitstream."""
+
+    codes: Dict[Symbol, Tuple[int, int]]
+
+    @classmethod
+    def from_symbols(cls, symbols: Iterable[Symbol]) -> "HuffmanTable":
+        freqs: Dict[Symbol, int] = {}
+        for s in symbols:
+            freqs[s] = freqs.get(s, 0) + 1
+        return cls(canonical_codes(freqs))
+
+    def decoder(self) -> "HuffmanDecoder":
+        return HuffmanDecoder(self.codes)
+
+    @property
+    def max_length(self) -> int:
+        return max((l for _, l in self.codes.values()), default=0)
+
+
+class BitWriter:
+    """MSB-first bit accumulator."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, value: int, length: int) -> None:
+        for shift in range(length - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def getvalue(self) -> bytes:
+        padded = self._bits + [0] * (-len(self._bits) % 8)
+        out = bytearray()
+        for i in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[i : i + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+
+class BitReader:
+    """MSB-first bit consumer."""
+
+    def __init__(self, data: bytes, n_bits: int) -> None:
+        self._data = data
+        self._n_bits = n_bits
+        self._pos = 0
+
+    def read_bit(self) -> int:
+        if self._pos >= self._n_bits:
+            raise EOFError("bitstream exhausted")
+        byte = self._data[self._pos // 8]
+        bit = (byte >> (7 - self._pos % 8)) & 1
+        self._pos += 1
+        return bit
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= self._n_bits
+
+
+class HuffmanDecoder:
+    """Canonical decode via (length -> first code/first index) tables."""
+
+    def __init__(self, codes: Dict[Symbol, Tuple[int, int]]) -> None:
+        by_code = sorted(codes.items(), key=lambda kv: (kv[1][1], kv[1][0]))
+        self._symbols = [symbol for symbol, _ in by_code]
+        self._first_code: Dict[int, int] = {}
+        self._first_index: Dict[int, int] = {}
+        self._count: Dict[int, int] = {}
+        for index, (symbol, (code, length)) in enumerate(by_code):
+            if length not in self._first_code:
+                self._first_code[length] = code
+                self._first_index[length] = index
+                self._count[length] = 0
+            self._count[length] += 1
+
+    def decode_one(self, reader: BitReader) -> Symbol:
+        code = 0
+        length = 0
+        while True:
+            code = (code << 1) | reader.read_bit()
+            length += 1
+            first = self._first_code.get(length)
+            if first is not None and first <= code < first + self._count[length]:
+                return self._symbols[self._first_index[length] + code - first]
+            if length > 64:
+                raise ValueError("invalid Huffman bitstream")
+
+
+def encode_symbols(
+    symbols: Sequence[Symbol], table: HuffmanTable
+) -> Tuple[bytes, int]:
+    """Encode symbols; returns (payload bytes, bit count)."""
+    writer = BitWriter()
+    for symbol in symbols:
+        code, length = table.codes[symbol]
+        writer.write(code, length)
+    return writer.getvalue(), len(writer)
+
+
+def decode_symbols(
+    payload: bytes, n_bits: int, n_symbols: int, table: HuffmanTable
+) -> List[Symbol]:
+    """Decode exactly ``n_symbols`` symbols from the payload."""
+    reader = BitReader(payload, n_bits)
+    decoder = table.decoder()
+    return [decoder.decode_one(reader) for _ in range(n_symbols)]

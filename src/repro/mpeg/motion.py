@@ -1,0 +1,113 @@
+"""Block motion estimation and compensation.
+
+"The RADram system will handle motion detection" — per 16x16
+macroblock, find the displacement within a search window of the
+reference frame minimizing the sum of absolute differences (SAD).
+This is dense integer work over page-resident frame data: ideal for
+the page logic (an absolute-difference adder tree), hopeless for the
+bus if done remotely.
+
+Motion compensation (building the prediction, and adding the decoded
+residual back with saturation) reuses the MMX saturating-add
+semantics of :mod:`repro.radram.mmx`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.radram.mmx import mmx_op
+
+MACROBLOCK = 16
+_PADDSW = mmx_op("paddsw")
+_PSUBSW = mmx_op("psubsw")
+
+
+@dataclass(frozen=True)
+class MotionVector:
+    dy: int
+    dx: int
+
+
+def sad(a: np.ndarray, b: np.ndarray) -> int:
+    """Sum of absolute differences of two equal-shape int blocks."""
+    return int(np.sum(np.abs(a.astype(np.int32) - b.astype(np.int32))))
+
+
+def estimate_motion(
+    current: np.ndarray,
+    reference: np.ndarray,
+    search: int = 7,
+) -> List[List[MotionVector]]:
+    """Full-search SAD motion estimation per 16x16 macroblock.
+
+    Ties break toward the smaller displacement (then smaller dy/dx),
+    so results are deterministic.
+    """
+    h, w = current.shape
+    if h % MACROBLOCK or w % MACROBLOCK:
+        raise ValueError(f"frame {h}x{w} not a multiple of {MACROBLOCK}")
+    vectors: List[List[MotionVector]] = []
+    for by in range(0, h, MACROBLOCK):
+        row: List[MotionVector] = []
+        for bx in range(0, w, MACROBLOCK):
+            block = current[by : by + MACROBLOCK, bx : bx + MACROBLOCK]
+            best = (1 << 62, 0, 0, 0)
+            for dy in range(-search, search + 1):
+                sy = by + dy
+                if sy < 0 or sy + MACROBLOCK > h:
+                    continue
+                for dx in range(-search, search + 1):
+                    sx = bx + dx
+                    if sx < 0 or sx + MACROBLOCK > w:
+                        continue
+                    candidate = reference[sy : sy + MACROBLOCK, sx : sx + MACROBLOCK]
+                    score = sad(block, candidate)
+                    key = (score, abs(dy) + abs(dx), dy, dx)
+                    if key < best:
+                        best = key
+            row.append(MotionVector(best[2], best[3]))
+        vectors.append(row)
+    return vectors
+
+
+def compensate(
+    reference: np.ndarray, vectors: List[List[MotionVector]]
+) -> np.ndarray:
+    """Build the motion-compensated prediction frame."""
+    h, w = reference.shape
+    prediction = np.empty_like(reference)
+    for i, row in enumerate(vectors):
+        for j, mv in enumerate(row):
+            by, bx = i * MACROBLOCK, j * MACROBLOCK
+            sy, sx = by + mv.dy, bx + mv.dx
+            prediction[by : by + MACROBLOCK, bx : bx + MACROBLOCK] = reference[
+                sy : sy + MACROBLOCK, sx : sx + MACROBLOCK
+            ]
+    return prediction
+
+
+def residual(current: np.ndarray, prediction: np.ndarray) -> np.ndarray:
+    """Saturating int16 residual (the correction matrix)."""
+    return _PSUBSW.apply(current.astype(np.int16), prediction.astype(np.int16))
+
+
+def reconstruct(prediction: np.ndarray, decoded_residual: np.ndarray) -> np.ndarray:
+    """Saturating add of the decoded residual — the measured kernel."""
+    return _PADDSW.apply(
+        prediction.astype(np.int16), decoded_residual.astype(np.int16)
+    )
+
+
+def sad_operations(height: int, width: int, search: int = 7) -> int:
+    """Integer ops of a full search (drives the cost models).
+
+    Per macroblock: (2*search+1)^2 candidate positions (interior), 256
+    absolute-difference+accumulate pairs each.
+    """
+    blocks = (height // MACROBLOCK) * (width // MACROBLOCK)
+    candidates = (2 * search + 1) ** 2
+    return blocks * candidates * MACROBLOCK * MACROBLOCK * 2

@@ -1,0 +1,235 @@
+"""The P-frame encoder/decoder, conventional and Active-Page forms.
+
+Functional path (both systems compute exactly this):
+
+    encode:  motion estimation -> prediction -> saturating residual
+             -> 8x8 DCT -> quantize -> zigzag/RLE -> Huffman
+    decode:  Huffman -> RLE -> dequantize -> IDCT -> saturating add
+             to the motion-compensated prediction
+
+Timed path: the paper's partitioning.  Conventional does everything on
+the processor.  Active Pages run motion search, residual/reconstruction
+(the wide MMX adds), RLE and Huffman in page logic; the processor keeps
+the DCT/IDCT and quantization (floating point) and ships only DCT
+blocks and coded bits across the bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.functions import PageTask
+from repro.mpeg import dct as D
+from repro.mpeg import huffman as H
+from repro.mpeg import motion as M
+from repro.mpeg import rle as R
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+from repro.sim.stats import MachineStats
+
+#: abs-diff/accumulate pairs the page's SAD adder tree retires per
+#: logic cycle (a 16-wide tree fits ~150 LEs).
+SAD_OPS_PER_CYCLE = 16.0
+#: residual/reconstruction bytes per logic cycle (the MMX datapath).
+MMX_BYTES_PER_CYCLE = 18.4
+#: RLE symbols produced/consumed per logic cycle.
+RLE_CYCLES_PER_COEFF = 0.25
+#: Huffman bits emitted per logic cycle (serial shifter).
+HUFFMAN_BITS_PER_CYCLE = 2.0
+
+#: conventional instruction counts.
+CONV_SAD_OPS = 1.5  # per abs-diff pair
+CONV_MMX_OPS_PER_WORD = 3.0
+CONV_RLE_OPS_PER_COEFF = 2.0
+CONV_HUFFMAN_OPS_PER_BIT = 4.0
+CONV_FLOPS_PER_OP = 1.0
+
+
+@dataclass
+class EncodedFrame:
+    """A coded P-frame: motion vectors plus entropy-coded residual."""
+
+    height: int
+    width: int
+    quant_scale: float
+    vectors: List[List[M.MotionVector]]
+    table: H.HuffmanTable
+    payload: bytes
+    n_bits: int
+    n_symbols: int
+    symbols_per_block: List[int]
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.payload)
+
+    def compression_ratio(self) -> float:
+        raw = self.height * self.width * 2
+        return raw / max(1, self.compressed_bytes)
+
+
+class MpegPipeline:
+    """P-frame codec with functional and timed execution."""
+
+    def __init__(self, quant_scale: float = 1.0, search: int = 4) -> None:
+        self.quant_scale = quant_scale
+        self.search = search
+
+    # ------------------------------------------------------------------
+    # Functional path
+
+    def encode(self, current: np.ndarray, reference: np.ndarray) -> EncodedFrame:
+        """Encode ``current`` against ``reference`` (both int16 (H, W))."""
+        h, w = current.shape
+        vectors = M.estimate_motion(current, reference, search=self.search)
+        prediction = M.compensate(reference, vectors)
+        resid = M.residual(current, prediction)
+        coeffs = D.dct2(D.blockize(resid.astype(np.float64)))
+        levels = D.quantize(coeffs, self.quant_scale)
+        encoded = R.rle_encode(levels)
+        symbols = [s for block in encoded for s in block]
+        table = H.HuffmanTable.from_symbols(symbols)
+        payload, n_bits = H.encode_symbols(symbols, table)
+        return EncodedFrame(
+            height=h,
+            width=w,
+            quant_scale=self.quant_scale,
+            vectors=vectors,
+            table=table,
+            payload=payload,
+            n_bits=n_bits,
+            n_symbols=len(symbols),
+            symbols_per_block=[len(block) for block in encoded],
+        )
+
+    def decode(self, frame: EncodedFrame, reference: np.ndarray) -> np.ndarray:
+        """Reconstruct the frame from its coded form and the reference."""
+        symbols = H.decode_symbols(
+            frame.payload, frame.n_bits, frame.n_symbols, frame.table
+        )
+        blocks: List[List[Tuple[int, int]]] = []
+        pos = 0
+        for count in frame.symbols_per_block:
+            blocks.append(symbols[pos : pos + count])
+            pos += count
+        levels = R.rle_decode(blocks)
+        coeffs = D.dequantize(levels, frame.quant_scale)
+        resid = np.round(D.idct2(coeffs))
+        resid = np.clip(resid, -32768, 32767).astype(np.int16)
+        resid_image = D.unblockize(resid, frame.height, frame.width)
+        prediction = M.compensate(reference, frame.vectors)
+        return M.reconstruct(prediction, resid_image)
+
+    # ------------------------------------------------------------------
+    # Timed path
+
+    def _stage_costs(self, height: int, width: int, frame: EncodedFrame) -> dict:
+        pixels = height * width
+        coeffs = pixels  # one coefficient per pixel
+        sad_pairs = M.sad_operations(height, width, self.search) // 2
+        return {
+            "sad_pairs": sad_pairs,
+            "mmx_bytes": pixels * 2,
+            "dct_flops": D.dct_flops(pixels // 64),
+            "coeffs": coeffs,
+            "bits": frame.n_bits,
+            "symbols": frame.n_symbols,
+        }
+
+    def encode_timed(
+        self,
+        current: np.ndarray,
+        reference: np.ndarray,
+        system: str = "radram",
+        machine_config: Optional[MachineConfig] = None,
+        radram_config: Optional[RADramConfig] = None,
+    ) -> Tuple[EncodedFrame, MachineStats]:
+        """Encode functionally and account the execution time."""
+        frame = self.encode(current, reference)
+        costs = self._stage_costs(*current.shape, frame)
+        if system == "conventional":
+            stats = self._run_conventional(current.shape, costs)
+        elif system == "radram":
+            stats = self._run_radram(current.shape, costs, radram_config, machine_config)
+        else:
+            raise ValueError(f"unknown system {system!r}")
+        return frame, stats
+
+    def _run_conventional(self, shape, costs) -> MachineStats:
+        machine = Machine()
+        h, w = shape
+        base = 0x3000_0000
+        frame_bytes = h * w * 2
+        stream: List[O.Op] = [
+            # Motion search streams current + window of reference.
+            O.MemRead(base, frame_bytes),
+            O.MemRead(base + frame_bytes, frame_bytes),
+            O.Compute(CONV_SAD_OPS * costs["sad_pairs"]),
+            # Residual.
+            O.MemWrite(base + 2 * frame_bytes, frame_bytes),
+            O.Compute(CONV_MMX_OPS_PER_WORD * (frame_bytes // 4)),
+            # DCT + quantization.
+            O.Compute(CONV_FLOPS_PER_OP * costs["dct_flops"]),
+            O.Compute(2.0 * costs["coeffs"]),
+            # Zigzag/RLE + Huffman.
+            O.Compute(CONV_RLE_OPS_PER_COEFF * costs["coeffs"]),
+            O.Compute(CONV_HUFFMAN_OPS_PER_BIT * costs["bits"]),
+            O.MemWrite(base + 3 * frame_bytes, costs["bits"] // 8 + 1),
+        ]
+        return machine.run(iter(stream))
+
+    def _run_radram(self, shape, costs, radram_config, machine_config) -> MachineStats:
+        rconfig = radram_config or RADramConfig.reference()
+        memsys = RADramMemorySystem(rconfig)
+        machine = Machine(
+            config=machine_config,
+            memory=PagedMemory(page_bytes=rconfig.page_bytes),
+            memsys=memsys,
+        )
+        h, w = shape
+        frame_bytes = h * w * 2
+        n_pages = max(1, frame_bytes // (rconfig.page_bytes // 2))
+        per_page = 1.0 / n_pages
+        base_page = 0x3000_0000 // rconfig.page_bytes
+
+        def activate_all(cycles_per_page: float, words: int) -> List[O.Op]:
+            ops: List[O.Op] = []
+            for j in range(n_pages):
+                ops.append(
+                    O.Activate(base_page + j, words, PageTask.simple(cycles_per_page))
+                )
+            for j in range(n_pages):
+                ops.append(O.WaitPage(base_page + j))
+            return ops
+
+        stream: List[O.Op] = []
+        # Stage 1: motion search in page logic.
+        stream += activate_all(
+            costs["sad_pairs"] * per_page / SAD_OPS_PER_CYCLE, words=8
+        )
+        # Stage 2: residual via the wide MMX datapath.
+        stream += activate_all(
+            costs["mmx_bytes"] * per_page / MMX_BYTES_PER_CYCLE, words=136
+        )
+        # Stage 3: processor reads residual blocks, does DCT + quant,
+        # writes levels back (only DCT data crosses the bus).
+        stream.append(O.MemRead(0x3000_0000, frame_bytes))
+        stream.append(O.Compute(CONV_FLOPS_PER_OP * costs["dct_flops"]))
+        stream.append(O.Compute(2.0 * costs["coeffs"]))
+        stream.append(O.MemWrite(0x3000_0000, frame_bytes))
+        # Stage 4: RLE + Huffman in page logic; processor collects the
+        # bitstream.
+        stream += activate_all(
+            (costs["coeffs"] * RLE_CYCLES_PER_COEFF + costs["bits"] / HUFFMAN_BITS_PER_CYCLE)
+            * per_page,
+            words=8,
+        )
+        stream.append(O.MemRead(0x3000_0000, costs["bits"] // 8 + 1))
+        return machine.run(iter(stream))

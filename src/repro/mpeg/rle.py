@@ -1,0 +1,91 @@
+"""Zigzag scan and run-length coding of quantized DCT blocks.
+
+Quantized residual blocks are mostly zero at high frequencies; the
+zigzag scan orders coefficients by frequency so runs of zeros cluster,
+and the run-length coder emits ``(run, level)`` symbols plus an
+end-of-block marker — the representation the Huffman stage codes.
+
+In the Active-Page pipeline this is page-side work: a small FSM with a
+counter (run accumulation) and comparators — well within the LE budget.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+BLOCK = 8
+
+#: End-of-block marker symbol.
+EOB: Tuple[int, int] = (0, 0)
+
+
+def _zigzag_order() -> np.ndarray:
+    """Index order of the classic 8x8 zigzag scan."""
+    order = sorted(
+        ((i, j) for i in range(BLOCK) for j in range(BLOCK)),
+        key=lambda ij: (ij[0] + ij[1], ij[1] if (ij[0] + ij[1]) % 2 else ij[0]),
+    )
+    flat = [i * BLOCK + j for i, j in order]
+    return np.asarray(flat, dtype=np.int64)
+
+
+ZIGZAG = _zigzag_order()
+UNZIGZAG = np.argsort(ZIGZAG)
+
+
+def zigzag(block: np.ndarray) -> np.ndarray:
+    """Scan one (or many) 8x8 blocks into zigzag order."""
+    flat = block.reshape(*block.shape[:-2], 64)
+    return flat[..., ZIGZAG]
+
+
+def unzigzag(scan: np.ndarray) -> np.ndarray:
+    """Inverse zigzag back to 8x8 blocks."""
+    return scan[..., UNZIGZAG].reshape(*scan.shape[:-1], BLOCK, BLOCK)
+
+
+def rle_encode_block(block: np.ndarray) -> List[Tuple[int, int]]:
+    """(run, level) symbols for one quantized 8x8 block, EOB-terminated."""
+    symbols: List[Tuple[int, int]] = []
+    run = 0
+    for value in zigzag(block):
+        v = int(value)
+        if v == 0:
+            run += 1
+        else:
+            symbols.append((run, v))
+            run = 0
+    symbols.append(EOB)
+    return symbols
+
+
+def rle_decode_block(symbols: List[Tuple[int, int]]) -> np.ndarray:
+    """Rebuild one 8x8 int32 block from its (run, level) symbols."""
+    scan = np.zeros(64, dtype=np.int32)
+    pos = 0
+    for run, level in symbols:
+        if (run, level) == EOB:
+            break
+        pos += run
+        if pos >= 64:
+            raise ValueError("run-length data overruns the block")
+        scan[pos] = level
+        pos += 1
+    return unzigzag(scan)
+
+
+def rle_encode(blocks: np.ndarray) -> List[List[Tuple[int, int]]]:
+    """Encode an array of blocks; one symbol list per block."""
+    return [rle_encode_block(b) for b in blocks]
+
+
+def rle_decode(encoded: List[List[Tuple[int, int]]]) -> np.ndarray:
+    """Decode symbol lists back to an (N, 8, 8) int32 block array."""
+    return np.stack([rle_decode_block(symbols) for symbols in encoded])
+
+
+def rle_symbol_count(encoded: List[List[Tuple[int, int]]]) -> int:
+    """Total symbols including EOBs (drives coding-stage cost models)."""
+    return sum(len(symbols) for symbols in encoded)

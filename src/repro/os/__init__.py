@@ -1,0 +1,33 @@
+"""Operating-system integration for Active Pages (paper Section 10).
+
+"Active Pages are similar to both memory pages and parallel
+processors.  Several open operating system issues exist such as
+allocation policies, paging mechanisms, scheduling, and security.  Of
+particular concern is the high cost of swapping Active Pages to and
+from disk."
+
+* :mod:`repro.os.frames` — physical frame allocation with group
+  co-location policies.
+* :mod:`repro.os.paging` — demand paging and replacement; Active-Page
+  swaps pay reconfiguration on top of the disk transfer, and an
+  activity-aware replacement policy avoids evicting configured or
+  computing pages.
+* :mod:`repro.os.scheduler` — multi-process scheduling of Active-Page
+  computations with per-process isolation (a process may only
+  activate pages of its own groups).
+"""
+
+from repro.os.frames import FrameAllocator, OutOfFramesError
+from repro.os.paging import PagingPolicy, Pager, SwapCosts
+from repro.os.scheduler import IsolationError, Process, Scheduler
+
+__all__ = [
+    "FrameAllocator",
+    "IsolationError",
+    "OutOfFramesError",
+    "Pager",
+    "PagingPolicy",
+    "Process",
+    "Scheduler",
+    "SwapCosts",
+]

@@ -1,0 +1,118 @@
+"""Physical frame allocation for Active Pages.
+
+Physical memory is a set of RADram chips, each contributing a fixed
+number of 512 KB page frames.  Allocation policy matters more than for
+conventional memory: pages of one group coordinate (and may one day
+communicate in-chip, Section 10), so the allocator prefers placing a
+group's pages on as few chips as possible — the ``co-locate`` policy —
+while ``first-fit`` models a conventional allocator for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+class OutOfFramesError(Exception):
+    """No free physical frames remain (the pager must evict)."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One physical Active-Page frame."""
+
+    chip: int
+    index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Frame(chip={self.chip}, index={self.index})"
+
+
+class FrameAllocator:
+    """Tracks frame ownership across chips."""
+
+    def __init__(self, n_chips: int, frames_per_chip: int, policy: str = "co-locate") -> None:
+        if n_chips <= 0 or frames_per_chip <= 0:
+            raise ValueError("need at least one chip and one frame per chip")
+        if policy not in ("co-locate", "first-fit"):
+            raise ValueError(f"unknown allocation policy {policy!r}")
+        self.policy = policy
+        self._free: Dict[int, List[int]] = {
+            chip: list(range(frames_per_chip)) for chip in range(n_chips)
+        }
+        self._owner: Dict[Frame, str] = {}
+        self.n_chips = n_chips
+        self.frames_per_chip = frames_per_chip
+
+    @property
+    def free_frames(self) -> int:
+        return sum(len(v) for v in self._free.values())
+
+    @property
+    def used_frames(self) -> int:
+        return len(self._owner)
+
+    def owner_of(self, frame: Frame) -> Optional[str]:
+        return self._owner.get(frame)
+
+    def frames_of(self, group_id: str) -> List[Frame]:
+        return sorted(
+            (f for f, owner in self._owner.items() if owner == group_id),
+            key=lambda f: (f.chip, f.index),
+        )
+
+    # ------------------------------------------------------------------
+
+    def allocate(self, group_id: str, n_frames: int) -> List[Frame]:
+        """Allocate frames for a group, honouring the policy."""
+        if n_frames <= 0:
+            raise ValueError("must allocate at least one frame")
+        if n_frames > self.free_frames:
+            raise OutOfFramesError(
+                f"{n_frames} frames requested, {self.free_frames} free"
+            )
+        chosen: List[Frame] = []
+        if self.policy == "co-locate":
+            # Fill the emptiest-fitting chips first: fewest chips per
+            # group.  Prefer chips that can take the largest share.
+            remaining = n_frames
+            chips = sorted(
+                self._free, key=lambda c: len(self._free[c]), reverse=True
+            )
+            for chip in chips:
+                take = min(remaining, len(self._free[chip]))
+                for _ in range(take):
+                    chosen.append(Frame(chip, self._free[chip].pop(0)))
+                remaining -= take
+                if remaining == 0:
+                    break
+        else:  # first-fit
+            remaining = n_frames
+            for chip in sorted(self._free):
+                while remaining and self._free[chip]:
+                    chosen.append(Frame(chip, self._free[chip].pop(0)))
+                    remaining -= 1
+                if remaining == 0:
+                    break
+        for frame in chosen:
+            self._owner[frame] = group_id
+        return chosen
+
+    def release(self, frame: Frame) -> None:
+        """Return one frame to the free pool."""
+        owner = self._owner.pop(frame, None)
+        if owner is None:
+            raise KeyError(f"{frame} is not allocated")
+        self._free[frame.chip].append(frame.index)
+
+    def release_group(self, group_id: str) -> int:
+        """Free all of a group's frames; returns how many."""
+        frames = self.frames_of(group_id)
+        for frame in frames:
+            self.release(frame)
+        return len(frames)
+
+    def chips_spanned(self, group_id: str) -> int:
+        """How many chips a group's frames touch (locality metric)."""
+        return len({f.chip for f in self.frames_of(group_id)})

@@ -1,0 +1,159 @@
+"""Demand paging for Active Pages.
+
+The paper's Section 10 concern: "the high cost of swapping Active
+Pages to and from disk.  Current FPGA technologies take 100s of
+milliseconds to reconfigure" — an Active Page brought back from disk
+must reload its data *and* its logic configuration, making its fault
+"2-4 times larger than for conventional pages" (Section 6).  Pages
+that never bound functions pay only the conventional cost.
+
+The pager tracks residency over a reference string and compares
+replacement policies:
+
+* ``lru`` — classic least-recently-used, configuration-blind.
+* ``active-aware`` — LRU that prefers evicting *passive* pages
+  (no bound functions) over configured ones, and never evicts a page
+  whose computation is in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class SwapCosts:
+    """Time to fault a page in, by kind (ns)."""
+
+    disk_latency_ns: float = 5e6  # 5 ms seek+rotate
+    transfer_ns_per_byte: float = 0.1  # ~10 MB/ms late-90s disk
+    page_bytes: int = 512 * 1024
+    #: reconfiguration on top of the data transfer for active pages.
+    reconfig_ns: float = 100e6  # "100s of milliseconds" era default
+
+    def conventional_fault_ns(self) -> float:
+        return self.disk_latency_ns + self.transfer_ns_per_byte * self.page_bytes
+
+    def active_fault_ns(self) -> float:
+        return self.conventional_fault_ns() + self.reconfig_ns
+
+    @property
+    def active_multiplier(self) -> float:
+        """How much worse an active fault is (the paper's 2-4x is the
+        projected fast-reconfiguration regime; FPGA-era is worse)."""
+        return self.active_fault_ns() / self.conventional_fault_ns()
+
+
+@dataclass
+class PageState:
+    page_id: int
+    configured: bool = False  # has bound functions
+    computing: bool = False  # activation in flight
+
+
+class PagingPolicy:
+    LRU = "lru"
+    ACTIVE_AWARE = "active-aware"
+
+
+class Pager:
+    """Residency manager over a fixed number of physical frames."""
+
+    def __init__(
+        self,
+        n_frames: int,
+        policy: str = PagingPolicy.ACTIVE_AWARE,
+        costs: Optional[SwapCosts] = None,
+    ) -> None:
+        if n_frames <= 0:
+            raise ValueError("need at least one frame")
+        if policy not in (PagingPolicy.LRU, PagingPolicy.ACTIVE_AWARE):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.n_frames = n_frames
+        self.policy = policy
+        self.costs = costs or SwapCosts()
+        self._resident: List[int] = []  # LRU order: front = most recent
+        self._pages: Dict[int, PageState] = {}
+        self.faults = 0
+        self.accesses = 0
+        self.evictions = 0
+        self.fault_ns = 0.0
+
+    def _state(self, page_id: int) -> PageState:
+        if page_id not in self._pages:
+            self._pages[page_id] = PageState(page_id)
+        return self._pages[page_id]
+
+    # ------------------------------------------------------------------
+    # Page attributes
+
+    def bind(self, page_id: int) -> None:
+        """Mark a page configured (functions bound)."""
+        self._state(page_id).configured = True
+
+    def begin_computation(self, page_id: int) -> None:
+        self.touch(page_id)
+        self._state(page_id).computing = True
+
+    def end_computation(self, page_id: int) -> None:
+        self._state(page_id).computing = False
+
+    # ------------------------------------------------------------------
+    # The reference string
+
+    def touch(self, page_id: int) -> float:
+        """Access a page; returns the fault cost paid (0 on a hit)."""
+        self.accesses += 1
+        state = self._state(page_id)
+        if page_id in self._resident:
+            self._resident.remove(page_id)
+            self._resident.insert(0, page_id)
+            return 0.0
+        # Fault: evict if full, then bring in.
+        cost = (
+            self.costs.active_fault_ns()
+            if state.configured
+            else self.costs.conventional_fault_ns()
+        )
+        self.faults += 1
+        self.fault_ns += cost
+        if len(self._resident) >= self.n_frames:
+            self._evict()
+        self._resident.insert(0, page_id)
+        return cost
+
+    def _evict(self) -> None:
+        victim = self._pick_victim()
+        self._resident.remove(victim)
+        self.evictions += 1
+
+    def _pick_victim(self) -> int:
+        candidates = list(reversed(self._resident))  # LRU end first
+        if self.policy == PagingPolicy.LRU:
+            # Configuration-blind, but never a computing page (that
+            # would corrupt an in-flight activation on any policy).
+            for page_id in candidates:
+                if not self._pages[page_id].computing:
+                    return page_id
+            raise RuntimeError("every resident page is computing")
+        # Active-aware: passive pages first (cheap to refault), then
+        # configured ones; computing pages never.
+        for page_id in candidates:
+            state = self._pages[page_id]
+            if not state.computing and not state.configured:
+                return page_id
+        for page_id in candidates:
+            if not self._pages[page_id].computing:
+                return page_id
+        raise RuntimeError("every resident page is computing")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def resident(self) -> Set[int]:
+        return set(self._resident)
+
+    @property
+    def fault_rate(self) -> float:
+        return self.faults / self.accesses if self.accesses else 0.0

@@ -1,0 +1,44 @@
+"""Automatic application partitioning (paper Section 10).
+
+"Ideally, a compiler would take high-level source code and divide the
+computation into processor code and Active-Page functions, optimizing
+for memory bandwidth, synchronization, and parallelism to reduce
+execution time. ... These systems estimate the performance of each
+line of code on alternative technologies, account for communication
+between components, and use integer programming or simulated annealing
+to minimize execution time and cost."
+
+This package implements that co-design flow over a small kernel IR:
+
+* :mod:`repro.partition.kernel` — the IR: a kernel is a DAG of stages
+  with operation class, per-element costs, data flow, and circuit area.
+* :mod:`repro.partition.estimator` — execution-time estimation of any
+  processor/pages assignment, built on the Figure 7 overlap model and
+  the machine constants.
+* :mod:`repro.partition.partitioner` — exhaustive, greedy, and
+  simulated-annealing partitioners.
+* :mod:`repro.partition.library` — IR descriptions of the paper's six
+  applications; the partitioner recovers Table 2's hand partitioning.
+"""
+
+from repro.partition.estimator import Assignment, PartitionEstimator, Placement
+from repro.partition.kernel import Kernel, OpClass, Stage
+from repro.partition.partitioner import (
+    Partition,
+    annealed_partition,
+    exhaustive_partition,
+    greedy_partition,
+)
+
+__all__ = [
+    "Assignment",
+    "Kernel",
+    "OpClass",
+    "Partition",
+    "PartitionEstimator",
+    "Placement",
+    "Stage",
+    "annealed_partition",
+    "exhaustive_partition",
+    "greedy_partition",
+]

@@ -1,0 +1,161 @@
+"""Execution-time estimation for a processor/pages assignment.
+
+The estimator prices each stage on its assigned technology and adds
+boundary communication, following the co-design recipe the paper
+sketches:
+
+* **Processor stage** — ops at 1 IPC plus streamed bytes at the
+  memory system's effective bandwidth (miss per line for fresh data).
+* **Page stage** — per-page elements x logic cycles at the logic
+  clock, with pages in parallel; plus one activation (T_A) and one
+  post-visit (T_P) per page, folded through the Figure 7 overlap
+  model so well-overlapped partitions are rewarded.
+* **FP on pages** — soft-logic floating point pays
+  :data:`FP_LOGIC_PENALTY` extra cycles; this is what keeps
+  floating-point stages on the processor, as the paper intends.
+* **Boundary traffic** — bytes flowing between stages on different
+  sides cross the memory bus; same-side flows are free (pages pass
+  data in place, the processor passes data in cache).
+* **LE budget** — the set of page-resident stages must fit the page's
+  256 LEs; infeasible assignments price at infinity.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.model import non_overlap_times
+from repro.partition.kernel import Kernel, OpClass, Stage
+from repro.radram.config import RADramConfig
+from repro.sim.config import MachineConfig
+
+#: extra logic-cycle multiplier for floating point in soft logic.
+FP_LOGIC_PENALTY = 24.0
+#: activation dispatch cost per page per page-side stage (ns).
+ACTIVATION_NS = 800.0
+#: processor post-visit per page per page-side stage (ns).
+POST_VISIT_NS = 400.0
+
+
+class Placement(enum.Enum):
+    PROCESSOR = "processor"
+    PAGES = "pages"
+
+
+Assignment = Dict[str, Placement]
+
+
+@dataclass(frozen=True)
+class StageCost:
+    stage: str
+    placement: Placement
+    time_ns: float
+    boundary_bytes: float
+
+
+class PartitionEstimator:
+    """Prices assignments of one kernel on one machine."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        machine: Optional[MachineConfig] = None,
+        radram: Optional[RADramConfig] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.machine = machine or MachineConfig.reference()
+        self.radram = radram or RADramConfig.reference()
+
+    # ------------------------------------------------------------------
+    # Per-technology stage costs
+
+    def _processor_ns(self, stage: Stage) -> float:
+        compute = stage.ops_per_element * stage.elements * self.machine.cpu.cycle_ns
+        fresh = (stage.stream_bytes + stage.bytes_out) * stage.elements
+        line = self.machine.l1d.line_bytes
+        miss_ns = (
+            self.machine.l1d.hit_ns
+            + self.machine.l2.hit_ns
+            + self.machine.dram.miss_latency_ns
+            + self.machine.bus.transfer_ns(line)
+        )
+        memory = (fresh / line) * miss_ns
+        return compute + memory
+
+    def _pages_ns(self, stage: Stage) -> float:
+        cycles = stage.logic_cycles_per_element
+        if stage.op_class is OpClass.FP:
+            cycles *= FP_LOGIC_PENALTY
+        pages = self.kernel.n_pages if stage.parallelizable else 1
+        per_page_elements = math.ceil(stage.elements / pages)
+        t_c = per_page_elements * cycles * self.radram.logic_cycle_ns
+        # Figure 7: activation/post per page with overlap credit.
+        no = non_overlap_times(ACTIVATION_NS, POST_VISIT_NS, t_c, pages)
+        return pages * (ACTIVATION_NS + POST_VISIT_NS) + float(no.sum())
+
+    def _boundary_bytes(self, stage: Stage, assignment: Assignment) -> float:
+        """Bytes crossing the processor-memory boundary into this stage."""
+        total = 0.0
+        mine = assignment[stage.name]
+        for producer, bytes_per_element in stage.bytes_in.items():
+            if assignment[producer] is not mine:
+                total += bytes_per_element * stage.elements
+        return total
+
+    # ------------------------------------------------------------------
+    # Assignment pricing
+
+    def feasible(self, assignment: Assignment) -> bool:
+        """LE budget and pinning constraints."""
+        les = sum(
+            self.kernel.stage(name).le_cost
+            for name, placement in assignment.items()
+            if placement is Placement.PAGES
+        )
+        if les > self.radram.les_per_page:
+            return False
+        for stage in self.kernel.stages:
+            if stage.pinned_to_processor and assignment[stage.name] is Placement.PAGES:
+                return False
+        return True
+
+    def estimate(self, assignment: Assignment) -> float:
+        """Total kernel time in ns (inf if infeasible)."""
+        if set(assignment) != set(self.kernel.stage_names):
+            raise ValueError("assignment must cover every stage exactly")
+        if not self.feasible(assignment):
+            return math.inf
+        total = 0.0
+        for stage in self.kernel.stages:
+            placement = assignment[stage.name]
+            if placement is Placement.PROCESSOR:
+                total += self._processor_ns(stage)
+            else:
+                total += self._pages_ns(stage)
+            boundary = self._boundary_bytes(stage, assignment)
+            total += self.machine.bus.transfer_ns(int(boundary))
+        return total
+
+    def breakdown(self, assignment: Assignment) -> Dict[str, StageCost]:
+        """Per-stage costs (for reports and debugging partitions)."""
+        out = {}
+        for stage in self.kernel.stages:
+            placement = assignment[stage.name]
+            time = (
+                self._processor_ns(stage)
+                if placement is Placement.PROCESSOR
+                else self._pages_ns(stage)
+            )
+            out[stage.name] = StageCost(
+                stage=stage.name,
+                placement=placement,
+                time_ns=time,
+                boundary_bytes=self._boundary_bytes(stage, assignment),
+            )
+        return out
+
+    def all_processor(self) -> Assignment:
+        return {name: Placement.PROCESSOR for name in self.kernel.stage_names}

@@ -1,0 +1,95 @@
+"""Kernel IR: what the partitioning compiler reasons about.
+
+A :class:`Kernel` is a DAG of :class:`Stage` s.  Each stage abstracts a
+loop nest: how many elements it touches, how many operations of what
+class it performs per element, how many bytes flow in from each
+predecessor, and — if mapped to page logic — what circuit area it
+needs and at what throughput it runs.  This is the granularity
+hardware-software co-design estimators work at (the paper cites
+[GVNG94]): per-stage costs on alternative technologies plus inter-stage
+communication.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+class OpClass(enum.Enum):
+    """What kind of work a stage does — drives technology affinity."""
+
+    INT = "integer"  # integer arithmetic / comparison
+    FP = "floating-point"  # the processor's home turf
+    DATA = "data-manipulation"  # moves, shifts, gathers, scans
+    CONTROL = "control"  # dispatch, reduction, bookkeeping
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One loop nest of the kernel."""
+
+    name: str
+    op_class: OpClass
+    #: elements the stage processes (per problem instance).
+    elements: int
+    #: operations per element on the processor.
+    ops_per_element: float
+    #: bytes read from each named predecessor, per element.
+    bytes_in: Dict[str, float] = field(default_factory=dict)
+    #: fresh bytes the stage reads from memory, per element.
+    stream_bytes: float = 0.0
+    #: bytes the stage writes, per element.
+    bytes_out: float = 0.0
+    #: page-logic cycles per element if mapped to pages.
+    logic_cycles_per_element: float = 1.0
+    #: circuit area if mapped to pages.
+    le_cost: int = 64
+    #: whether the stage splits across pages (element-parallel).
+    parallelizable: bool = True
+    #: stages that cannot leave the processor (I/O, OS calls).
+    pinned_to_processor: bool = False
+
+    @property
+    def deps(self) -> Sequence[str]:
+        return tuple(self.bytes_in)
+
+
+@dataclass
+class Kernel:
+    """A named DAG of stages plus the problem size in pages."""
+
+    name: str
+    stages: List[Stage]
+    n_pages: int = 16
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in kernel {self.name!r}")
+        known = set(names)
+        for stage in self.stages:
+            missing = set(stage.deps) - known
+            if missing:
+                raise ValueError(
+                    f"stage {stage.name!r} depends on unknown stages {missing}"
+                )
+        # Reject cycles (stages must be listed in topological order).
+        seen: set = set()
+        for stage in self.stages:
+            if not set(stage.deps) <= seen:
+                raise ValueError(
+                    f"stage {stage.name!r} is not in topological order"
+                )
+            seen.add(stage.name)
+
+    def stage(self, name: str) -> Stage:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    @property
+    def stage_names(self) -> List[str]:
+        return [s.name for s in self.stages]

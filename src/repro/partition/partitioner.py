@@ -1,0 +1,138 @@
+"""Partitioning search: exhaustive, greedy, and simulated annealing.
+
+The paper names integer programming and simulated annealing as the
+co-design search techniques.  Kernels here have few stages, so an
+exhaustive search is tractable and serves as the optimality oracle the
+heuristics are tested against.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.partition.estimator import Assignment, PartitionEstimator, Placement
+from repro.partition.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A search result: the assignment and its estimated time."""
+
+    kernel: str
+    assignment: Dict[str, Placement]
+    estimated_ns: float
+    method: str
+
+    def placement(self, stage: str) -> Placement:
+        return self.assignment[stage]
+
+    @property
+    def page_stages(self) -> frozenset:
+        return frozenset(
+            name
+            for name, placement in self.assignment.items()
+            if placement is Placement.PAGES
+        )
+
+    def speedup_over_all_processor(self, estimator: PartitionEstimator) -> float:
+        base = estimator.estimate(estimator.all_processor())
+        return base / self.estimated_ns
+
+
+def exhaustive_partition(
+    kernel: Kernel, estimator: Optional[PartitionEstimator] = None
+) -> Partition:
+    """Try every feasible assignment (2^stages; the oracle)."""
+    estimator = estimator or PartitionEstimator(kernel)
+    names = kernel.stage_names
+    if len(names) > 20:
+        raise ValueError(
+            f"{len(names)} stages is too many for exhaustive search"
+        )
+    best_assignment = estimator.all_processor()
+    best_time = estimator.estimate(best_assignment)
+    for bits in itertools.product((Placement.PROCESSOR, Placement.PAGES), repeat=len(names)):
+        assignment = dict(zip(names, bits))
+        time = estimator.estimate(assignment)
+        if time < best_time:
+            best_time = time
+            best_assignment = assignment
+    return Partition(kernel.name, best_assignment, best_time, method="exhaustive")
+
+
+def greedy_partition(
+    kernel: Kernel, estimator: Optional[PartitionEstimator] = None
+) -> Partition:
+    """Hill climbing from all-processor: flip the best stage until done."""
+    estimator = estimator or PartitionEstimator(kernel)
+    assignment = estimator.all_processor()
+    time = estimator.estimate(assignment)
+    improved = True
+    while improved:
+        improved = False
+        best_flip, best_time = None, time
+        for name in kernel.stage_names:
+            flipped = dict(assignment)
+            flipped[name] = (
+                Placement.PAGES
+                if assignment[name] is Placement.PROCESSOR
+                else Placement.PROCESSOR
+            )
+            t = estimator.estimate(flipped)
+            if t < best_time:
+                best_flip, best_time = name, t
+        if best_flip is not None:
+            assignment[best_flip] = (
+                Placement.PAGES
+                if assignment[best_flip] is Placement.PROCESSOR
+                else Placement.PROCESSOR
+            )
+            time = best_time
+            improved = True
+    return Partition(kernel.name, assignment, time, method="greedy")
+
+
+def annealed_partition(
+    kernel: Kernel,
+    estimator: Optional[PartitionEstimator] = None,
+    seed: int = 0,
+    steps: int = 2000,
+    t_start: float = 0.5,
+    t_end: float = 1e-3,
+) -> Partition:
+    """Simulated annealing over stage placements.
+
+    Energy is log execution time (so acceptance is scale-free);
+    temperature decays geometrically.  Infeasible neighbours are
+    rejected outright.
+    """
+    estimator = estimator or PartitionEstimator(kernel)
+    rng = np.random.default_rng(seed)
+    names = kernel.stage_names
+    current = estimator.all_processor()
+    current_time = estimator.estimate(current)
+    best, best_time = dict(current), current_time
+    decay = (t_end / t_start) ** (1.0 / max(1, steps - 1))
+    temperature = t_start
+    for _ in range(steps):
+        name = names[int(rng.integers(len(names)))]
+        neighbour = dict(current)
+        neighbour[name] = (
+            Placement.PAGES
+            if current[name] is Placement.PROCESSOR
+            else Placement.PROCESSOR
+        )
+        time = estimator.estimate(neighbour)
+        if math.isfinite(time):
+            delta = math.log(time) - math.log(current_time)
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                current, current_time = neighbour, time
+                if current_time < best_time:
+                    best, best_time = dict(current), current_time
+        temperature *= decay
+    return Partition(kernel.name, best, best_time, method="annealed")

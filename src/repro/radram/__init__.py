@@ -1,0 +1,37 @@
+"""RADram — Reconfigurable Architecture DRAM (paper Section 3).
+
+RADram pairs each 512 KB DRAM subarray with 256 logic elements of
+reconfigurable logic clocked at 100 MHz.  This package implements the
+RADram realization of Active Pages:
+
+* :class:`repro.radram.config.RADramConfig` — technology parameters
+  (page size, LE budget, logic clock, activation and interrupt costs).
+* :class:`repro.radram.system.RADramMemorySystem` — the timed memory
+  system plugged into :class:`repro.sim.machine.Machine`; executes
+  page tasks in parallel with the processor and implements
+  processor-mediated inter-page communication.
+* :class:`repro.radram.api.RADram` — the user-facing Active-Page
+  system combining functional execution with timing.
+* :mod:`repro.radram.mmx` — MMX primitives, both the conventional
+  32-bit form and the RADram wide form (up to 256 KB per instruction).
+"""
+
+from repro.radram.api import RADram
+from repro.radram.config import RADramConfig
+from repro.radram.dispatch import activation_ns, descriptor_bytes
+from repro.radram.interpage import service_ns
+from repro.radram.logic import LogicBlock
+from repro.radram.subarray import PageExecution, Subarray
+from repro.radram.system import RADramMemorySystem
+
+__all__ = [
+    "LogicBlock",
+    "PageExecution",
+    "RADram",
+    "RADramConfig",
+    "RADramMemorySystem",
+    "Subarray",
+    "activation_ns",
+    "descriptor_bytes",
+    "service_ns",
+]

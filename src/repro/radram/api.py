@@ -1,0 +1,131 @@
+"""User-facing RADram Active-Page system.
+
+:class:`RADram` is what a library user programs against: the Active
+Pages interface of Section 2 (``ap_alloc``/``ap_bind``/``activate``/
+sync polling), with functional execution *and* RADram timing.  Each
+API call performs the real data manipulation on the shared functional
+memory and simultaneously advances the simulated machine, so after a
+workload runs, ``elapsed_ns`` is the RADram execution time and the
+page data holds the actual results.
+
+For the precisely controlled experiment kernels, the applications in
+:mod:`repro.apps` drive the lower-level op-stream interface directly;
+this class is the convenient front door used by the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.api import ActivePageSystem
+from repro.core.errors import ActivationError
+from repro.core.functions import APFunction
+from repro.core.page import ActivePage
+from repro.core.sync import SyncState
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+
+
+class RADram(ActivePageSystem):
+    """An Active-Page memory system realized on RADram hardware."""
+
+    def __init__(
+        self,
+        config: Optional[RADramConfig] = None,
+        machine_config: Optional[MachineConfig] = None,
+    ) -> None:
+        self.config = config or RADramConfig.reference()
+        memory = PagedMemory(page_bytes=self.config.page_bytes)
+        super().__init__(memory=memory)
+        self.le_budget = self.config.les_per_page
+        self.memsys = RADramMemorySystem(self.config)
+        self.machine = Machine(
+            config=machine_config, memory=memory, memsys=self.memsys
+        )
+
+    # ------------------------------------------------------------------
+    # Timing-aware interface
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Simulated time since construction (or the last reset)."""
+        return self.machine.processor.now
+
+    def ap_bind(self, group_id: str, functions: Sequence[APFunction]) -> None:
+        """Bind functions to a group, charging reconfiguration time."""
+        group = self.group(group_id)
+        for page in group:
+            self.memsys.subarray(page.page_no).logic.configure(list(functions))
+        super().ap_bind(group_id, functions)
+        reconfig = self.config.reconfig_ns_per_page * len(group)
+        if reconfig > 0:
+            self.machine.processor.charge("activation_ns", reconfig)
+
+    def _dispatch(self, page: ActivePage, fn: APFunction, args: tuple) -> None:
+        """Run the function on the page: functionally now, timed async."""
+        if fn.apply is not None:
+            result = fn.apply(page, args)
+            if result is not None:
+                if isinstance(result, (int, np.integer)):
+                    page.sync.write_results([int(result)])
+                else:
+                    page.sync.write_results([int(v) for v in result][:8])
+        task = fn.task_for(args)
+        self.machine.run(
+            iter([O.Activate(page.page_no, fn.descriptor_words, task)])
+        )
+        # Functionally the results are already in place; the *timed*
+        # completion is what wait()/is_done() below expose.
+        page.sync.status = SyncState.RUNNING
+
+    def wait(self, group_id: str, page_index: int) -> None:
+        """Block (simulated) until the page's activation completes."""
+        page = self.group(group_id).page(page_index)
+        self.machine.run(iter([O.WaitPage(page.page_no)]))
+        page.sync.status = SyncState.DONE
+
+    def wait_all(self, group_id: str) -> None:
+        """Wait for every page of a group, in order."""
+        for index in range(len(self.group(group_id))):
+            self.wait(group_id, index)
+
+    def is_done(self, group_id: str, page_index: int) -> bool:
+        """Non-blocking poll of a page's *timed* completion."""
+        page = self.group(group_id).page(page_index)
+        sub = self.memsys.subarrays.get(page.page_no)
+        if sub is None or sub.current is None:
+            return page.sync.status in (SyncState.DONE, SyncState.IDLE)
+        done = sub.current.is_done and sub.current.completion_ns <= self.elapsed_ns
+        if done:
+            page.sync.status = SyncState.DONE
+        return done
+
+    def results(self, group_id: str, page_index: int, count: int):
+        """Result words; requires a completed (waited-on) activation."""
+        page = self.group(group_id).page(page_index)
+        if page.sync.status != SyncState.DONE:
+            raise ActivationError(
+                f"page {page_index} of {group_id!r}: wait() before reading results"
+            )
+        return page.sync.read_results(count)
+
+    def compute(self, ops: float) -> None:
+        """Account processor work done between Active-Page calls."""
+        self.machine.run(iter([O.Compute(ops)]))
+
+    def mem_read(self, vaddr: int, nbytes: int) -> np.ndarray:
+        """A timed read: charges the cache hierarchy, returns the bytes."""
+        self.machine.run(iter([O.MemRead(vaddr, nbytes)]))
+        return self.memory.read(vaddr, nbytes)
+
+    def mem_write(self, vaddr: int, data: np.ndarray) -> None:
+        """A timed write through the cache hierarchy."""
+        raw = np.asarray(data, dtype=np.uint8).ravel()
+        self.machine.run(iter([O.MemWrite(vaddr, len(raw))]))
+        self.memory.write(vaddr, raw)

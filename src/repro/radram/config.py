@@ -1,0 +1,109 @@
+"""RADram technology parameters.
+
+The reference values follow the paper's Section 3 and Table 1: 512 KB
+subarrays, 256 LEs each, logic at 100 MHz next to a 1 GHz processor
+(a logic "divisor" of 10).  Figure 9 varies the divisor — a *higher*
+divisor is *slower* logic.
+
+Activation cost model: dispatching work to a page is a short burst of
+memory-mapped, uncached writes (function selector + argument words)
+plus a fixed software overhead.  With the reference bus and DRAM this
+lands per-application activation times in the 0.4-8.5 microsecond range
+of the paper's Table 4 — each application declares how many descriptor
+words its activation writes (see ``repro.apps``).
+
+Reconfiguration: binding a new function set reconfigures the page's
+logic.  The paper estimates Active-Page replacement at 2-4x the cost of
+a conventional page move; kernels bind once and run many activations,
+so the reference charges reconfiguration once per ``ap_bind`` per page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.config import KB
+from repro.sim.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RADramConfig:
+    """Parameters of one RADram chip's page-logic pairing."""
+
+    page_bytes: int = 512 * KB
+    les_per_page: int = 256
+    logic_hz: float = 100e6
+    #: fixed software overhead per activation (driver call, fences).
+    activation_base_ns: float = 300.0
+    #: overhead of taking one inter-page interrupt on the processor.
+    interrupt_base_ns: float = 500.0
+    #: reconfiguration time per page per ap_bind (0 = amortized away).
+    reconfig_ns_per_page: float = 0.0
+    #: data port width between a subarray and its logic, in bytes.
+    port_bytes: int = 4
+    #: service many pending inter-page requests per interrupt entry
+    #: ("the processor generally satisfies many requests", Section 3).
+    #: False pays the interrupt entry per request — an ablation knob.
+    batch_interrupts: bool = True
+    #: inter-page reference mechanism.  ``"processor"`` is the paper's
+    #: processor-mediated approach (Section 3); ``"hardware"`` is the
+    #: Section 10 future-work alternative — a dedicated in-chip
+    #: network that satisfies references without interrupting the
+    #: processor, at ``hw_hop_ns`` plus port-rate transfer time.
+    comm_mechanism: str = "processor"
+    #: in-chip network hop latency for the hardware mechanism.
+    hw_hop_ns: float = 40.0
+    #: pages per RADram chip (a 0.5-gigabit chip holds 128 x 512 KB).
+    pages_per_chip: int = 128
+    #: extra latency when a hardware reference crosses chips.
+    interchip_hop_ns: float = 120.0
+
+    def with_hardware_comm(self, hop_ns: float = 40.0) -> "RADramConfig":
+        """A config using the dedicated in-chip comm network."""
+        return replace(self, comm_mechanism="hardware", hw_hop_ns=hop_ns)
+
+    def chip_of(self, page_no: int) -> int:
+        """Which chip a global page number lives on."""
+        return page_no // max(1, self.pages_per_chip)
+
+    def __post_init__(self) -> None:
+        if self.page_bytes <= 0:
+            raise ConfigError("page size must be positive")
+        if self.les_per_page <= 0:
+            raise ConfigError("LE budget must be positive")
+        if self.logic_hz <= 0:
+            raise ConfigError("logic clock must be positive")
+        if self.port_bytes <= 0:
+            raise ConfigError("port width must be positive")
+        if self.comm_mechanism not in ("processor", "hardware"):
+            raise ConfigError(
+                f"unknown comm mechanism {self.comm_mechanism!r}"
+            )
+        if self.hw_hop_ns < 0:
+            raise ConfigError("hop latency cannot be negative")
+
+    @property
+    def logic_cycle_ns(self) -> float:
+        """Duration of one reconfigurable-logic cycle."""
+        return 1e9 / self.logic_hz
+
+    def logic_divisor(self, cpu_clock_hz: float = 1e9) -> float:
+        """The Figure 9 x-axis: CPU clocks per logic clock."""
+        return cpu_clock_hz / self.logic_hz
+
+    def with_logic_divisor(
+        self, divisor: float, cpu_clock_hz: float = 1e9
+    ) -> "RADramConfig":
+        """A config whose logic runs at ``cpu_clock / divisor``."""
+        if divisor <= 0:
+            raise ConfigError("logic divisor must be positive")
+        return replace(self, logic_hz=cpu_clock_hz / divisor)
+
+    def with_page_bytes(self, page_bytes: int) -> "RADramConfig":
+        """A config with a different superpage size (scaled testing)."""
+        return replace(self, page_bytes=page_bytes)
+
+    @classmethod
+    def reference(cls) -> "RADramConfig":
+        """The Table 1 reference implementation."""
+        return cls()

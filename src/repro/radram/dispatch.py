@@ -1,0 +1,33 @@
+"""Activation dispatch cost model.
+
+"The majority of time in dispatching a work request is spent
+communicating to the Active Page the function to invoke and additional
+required parameters" (Section 2).  Dispatch is a fixed software
+overhead plus one memory-mapped, uncached write per 32-bit descriptor
+word; each word pays the DRAM write latency plus one bus transfer.
+
+With the reference machine (50 ns miss, 10 ns bus) a descriptor word
+costs 60 ns, so the per-application word counts in ``repro.apps`` place
+activation times (T_A) in the 0.4-8.5 microsecond range of Table 4.
+"""
+
+from __future__ import annotations
+
+from repro.radram.config import RADramConfig
+from repro.sim.config import BusConfig, DRAMConfig
+
+
+def descriptor_bytes(descriptor_words: int) -> int:
+    """Bytes written by an activation of ``descriptor_words`` words."""
+    return 4 * max(0, descriptor_words)
+
+
+def activation_ns(
+    descriptor_words: int,
+    radram: RADramConfig,
+    dram: DRAMConfig,
+    bus: BusConfig,
+) -> float:
+    """Processor time to dispatch one activation."""
+    per_word = dram.miss_latency_ns + bus.transfer_ns(4)
+    return radram.activation_base_ns + max(0, descriptor_words) * per_word

@@ -1,0 +1,47 @@
+"""Processor-mediated inter-page communication (paper Section 3).
+
+"When an Active-Page function reaches a memory reference that can not
+be satisfied by its local page, it blocks and raises a processor
+interrupt.  The processor satisfies the request by reading and writing
+to the appropriate pages."
+
+The service cost charged to the processor for one request:
+
+* a fixed interrupt-entry overhead, amortizable over batched requests
+  ("once an interrupt is raised, the processor generally satisfies
+  many requests"), plus
+* an uncached read of the bytes from the source page (DRAM latency +
+  bus), plus
+* an uncached write of the bytes to the destination page.
+
+References are expected to be combined into contiguous copies, so the
+latency is paid once per request, not per word.
+"""
+
+from __future__ import annotations
+
+from repro.core.functions import CommRequest
+from repro.radram.config import RADramConfig
+from repro.sim.config import BusConfig, DRAMConfig
+
+
+def service_ns(
+    request: CommRequest,
+    radram: RADramConfig,
+    dram: DRAMConfig,
+    bus: BusConfig,
+    batched: bool = False,
+) -> float:
+    """Processor time to satisfy one inter-page request.
+
+    ``batched`` drops the interrupt-entry overhead for the second and
+    later requests serviced in one batch.
+    """
+    entry = 0.0 if batched else radram.interrupt_base_ns
+    copy = (
+        dram.miss_latency_ns
+        + bus.transfer_ns(request.nbytes)  # read from source page
+        + dram.miss_latency_ns
+        + bus.transfer_ns(request.nbytes)  # write to destination page
+    )
+    return entry + copy

@@ -1,0 +1,53 @@
+"""The reconfigurable logic block paired with each DRAM subarray.
+
+A block holds at most ``les_per_page`` logic elements (256 in the
+reference RADram) and runs at the configured logic clock.  A block is
+*configured* with a circuit (an :class:`repro.core.functions.APFunction`
+set); configuring takes reconfiguration time and enforces the LE
+budget, mirroring the paper's bind-time constraint that "implementations
+may limit the number or complexity of functions associated with each
+page".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.errors import BindError
+from repro.core.functions import APFunction
+from repro.radram.config import RADramConfig
+
+
+class LogicBlock:
+    """One page's worth of reconfigurable logic."""
+
+    def __init__(self, config: RADramConfig) -> None:
+        self.config = config
+        self.functions: Dict[str, APFunction] = {}
+        self.configured_les: int = 0
+        self.reconfigurations: int = 0
+
+    def configure(self, functions: Sequence[APFunction]) -> float:
+        """Load a function set; returns reconfiguration time in ns.
+
+        Raises :class:`BindError` if the set exceeds the LE budget.
+        """
+        total_les = sum(f.le_count for f in functions)
+        if total_les > self.config.les_per_page:
+            raise BindError(
+                f"circuit set needs {total_les} LEs; block has "
+                f"{self.config.les_per_page}"
+            )
+        self.functions = {f.name: f for f in functions}
+        self.configured_les = total_les
+        self.reconfigurations += 1
+        return self.config.reconfig_ns_per_page
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the block's LEs in use."""
+        return self.configured_les / self.config.les_per_page
+
+    def cycles_to_ns(self, logic_cycles: float) -> float:
+        """Convert circuit cycles to wall time at the logic clock."""
+        return logic_cycles * self.config.logic_cycle_ns

@@ -1,0 +1,253 @@
+"""MMX primitives — conventional and RADram-wide forms (Section 5.2).
+
+The paper extends SimpleScalar with Intel MMX opcodes and adds RADram
+equivalents: "while an MMX instruction in SimpleScalar is restricted to
+producing only 32 bits of data per instruction, a RADram MMX
+instruction can produce up to 256 kbytes of data per instruction."
+
+This module provides:
+
+* functional, saturating packed-integer semantics (numpy) shared by
+  both forms — the MPEG correction kernels are built from these;
+* the conventional cost model (one instruction per 32 bits produced);
+* the RADram cost model (a pipelined datapath in the page logic that
+  processes :data:`RADRAM_MMX_BYTES_PER_CYCLE` bytes per logic cycle —
+  calibrated so one wide instruction over 256 KB takes ~142 us at
+  100 MHz, the paper's Table 4 T_C for MPEG-MMX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.core.functions import PageTask
+
+#: Bytes the RADram MMX datapath consumes per logic cycle.  256 KB in
+#: ~142 us at a 10 ns logic cycle -> 256*1024 / 14230 = 18.4 bytes.
+RADRAM_MMX_BYTES_PER_CYCLE = 18.4
+
+#: Bytes one conventional MMX instruction produces (32 bits).
+CONVENTIONAL_MMX_BYTES_PER_INSN = 4
+
+
+def _sat(values: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    info = np.iinfo(dtype)
+    return np.clip(values, info.min, info.max).astype(dtype)
+
+
+@dataclass(frozen=True)
+class MMXOp:
+    """One packed-integer MMX operation."""
+
+    name: str
+    dtype: np.dtype
+    apply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    description: str
+
+
+def _binary(wide_dtype):
+    """Decorator: lift a wide-integer op into a saturating packed op."""
+
+    def wrap(fn, name, dtype, description):
+        def apply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+            wa = a.astype(wide_dtype)
+            wb = b.astype(wide_dtype)
+            return _sat(fn(wa, wb), dtype)
+
+        return MMXOp(name=name, dtype=np.dtype(dtype), apply=apply, description=description)
+
+    return wrap
+
+
+def _wrapping(fn, name, dtype, description):
+    def apply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return fn(a.astype(dtype), b.astype(dtype))
+
+    return MMXOp(name=name, dtype=np.dtype(dtype), apply=apply, description=description)
+
+
+def _pmulhw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    prod = a.astype(np.int32) * b.astype(np.int32)
+    return (prod >> 16).astype(np.int16)
+
+
+MMX_OPS: Dict[str, MMXOp] = {
+    op.name: op
+    for op in [
+        _wrapping(lambda a, b: a + b, "paddb", np.int8, "packed add, wrap, bytes"),
+        _wrapping(lambda a, b: a + b, "paddw", np.int16, "packed add, wrap, words"),
+        _binary(np.int16)(lambda a, b: a + b, "paddsb", np.int8, "packed add, signed saturate, bytes"),
+        _binary(np.int32)(lambda a, b: a + b, "paddsw", np.int16, "packed add, signed saturate, words"),
+        _binary(np.uint16)(lambda a, b: a + b, "paddusb", np.uint8, "packed add, unsigned saturate, bytes"),
+        _binary(np.uint32)(lambda a, b: a + b, "paddusw", np.uint16, "packed add, unsigned saturate, words"),
+        _wrapping(lambda a, b: a - b, "psubb", np.int8, "packed subtract, wrap, bytes"),
+        _wrapping(lambda a, b: a - b, "psubw", np.int16, "packed subtract, wrap, words"),
+        _binary(np.int32)(lambda a, b: a - b, "psubsw", np.int16, "packed subtract, signed saturate, words"),
+        _binary(np.int16)(lambda a, b: a - b, "psubusb", np.uint8, "packed subtract, unsigned saturate, bytes"),
+        _wrapping(lambda a, b: a * b, "pmullw", np.int16, "packed multiply, low words"),
+        MMXOp("pmulhw", np.dtype(np.int16), _pmulhw, "packed multiply, high words"),
+        _wrapping(lambda a, b: a & b, "pand", np.uint32, "bitwise and"),
+        _wrapping(lambda a, b: a | b, "por", np.uint32, "bitwise or"),
+        _wrapping(lambda a, b: a ^ b, "pxor", np.uint32, "bitwise xor"),
+        _wrapping(
+            lambda a, b: np.where(a == b, np.int16(-1), np.int16(0)),
+            "pcmpeqw",
+            np.int16,
+            "packed compare equal, words",
+        ),
+        _wrapping(
+            lambda a, b: np.where(a > b, np.int16(-1), np.int16(0)),
+            "pcmpgtw",
+            np.int16,
+            "packed compare greater, words",
+        ),
+    ]
+}
+
+
+def _pmaddwd(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply int16 pairs and add adjacent products to int32."""
+    prod = a.astype(np.int32) * b.astype(np.int32)
+    if len(prod) % 2:
+        raise ValueError("pmaddwd needs an even number of words")
+    return prod[0::2] + prod[1::2]
+
+
+def _packsswb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pack two int16 vectors into one int8 vector, signed saturate."""
+    joined = np.concatenate([a.astype(np.int32), b.astype(np.int32)])
+    return _sat(joined, np.int8)
+
+
+def _packuswb(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pack two int16 vectors into one uint8 vector, unsigned saturate."""
+    joined = np.concatenate([a.astype(np.int32), b.astype(np.int32)])
+    return _sat(joined, np.uint8)
+
+
+def _punpcklbw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Interleave the low halves of two byte vectors."""
+    half = len(a) // 2
+    out = np.empty(2 * half, dtype=a.dtype)
+    out[0::2] = a[:half]
+    out[1::2] = b[:half]
+    return out
+
+
+def _punpckhbw(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Interleave the high halves of two byte vectors."""
+    half = len(a) // 2
+    out = np.empty(len(a) + len(b) - 2 * half, dtype=a.dtype)
+    out[0::2] = a[half:]
+    out[1::2] = b[half:]
+    return out
+
+
+MMX_OPS.update(
+    {
+        op.name: op
+        for op in [
+            _wrapping(lambda a, b: a + b, "paddd", np.int32, "packed add, wrap, dwords"),
+            _wrapping(lambda a, b: a - b, "psubd", np.int32, "packed subtract, wrap, dwords"),
+            _binary(np.int16)(lambda a, b: a - b, "psubsb", np.int8, "packed subtract, signed saturate, bytes"),
+            _wrapping(
+                lambda a, b: np.where(a == b, np.int8(-1), np.int8(0)),
+                "pcmpeqb", np.int8, "packed compare equal, bytes",
+            ),
+            _wrapping(
+                lambda a, b: np.where(a > b, np.int8(-1), np.int8(0)),
+                "pcmpgtb", np.int8, "packed compare greater, bytes",
+            ),
+            _wrapping(
+                lambda a, b: np.where(a == b, np.int32(-1), np.int32(0)),
+                "pcmpeqd", np.int32, "packed compare equal, dwords",
+            ),
+            MMXOp("pmaddwd", np.dtype(np.int32), _pmaddwd,
+                  "multiply words, add adjacent products"),
+            MMXOp("packsswb", np.dtype(np.int8), _packsswb,
+                  "pack words to bytes, signed saturate"),
+            MMXOp("packuswb", np.dtype(np.uint8), _packuswb,
+                  "pack words to bytes, unsigned saturate"),
+            MMXOp("punpcklbw", np.dtype(np.uint8), _punpcklbw,
+                  "interleave low bytes"),
+            MMXOp("punpckhbw", np.dtype(np.uint8), _punpckhbw,
+                  "interleave high bytes"),
+        ]
+    }
+)
+
+
+@dataclass(frozen=True)
+class MMXShiftOp:
+    """A packed shift by an immediate count."""
+
+    name: str
+    dtype: np.dtype
+    apply: Callable[[np.ndarray, int], np.ndarray]
+    description: str
+
+
+def _shift(fn, name, dtype, description):
+    def apply(a: np.ndarray, count: int) -> np.ndarray:
+        width = 8 * np.dtype(dtype).itemsize
+        if count >= width:
+            # MMX semantics: over-width shifts zero (or sign-fill for
+            # arithmetic right shifts, handled by the lambda on width-1).
+            if name.startswith("psra"):
+                count = width - 1
+            else:
+                return np.zeros_like(a.astype(dtype))
+        return fn(a.astype(dtype), count)
+
+    return MMXShiftOp(name, np.dtype(dtype), apply, description)
+
+
+MMX_SHIFTS: Dict[str, MMXShiftOp] = {
+    op.name: op
+    for op in [
+        _shift(lambda a, n: (a.view(np.uint16) << np.uint16(n)).view(np.int16),
+               "psllw", np.int16, "shift words left logical"),
+        _shift(lambda a, n: (a.view(np.uint16) >> np.uint16(n)).view(np.int16),
+               "psrlw", np.int16, "shift words right logical"),
+        _shift(lambda a, n: a >> n, "psraw", np.int16, "shift words right arithmetic"),
+        _shift(lambda a, n: (a.view(np.uint32) << np.uint32(n)).view(np.int32),
+               "pslld", np.int32, "shift dwords left logical"),
+        _shift(lambda a, n: (a.view(np.uint32) >> np.uint32(n)).view(np.int32),
+               "psrld", np.int32, "shift dwords right logical"),
+        _shift(lambda a, n: a >> n, "psrad", np.int32, "shift dwords right arithmetic"),
+    ]
+}
+
+
+def mmx_op(name: str) -> MMXOp:
+    """Look up an MMX operation by mnemonic."""
+    try:
+        return MMX_OPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown MMX op {name!r}; available: {sorted(MMX_OPS)}"
+        ) from None
+
+
+def mmx_shift(name: str) -> MMXShiftOp:
+    """Look up an MMX shift by mnemonic."""
+    try:
+        return MMX_SHIFTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown MMX shift {name!r}; available: {sorted(MMX_SHIFTS)}"
+        ) from None
+
+
+def conventional_instruction_count(nbytes: int) -> int:
+    """Instructions a conventional MMX kernel issues over ``nbytes``."""
+    return -(-nbytes // CONVENTIONAL_MMX_BYTES_PER_INSN)
+
+
+def radram_mmx_task(nbytes: int) -> PageTask:
+    """Page task for one RADram-wide MMX instruction over ``nbytes``."""
+    cycles = nbytes / RADRAM_MMX_BYTES_PER_CYCLE
+    return PageTask.simple(cycles)

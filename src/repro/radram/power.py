@@ -1,0 +1,153 @@
+"""RADram power model (paper Section 3, "Power").
+
+The paper treats power qualitatively: chip temperature drives DRAM
+charge leakage and refresh; the extra refresh can be bundled into the
+per-subarray logic; and the 32-bit data port between subarray and
+logic is a deliberately *conservative* choice — "this could easily be
+increased to 256 or 512 bits, but would result in higher power
+consumption.  Increasing bandwidth would also require more
+reconfigurable logic, which is beyond our area constraints for some
+applications."
+
+This module makes that argument quantitative with late-1990s
+order-of-magnitude constants (documented per constant; all results are
+estimates, used for *relative* comparisons):
+
+* dynamic logic power per LE,
+* port power proportional to width x toggle rate,
+* DRAM subarray activation energy,
+* refresh power, which grows with temperature — itself a function of
+  dissipated power, giving the paper's leakage feedback loop a simple
+  fixed-point model.
+
+``port_width_study`` reproduces the Section 3 tradeoff: wider ports
+cut streaming T_C proportionally but raise power and LE area, and at
+256-512 bits the largest Table 3 circuits no longer fit the page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.radram.config import RADramConfig
+from repro.synth.report import table3
+
+#: Dynamic power of one active LE at 100 MHz (mW) — FLEX-10K-era
+#: figures run 0.01-0.03 mW/LE/MHz; 0.02 at 100 MHz.
+MW_PER_LE_100MHZ = 2.0
+#: Port driver power per bit at 100 MHz (mW) — long intra-chip wires.
+MW_PER_PORT_BIT_100MHZ = 0.15
+#: Energy to activate one DRAM subarray row (nJ).
+NJ_PER_ROW_ACTIVATION = 1.5
+#: Baseline refresh power per 512 KB subarray at 45 C (mW).
+REFRESH_MW_PER_SUBARRAY_45C = 0.4
+#: Refresh power doubles roughly every 10 C (leakage doubling rate).
+REFRESH_DOUBLING_C = 10.0
+#: Thermal resistance of the package (C per W above ambient).
+C_PER_WATT = 8.0
+AMBIENT_C = 45.0
+
+#: Extra LEs a circuit needs per additional port byte beyond 4
+#: (wider registers, muxing, write-enables): ~1.5 LEs per byte.
+LE_OVERHEAD_PER_PORT_BYTE = 1.5
+
+
+@dataclass(frozen=True)
+class PagePower:
+    """Power breakdown of one active page (mW)."""
+
+    logic_mw: float
+    port_mw: float
+    dram_mw: float
+    refresh_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        return self.logic_mw + self.port_mw + self.dram_mw + self.refresh_mw
+
+
+class PowerModel:
+    """Power estimates for a RADram configuration."""
+
+    def __init__(self, config: RADramConfig) -> None:
+        self.config = config
+
+    @property
+    def _freq_scale(self) -> float:
+        return self.config.logic_hz / 100e6
+
+    def logic_mw(self, active_les: int, activity: float = 0.5) -> float:
+        """Dynamic power of ``active_les`` at ``activity`` toggle rate."""
+        return active_les * MW_PER_LE_100MHZ * activity * self._freq_scale
+
+    def port_mw(self, activity: float = 0.5) -> float:
+        """Power of the subarray-logic data port."""
+        bits = 8 * self.config.port_bytes
+        return bits * MW_PER_PORT_BIT_100MHZ * activity * self._freq_scale
+
+    def dram_mw(self, rows_per_second: float) -> float:
+        """Average power of subarray row activations."""
+        return NJ_PER_ROW_ACTIVATION * rows_per_second * 1e-6
+
+    def refresh_mw(self, temperature_c: float) -> float:
+        """Refresh power at a given subarray temperature."""
+        excess = max(0.0, temperature_c - AMBIENT_C)
+        return REFRESH_MW_PER_SUBARRAY_45C * 2.0 ** (excess / REFRESH_DOUBLING_C)
+
+    def page_power(
+        self,
+        active_les: int,
+        activity: float = 0.5,
+        rows_per_second: float = 1e6,
+    ) -> PagePower:
+        """Self-consistent page power (temperature fixed point).
+
+        Dissipated power raises temperature, which raises refresh
+        power, which raises temperature; iterate to the fixed point
+        (converges in a handful of steps — refresh is a small term).
+        """
+        logic = self.logic_mw(active_les, activity)
+        port = self.port_mw(activity)
+        dram = self.dram_mw(rows_per_second)
+        refresh = self.refresh_mw(AMBIENT_C)
+        for _ in range(20):
+            total_w = (logic + port + dram + refresh) / 1e3
+            temp = AMBIENT_C + C_PER_WATT * total_w
+            new_refresh = self.refresh_mw(temp)
+            if abs(new_refresh - refresh) < 1e-9:
+                break
+            refresh = new_refresh
+        return PagePower(logic, port, dram, refresh)
+
+    def chip_mw(self, active_pages: int, active_les: int = 150) -> float:
+        """Total power of a chip with ``active_pages`` pages computing."""
+        return active_pages * self.page_power(active_les).total_mw
+
+
+def port_width_study(widths_bytes: List[int] = (4, 8, 32, 64)) -> List[Dict]:
+    """The Section 3 bandwidth/power/area tradeoff, quantified.
+
+    For each port width: relative streaming speed (T_C scales with
+    words-per-cycle), page power, and which Table 3 circuits still fit
+    the 256-LE budget after the wider port's LE overhead.
+    """
+    rows = []
+    circuits = table3()
+    for width in widths_bytes:
+        config = RADramConfig(port_bytes=width)
+        model = PowerModel(config)
+        power = model.page_power(active_les=150).total_mw
+        overhead = int(LE_OVERHEAD_PER_PORT_BYTE * max(0, width - 4))
+        fitting = [c.name for c in circuits if c.les + overhead <= 256]
+        rows.append(
+            {
+                "port_bits": 8 * width,
+                "relative_bandwidth": width / 4.0,
+                "page_power_mw": power,
+                "le_overhead": overhead,
+                "circuits_fitting": len(fitting),
+                "circuits_total": len(circuits),
+            }
+        )
+    return rows

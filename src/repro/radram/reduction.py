@@ -1,0 +1,94 @@
+"""Hierarchical inter-page reduction (paper Section 10).
+
+Many Active-Page kernels end with the processor folding per-page
+partial results (counts, sums) — K sync-area reads.  The paper's
+"hierarchical computation structures" future work asks whether pages
+could combine partials among themselves.  This module builds both
+strategies as operation streams:
+
+* :func:`processor_fold_stream` — the baseline: the processor visits
+  every page's sync area and accumulates (K uncached reads).
+* :func:`tree_reduce_stream` — a binary combining tree: in round r,
+  page ``i`` (with ``i`` a multiple of ``2^(r+1)``) pulls its
+  partner's partial via an inter-page reference and combines it in a
+  few logic cycles; after ``ceil(log2 K)`` rounds the processor reads
+  one value from page 0.
+
+The punchline (asserted in the ablation benchmarks): with the paper's
+*processor-mediated* references the tree is a pessimization — every
+hop interrupts the processor, costing more than the read it saves —
+but with the Section 10 *hardware* comm network the tree turns K
+processor visits into log2(K) in-memory hops.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Sequence
+
+from repro.core.functions import CommRequest, PageTask, Segment
+from repro.sim import ops as O
+
+#: logic cycles for one combine (load partner value, add, store).
+COMBINE_CYCLES = 6.0
+#: bytes of one partial result.
+PARTIAL_BYTES = 8
+#: processor instructions to fold one partial into the total.
+FOLD_OPS = 12.0
+
+
+def processor_fold_stream(
+    page_nos: Sequence[int], sync_addrs: Sequence[int]
+) -> Iterator[O.Op]:
+    """The baseline: read and fold every page's partial."""
+    for page_no, addr in zip(page_nos, sync_addrs):
+        yield O.MemRead(addr, PARTIAL_BYTES)
+        yield O.Compute(FOLD_OPS)
+
+
+def reduction_rounds(n_pages: int) -> int:
+    return max(0, math.ceil(math.log2(n_pages))) if n_pages > 1 else 0
+
+
+def tree_reduce_stream(
+    page_nos: Sequence[int],
+    sync_addrs: Sequence[int],
+    descriptor_words: int = 3,
+) -> Iterator[O.Op]:
+    """Binary combining tree over the pages' partials.
+
+    Each round activates the receiving pages with a task that blocks
+    on the partner's partial (an inter-page reference) and then
+    combines.  The final total is read from the first page.
+    """
+    n = len(page_nos)
+    if n == 0:
+        return
+    stride = 1
+    while stride < n:
+        receivers: List[int] = []
+        for i in range(0, n, 2 * stride):
+            partner = i + stride
+            if partner >= n:
+                continue
+            task = PageTask.of(
+                [
+                    Segment(
+                        0.0,
+                        CommRequest(
+                            nbytes=PARTIAL_BYTES,
+                            src_vaddr=sync_addrs[partner],
+                            dst_vaddr=sync_addrs[i],
+                            note=f"reduce stride {stride}",
+                        ),
+                    ),
+                    Segment(COMBINE_CYCLES),
+                ]
+            )
+            yield O.Activate(page_nos[i], descriptor_words, task)
+            receivers.append(page_nos[i])
+        for page_no in receivers:
+            yield O.WaitPage(page_no)
+        stride *= 2
+    yield O.MemRead(sync_addrs[0], PARTIAL_BYTES)
+    yield O.Compute(FOLD_OPS)

@@ -1,0 +1,115 @@
+"""DRAM subarrays and in-page task execution.
+
+A :class:`Subarray` is one 512 KB slice of DRAM plus its
+:class:`repro.radram.logic.LogicBlock`.  A :class:`PageExecution`
+tracks one activation running on a subarray's logic: an ordered list of
+timed segments separated by inter-page references on which the page
+*blocks* until the processor services them (Section 3's
+processor-mediated approach).
+
+``PageExecution`` is a passive timeline, advanced lazily: it knows when
+it blocks and, once every block has been serviced, when it completes.
+The surrounding :class:`repro.radram.system.RADramMemorySystem`
+co-simulates these timelines against the processor clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.core.functions import CommRequest, PageTask
+from repro.radram.config import RADramConfig
+from repro.radram.logic import LogicBlock
+
+
+class PageExecution:
+    """The timeline of one activation on one page's logic."""
+
+    def __init__(self, task: PageTask, start_ns: float, logic_cycle_ns: float) -> None:
+        self._segments: Deque[Tuple[float, Optional[CommRequest]]] = deque(
+            (seg.logic_cycles * logic_cycle_ns, seg.comm) for seg in task.segments
+        )
+        self.start_ns = start_ns
+        self.t_ns = start_ns
+        self.blocked_on: Optional[CommRequest] = None
+        self.busy_ns = 0.0
+        self._advance()
+
+    def _advance(self) -> None:
+        """Run segments until the next block point or completion."""
+        while self._segments:
+            duration, comm = self._segments.popleft()
+            self.t_ns += duration
+            self.busy_ns += duration
+            if comm is not None:
+                self.blocked_on = comm
+                return
+        self.blocked_on = None
+
+    @property
+    def is_blocked(self) -> bool:
+        return self.blocked_on is not None
+
+    @property
+    def is_done(self) -> bool:
+        return self.blocked_on is None and not self._segments
+
+    @property
+    def block_time_ns(self) -> float:
+        """When the page raised its interrupt (valid while blocked)."""
+        return self.t_ns
+
+    @property
+    def completion_ns(self) -> float:
+        """When the page finishes (valid once ``is_done``)."""
+        return self.t_ns
+
+    def resume(self, serviced_at_ns: float) -> None:
+        """The processor completed the copy at ``serviced_at_ns``."""
+        if not self.is_blocked:
+            raise RuntimeError("resume called on a page that is not blocked")
+        self.t_ns = max(self.t_ns, serviced_at_ns)
+        self.blocked_on = None
+        self._advance()
+
+
+class Subarray:
+    """One 512 KB DRAM slice with its logic block."""
+
+    def __init__(self, page_no: int, config: RADramConfig) -> None:
+        self.page_no = page_no
+        self.config = config
+        self.logic = LogicBlock(config)
+        self.current: Optional[PageExecution] = None
+        self.activations: int = 0
+        self.total_busy_ns: float = 0.0
+        #: (start, end) of completed activations, for trace rendering.
+        self.history: list = []
+
+    def start(self, task: PageTask, start_ns: float) -> PageExecution:
+        """Begin executing ``task`` at ``start_ns``.
+
+        A new activation replaces a completed one; activating a page
+        that is still executing at ``start_ns`` is an application error
+        (the sync protocol requires waiting for DONE first).
+        """
+        if self.current is not None and (
+            not self.current.is_done or self.current.completion_ns > start_ns
+        ):
+            raise RuntimeError(
+                f"page {self.page_no} activated while still running"
+            )
+        if self.current is not None:
+            self.total_busy_ns += self.current.busy_ns
+            self.history.append((self.current.start_ns, self.current.completion_ns))
+        self.current = PageExecution(task, start_ns, self.config.logic_cycle_ns)
+        self.activations += 1
+        return self.current
+
+    def intervals(self) -> list:
+        """All (start, end) activation intervals, including the last."""
+        out = list(self.history)
+        if self.current is not None and self.current.is_done:
+            out.append((self.current.start_ns, self.current.completion_ns))
+        return out

@@ -1,0 +1,219 @@
+"""The timed RADram memory system.
+
+``RADramMemorySystem`` plugs into :class:`repro.sim.machine.Machine`
+and co-simulates Active-Page execution against the processor:
+
+* :class:`repro.sim.ops.Activate` charges the dispatch cost
+  (:func:`repro.radram.dispatch.activation_ns`) and starts the page's
+  :class:`repro.radram.subarray.PageExecution` at the current time.
+  Pages then run *in parallel* with the processor.
+* :class:`repro.sim.ops.WaitPage` stalls the processor until the page
+  completes — stall time is the paper's processor-memory non-overlap.
+  If the page is blocked on an inter-page reference, the processor
+  services it (and any other pending requests, batched) before
+  continuing to wait.
+* Between ops the system is polled, so interrupts raised while the
+  processor is computing get serviced at instruction granularity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.radram.config import RADramConfig
+from repro.radram.dispatch import activation_ns
+from repro.radram.interpage import service_ns
+from repro.radram.subarray import PageExecution, Subarray
+from repro.sim import ops as O
+from repro.sim.errors import OperationError
+from repro.sim.processor import MemorySystemBase, Processor
+
+
+class RADramMemorySystem(MemorySystemBase):
+    """RADram behind the caches: DRAM subarrays with active logic."""
+
+    def __init__(self, config: Optional[RADramConfig] = None) -> None:
+        self.config = config or RADramConfig.reference()
+        self.subarrays: Dict[int, Subarray] = {}
+        self.machine = None  # set by Machine via attach()
+        # Min-heap of (block_time_ns, page_no) for pages awaiting service.
+        self._blocked: List[Tuple[float, int]] = []
+        self.comm_bytes: int = 0
+        self.comm_requests: int = 0
+        self.interchip_requests: int = 0
+
+    # ------------------------------------------------------------------
+    # Machine wiring
+
+    def attach(self, machine) -> None:
+        """Called by :class:`repro.sim.machine.Machine` at build time."""
+        self.machine = machine
+
+    def reset(self) -> None:
+        """Forget all page executions (machine.reset_timing)."""
+        self.subarrays.clear()
+        self._blocked.clear()
+        self.comm_bytes = 0
+        self.comm_requests = 0
+        self.interchip_requests = 0
+
+    def subarray(self, page_no: int) -> Subarray:
+        sub = self.subarrays.get(page_no)
+        if sub is None:
+            sub = Subarray(page_no, self.config)
+            self.subarrays[page_no] = sub
+        return sub
+
+    # ------------------------------------------------------------------
+    # Operation handlers
+
+    def handle_activate(self, op: O.Activate, proc: Processor) -> None:
+        if not isinstance(op.task, object) or op.task is None:
+            raise OperationError("Activate op carries no page task")
+        cost = activation_ns(
+            op.descriptor_words,
+            self.config,
+            self.machine.config.dram,
+            self.machine.config.bus,
+        )
+        proc.stats.activations += 1
+        proc.charge("activation_ns", cost)
+        self.machine.bus.transfer(4 * op.descriptor_words)
+        execution = self.subarray(op.page_no).start(op.task, proc.now)
+        if execution.is_blocked:
+            self._note_blocked(execution, op.page_no)
+
+    def _note_blocked(self, execution, page_no: int) -> None:
+        """Route a blocked page to its comm mechanism.
+
+        Processor-mediated: queue for interrupt service.  Hardware:
+        the in-chip network satisfies the reference immediately after
+        a hop plus port-rate transfer — no processor involvement.
+        """
+        if self.config.comm_mechanism == "hardware":
+            page_bytes = self.config.page_bytes
+            while execution.is_blocked:
+                request = execution.blocked_on
+                self.comm_requests += 1
+                self.comm_bytes += request.nbytes
+                if request.nbytes > 0 and request.src_vaddr != request.dst_vaddr:
+                    self._functional_copy(request)
+                transfer = self.config.hw_hop_ns + (
+                    request.nbytes / self.config.port_bytes
+                ) * self.config.logic_cycle_ns
+                # References crossing chip boundaries pay the
+                # inter-chip hop (Section 10's inter-chip question;
+                # this is why the OS co-locates groups).
+                if request.src_vaddr or request.dst_vaddr:
+                    src_chip = self.config.chip_of(request.src_vaddr // page_bytes)
+                    dst_chip = self.config.chip_of(request.dst_vaddr // page_bytes)
+                    if src_chip != dst_chip:
+                        transfer += self.config.interchip_hop_ns
+                        self.interchip_requests += 1
+                execution.resume(execution.block_time_ns + transfer)
+        else:
+            heapq.heappush(self._blocked, (execution.block_time_ns, page_no))
+
+    def handle_wait(self, op: O.WaitPage, proc: Processor) -> None:
+        sub = self.subarrays.get(op.page_no)
+        if sub is None or sub.current is None:
+            return  # nothing outstanding on this page
+        execution = sub.current
+        while not execution.is_done:
+            if execution.is_blocked:
+                # Wait for the interrupt, then service everything pending.
+                proc.stall_until(execution.block_time_ns)
+                self._service_pending(proc, force_page=op.page_no)
+            else:
+                break
+        proc.stall_until(execution.completion_ns)
+
+    def handle_service(self, proc: Processor) -> None:
+        self._service_pending(proc)
+
+    def poll(self, proc: Processor) -> None:
+        if self._blocked and self._blocked[0][0] <= proc.now:
+            self._service_pending(proc)
+
+    # ------------------------------------------------------------------
+    # Inter-page request service
+
+    def _service_pending(self, proc: Processor, force_page: Optional[int] = None) -> None:
+        """Service all requests raised by time ``proc.now`` (batched).
+
+        ``force_page`` additionally services that page even if its
+        request is nominally in the processor's future (the processor
+        has already stalled up to the raise time in ``handle_wait``).
+        """
+        batch: List[int] = []
+        requeue: List[Tuple[float, int]] = []
+        while self._blocked:
+            when, page_no = self._blocked[0]
+            if when <= proc.now or page_no == force_page:
+                heapq.heappop(self._blocked)
+                batch.append(page_no)
+            else:
+                break
+        if force_page is not None and force_page not in batch:
+            # The forced page may sit behind later-blocking pages.
+            remaining = []
+            for when, page_no in self._blocked:
+                if page_no == force_page:
+                    batch.append(page_no)
+                else:
+                    remaining.append((when, page_no))
+            if len(batch) and remaining != self._blocked:
+                self._blocked = remaining
+                heapq.heapify(self._blocked)
+
+        first = True
+        for page_no in batch:
+            execution = self.subarrays[page_no].current
+            if execution is None or not execution.is_blocked:
+                continue
+            request = execution.blocked_on
+            cost = service_ns(
+                request,
+                self.config,
+                self.machine.config.dram,
+                self.machine.config.bus,
+                batched=self.config.batch_interrupts and not first,
+            )
+            first = False
+            proc.stats.interrupts += 1
+            self.comm_requests += 1
+            self.comm_bytes += request.nbytes
+            proc.charge("interrupt_ns", cost)
+            self.machine.bus.transfer(2 * request.nbytes)
+            if request.nbytes > 0 and request.src_vaddr != request.dst_vaddr:
+                self._functional_copy(request)
+            execution.resume(proc.now)
+            if execution.is_blocked:
+                self._note_blocked(execution, page_no)
+
+    def _functional_copy(self, request) -> None:
+        """Perform the request's copy on the functional memory."""
+        memory = self.machine.memory
+        try:
+            memory.region_of(request.src_vaddr)
+            memory.region_of(request.dst_vaddr)
+        except Exception:
+            return  # timing-only request with no functional payload
+        memory.copy(request.src_vaddr, request.dst_vaddr, request.nbytes)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def page_busy_ns(self, page_no: int) -> float:
+        sub = self.subarrays.get(page_no)
+        if sub is None:
+            return 0.0
+        busy = sub.total_busy_ns
+        if sub.current is not None:
+            busy += sub.current.busy_ns
+        return busy
+
+    @property
+    def total_activations(self) -> int:
+        return sum(s.activations for s in self.subarrays.values())

@@ -1,0 +1,122 @@
+"""Alternative Active-Page technologies (paper Section 8).
+
+"Current technologies exist to implement Active Pages at significantly
+higher cost than RADram ...  small merged FPGA-DRAM or SRAM chips,
+DRAM/SRAM macrocells in ASICs, and small processor-in-DRAM/SRAM chips.
+In general, logic speeds in these technologies are either equal to or
+better than RADram assumptions.  Chip cost, however, will limit most
+near-term technologies to substantially smaller problem sizes.  SRAM
+or multichip solutions will also have an effect on memory latencies."
+
+Each :class:`Technology` bundles the knobs Section 8 varies — logic
+speed, memory latency, capacity (maximum affordable pages at a fixed
+budget), and a logic-efficiency factor for the processor-in-DRAM case
+(a fixed instruction set interprets what a custom circuit hardwires).
+``technology_study`` runs one application across the catalog and
+reports the achievable speedup at each technology's largest affordable
+problem — quantifying the section's narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.base import Application
+from repro.experiments.runner import measure_speedup
+from repro.radram.config import RADramConfig
+from repro.sim.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class Technology:
+    """One way to build Active Pages (Section 8's catalog)."""
+
+    name: str
+    logic_mhz: float
+    miss_latency_ns: float
+    #: largest problem (pages) affordable at a fixed system budget.
+    max_pages: int
+    #: cycles multiplier vs a custom circuit (1.0 = reconfigurable or
+    #: ASIC datapath; >1 = interpreted on a small fixed processor).
+    logic_efficiency: float = 1.0
+    notes: str = ""
+
+    def radram_config(self) -> RADramConfig:
+        return RADramConfig.reference().with_logic_divisor(1e9 / (self.logic_mhz * 1e6))
+
+    def machine_config(self) -> MachineConfig:
+        return MachineConfig.reference().with_miss_latency(self.miss_latency_ns)
+
+
+#: The Section 8 technology catalog.  Capacities reflect chip cost at
+#: a fixed budget: RADram fabricates at DRAM cost (gigabytes); ASIC
+#: macrocells and merged FPGA-SRAM parts cost 5-20x more per byte.
+TECHNOLOGIES: Dict[str, Technology] = {
+    tech.name: tech
+    for tech in [
+        Technology(
+            "radram-2001",
+            logic_mhz=100,
+            miss_latency_ns=50,
+            max_pages=4096,
+            notes="the reference: reconfigurable logic in gigabit DRAM",
+        ),
+        Technology(
+            "fpga-sram-merged",
+            logic_mhz=150,
+            miss_latency_ns=20,
+            max_pages=64,
+            notes="small merged FPGA-SRAM chip: fast, tiny, expensive",
+        ),
+        Technology(
+            "asic-macrocell",
+            logic_mhz=250,
+            miss_latency_ns=40,
+            max_pages=256,
+            notes="DRAM macrocells in an ASIC: fast fixed logic, mid cost",
+        ),
+        Technology(
+            "processor-in-dram",
+            logic_mhz=200,
+            miss_latency_ns=50,
+            max_pages=128,
+            logic_efficiency=4.0,
+            notes="small in-DRAM cores interpret what circuits hardwire",
+        ),
+    ]
+}
+
+
+def technology_study(
+    app: Application,
+    technologies: Optional[List[str]] = None,
+) -> List[dict]:
+    """Speedup of ``app`` at each technology's largest affordable size.
+
+    ``logic_efficiency`` scales the effective logic clock: an
+    interpreted datapath retires one "circuit cycle" of work every N
+    processor-in-DRAM cycles.
+    """
+    names = technologies or list(TECHNOLOGIES)
+    rows = []
+    for name in names:
+        tech = TECHNOLOGIES[name]
+        effective_mhz = tech.logic_mhz / tech.logic_efficiency
+        rconfig = RADramConfig.reference().with_logic_divisor(1000.0 / effective_mhz)
+        point = measure_speedup(
+            app,
+            tech.max_pages,
+            machine_config=tech.machine_config(),
+            radram_config=rconfig,
+        )
+        rows.append(
+            {
+                "technology": name,
+                "max_pages": tech.max_pages,
+                "effective_logic_mhz": effective_mhz,
+                "miss_latency_ns": tech.miss_latency_ns,
+                "speedup": point.speedup,
+            }
+        )
+    return rows

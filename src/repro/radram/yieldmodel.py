@@ -1,0 +1,113 @@
+"""Yield and cost model (paper Section 3, "Why Reconfigurable Logic?").
+
+The paper's economic argument: "Processor chips cost ten times as much
+as memory chips because their complexity makes their yield ... much
+lower.  DRAMs are fabricated with redundant memory cells that can
+replace defective cells ...  The uniform nature of reconfigurable
+logic allows for similar measures in RADram chips.  In contrast, IRAM
+chip designers will have to work hard to avoid yields similar to
+processor chips."
+
+We quantify it with the standard Poisson defect model.  A chip of area
+``A`` at defect density ``D`` has raw yield ``exp(-A D)``.  Redundancy
+changes the picture: defects landing in *repairable* area (DRAM arrays
+with spare rows, uniform LE fabrics with spare columns) only kill the
+chip once they exhaust the spares; defects in non-repairable area
+(irregular processor logic, peripherals) always kill.
+
+Chip classes:
+
+* **DRAM** — ~97 % repairable area (arrays), generous spares.
+* **RADram** — DRAM plus an LE fabric that is itself uniform and
+  spare-repairable: slightly more kill area than DRAM (configuration
+  network), far less than a processor.
+* **IRAM** — DRAM plus a full processor core: the core's area is
+  non-repairable.
+* **Processor** — mostly non-repairable logic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: Late-1990s defect density for a mature DRAM process (defects/cm^2).
+DEFAULT_DEFECT_DENSITY = 1.0
+#: 300 mm wafers were not yet mainstream; 200 mm wafer, ~540 usable
+#: 1 cm^2 die sites.
+WAFER_DIE_SITES = 540
+WAFER_COST_DOLLARS = 1800.0
+
+
+@dataclass(frozen=True)
+class ChipClass:
+    """A chip's area split and repair capacity."""
+
+    name: str
+    area_cm2: float
+    #: fraction of area whose defects are repairable with spares.
+    repairable_fraction: float
+    #: number of defects the spares can absorb.
+    spare_capacity: int
+
+
+#: The four chip classes of the paper's §3 comparison, at gigabit-era
+#: die sizes (~1 cm^2 memory die, larger processor die).
+CHIP_CLASSES: Dict[str, ChipClass] = {
+    "dram": ChipClass("dram", area_cm2=1.0, repairable_fraction=0.97, spare_capacity=8),
+    "radram": ChipClass(
+        "radram", area_cm2=1.0, repairable_fraction=0.94, spare_capacity=8
+    ),
+    "iram": ChipClass("iram", area_cm2=1.3, repairable_fraction=0.50, spare_capacity=8),
+    "processor": ChipClass(
+        "processor", area_cm2=1.8, repairable_fraction=0.05, spare_capacity=2
+    ),
+}
+
+
+def _poisson_cdf(k: int, mean: float) -> float:
+    """P[X <= k] for X ~ Poisson(mean)."""
+    term = math.exp(-mean)
+    total = term
+    for i in range(1, k + 1):
+        term *= mean / i
+        total += term
+    return total
+
+
+def chip_yield(chip: ChipClass, defect_density: float = DEFAULT_DEFECT_DENSITY) -> float:
+    """Fraction of working chips after repair.
+
+    Kill area fails on any defect (Poisson zero-defect term);
+    repairable area survives up to ``spare_capacity`` defects.
+    """
+    kill_mean = chip.area_cm2 * (1.0 - chip.repairable_fraction) * defect_density
+    repair_mean = chip.area_cm2 * chip.repairable_fraction * defect_density
+    return math.exp(-kill_mean) * _poisson_cdf(chip.spare_capacity, repair_mean)
+
+
+def cost_per_working_chip(
+    chip: ChipClass, defect_density: float = DEFAULT_DEFECT_DENSITY
+) -> float:
+    """Wafer cost amortized over working dies."""
+    dies = WAFER_DIE_SITES / chip.area_cm2
+    working = dies * chip_yield(chip, defect_density)
+    return WAFER_COST_DOLLARS / working
+
+
+def yield_table(defect_density: float = DEFAULT_DEFECT_DENSITY) -> List[Dict]:
+    """The §3 comparison: yield and relative cost per chip class."""
+    dram_cost = cost_per_working_chip(CHIP_CLASSES["dram"], defect_density)
+    rows = []
+    for chip in CHIP_CLASSES.values():
+        cost = cost_per_working_chip(chip, defect_density)
+        rows.append(
+            {
+                "chip": chip.name,
+                "yield": chip_yield(chip, defect_density),
+                "cost_dollars": cost,
+                "cost_vs_dram": cost / dram_cost,
+            }
+        )
+    return rows

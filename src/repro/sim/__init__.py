@@ -1,0 +1,40 @@
+"""Machine simulator substrate (SimpleScalar stand-in).
+
+The simulator models time in nanoseconds (floats).  With the reference
+1 GHz processor of the paper's Table 1, one CPU cycle is exactly 1 ns,
+which keeps cycle arithmetic legible while still supporting clock
+variations.
+
+The public surface of this package:
+
+* :class:`repro.sim.config.MachineConfig` — all Table 1 parameters.
+* :class:`repro.sim.machine.Machine` — a processor + cache hierarchy +
+  memory system, ready to run operation streams.
+* :mod:`repro.sim.ops` — the operation vocabulary application kernels
+  are written in.
+* :class:`repro.sim.memory.PagedMemory` — the functional backing store
+  shared by conventional and Active-Page application versions.
+"""
+
+from repro.sim.config import (
+    BusConfig,
+    CacheConfig,
+    CPUConfig,
+    DRAMConfig,
+    MachineConfig,
+)
+from repro.sim.machine import ConventionalMemorySystem, Machine
+from repro.sim.memory import PagedMemory
+from repro.sim.stats import MachineStats
+
+__all__ = [
+    "BusConfig",
+    "CPUConfig",
+    "CacheConfig",
+    "ConventionalMemorySystem",
+    "DRAMConfig",
+    "Machine",
+    "MachineConfig",
+    "MachineStats",
+    "PagedMemory",
+]

@@ -1,0 +1,37 @@
+"""The processor-memory bus.
+
+The paper assumes "a memory bus capable of transferring 32 bits of data
+between memory and cache every 10 ns".  The bus accounts occupancy so
+experiments can observe how much traffic each system generates — a key
+Active Pages claim is that only *useful* data crosses the bus.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import BusConfig
+
+
+class Bus:
+    """Occupancy-accounting wrapper over :class:`BusConfig` timing."""
+
+    def __init__(self, config: BusConfig) -> None:
+        self.config = config
+        self.bytes_transferred: int = 0
+        self.busy_ns: float = 0.0
+        self.transfers: int = 0
+
+    def transfer(self, nbytes: int) -> float:
+        """Account a transfer of ``nbytes``; returns its duration in ns."""
+        if nbytes <= 0:
+            return 0.0
+        duration = self.config.transfer_ns(nbytes)
+        self.bytes_transferred += nbytes
+        self.busy_ns += duration
+        self.transfers += 1
+        return duration
+
+    def reset(self) -> None:
+        """Clear accumulated statistics."""
+        self.bytes_transferred = 0
+        self.busy_ns = 0.0
+        self.transfers = 0

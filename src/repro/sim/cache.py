@@ -1,0 +1,173 @@
+"""Set-associative, write-back, write-allocate caches with LRU.
+
+The hierarchy is built by chaining :class:`Cache` levels; the last
+level's misses fall through to :class:`repro.sim.dram.DRAM`.  Accesses
+are blocking and in-order — the same conservative model the paper's
+conventional memory system uses (latency per miss, no overlap).
+
+Accesses operate on *line addresses* (byte address // line size); the
+operation layer (:mod:`repro.sim.ops`) expands block/strided/random
+accesses into line-address sequences, so megabyte-scale streams cost
+one cache lookup per distinct line rather than per byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.sim.config import CacheConfig
+from repro.sim.dram import DRAM
+
+
+class CacheStats:
+    """Hit/miss/writeback counters for one cache level."""
+
+    __slots__ = ("hits", "misses", "writebacks")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+
+class Cache:
+    """One set-associative cache level.
+
+    ``next_level`` is either another :class:`Cache` or ``None``, in
+    which case ``dram`` must be provided and services misses.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: CacheConfig,
+        next_level: Optional["Cache"] = None,
+        dram: Optional[DRAM] = None,
+    ) -> None:
+        if next_level is None and dram is None:
+            raise ValueError(f"cache {name!r} needs a next level or DRAM")
+        self.name = name
+        self.config = config
+        self.next_level = next_level
+        self.dram = dram
+        self.stats = CacheStats()
+        n_sets = config.n_sets
+        # Per set: list of tags in LRU order (index 0 = most recent) and
+        # a parallel list of dirty bits.
+        self._tags: List[List[int]] = [[] for _ in range(n_sets)]
+        self._dirty: List[List[bool]] = [[] for _ in range(n_sets)]
+        self._n_sets = n_sets
+
+    def line_of(self, byte_addr: int) -> int:
+        """Line address containing ``byte_addr``."""
+        return byte_addr // self.config.line_bytes
+
+    def access_line(self, line_addr: int, write: bool) -> float:
+        """Access one line; returns latency in ns (includes lower levels)."""
+        set_idx = line_addr % self._n_sets
+        tag = line_addr // self._n_sets
+        tags = self._tags[set_idx]
+        dirty = self._dirty[set_idx]
+        latency = self.config.hit_ns
+
+        try:
+            pos = tags.index(tag)
+        except ValueError:
+            pos = -1
+
+        if pos >= 0:
+            self.stats.hits += 1
+            # Move to MRU position.
+            if pos != 0:
+                tags.insert(0, tags.pop(pos))
+                dirty.insert(0, dirty.pop(pos))
+            if write:
+                dirty[0] = True
+            return latency
+
+        self.stats.misses += 1
+        # Fill from below.
+        if self.next_level is not None:
+            latency += self.next_level.access_line(line_addr, write=False)
+        else:
+            assert self.dram is not None
+            latency += self.dram.read_line(self.config.line_bytes)
+
+        # Evict LRU if the set is full.
+        if len(tags) >= self.config.assoc:
+            evicted_dirty = dirty.pop()
+            tags.pop()
+            if evicted_dirty:
+                self.stats.writebacks += 1
+                latency += self._writeback()
+        tags.insert(0, tag)
+        dirty.insert(0, write)
+        return latency
+
+    def _writeback(self) -> float:
+        """Cost of writing a dirty victim to the level below."""
+        if self.next_level is not None:
+            # The victim lands dirty in the next level; model as a write
+            # access there (it will hit or allocate).
+            # Writebacks are posted, so only charge the next level's hit
+            # time — the deeper traffic happens off the critical path.
+            return self.next_level.config.hit_ns
+        assert self.dram is not None
+        return self.dram.write_line(self.config.line_bytes)
+
+    def access_lines(self, line_addrs: Iterable[int], write: bool) -> float:
+        """Access a sequence of lines; returns total latency in ns."""
+        total = 0.0
+        for line in line_addrs:
+            total += self.access_line(line, write)
+        return total
+
+    def contains(self, line_addr: int) -> bool:
+        """True if ``line_addr`` is currently resident (no state change)."""
+        set_idx = line_addr % self._n_sets
+        tag = line_addr // self._n_sets
+        return tag in self._tags[set_idx]
+
+    def invalidate_all(self) -> None:
+        """Drop all lines (without writeback) — used between runs."""
+        for tags in self._tags:
+            tags.clear()
+        for dirty in self._dirty:
+            dirty.clear()
+
+    def resident_lines(self) -> int:
+        """Number of lines currently cached."""
+        return sum(len(tags) for tags in self._tags)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+
+def build_hierarchy(
+    l1d_cfg: CacheConfig,
+    l2_cfg: CacheConfig,
+    dram: DRAM,
+    l1i_cfg: Optional[CacheConfig] = None,
+) -> tuple:
+    """Wire up an L1D (+ optional L1I) sharing an L2 over DRAM.
+
+    Returns ``(l1d, l1i, l2)``; ``l1i`` is None when not requested.
+    """
+    l2 = Cache("L2", l2_cfg, dram=dram)
+    l1d = Cache("L1D", l1d_cfg, next_level=l2)
+    l1i = Cache("L1I", l1i_cfg, next_level=l2) if l1i_cfg is not None else None
+    return l1d, l1i, l2

@@ -1,0 +1,55 @@
+"""Conventional DRAM timing.
+
+A cache miss that reaches DRAM pays ``miss_latency_ns`` (the paper's
+50 ns reference, varied 0-600 ns in Figure 8) plus the bus time to move
+the cache line.  The model also counts row activations so ablations can
+study refresh/power-style metrics.
+"""
+
+from __future__ import annotations
+
+from repro.sim.bus import Bus
+from repro.sim.config import DRAMConfig
+
+
+class DRAM:
+    """Flat-latency DRAM behind the memory bus."""
+
+    def __init__(self, config: DRAMConfig, bus: Bus) -> None:
+        self.config = config
+        self.bus = bus
+        self.reads: int = 0
+        self.writes: int = 0
+
+    def read_line(self, line_bytes: int) -> float:
+        """Latency of fetching one cache line from DRAM."""
+        self.reads += 1
+        return self.config.miss_latency_ns + self.bus.transfer(line_bytes)
+
+    def write_line(self, line_bytes: int) -> float:
+        """Latency of writing one cache line back to DRAM.
+
+        Writebacks are posted: the processor only pays the bus time, the
+        DRAM array write proceeds in the background.
+        """
+        self.writes += 1
+        return self.bus.transfer(line_bytes)
+
+    def uncached_write(self, nbytes: int) -> float:
+        """A memory-mapped (uncached) store of ``nbytes``.
+
+        Used for Active-Page activation writes: the store bypasses the
+        caches, crossing the bus and paying the array write latency.
+        """
+        self.writes += 1
+        return self.config.miss_latency_ns + self.bus.transfer(nbytes)
+
+    def uncached_read(self, nbytes: int) -> float:
+        """A memory-mapped (uncached) load of ``nbytes``."""
+        self.reads += 1
+        return self.config.miss_latency_ns + self.bus.transfer(nbytes)
+
+    def reset(self) -> None:
+        """Clear accumulated statistics."""
+        self.reads = 0
+        self.writes = 0

@@ -1,0 +1,72 @@
+"""A minimal discrete-event engine.
+
+The co-simulation of processor and Active Pages mostly advances a single
+processor timeline, but page completions, blocked pages, and interrupt
+requests are naturally expressed as timestamped events.  The engine is a
+plain heap of ``(time, sequence, callback)`` entries; ties are broken by
+insertion order so simulations are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.errors import SimulationError
+
+Callback = Callable[[], None]
+
+
+class Engine:
+    """Deterministic discrete-event scheduler over nanosecond time."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._seq: int = 0
+        self._queue: List[Tuple[float, int, Callback]] = []
+
+    def schedule_at(self, when: float, callback: Callback) -> None:
+        """Run ``callback`` at absolute time ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {when} ns; clock is at {self.now} ns"
+            )
+        heapq.heappush(self._queue, (when, self._seq, callback))
+        self._seq += 1
+
+    def schedule(self, delay: float, callback: Callback) -> None:
+        """Run ``callback`` after ``delay`` nanoseconds."""
+        self.schedule_at(self.now + delay, callback)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next event, or None if the queue is empty."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False if the queue was empty."""
+        if not self._queue:
+            return False
+        when, _, callback = heapq.heappop(self._queue)
+        self.now = when
+        callback()
+        return True
+
+    def run_until(self, deadline: float) -> None:
+        """Run all events with timestamps <= ``deadline``."""
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        self.now = max(self.now, deadline)
+
+    def run_until_idle(self) -> None:
+        """Run all pending events."""
+        while self.step():
+            pass
+
+    def advance(self, delay: float) -> float:
+        """Advance the clock without running events; returns the new time."""
+        if delay < 0:
+            raise SimulationError("cannot advance time backwards")
+        self.now += delay
+        return self.now

@@ -1,0 +1,17 @@
+"""Exception types raised by the simulator substrate."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ConfigError(SimulationError):
+    """A machine configuration parameter is invalid."""
+
+
+class AddressError(SimulationError):
+    """A virtual address is outside any allocated region."""
+
+
+class OperationError(SimulationError):
+    """An operation stream contained an op the memory system cannot run."""

@@ -1,0 +1,158 @@
+"""Functional paged memory.
+
+Both memory systems (conventional and RADram) share one byte-level
+backing store so that the two versions of every application can be
+checked for identical results.  Memory is organized in *superpages*
+(512 KB in the paper's reference RADram; configurable so tests can use
+small pages while exercising the same code paths).
+
+Allocation is a simple page-aligned bump allocator over a virtual
+address space.  Each allocation is backed by a single contiguous numpy
+buffer, so typed views can span page boundaries (conventional code sees
+a flat array) while individual page slices are cheap numpy views (the
+per-page data an Active-Page function operates on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.sim.errors import AddressError
+
+DEFAULT_PAGE_BYTES = 512 * 1024
+_BASE_VADDR = 0x1000_0000
+
+
+@dataclass
+class Region:
+    """A page-aligned allocation in the virtual address space."""
+
+    base: int
+    nbytes: int
+    buffer: np.ndarray  # uint8, length rounded up to whole pages
+    name: str = ""
+
+    @property
+    def end(self) -> int:
+        """One past the last *allocated* byte (page-rounded)."""
+        return self.base + len(self.buffer)
+
+    def view(self, dtype: np.dtype, offset: int = 0, count: int = -1) -> np.ndarray:
+        """A typed numpy view starting ``offset`` bytes into the region."""
+        dt = np.dtype(dtype)
+        if count < 0:
+            count = (self.nbytes - offset) // dt.itemsize
+        stop = offset + count * dt.itemsize
+        if offset < 0 or stop > len(self.buffer):
+            raise AddressError(
+                f"view [{offset}, {stop}) outside region of {len(self.buffer)} bytes"
+            )
+        return self.buffer[offset:stop].view(dt)
+
+    def addr(self, offset: int) -> int:
+        """Virtual address of byte ``offset`` within the region."""
+        return self.base + offset
+
+
+class PagedMemory:
+    """Virtual address space of superpages backed by numpy buffers."""
+
+    def __init__(self, page_bytes: int = DEFAULT_PAGE_BYTES) -> None:
+        if page_bytes <= 0:
+            raise AddressError("page size must be positive")
+        self.page_bytes = page_bytes
+        self._next_vaddr = _BASE_VADDR
+        self._regions: Dict[int, Region] = {}  # base -> region
+        self._page_to_region: Dict[int, Region] = {}  # global page no -> region
+
+    # ------------------------------------------------------------------
+    # Allocation
+
+    def alloc(self, nbytes: int, name: str = "") -> Region:
+        """Allocate ``nbytes`` (rounded up to whole pages)."""
+        if nbytes <= 0:
+            raise AddressError("allocation size must be positive")
+        pages = -(-nbytes // self.page_bytes)
+        rounded = pages * self.page_bytes
+        base = self._next_vaddr
+        self._next_vaddr += rounded
+        region = Region(
+            base=base,
+            nbytes=nbytes,
+            buffer=np.zeros(rounded, dtype=np.uint8),
+            name=name,
+        )
+        self._regions[base] = region
+        first_page = base // self.page_bytes
+        for p in range(first_page, first_page + pages):
+            self._page_to_region[p] = region
+        return region
+
+    def alloc_pages(self, n_pages: int, name: str = "") -> Region:
+        """Allocate exactly ``n_pages`` superpages."""
+        return self.alloc(n_pages * self.page_bytes, name=name)
+
+    def free(self, region: Region) -> None:
+        """Release a region (address space is not recycled)."""
+        self._regions.pop(region.base, None)
+        first_page = region.base // self.page_bytes
+        pages = len(region.buffer) // self.page_bytes
+        for p in range(first_page, first_page + pages):
+            self._page_to_region.pop(p, None)
+
+    # ------------------------------------------------------------------
+    # Addressing
+
+    def region_of(self, vaddr: int) -> Region:
+        """The region containing ``vaddr``."""
+        page = vaddr // self.page_bytes
+        region = self._page_to_region.get(page)
+        if region is None or not (region.base <= vaddr < region.end):
+            raise AddressError(f"address {vaddr:#x} is not mapped")
+        return region
+
+    def page_index(self, vaddr: int) -> int:
+        """Global superpage number of ``vaddr`` (checks that it is mapped)."""
+        self.region_of(vaddr)
+        return vaddr // self.page_bytes
+
+    def pages_of(self, region: Region) -> range:
+        """The global page numbers spanned by ``region``."""
+        first = region.base // self.page_bytes
+        return range(first, first + len(region.buffer) // self.page_bytes)
+
+    def page_view(self, page_no: int, dtype: np.dtype = np.uint8) -> np.ndarray:
+        """A typed view of one whole superpage."""
+        region = self._page_to_region.get(page_no)
+        if region is None:
+            raise AddressError(f"page {page_no} is not mapped")
+        start = page_no * self.page_bytes - region.base
+        raw = region.buffer[start : start + self.page_bytes]
+        return raw.view(np.dtype(dtype))
+
+    # ------------------------------------------------------------------
+    # Byte access
+
+    def read(self, vaddr: int, nbytes: int) -> np.ndarray:
+        """Read ``nbytes`` starting at ``vaddr`` (within one region)."""
+        region = self.region_of(vaddr)
+        off = vaddr - region.base
+        if off + nbytes > len(region.buffer):
+            raise AddressError("read crosses the end of its region")
+        return region.buffer[off : off + nbytes].copy()
+
+    def write(self, vaddr: int, data: np.ndarray) -> None:
+        """Write raw bytes at ``vaddr`` (within one region)."""
+        raw = np.asarray(data, dtype=np.uint8).ravel()
+        region = self.region_of(vaddr)
+        off = vaddr - region.base
+        if off + len(raw) > len(region.buffer):
+            raise AddressError("write crosses the end of its region")
+        region.buffer[off : off + len(raw)] = raw
+
+    def copy(self, src_vaddr: int, dst_vaddr: int, nbytes: int) -> None:
+        """Memory-to-memory copy (used by processor-mediated transfers)."""
+        self.write(dst_vaddr, self.read(src_vaddr, nbytes))

@@ -1,0 +1,216 @@
+"""The operation vocabulary application kernels are written in.
+
+An application kernel is a Python iterable that yields operations; the
+processor model consumes them in order, charging time through the cache
+hierarchy, bus and DRAM.  This replaces SimpleScalar's instruction-level
+simulation (see DESIGN.md section 4): ``Compute`` ops stand for retired
+ALU/branch/FPU instructions, memory ops carry the exact address
+footprint the compiled kernel would touch, and the Active-Page ops
+(``Activate``/``WaitPage``/...) are the memory-mapped interface of the
+paper's Section 2.
+
+Bulk memory ops are expanded to cache-line address sequences, so a
+megabyte stream costs one cache lookup per distinct line touched rather
+than per byte — identical hit/miss behaviour, tractable in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Union
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# Processor-local operations
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Retire ``ops`` compute instructions (ALU, branch, FP)."""
+
+    ops: float
+
+
+@dataclass(frozen=True)
+class MemRead:
+    """Sequential read of ``nbytes`` starting at ``addr``."""
+
+    addr: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class MemWrite:
+    """Sequential write of ``nbytes`` starting at ``addr``."""
+
+    addr: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class StridedRead:
+    """``count`` reads of ``elem_bytes`` each, ``stride_bytes`` apart."""
+
+    addr: int
+    count: int
+    stride_bytes: int
+    elem_bytes: int = 4
+
+
+@dataclass(frozen=True)
+class StridedWrite:
+    """``count`` writes of ``elem_bytes`` each, ``stride_bytes`` apart."""
+
+    addr: int
+    count: int
+    stride_bytes: int
+    elem_bytes: int = 4
+
+
+@dataclass(frozen=True)
+class GatherRead:
+    """Reads of ``elem_bytes`` at each address in ``addrs``."""
+
+    addrs: Sequence[int]
+    elem_bytes: int = 4
+
+
+@dataclass(frozen=True)
+class ScatterWrite:
+    """Writes of ``elem_bytes`` at each address in ``addrs``."""
+
+    addrs: Sequence[int]
+    elem_bytes: int = 4
+
+
+# ----------------------------------------------------------------------
+# Active-Page operations (handled by the memory system)
+
+
+@dataclass(frozen=True)
+class Activate:
+    """Dispatch work to the Active Page holding ``page_no``.
+
+    ``descriptor_words`` 32-bit parameter words are written through the
+    bus (memory-mapped, uncached).  ``task`` describes the page-side
+    execution (a :class:`repro.radram.subarray.PageTask`); it is opaque
+    to the processor model.
+    """
+
+    page_no: int
+    descriptor_words: int
+    task: object
+
+
+@dataclass(frozen=True)
+class WaitPage:
+    """Poll the page's synchronization variable until it completes.
+
+    Time spent here is processor-memory *non-overlap* (Section 7.2).
+    """
+
+    page_no: int
+
+
+@dataclass(frozen=True)
+class ServicePending:
+    """Service any pending inter-page interrupt requests now.
+
+    Applications with inter-page communication insert these at natural
+    polling points; the memory system also forces service when the
+    processor stalls in :class:`WaitPage` on a blocked page.
+    """
+
+
+@dataclass(frozen=True)
+class BeginPhase:
+    """Open a named accounting phase (e.g. ``"activation"``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class EndPhase:
+    """Close the innermost accounting phase ``name``."""
+
+    name: str
+
+
+Op = Union[
+    Compute,
+    MemRead,
+    MemWrite,
+    StridedRead,
+    StridedWrite,
+    GatherRead,
+    ScatterWrite,
+    Activate,
+    WaitPage,
+    ServicePending,
+    BeginPhase,
+    EndPhase,
+]
+
+OpStream = Iterator[Op]
+
+# ----------------------------------------------------------------------
+# Line-address expansion
+
+
+def lines_for_block(addr: int, nbytes: int, line_bytes: int) -> range:
+    """Cache lines touched by a sequential block access."""
+    if nbytes <= 0:
+        return range(0)
+    first = addr // line_bytes
+    last = (addr + nbytes - 1) // line_bytes
+    return range(first, last + 1)
+
+
+def lines_for_stride(
+    addr: int, count: int, stride_bytes: int, elem_bytes: int, line_bytes: int
+) -> np.ndarray:
+    """Cache lines touched by a strided access, in access order.
+
+    Consecutive duplicate lines are collapsed (they would hit anyway),
+    preserving order so LRU behaviour is exact.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    starts = addr + np.arange(count, dtype=np.int64) * stride_bytes
+    if elem_bytes > line_bytes:
+        # Each element spans several lines; fall back to per-element blocks.
+        pieces: List[np.ndarray] = []
+        for s in starts:
+            pieces.append(
+                np.asarray(lines_for_block(int(s), elem_bytes, line_bytes))
+            )
+        lines = np.concatenate(pieces)
+    else:
+        first = starts // line_bytes
+        last = (starts + elem_bytes - 1) // line_bytes
+        if np.array_equal(first, last):
+            lines = first
+        else:
+            lines = np.ravel(np.column_stack([first, last]))
+    keep = np.ones(len(lines), dtype=bool)
+    keep[1:] = lines[1:] != lines[:-1]
+    return lines[keep]
+
+
+def lines_for_gather(
+    addrs: Sequence[int], elem_bytes: int, line_bytes: int
+) -> np.ndarray:
+    """Cache lines touched by a gather/scatter, in access order."""
+    arr = np.asarray(addrs, dtype=np.int64)
+    if arr.size == 0:
+        return arr
+    first = arr // line_bytes
+    last = (arr + elem_bytes - 1) // line_bytes
+    if np.array_equal(first, last):
+        lines = first
+    else:
+        lines = np.ravel(np.column_stack([first, last]))
+    keep = np.ones(len(lines), dtype=bool)
+    keep[1:] = lines[1:] != lines[:-1]
+    return lines[keep]

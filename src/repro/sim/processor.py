@@ -1,0 +1,136 @@
+"""In-order processor timing model.
+
+The processor consumes an operation stream (:mod:`repro.sim.ops`),
+advancing its clock ``now`` (nanoseconds):
+
+* ``Compute`` ops retire at ``issue_width`` per cycle.  Kernel authors
+  include load/store issue slots in their compute counts; memory ops
+  below charge only the memory-hierarchy latency of the footprint.
+* Memory ops expand to cache-line sequences and walk the L1D/L2/DRAM
+  hierarchy (blocking, in-order — conservative, like the paper's
+  conventional system).
+* Active-Page ops (``Activate``/``WaitPage``/``ServicePending``) are
+  delegated to the attached memory system, which charges activation
+  cost, stall (non-overlap) time, and interrupt service time.
+
+Between operations the memory system is polled so pages blocked on
+inter-page references get serviced at instruction granularity, matching
+the paper's processor-mediated communication.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sim.cache import Cache
+from repro.sim.config import MachineConfig
+from repro.sim.errors import OperationError
+from repro.sim import ops as O
+from repro.sim.stats import MachineStats
+
+
+class MemorySystemBase:
+    """Interface the processor uses to reach the memory system."""
+
+    def on_run_begin(self, proc: "Processor") -> None:
+        """Called once before an op stream starts."""
+
+    def on_run_end(self, proc: "Processor") -> None:
+        """Called once after the op stream is exhausted."""
+
+    def poll(self, proc: "Processor") -> None:
+        """Called between ops; service anything pending."""
+
+    def handle_activate(self, op: O.Activate, proc: "Processor") -> None:
+        raise OperationError("this memory system does not support Active Pages")
+
+    def handle_wait(self, op: O.WaitPage, proc: "Processor") -> None:
+        raise OperationError("this memory system does not support Active Pages")
+
+    def handle_service(self, proc: "Processor") -> None:
+        """Explicit ServicePending op; default is a no-op."""
+
+
+class Processor:
+    """Single in-order core attached to an L1D and a memory system."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        l1d: Cache,
+        memsys: MemorySystemBase,
+    ) -> None:
+        self.config = config
+        self.l1d = l1d
+        self.memsys = memsys
+        self.now: float = 0.0
+        self.stats = MachineStats()
+
+    # ------------------------------------------------------------------
+    # Time charging helpers (used by the memory system too)
+
+    def charge(self, category: str, ns: float) -> None:
+        """Advance the clock by ``ns``, billed to ``category``."""
+        if ns < 0:
+            raise OperationError("cannot charge negative time")
+        self.now += ns
+        self.stats.charge(category, ns)
+
+    def stall_until(self, when: float) -> None:
+        """Stall (non-overlap) until absolute time ``when``."""
+        if when > self.now:
+            self.stats.waits += 1
+            self.charge("wait_ns", when - self.now)
+
+    # ------------------------------------------------------------------
+    # Operation interpretation
+
+    def run(self, stream: Iterable[O.Op]) -> MachineStats:
+        """Execute an op stream to completion; returns the stats."""
+        self.memsys.on_run_begin(self)
+        for op in stream:
+            self.step(op)
+            self.memsys.poll(self)
+        self.memsys.on_run_end(self)
+        self.stats.total_ns = self.now
+        return self.stats
+
+    def step(self, op: O.Op) -> None:
+        """Execute a single operation (SMP co-simulation entry point)."""
+        line = self.l1d.config.line_bytes
+        if isinstance(op, O.Compute):
+            self.charge("compute_ns", self.config.cpu.compute_ns(op.ops))
+        elif isinstance(op, O.MemRead):
+            lines = O.lines_for_block(op.addr, op.nbytes, line)
+            self.charge("mem_ns", self.l1d.access_lines(lines, write=False))
+        elif isinstance(op, O.MemWrite):
+            lines = O.lines_for_block(op.addr, op.nbytes, line)
+            self.charge("mem_ns", self.l1d.access_lines(lines, write=True))
+        elif isinstance(op, O.StridedRead):
+            lines = O.lines_for_stride(
+                op.addr, op.count, op.stride_bytes, op.elem_bytes, line
+            )
+            self.charge("mem_ns", self.l1d.access_lines(lines, write=False))
+        elif isinstance(op, O.StridedWrite):
+            lines = O.lines_for_stride(
+                op.addr, op.count, op.stride_bytes, op.elem_bytes, line
+            )
+            self.charge("mem_ns", self.l1d.access_lines(lines, write=True))
+        elif isinstance(op, O.GatherRead):
+            lines = O.lines_for_gather(op.addrs, op.elem_bytes, line)
+            self.charge("mem_ns", self.l1d.access_lines(lines, write=False))
+        elif isinstance(op, O.ScatterWrite):
+            lines = O.lines_for_gather(op.addrs, op.elem_bytes, line)
+            self.charge("mem_ns", self.l1d.access_lines(lines, write=True))
+        elif isinstance(op, O.Activate):
+            self.memsys.handle_activate(op, self)
+        elif isinstance(op, O.WaitPage):
+            self.memsys.handle_wait(op, self)
+        elif isinstance(op, O.ServicePending):
+            self.memsys.handle_service(self)
+        elif isinstance(op, O.BeginPhase):
+            self.stats.begin_phase(op.name)
+        elif isinstance(op, O.EndPhase):
+            self.stats.end_phase(op.name)
+        else:
+            raise OperationError(f"unknown operation {op!r}")

@@ -1,0 +1,176 @@
+"""Symmetric multiprocessor support (paper Section 2).
+
+"Active Page implementations are intended to function in any system
+that uses a conventional memory system.  For example, pages may
+coordinate with multiple processors in a Symmetric Multiprocessor,
+using Active-Page synchronization variables to enforce atomicity."
+
+:class:`SMPMachine` co-simulates N in-order processors over a shared
+L2, bus, DRAM and (optionally) a RADram memory system.  Each processor
+consumes its own operation stream; the machine always advances the
+processor with the smallest local clock, so the interleaving is
+deterministic and globally time-ordered.  Two SMP-specific operations:
+
+* :class:`Barrier` — all processors rendezvous; waiting time is
+  charged as stall.
+* :class:`AtomicRMW` — an atomic read-modify-write on a (sync)
+  variable: the functional effect happens on the shared memory in
+  global time order, and the access pays an uncached DRAM round trip,
+  which is what makes the paper's "memory accesses ... are atomic"
+  coordination safe across CPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.sim import ops as O
+from repro.sim.bus import Bus
+from repro.sim.cache import Cache, build_hierarchy
+from repro.sim.config import MachineConfig
+from repro.sim.dram import DRAM
+from repro.sim.errors import OperationError
+from repro.sim.machine import ConventionalMemorySystem
+from repro.sim.memory import PagedMemory
+from repro.sim.processor import MemorySystemBase, Processor
+from repro.sim.stats import MachineStats
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """All processors rendezvous at ``barrier_id``."""
+
+    barrier_id: int
+
+
+@dataclass(frozen=True)
+class AtomicRMW:
+    """Atomic read-modify-write of a 32-bit word.
+
+    ``kind``: ``"tas"`` (test-and-set to 1, result is the old value),
+    ``"add"`` (fetch-and-add ``operand``), ``"xchg"`` (swap in
+    ``operand``).  The result of the most recent RMW per processor is
+    readable from :attr:`SMPMachine.rmw_results`.
+    """
+
+    vaddr: int
+    kind: str = "tas"
+    operand: int = 0
+
+
+class SMPMachine:
+    """N processors sharing one memory system."""
+
+    def __init__(
+        self,
+        n_cpus: int,
+        config: Optional[MachineConfig] = None,
+        memory: Optional[PagedMemory] = None,
+        memsys: Optional[MemorySystemBase] = None,
+    ) -> None:
+        if n_cpus < 1:
+            raise ValueError("need at least one processor")
+        self.config = config or MachineConfig.reference()
+        self.memory = memory if memory is not None else PagedMemory()
+        self.bus = Bus(self.config.bus)
+        self.dram = DRAM(self.config.dram, self.bus)
+        # Shared L2; private L1 per CPU.
+        _, _, self.l2 = build_hierarchy(
+            self.config.l1d, self.config.l2, self.dram, l1i_cfg=None
+        )
+        self.memsys = memsys if memsys is not None else ConventionalMemorySystem()
+        attach = getattr(self.memsys, "attach", None)
+        if attach is not None:
+            attach(self)
+        self.processors: List[Processor] = []
+        for _ in range(n_cpus):
+            l1d = Cache("L1D", self.config.l1d, next_level=self.l2)
+            self.processors.append(Processor(self.config, l1d, self.memsys))
+        #: last AtomicRMW result per CPU index.
+        self.rmw_results: Dict[int, int] = {}
+
+    @property
+    def n_cpus(self) -> int:
+        return len(self.processors)
+
+    # ------------------------------------------------------------------
+
+    def run(self, streams: List[Iterable[O.Op]]) -> List[MachineStats]:
+        """Co-simulate one op stream per processor to completion."""
+        if len(streams) != self.n_cpus:
+            raise ValueError(
+                f"{self.n_cpus} processors need {self.n_cpus} streams"
+            )
+        iterators: List[Optional[Iterator[O.Op]]] = [iter(s) for s in streams]
+        at_barrier: Dict[int, Dict[int, bool]] = {}
+
+        def runnable() -> List[int]:
+            return [
+                i
+                for i, it in enumerate(iterators)
+                if it is not None and not _waiting(i)
+            ]
+
+        def _waiting(cpu: int) -> bool:
+            return any(cpu in members for members in at_barrier.values())
+
+        for proc in self.processors:
+            self.memsys.on_run_begin(proc)
+        while True:
+            ready = runnable()
+            if not ready:
+                if any(it is not None for it in iterators):
+                    raise OperationError("deadlock: every live processor waits")
+                break
+            cpu = min(ready, key=lambda i: self.processors[i].now)
+            proc = self.processors[cpu]
+            try:
+                op = next(iterators[cpu])
+            except StopIteration:
+                iterators[cpu] = None
+                continue
+            if isinstance(op, Barrier):
+                members = at_barrier.setdefault(op.barrier_id, {})
+                members[cpu] = True
+                if len(members) == self.n_cpus:
+                    release = max(self.processors[i].now for i in members)
+                    for i in members:
+                        self.processors[i].stall_until(release)
+                    del at_barrier[op.barrier_id]
+            elif isinstance(op, AtomicRMW):
+                self._atomic_rmw(cpu, op)
+            else:
+                proc.step(op)
+            self.memsys.poll(proc)
+        for proc in self.processors:
+            self.memsys.on_run_end(proc)
+            proc.stats.total_ns = proc.now
+        return [p.stats for p in self.processors]
+
+    # ------------------------------------------------------------------
+
+    def _atomic_rmw(self, cpu: int, op: AtomicRMW) -> None:
+        proc = self.processors[cpu]
+        # Uncached read + write round trip, serialized by global-time
+        # scheduling (this processor holds the minimum clock).
+        latency = self.dram.uncached_read(4) + self.dram.uncached_write(4)
+        proc.charge("mem_ns", latency)
+        word = self.memory.read(op.vaddr, 4).view(np.uint32)
+        old = int(word[0])
+        if op.kind == "tas":
+            new = 1
+        elif op.kind == "add":
+            new = (old + op.operand) & 0xFFFFFFFF
+        elif op.kind == "xchg":
+            new = op.operand & 0xFFFFFFFF
+        else:
+            raise OperationError(f"unknown atomic kind {op.kind!r}")
+        self.memory.write(op.vaddr, np.array([new], dtype=np.uint32).view(np.uint8))
+        self.rmw_results[cpu] = old
+
+    @property
+    def makespan_ns(self) -> float:
+        return max(p.now for p in self.processors)

@@ -1,0 +1,98 @@
+"""Cycle accounting for simulation runs.
+
+The paper's evaluation needs more than total runtime: Figure 4 plots
+the *percent of cycles the processor is stalled* waiting on Active-Page
+computation (non-overlap, Section 7.2), and Table 4 needs per-phase
+activation (T_A) and post-processing (T_P) times.  ``MachineStats``
+therefore buckets time by category and by user-named phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class MachineStats:
+    """Accumulated timing for one simulation run (all times in ns)."""
+
+    total_ns: float = 0.0
+    compute_ns: float = 0.0
+    mem_ns: float = 0.0
+    activation_ns: float = 0.0
+    wait_ns: float = 0.0  # processor-memory non-overlap
+    interrupt_ns: float = 0.0  # servicing inter-page requests
+    activations: int = 0
+    waits: int = 0
+    interrupts: int = 0
+    phase_ns: Dict[str, float] = field(default_factory=dict)
+    phase_wait_ns: Dict[str, float] = field(default_factory=dict)
+    phase_counts: Dict[str, int] = field(default_factory=dict)
+    _phase_stack: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Charging
+
+    def charge(self, category: str, ns: float) -> None:
+        """Add ``ns`` to ``category`` and to the open phase, if any."""
+        setattr(self, category, getattr(self, category) + ns)
+        if self._phase_stack:
+            phase = self._phase_stack[-1]
+            self.phase_ns[phase] = self.phase_ns.get(phase, 0.0) + ns
+            if category == "wait_ns":
+                self.phase_wait_ns[phase] = self.phase_wait_ns.get(phase, 0.0) + ns
+
+    def begin_phase(self, name: str) -> None:
+        self._phase_stack.append(name)
+        self.phase_counts[name] = self.phase_counts.get(name, 0) + 1
+        self.phase_ns.setdefault(name, 0.0)
+
+    def end_phase(self, name: str) -> None:
+        if not self._phase_stack or self._phase_stack[-1] != name:
+            raise ValueError(f"phase {name!r} is not the innermost open phase")
+        self._phase_stack.pop()
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+
+    @property
+    def busy_ns(self) -> float:
+        """Time the processor made forward progress."""
+        return self.compute_ns + self.mem_ns + self.activation_ns + self.interrupt_ns
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of total time stalled on Active-Page computation."""
+        if self.total_ns <= 0:
+            return 0.0
+        return self.wait_ns / self.total_ns
+
+    def phase_mean_ns(self, name: str, exclude_wait: bool = False) -> float:
+        """Mean time per occurrence of phase ``name`` (0 if never seen).
+
+        ``exclude_wait`` removes stall (non-overlap) time from the
+        phase — used when measuring T_P, which by the paper's model is
+        processor *work*, separate from NO(i).
+        """
+        count = self.phase_counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        total = self.phase_ns.get(name, 0.0)
+        if exclude_wait:
+            total -= self.phase_wait_ns.get(name, 0.0)
+        return total / count
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat summary used by the experiment result tables."""
+        return {
+            "total_ns": self.total_ns,
+            "compute_ns": self.compute_ns,
+            "mem_ns": self.mem_ns,
+            "activation_ns": self.activation_ns,
+            "wait_ns": self.wait_ns,
+            "interrupt_ns": self.interrupt_ns,
+            "stall_fraction": self.stall_fraction,
+            "activations": float(self.activations),
+            "interrupts": float(self.interrupts),
+        }

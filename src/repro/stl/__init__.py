@@ -1,0 +1,25 @@
+"""The STL array template library (paper Section 5.1).
+
+"The STL array template is a general purpose C++ template which
+permits the storage, access, and retrieval of objects based upon a
+linear integer index...  Library calls, derived from a common subclass,
+allow single source files to work with either the Active-Page or
+conventional-system implementation of the array template."
+
+:class:`repro.stl.array.APArray` is that library in Python: one
+interface, two backends.  Beyond the paper's measured insert/delete/
+count, it implements the "broad range of array operations which the
+RADram system can effectively compute" named in Section 5.1:
+``accumulate``, ``partial_sum``, ``random_shuffle``, ``rotate`` and
+``adjacent_difference``.
+"""
+
+from repro.stl.array import APArray, ConventionalArrayBackend, RADramArrayBackend
+from repro.stl.operations import OPERATION_CIRCUITS
+
+__all__ = [
+    "APArray",
+    "ConventionalArrayBackend",
+    "OPERATION_CIRCUITS",
+    "RADramArrayBackend",
+]

@@ -1,0 +1,577 @@
+"""The STL array template: one interface, two memory systems.
+
+:class:`APArray` is the paper's array class: a dense, fixed-capacity
+array of 32-bit words whose bulk operations run either entirely on the
+processor (``backend="conventional"``) or partitioned onto Active
+Pages (``backend="radram"``).  Both backends operate on real data —
+results are identical by construction and checked in the test suite —
+while a simulated machine accounts for execution time, so a library
+user can compare the two systems on their own workload:
+
+    >>> a = APArray(capacity_pages=4, backend="radram")
+    >>> a.extend(range(1000))
+    >>> a.insert(10, 42)
+    >>> a.count(42)
+    1
+    >>> a.elapsed_ns  # doctest: +SKIP
+
+The Active-Page backend binds only the circuits the current operation
+needs: the full operation set does not fit one page's 256 LEs, so the
+library re-binds on demand — the paper's Section 2 re-binding rule —
+charging reconfiguration time when configured to.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.array import FIND_CYCLES_PER_WORD, SHIFT_CYCLES_PER_WORD
+from repro.core.functions import APFunction, PageTask
+from repro.core.page import SYNC_BYTES
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+from repro.stl.operations import OPERATION_CIRCUITS
+
+_WORD = 4
+
+
+class ArrayBackend(abc.ABC):
+    """Common backend contract: real data plus simulated time."""
+
+    def __init__(self, capacity_words: int) -> None:
+        self.capacity = capacity_words
+        self.size = 0
+
+    @property
+    @abc.abstractmethod
+    def elapsed_ns(self) -> float:
+        """Simulated time consumed so far."""
+
+    @abc.abstractmethod
+    def values(self) -> np.ndarray:
+        """The logical array contents (length ``size``)."""
+
+    @abc.abstractmethod
+    def _write_all(self, values: np.ndarray) -> None:
+        """Replace the contents (untimed; used by extend/setup)."""
+
+    # Bulk operations -------------------------------------------------
+
+    @abc.abstractmethod
+    def insert(self, pos: int, value: int) -> None:
+        """Shift ``[pos, size)`` up one slot and place ``value``."""
+
+    @abc.abstractmethod
+    def delete(self, pos: int) -> None:
+        """Shift ``(pos, size)`` down one slot."""
+
+    @abc.abstractmethod
+    def count(self, value: int) -> int:
+        """Occurrences of ``value``."""
+
+    @abc.abstractmethod
+    def accumulate(self) -> int:
+        """Sum of all elements, modulo 2**32."""
+
+    @abc.abstractmethod
+    def partial_sum(self) -> None:
+        """In-place prefix sum (modulo 2**32)."""
+
+    @abc.abstractmethod
+    def rotate(self, k: int) -> None:
+        """Rotate left by ``k``: element k becomes element 0."""
+
+    @abc.abstractmethod
+    def adjacent_difference(self) -> None:
+        """In-place a[i] = a[i] - a[i-1] (modulo 2**32); a[0] kept."""
+
+    @abc.abstractmethod
+    def random_shuffle(self, seed: int = 0) -> None:
+        """Deterministic permutation of the contents.
+
+        Both backends apply the *same* permutation for a given seed
+        (page-blocked Fisher-Yates plus mixing rotations), so results
+        stay comparable across memory systems.
+        """
+
+
+def _shuffle_permutation(n: int, block: int, seed: int, rounds: int = 3) -> np.ndarray:
+    """The shared shuffle permutation: block-local shuffles + rotations."""
+    perm = np.arange(n, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    for _ in range(rounds):
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            perm[start:stop] = perm[start:stop][rng.permutation(stop - start)]
+        offset = int(rng.integers(1, max(2, n))) | 1
+        perm = np.roll(perm, -offset)
+    return perm
+
+
+class ConventionalArrayBackend(ArrayBackend):
+    """All operations on the processor through the cache hierarchy."""
+
+    def __init__(
+        self,
+        capacity_words: int,
+        machine_config: Optional[MachineConfig] = None,
+        page_bytes: int = 512 * 1024,
+    ) -> None:
+        super().__init__(capacity_words)
+        self._data = np.zeros(capacity_words, dtype=np.uint32)
+        self.machine = Machine(config=machine_config)
+        self._base = 0x2000_0000
+        self._page_bytes = page_bytes
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.machine.processor.now
+
+    def values(self) -> np.ndarray:
+        return self._data[: self.size].copy()
+
+    def _write_all(self, values: np.ndarray) -> None:
+        self.size = len(values)
+        self._data[: self.size] = values
+
+    def _addr(self, index: int) -> int:
+        return self._base + index * _WORD
+
+    def _stream(self, *stream_ops) -> None:
+        self.machine.run(iter(stream_ops))
+
+    # ------------------------------------------------------------------
+
+    def insert(self, pos: int, value: int) -> None:
+        moved = self.size - pos
+        if self.size < self.capacity:
+            self.size += 1
+        tail = self._data[pos : self.size - 1].copy()
+        self._data[pos + 1 : self.size] = tail
+        self._data[pos] = value
+        self._stream(
+            O.MemRead(self._addr(pos), moved * _WORD),
+            O.MemWrite(self._addr(pos + 1), moved * _WORD),
+            O.Compute(2 * moved + 20),
+        )
+
+    def delete(self, pos: int) -> None:
+        moved = self.size - pos - 1
+        self._data[pos : self.size - 1] = self._data[pos + 1 : self.size].copy()
+        self._data[self.size - 1] = 0
+        self.size -= 1
+        self._stream(
+            O.MemRead(self._addr(pos + 1), moved * _WORD),
+            O.MemWrite(self._addr(pos), moved * _WORD),
+            O.Compute(2 * moved + 20),
+        )
+
+    def count(self, value: int) -> int:
+        self._stream(
+            O.MemRead(self._base, self.size * _WORD),
+            O.Compute(2 * self.size + 20),
+        )
+        return int(np.count_nonzero(self._data[: self.size] == np.uint32(value)))
+
+    def accumulate(self) -> int:
+        self._stream(
+            O.MemRead(self._base, self.size * _WORD),
+            O.Compute(2 * self.size + 20),
+        )
+        return int(np.sum(self._data[: self.size], dtype=np.uint32))
+
+    def partial_sum(self) -> None:
+        self._data[: self.size] = np.cumsum(
+            self._data[: self.size], dtype=np.uint32
+        )
+        self._stream(
+            O.MemRead(self._base, self.size * _WORD),
+            O.MemWrite(self._base, self.size * _WORD),
+            O.Compute(3 * self.size + 20),
+        )
+
+    def rotate(self, k: int) -> None:
+        self._data[: self.size] = np.roll(self._data[: self.size], -k)
+        self._stream(
+            O.MemRead(self._base, self.size * _WORD),
+            O.MemWrite(self._base, self.size * _WORD),
+            O.Compute(3 * self.size + 40),
+        )
+
+    def adjacent_difference(self) -> None:
+        view = self._data[: self.size]
+        view[1:] = np.diff(view)
+        self._stream(
+            O.MemRead(self._base, self.size * _WORD),
+            O.MemWrite(self._base, self.size * _WORD),
+            O.Compute(3 * self.size + 20),
+        )
+
+    def random_shuffle(self, seed: int = 0) -> None:
+        block = (self._page_bytes - SYNC_BYTES) // _WORD
+        perm = _shuffle_permutation(self.size, block, seed)
+        self._data[: self.size] = self._data[: self.size][perm]
+        # A swap per element: two dependent random reads and writes.
+        rng = np.random.default_rng(seed + 1)
+        chunk = 8192
+        for start in range(0, self.size, chunk):
+            n = min(chunk, self.size - start)
+            addrs = self._base + rng.integers(0, self.size, n) * _WORD
+            self._stream(
+                O.GatherRead(addrs.tolist()),
+                O.ScatterWrite(addrs.tolist()),
+                O.Compute(9 * n),
+            )
+
+
+class RADramArrayBackend(ArrayBackend):
+    """Operations partitioned onto Active Pages.
+
+    Page data areas hold the array; the backend re-binds circuits on
+    demand (the whole operation set exceeds one page's LE budget) and
+    drives the timed RADram memory system with activation/wait
+    operations while mutating the real page bytes.
+    """
+
+    #: circuits bound together as the resident "mutation" set: the two
+    #: shifters fit one page's logic side by side (115 + 109 = 224 of
+    #: 256 LEs); adding count (141 LEs) would overflow the budget, so
+    #: other operations re-bind on demand — Section 2's re-binding rule.
+    _MUTATION_SET = ("insert", "delete")
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        radram_config: Optional[RADramConfig] = None,
+        machine_config: Optional[MachineConfig] = None,
+    ) -> None:
+        self.config = radram_config or RADramConfig.reference()
+        self.memsys = RADramMemorySystem(self.config)
+        self.machine = Machine(
+            config=machine_config,
+            memory=PagedMemory(page_bytes=self.config.page_bytes),
+            memsys=self.memsys,
+        )
+        self._region = self.machine.memory.alloc_pages(capacity_pages, name="stl")
+        self._pages = list(self.machine.memory.pages_of(self._region))
+        self._wpp = (self.config.page_bytes - SYNC_BYTES) // _WORD
+        super().__init__(capacity_words=capacity_pages * self._wpp)
+        self._bound: tuple = ()
+        self._bind(self._MUTATION_SET)
+
+    # -- binding -------------------------------------------------------
+
+    def _functions_for(self, names: Sequence[str]) -> List[APFunction]:
+        table3_les = {"insert": 115, "delete": 109, "count": 141}
+        fns = []
+        for name in names:
+            if name in table3_les:
+                fns.append(APFunction(name=name, le_count=table3_les[name]))
+            else:
+                op = OPERATION_CIRCUITS[name]
+                fns.append(APFunction(name=name, le_count=op.le_count))
+        return fns
+
+    def _bind(self, names: Sequence[str]) -> None:
+        """(Re)configure every page's logic with ``names``."""
+        names = tuple(names)
+        if names == self._bound:
+            return
+        for page_no in self._pages:
+            self.memsys.subarray(page_no).logic.configure(self._functions_for(names))
+        if self.config.reconfig_ns_per_page > 0:
+            self.machine.processor.charge(
+                "activation_ns",
+                self.config.reconfig_ns_per_page * len(self._pages),
+            )
+        self._bound = names
+
+    def _require(self, name: str) -> None:
+        """Ensure ``name`` is bound, re-binding if necessary."""
+        if name not in self._bound:
+            if name in self._MUTATION_SET:
+                self._bind(self._MUTATION_SET)
+            else:
+                self._bind((name,))
+
+    # -- layout --------------------------------------------------------
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self.machine.processor.now
+
+    def _page_view(self, j: int) -> np.ndarray:
+        start = j * self.config.page_bytes
+        raw = self._region.buffer[
+            start : start + self.config.page_bytes - SYNC_BYTES
+        ]
+        return raw.view(np.uint32)
+
+    def _page_counts(self) -> List[int]:
+        counts, remaining = [], self.size
+        for _ in self._pages:
+            counts.append(min(self._wpp, remaining))
+            remaining -= counts[-1]
+            if remaining <= 0:
+                break
+        return counts
+
+    def values(self) -> np.ndarray:
+        return np.concatenate(
+            [self._page_view(j)[:c] for j, c in enumerate(self._page_counts())]
+        ) if self.size else np.empty(0, dtype=np.uint32)
+
+    def _write_all(self, values: np.ndarray) -> None:
+        self.size = len(values)
+        start = 0
+        for j, count in enumerate(self._page_counts()):
+            self._page_view(j)[:count] = values[start : start + count]
+            start += count
+
+    def _sync_addr(self, j: int) -> int:
+        return self._region.base + (j + 1) * self.config.page_bytes - SYNC_BYTES
+
+    # -- the per-page activate/wait skeleton ----------------------------
+
+    def _run_pages(
+        self,
+        cycles_per_page: Sequence[float],
+        descriptor_words: int,
+        post_ops: float = 120.0,
+    ) -> None:
+        """Activate every listed page, then wait + post-process each."""
+        stream: List[O.Op] = []
+        for j, cycles in enumerate(cycles_per_page):
+            stream.append(
+                O.Activate(self._pages[j], descriptor_words, PageTask.simple(cycles))
+            )
+        for j in range(len(cycles_per_page)):
+            stream.append(O.WaitPage(self._pages[j]))
+            stream.append(O.MemRead(self._sync_addr(j), 4))
+            stream.append(O.Compute(post_ops))
+        self.machine.run(iter(stream))
+
+    # -- operations ------------------------------------------------------
+
+    def insert(self, pos: int, value: int) -> None:
+        self._require("insert")
+        if self.size < self.capacity:
+            self.size += 1
+        logical = self.values()
+        tail = logical[pos:-1].copy()
+        logical[pos + 1 :] = tail
+        logical[pos] = value
+        counts = self._page_counts()
+        first = pos // self._wpp
+        self._run_pages(
+            [c * SHIFT_CYCLES_PER_WORD for c in counts[first:]],
+            descriptor_words=29,
+        )
+        self._write_all(logical)
+
+    def delete(self, pos: int) -> None:
+        self._require("delete")
+        logical = self.values()
+        logical[pos:-1] = logical[pos + 1 :].copy()
+        counts = self._page_counts()
+        first = pos // self._wpp
+        self.size -= 1
+        self._run_pages(
+            [c * SHIFT_CYCLES_PER_WORD for c in counts[first:]],
+            descriptor_words=27,
+        )
+        self._write_all(logical[:-1])
+
+    def count(self, value: int) -> int:
+        self._require("count")
+        counts = self._page_counts()
+        self._run_pages(
+            [c * FIND_CYCLES_PER_WORD for c in counts], descriptor_words=25
+        )
+        return int(np.count_nonzero(self.values() == np.uint32(value)))
+
+    def accumulate(self) -> int:
+        self._require("accumulate")
+        op = OPERATION_CIRCUITS["accumulate"]
+        counts = self._page_counts()
+        self._run_pages(
+            [c * op.logic_cycles_per_word for c in counts],
+            descriptor_words=op.descriptor_words,
+        )
+        return int(np.sum(self.values(), dtype=np.uint32))
+
+    def partial_sum(self) -> None:
+        # Phase 1: page-local prefix sums; the processor reads each
+        # page's total from its sync area.
+        self._require("partial_sum")
+        op = OPERATION_CIRCUITS["partial_sum"]
+        counts = self._page_counts()
+        self._run_pages(
+            [c * op.logic_cycles_per_word for c in counts],
+            descriptor_words=op.descriptor_words,
+        )
+        # Phase 2: every page after the first adds its carry offset.
+        self._require("apply_offset")
+        offset_op = OPERATION_CIRCUITS["apply_offset"]
+        if len(counts) > 1:
+            self._run_pages(
+                [c * offset_op.logic_cycles_per_word for c in counts[1:]],
+                descriptor_words=offset_op.descriptor_words,
+            )
+        logical = self.values()
+        self._write_all(np.cumsum(logical, dtype=np.uint32))
+
+    def rotate(self, k: int) -> None:
+        self._require("rotate")
+        op = OPERATION_CIRCUITS["rotate"]
+        counts = self._page_counts()
+        # Pages copy their in-page portion; the processor moves each
+        # page's cross-page remainder (k mod wpp words per boundary).
+        self._run_pages(
+            [c * op.logic_cycles_per_word for c in counts],
+            descriptor_words=op.descriptor_words,
+        )
+        spill = (k % self._wpp) * _WORD
+        if spill and len(counts) > 1:
+            stream: List[O.Op] = []
+            for j in range(len(counts)):
+                src = self._region.base + j * self.config.page_bytes
+                stream.append(O.MemRead(src, spill))
+                stream.append(O.MemWrite(src + self._wpp * _WORD - spill, spill))
+                stream.append(O.Compute(2 * (spill // _WORD)))
+            self.machine.run(iter(stream))
+        logical = self.values()
+        self._write_all(np.roll(logical, -k))
+
+    def adjacent_difference(self) -> None:
+        self._require("adjacent_difference")
+        op = OPERATION_CIRCUITS["adjacent_difference"]
+        counts = self._page_counts()
+        # The processor pre-reads each page boundary word (the carry
+        # into the next page), then pages diff locally.
+        boundary_addrs = [
+            self._region.base + (j + 1) * self.config.page_bytes - SYNC_BYTES - _WORD
+            for j in range(len(counts) - 1)
+        ]
+        if boundary_addrs:
+            self.machine.run(iter([O.GatherRead(boundary_addrs)]))
+        self._run_pages(
+            [c * op.logic_cycles_per_word for c in counts],
+            descriptor_words=op.descriptor_words,
+        )
+        logical = self.values()
+        logical[1:] = np.diff(logical)
+        self._write_all(logical)
+
+    def random_shuffle(self, seed: int = 0) -> None:
+        self._require("random_shuffle")
+        op = OPERATION_CIRCUITS["random_shuffle"]
+        counts = self._page_counts()
+        perm = _shuffle_permutation(self.size, self._wpp, seed)
+        rounds = 3
+        for _ in range(rounds):
+            # Page-local shuffles in parallel, then a mixing rotation
+            # (its timing shape, not its exact offset, is what counts).
+            self._run_pages(
+                [c * op.logic_cycles_per_word for c in counts],
+                descriptor_words=op.descriptor_words,
+            )
+        logical = self.values()
+        self._write_all(logical[perm])
+
+
+class APArray:
+    """The paper's STL array template: pick a backend, use one API."""
+
+    def __init__(
+        self,
+        capacity_pages: int = 1,
+        backend: str = "radram",
+        radram_config: Optional[RADramConfig] = None,
+        machine_config: Optional[MachineConfig] = None,
+    ) -> None:
+        if backend == "radram":
+            self._impl: ArrayBackend = RADramArrayBackend(
+                capacity_pages,
+                radram_config=radram_config,
+                machine_config=machine_config,
+            )
+        elif backend == "conventional":
+            config = radram_config or RADramConfig.reference()
+            wpp = (config.page_bytes - SYNC_BYTES) // _WORD
+            self._impl = ConventionalArrayBackend(
+                capacity_pages * wpp,
+                machine_config=machine_config,
+                page_bytes=config.page_bytes,
+            )
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend_name = backend
+
+    # Container basics -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._impl.size
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._impl.values()[index])
+
+    def extend(self, values) -> None:
+        """Bulk-load values (setup, untimed)."""
+        data = np.asarray(list(values), dtype=np.uint32)
+        existing = self._impl.values()
+        merged = np.concatenate([existing, data])
+        if len(merged) > self._impl.capacity:
+            raise ValueError(
+                f"array capacity is {self._impl.capacity} words; "
+                f"{len(merged)} requested"
+            )
+        self._impl._write_all(merged)
+
+    def to_numpy(self) -> np.ndarray:
+        return self._impl.values()
+
+    @property
+    def elapsed_ns(self) -> float:
+        return self._impl.elapsed_ns
+
+    # Operations (delegated) --------------------------------------------
+
+    def insert(self, pos: int, value: int) -> None:
+        self._check_pos(pos, upper=len(self))
+        self._impl.insert(pos, value)
+
+    def delete(self, pos: int) -> None:
+        self._check_pos(pos, upper=len(self) - 1)
+        self._impl.delete(pos)
+
+    def count(self, value: int) -> int:
+        return self._impl.count(value)
+
+    def accumulate(self) -> int:
+        return self._impl.accumulate()
+
+    def partial_sum(self) -> None:
+        self._impl.partial_sum()
+
+    def rotate(self, k: int) -> None:
+        if len(self) == 0:
+            return
+        self._impl.rotate(k % len(self))
+
+    def adjacent_difference(self) -> None:
+        self._impl.adjacent_difference()
+
+    def random_shuffle(self, seed: int = 0) -> None:
+        self._impl.random_shuffle(seed)
+
+    def _check_pos(self, pos: int, upper: int) -> None:
+        if not 0 <= pos <= upper:
+            raise IndexError(f"position {pos} outside [0, {upper}]")

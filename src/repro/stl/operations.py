@@ -1,0 +1,119 @@
+"""Cost models and circuits for the STL array operations.
+
+Section 5.1 measures insert/delete/find and names five more operations
+"indicative of a broad range of array operations which the RADram
+system can effectively compute": accumulate, partial sum, random
+shuffle, rotate, and adjacent difference.  Each operation here carries
+
+* logic cycles per element for the page-side circuit,
+* conventional instructions per element for the baseline,
+* a structural netlist (``repro.synth``) proving the circuit fits the
+  256-LE page budget, and
+* the number of descriptor words its activation writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.synth.lut import le_count
+from repro.synth.netlist import Netlist, OpKind
+
+ADDR = 19  # bits to address a 512 KB page
+WORD = 32
+
+
+def _walker(n: Netlist, stage: int = 0) -> Netlist:
+    """The common page-walk skeleton: address counter + bounds check."""
+    n.add(OpKind.COUNTER, ADDR, stage=stage, name="addr")
+    n.add(OpKind.LT, ADDR, stage=stage, name="addr<end")
+    return n
+
+
+def accumulate_circuit() -> Netlist:
+    """Running 32-bit sum over the page's words."""
+    n = _walker(Netlist("Array-accumulate"))
+    n.add(OpKind.ADD, WORD, stage=1, name="sum += word")
+    n.add(OpKind.REG, WORD, stage=1, name="sum register")
+    n.add(OpKind.FSM, 3, stage=1, name="control")
+    return n
+
+
+def partial_sum_circuit() -> Netlist:
+    """In-place prefix sum: add, write back, keep the running value."""
+    n = _walker(Netlist("Array-partial-sum"))
+    n.add(OpKind.ADD, WORD, stage=1, name="prefix += word")
+    n.add(OpKind.REG, WORD, stage=1, name="prefix register")
+    n.add(OpKind.MUX2, WORD, stage=1, name="offset select")
+    n.add(OpKind.FSM, 4, stage=1, name="control")
+    return n
+
+
+def rotate_circuit() -> Netlist:
+    """Word shift with a wrap-around source offset."""
+    n = _walker(Netlist("Array-rotate"))
+    n.add(OpKind.ADD, ADDR, stage=0, name="src = addr + k mod n")
+    n.add(OpKind.REG, WORD, stage=1, name="word buffer")
+    n.add(OpKind.MUX2, WORD, stage=1, name="wrap select")
+    n.add(OpKind.FSM, 3, stage=1, name="control")
+    return n
+
+
+def adjacent_difference_circuit() -> Netlist:
+    """out[i] = a[i] - a[i-1] with a one-word history register."""
+    n = _walker(Netlist("Array-adjacent-difference"))
+    n.add(OpKind.ADD, WORD, stage=1, name="word - previous")
+    n.add(OpKind.REG, WORD, stage=1, name="previous register")
+    n.add(OpKind.FSM, 3, stage=1, name="control")
+    return n
+
+
+def random_shuffle_circuit() -> Netlist:
+    """Page-local Fisher-Yates: LFSR index source + swap buffer."""
+    n = _walker(Netlist("Array-random-shuffle"))
+    n.add(OpKind.ROM, 16, stage=0, name="LFSR taps")
+    n.add(OpKind.REG, 17, stage=0, name="LFSR state")
+    n.add(OpKind.REG, WORD, stage=1, name="swap buffer a")
+    n.add(OpKind.REG, WORD, stage=1, name="swap buffer b")
+    n.add(OpKind.FSM, 4, stage=1, name="control")
+    return n
+
+
+@dataclass(frozen=True)
+class ArrayOperation:
+    """One STL operation's cost model."""
+
+    name: str
+    #: page-logic cycles per element processed.
+    logic_cycles_per_word: float
+    #: conventional instructions per element.
+    conv_ops_per_word: float
+    #: 32-bit words written per activation.
+    descriptor_words: int
+    #: circuit factory (None reuses a Table 3 circuit).
+    circuit: Callable[[], Netlist]
+
+    @property
+    def le_count(self) -> int:
+        return le_count(self.circuit())
+
+
+#: The Section 5.1 extension operations.
+OPERATION_CIRCUITS: Dict[str, ArrayOperation] = {
+    op.name: op
+    for op in [
+        # One add per word streaming through the 32-bit port.
+        ArrayOperation("accumulate", 1.0, 2.0, 4, accumulate_circuit),
+        # Read, add, write back: two port touches per word.
+        ArrayOperation("partial_sum", 2.0, 3.0, 5, partial_sum_circuit),
+        # Second pass of partial_sum: add the page's carry offset.
+        ArrayOperation("apply_offset", 1.0, 2.0, 3, partial_sum_circuit),
+        # Read from the wrapped source, write to the destination.
+        ArrayOperation("rotate", 2.0, 3.0, 6, rotate_circuit),
+        # One subtract per word, history in a register.
+        ArrayOperation("adjacent_difference", 1.0, 3.0, 4, adjacent_difference_circuit),
+        # Fisher-Yates: a swap (2 reads + 2 writes) per word.
+        ArrayOperation("random_shuffle", 4.0, 9.0, 6, random_shuffle_circuit),
+    ]
+}

@@ -1,0 +1,34 @@
+"""FPGA synthesis estimator (paper Section 6, Table 3).
+
+The paper hand-codes each Active-Page function in VHDL and synthesizes
+it with Synopsys tools to an Altera FLEX-10K10-3, reporting logic
+elements (LEs), post-route clock speed, and configuration code size.
+We reproduce that flow with a small technology-mapping model:
+
+* :mod:`repro.synth.netlist` — circuits as staged dataflow graphs of
+  datapath operators (adders, comparators, muxes, registers, FSMs).
+* :mod:`repro.synth.lut` — per-operator 4-LUT/LE counts using standard
+  mapping formulas (carry chains for adders, log-4 reduction trees for
+  comparators, one LE per register bit, ...).
+* :mod:`repro.synth.timing` — critical-path estimate from LUT levels
+  with FLEX-10K-era delay constants.
+* :mod:`repro.synth.circuits` — the seven application circuits.
+* :mod:`repro.synth.report` — regenerates Table 3.
+"""
+
+from repro.synth.lut import le_count, operator_les
+from repro.synth.netlist import Netlist, Operator, OpKind
+from repro.synth.report import SynthesisResult, synthesize, table3
+from repro.synth.timing import critical_path_ns
+
+__all__ = [
+    "Netlist",
+    "OpKind",
+    "Operator",
+    "SynthesisResult",
+    "critical_path_ns",
+    "le_count",
+    "operator_les",
+    "synthesize",
+    "table3",
+]

@@ -1,0 +1,165 @@
+"""The seven application circuits of Table 3.
+
+Each function below describes the datapath an Active-Page function
+needs, as a staged operator netlist.  Widths follow the applications:
+19-bit addresses index a 512 KB page of bytes, 32-bit data words,
+16-bit counters and image/table values, 20-bit sparse-matrix indices.
+
+The netlists are *structural* descriptions — LE counts and speeds fall
+out of the generic mapping formulas in :mod:`repro.synth.lut` and
+:mod:`repro.synth.timing`, not per-circuit constants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.synth.netlist import Netlist, OpKind
+
+ADDR = 19  # bits to address a 512 KB page
+WORD = 32
+COUNT = 16
+INDEX = 20  # sparse-matrix index width
+
+
+def array_delete() -> Netlist:
+    """Shift the tail of the array down one slot, word per cycle."""
+    n = Netlist("Array-delete")
+    # Stage 0: walk addresses while below the end of the array.
+    n.add(OpKind.COUNTER, ADDR, stage=0, name="addr")
+    n.add(OpKind.LT, ADDR, stage=0, name="addr<end")
+    # Stage 1: word buffer and write-data select, plus control.
+    n.add(OpKind.REG, WORD, stage=1, name="word buffer")
+    n.add(OpKind.MUX2, WORD, stage=1, name="write select")
+    n.add(OpKind.FSM, 3, stage=1, name="control")
+    n.add(OpKind.BITWISE, 1, stage=1, name="done gate")
+    return n
+
+
+def array_insert() -> Netlist:
+    """Shift the tail up one slot (walks downward from the end)."""
+    n = Netlist("Array-insert")
+    # Stage 0: downward address walk with insert-position offset.
+    n.add(OpKind.COUNTER, ADDR, stage=0, name="addr")
+    n.add(OpKind.ADD, 6, stage=0, name="insert offset")
+    n.add(OpKind.BITWISE, 1, stage=0, name="direction gate")
+    # Stage 1: bounds check runs a cycle behind the walk.
+    n.add(OpKind.LT, ADDR, stage=1, name="addr>insert point")
+    # Stage 2: word buffer, write select, control.
+    n.add(OpKind.REG, WORD, stage=2, name="word buffer")
+    n.add(OpKind.MUX2, WORD, stage=2, name="write select")
+    n.add(OpKind.FSM, 3, stage=2, name="control")
+    return n
+
+
+def array_find() -> Netlist:
+    """Count occurrences of a 32-bit key (binary comparison circuit)."""
+    n = Netlist("Array-find")
+    n.add(OpKind.COUNTER, ADDR, stage=0, name="addr")
+    n.add(OpKind.LT, ADDR, stage=0, name="addr<end")
+    n.add(OpKind.REG, WORD, stage=1, name="word buffer")
+    n.add(OpKind.REG, WORD, stage=1, name="key register")
+    n.add(OpKind.EQ, WORD, stage=2, name="word==key")
+    n.add(OpKind.COUNTER, COUNT, stage=2, name="match count")
+    n.add(OpKind.BITWISE, 6, stage=2, name="range qualifiers")
+    n.add(OpKind.FSM, 3, stage=1, name="control")
+    return n
+
+
+def database() -> Netlist:
+    """Unindexed exact-match scan over fixed-layout address records."""
+    n = Netlist("Database")
+    # Stage 0: record walk — stride adder plus end-of-block check.
+    n.add(OpKind.COUNTER, ADDR, stage=0, name="record addr")
+    n.add(OpKind.ADD, ADDR, stage=0, name="record stride")
+    n.add(OpKind.LT, ADDR, stage=1, name="addr<end")
+    n.add(OpKind.REG, COUNT, stage=1, name="field offset")
+    n.add(OpKind.REG, WORD, stage=1, name="query word")
+    n.add(OpKind.BITWISE, 2, stage=1, name="field qualifiers")
+    # Stage 2: 4-bytes-at-a-time field compare and match counting.
+    n.add(OpKind.EQ, WORD, stage=2, name="field==query")
+    n.add(OpKind.COUNTER, COUNT, stage=2, name="match count")
+    n.add(OpKind.FSM, 4, stage=2, name="control")
+    return n
+
+
+def dynamic_prog() -> Netlist:
+    """One LCS wavefront cell: table[i][j] from up/left/diag."""
+    n = Netlist("Dynamic Prog")
+    # Stage 0: the two chained MAX units over up/left/diag+1.
+    n.add(OpKind.REG, COUNT, stage=0, name="up value")
+    n.add(OpKind.REG, COUNT, stage=0, name="left value")
+    n.add(OpKind.REG, COUNT, stage=0, name="diag value")
+    n.add(OpKind.LT, COUNT, stage=0, name="max1 compare")
+    n.add(OpKind.MUX2, COUNT, stage=0, name="max1 select")
+    n.add(OpKind.LT, COUNT, stage=0, name="max2 compare")
+    n.add(OpKind.MUX2, COUNT, stage=0, name="max2 select")
+    # Stage 1: char match path (+1 on the diagonal), table walk.
+    n.add(OpKind.ADD, COUNT, stage=1, name="diag+1")
+    n.add(OpKind.EQ, COUNT, stage=1, name="char match")
+    n.add(OpKind.FSM, 4, stage=1, name="control")
+    n.add(OpKind.BITWISE, 3, stage=1, name="wavefront qualifiers")
+    n.add(OpKind.REG, COUNT, stage=1, name="cell out")
+    # Stage 2: row/column addressing.
+    n.add(OpKind.COUNTER, ADDR, stage=2, name="cell addr")
+    return n
+
+
+def matrix() -> Netlist:
+    """Sparse-vector index compare and gather (compare-gather-compute)."""
+    n = Netlist("Matrix")
+    # Stage 0: the three-way index comparison driving the gather.
+    n.add(OpKind.REG, WORD, stage=0, name="index a")
+    n.add(OpKind.REG, WORD, stage=0, name="index b")
+    n.add(OpKind.LT, WORD, stage=0, name="a<b")
+    n.add(OpKind.EQ, WORD, stage=0, name="a==b")
+    n.add(OpKind.MUX2, 8, stage=0, name="advance select")
+    n.add(OpKind.BITWISE, 6, stage=0, name="match qualifiers")
+    # Stage 1: nonzero pointers and gather addressing.
+    n.add(OpKind.COUNTER, INDEX, stage=1, name="ptr a")
+    n.add(OpKind.COUNTER, INDEX, stage=1, name="ptr b")
+    n.add(OpKind.ADD, INDEX, stage=1, name="gather addr")
+    # Stage 2: packed output staging.
+    n.add(OpKind.COUNTER, COUNT, stage=2, name="output count")
+    n.add(OpKind.FSM, 4, stage=2, name="control")
+    return n
+
+
+def mpeg_mmx() -> Netlist:
+    """Wide paddsw datapath: two 16-bit saturating adds per cycle."""
+    n = Netlist("MPEG-MMX")
+    # Stages 0/1: the two parallel saturating adder lanes.
+    n.add(OpKind.ADD, 17, stage=0, name="lane0 add")
+    n.add(OpKind.SATCLAMP, 16, stage=0, name="lane0 clamp")
+    n.add(OpKind.ADD, 17, stage=1, name="lane1 add")
+    n.add(OpKind.SATCLAMP, 16, stage=1, name="lane1 clamp")
+    # Stage 2: block walk and control.
+    n.add(OpKind.COUNTER, ADDR, stage=2, name="block addr")
+    n.add(OpKind.LT, ADDR, stage=2, name="addr<end")
+    n.add(OpKind.FSM, 3, stage=2, name="control")
+    n.add(OpKind.REG, 8, stage=1, name="opcode register")
+    n.add(OpKind.BITWISE, 3, stage=0, name="lane qualifiers")
+    return n
+
+
+#: Circuit factory per Table 3 row name.
+CIRCUITS: Dict[str, Callable[[], Netlist]] = {
+    "Array-delete": array_delete,
+    "Array-insert": array_insert,
+    "Array-find": array_find,
+    "Database": database,
+    "Dynamic Prog": dynamic_prog,
+    "Matrix": matrix,
+    "MPEG-MMX": mpeg_mmx,
+}
+
+#: Paper Table 3 reference values: name -> (LEs, speed ns, code KB).
+TABLE3_PAPER = {
+    "Array-delete": (109, 29.0, 2.7),
+    "Array-insert": (115, 26.2, 2.9),
+    "Array-find": (141, 32.1, 3.5),
+    "Database": (142, 35.4, 3.5),
+    "Dynamic Prog": (179, 39.2, 4.5),
+    "Matrix": (205, 45.3, 5.6),
+    "MPEG-MMX": (131, 34.6, 3.3),
+}

@@ -1,0 +1,106 @@
+"""4-LUT technology mapping: LE counts per operator.
+
+Standard mapping results for a 4-input LUT + 1 FF logic element
+(Altera FLEX-10K style, the paper's target):
+
+* n-bit adder: n LEs — one LUT per bit using the dedicated carry chain.
+* n-bit equality: a log-4 AND-reduction tree over per-4-bit compares.
+* n-bit magnitude compare: n LEs (carry-chain subtract, borrow out).
+* 2:1 mux: 1 LE per bit (3 inputs); 4:1 mux: 2 LEs per bit (6 inputs).
+* 2-input bitwise: 1 LE per bit.
+* register: 1 LE per bit (the LE's flip-flop; LUT may be unused).
+* counter: 1 LE per bit (adder LUT + FF pack into one LE).
+* saturation clamp: overflow detect (~n/4 tree) + output mux (n).
+* FSM with s states: one-hot — s FFs plus roughly s next-state LUTs.
+* ROM: 1 LE per output bit (small decode tables).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.synth.netlist import Netlist, Operator, OpKind
+
+
+def _reduction_tree_luts(n_bits: int) -> int:
+    """LUTs in a log-4 reduction tree over ``n_bits`` inputs."""
+    luts = 0
+    width = n_bits
+    while width > 1:
+        width = math.ceil(width / 4)
+        luts += width
+    return max(luts, 1)
+
+
+def operator_les(op: Operator) -> int:
+    """Logic elements one operator maps to."""
+    n = op.bits
+    if op.kind is OpKind.ADD:
+        return n
+    if op.kind is OpKind.EQ:
+        return _reduction_tree_luts(n)
+    if op.kind is OpKind.LT:
+        return n
+    if op.kind is OpKind.MUX2:
+        return n
+    if op.kind is OpKind.MUX4:
+        return 2 * n
+    if op.kind is OpKind.BITWISE:
+        return n
+    if op.kind is OpKind.REG:
+        return n
+    if op.kind is OpKind.COUNTER:
+        return n
+    if op.kind is OpKind.SATCLAMP:
+        return _reduction_tree_luts(n) + n
+    if op.kind is OpKind.FSM:
+        states = n
+        return states + states  # one-hot FFs + next-state logic
+    if op.kind is OpKind.ROM:
+        return n
+    raise ValueError(f"unmapped operator kind {op.kind}")
+
+
+def le_count(netlist: Netlist) -> int:
+    """Total LEs of a netlist (completely + partially used, Table 3)."""
+    return sum(operator_les(op) for op in netlist.operators)
+
+
+def operator_levels(op: Operator) -> float:
+    """LUT levels the operator contributes to its stage's path."""
+    n = op.bits
+    if op.kind is OpKind.ADD:
+        # Dedicated carry chain: one LUT level plus fast per-bit carry
+        # (~1/8 of a LUT delay per bit is a good FLEX-10K-era figure).
+        return 1.0 + n / 8.0
+    if op.kind is OpKind.EQ:
+        return max(1.0, math.ceil(math.log(max(n, 2), 4)) + 1.0)
+    if op.kind is OpKind.LT:
+        return 1.0 + n / 8.0
+    if op.kind is OpKind.MUX2:
+        return 1.0
+    if op.kind is OpKind.MUX4:
+        return 2.0
+    if op.kind is OpKind.BITWISE:
+        return 1.0
+    if op.kind is OpKind.REG:
+        return 0.0  # path endpoint
+    if op.kind is OpKind.COUNTER:
+        return 1.0 + n / 8.0
+    if op.kind is OpKind.SATCLAMP:
+        return 2.0
+    if op.kind is OpKind.FSM:
+        return 2.0
+    if op.kind is OpKind.ROM:
+        return 1.0
+    raise ValueError(f"unmapped operator kind {op.kind}")
+
+
+#: Configuration-stream bytes per LE (SRAM config bits + addressing);
+#: calibrated against the paper's code-size column (~25.5 B/LE).
+CODE_BYTES_PER_LE = 25.5
+
+
+def code_size_bytes(netlist: Netlist) -> int:
+    """Estimated configuration bitstream size ("code" in Table 3)."""
+    return round(le_count(netlist) * CODE_BYTES_PER_LE)

@@ -1,0 +1,74 @@
+"""Circuit descriptions: staged dataflow graphs of datapath operators.
+
+A :class:`Netlist` is a list of :class:`Operator` s, each assigned to a
+pipeline *stage* (register-to-register section).  Operators within a
+stage are assumed chained for timing purposes — conservative, matching
+the short datapaths of the paper's circuits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class OpKind(enum.Enum):
+    """Datapath operator vocabulary (a 4-LUT mapping target)."""
+
+    ADD = "add"  # ripple/carry-chain adder or subtractor
+    EQ = "eq"  # equality comparator (log-4 reduction tree)
+    LT = "lt"  # magnitude comparator
+    MUX2 = "mux2"  # 2:1 multiplexer
+    MUX4 = "mux4"  # 4:1 multiplexer
+    BITWISE = "bitwise"  # 2-input and/or/xor
+    REG = "reg"  # pipeline/holding register (1 LE per bit)
+    COUNTER = "counter"  # loadable counter (adder + register packed)
+    SATCLAMP = "satclamp"  # saturation clamp (overflow detect + mux)
+    FSM = "fsm"  # control state machine ('bits' = number of states)
+    ROM = "rom"  # small LUT ROM ('bits' = output bits)
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One datapath operator of ``bits`` width, in pipeline ``stage``."""
+
+    kind: OpKind
+    bits: int
+    stage: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"operator {self.kind} needs positive width")
+        if self.stage < 0:
+            raise ValueError("stage cannot be negative")
+
+
+@dataclass
+class Netlist:
+    """A named circuit built from staged operators."""
+
+    name: str
+    operators: List[Operator] = field(default_factory=list)
+
+    def add(self, kind: OpKind, bits: int, stage: int = 0, name: str = "") -> "Netlist":
+        """Append an operator (chainable)."""
+        self.operators.append(Operator(kind, bits, stage, name))
+        return self
+
+    @property
+    def n_stages(self) -> int:
+        if not self.operators:
+            return 0
+        return max(op.stage for op in self.operators) + 1
+
+    def stage_operators(self, stage: int) -> List[Operator]:
+        return [op for op in self.operators if op.stage == stage]
+
+    def by_kind(self) -> Dict[OpKind, int]:
+        """Operator count per kind (for reports and tests)."""
+        counts: Dict[OpKind, int] = {}
+        for op in self.operators:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts

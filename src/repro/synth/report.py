@@ -1,0 +1,63 @@
+"""Table 3 regeneration: synthesize every application circuit.
+
+``table3()`` returns one :class:`SynthesisResult` per circuit in the
+paper's row order; ``format_table3`` renders it next to the paper's
+published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.synth.circuits import CIRCUITS, TABLE3_PAPER
+from repro.synth.lut import code_size_bytes, le_count
+from repro.synth.netlist import Netlist
+from repro.synth.timing import critical_path_ns
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """One synthesized circuit: the columns of Table 3."""
+
+    name: str
+    les: int
+    speed_ns: float
+    code_kb: float
+
+    @property
+    def max_clock_mhz(self) -> float:
+        return 1e3 / self.speed_ns
+
+
+def synthesize(netlist: Netlist) -> SynthesisResult:
+    """Map and time one circuit."""
+    return SynthesisResult(
+        name=netlist.name,
+        les=le_count(netlist),
+        speed_ns=critical_path_ns(netlist),
+        code_kb=code_size_bytes(netlist) / 1024.0,
+    )
+
+
+def table3() -> List[SynthesisResult]:
+    """Synthesize all seven circuits in the paper's row order."""
+    return [synthesize(factory()) for factory in CIRCUITS.values()]
+
+
+def format_table3(results: List[SynthesisResult] = None) -> str:
+    """Render Table 3 with measured-vs-paper columns."""
+    results = results if results is not None else table3()
+    lines = [
+        "Table 3: Active-Page functions synthesized for RADram",
+        f"{'Application':<14} {'LEs':>5} {'(paper)':>8} {'Speed':>8} "
+        f"{'(paper)':>8} {'Code':>7} {'(paper)':>8}",
+    ]
+    for r in results:
+        paper = TABLE3_PAPER.get(r.name)
+        p_les, p_speed, p_code = paper if paper else ("-", "-", "-")
+        lines.append(
+            f"{r.name:<14} {r.les:>5} {p_les:>8} {r.speed_ns:>6.1f}ns "
+            f"{p_speed:>6.1f}ns {r.code_kb:>5.1f}KB {p_code:>6.1f}KB"
+        )
+    return "\n".join(lines)

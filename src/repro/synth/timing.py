@@ -1,0 +1,30 @@
+"""Critical-path timing estimate.
+
+Post-route delay per stage is modeled as a fixed register overhead
+(clock-to-Q + setup) plus a per-LUT-level delay covering LUT plus local
+routing — the dominant terms in FLEX-10K-era devices.  The achievable
+clock period of the whole circuit is the slowest stage.
+"""
+
+from __future__ import annotations
+
+from repro.synth.lut import operator_levels
+from repro.synth.netlist import Netlist
+
+#: Register clock-to-Q plus setup (ns).
+T_REG_NS = 4.0
+#: One LUT level including local routing (ns) — FLEX-10K-3 class.
+T_LEVEL_NS = 3.6
+
+
+def stage_levels(netlist: Netlist, stage: int) -> float:
+    """LUT levels of one pipeline stage (operators assumed chained)."""
+    return sum(operator_levels(op) for op in netlist.stage_operators(stage))
+
+
+def critical_path_ns(netlist: Netlist) -> float:
+    """Achievable clock period: the slowest register-to-register path."""
+    if not netlist.operators:
+        return T_REG_NS
+    worst = max(stage_levels(netlist, s) for s in range(netlist.n_stages))
+    return T_REG_NS + worst * T_LEVEL_NS

@@ -1,0 +1,10 @@
+"""Text visualization of simulation runs.
+
+``render_gantt`` draws the processor/pages overlap picture of the
+paper's Figure 6 — activation ramps, parallel page computation,
+post-processing — for any simulated run, as plain text.
+"""
+
+from repro.viz.gantt import page_intervals, render_gantt
+
+__all__ = ["page_intervals", "render_gantt"]

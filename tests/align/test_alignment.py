@@ -1,0 +1,162 @@
+"""Tests for the sequence alignment suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.alignment import GAP_CHAR, needleman_wunsch, smith_waterman
+from repro.align.lcs import hirschberg_lcs, is_common_subsequence
+from repro.apps.data import lcs_reference, related_sequences
+
+protein = st.text(alphabet="ACDEFG", min_size=0, max_size=18).map(str.encode)
+protein_nonempty = st.text(alphabet="ACDEFG", min_size=1, max_size=18).map(str.encode)
+
+
+def nw_bruteforce(a: bytes, b: bytes, match=2, mismatch=-1, gap=-2) -> int:
+    table = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+    for i in range(1, len(a) + 1):
+        table[i][0] = i * gap
+    for j in range(1, len(b) + 1):
+        table[0][j] = j * gap
+    for i in range(1, len(a) + 1):
+        for j in range(1, len(b) + 1):
+            sub = match if a[i - 1] == b[j - 1] else mismatch
+            table[i][j] = max(
+                table[i - 1][j - 1] + sub,
+                table[i - 1][j] + gap,
+                table[i][j - 1] + gap,
+            )
+    return table[-1][-1]
+
+
+class TestHirschberg:
+    def test_recovers_known_lcs(self):
+        assert hirschberg_lcs(b"ABCBDAB", b"BDCABA") in (b"BCAB", b"BCBA", b"BDAB")
+
+    def test_empty_inputs(self):
+        assert hirschberg_lcs(b"", b"ABC") == b""
+        assert hirschberg_lcs(b"ABC", b"") == b""
+
+    def test_identical_strings(self):
+        s = b"PROTEIN"
+        assert hirschberg_lcs(s, s) == s
+
+    @given(a=protein, b=protein)
+    @settings(max_examples=150, deadline=None)
+    def test_result_is_a_common_subsequence_of_dp_length(self, a, b):
+        lcs = hirschberg_lcs(a, b)
+        assert is_common_subsequence(lcs, a, b)
+        assert len(lcs) == lcs_reference(a, b)
+
+    def test_scales_to_real_sequences(self):
+        a, b = related_sequences(300, seed=0)
+        lcs = hirschberg_lcs(a, b)
+        assert is_common_subsequence(lcs, a, b)
+        assert len(lcs) == lcs_reference(a, b)
+
+
+class TestNeedlemanWunsch:
+    def test_identical_strings_align_perfectly(self):
+        r = needleman_wunsch(b"ACDEFG", b"ACDEFG")
+        assert r.score == 2 * 6
+        assert r.aligned_a == r.aligned_b == b"ACDEFG"
+        assert r.identity() == 1.0
+
+    def test_gap_inserted_for_deletion(self):
+        r = needleman_wunsch(b"ACDG", b"ACG")
+        assert r.aligned_a == b"ACDG"
+        assert r.aligned_b.count(GAP_CHAR) == 1
+
+    def test_alignment_strings_have_equal_length(self):
+        r = needleman_wunsch(b"AAAA", b"CC")
+        assert len(r.aligned_a) == len(r.aligned_b)
+
+    def test_score_matches_alignment_columns(self):
+        a, b = b"ACDEF", b"ADF"
+        r = needleman_wunsch(a, b)
+        score = 0
+        for x, y in zip(r.aligned_a, r.aligned_b):
+            if x == GAP_CHAR or y == GAP_CHAR:
+                score += -2
+            elif x == y:
+                score += 2
+            else:
+                score += -1
+        assert score == r.score
+
+    def test_bad_scoring_rejected(self):
+        with pytest.raises(ValueError):
+            needleman_wunsch(b"A", b"A", match=-1)
+
+    @given(a=protein, b=protein)
+    @settings(max_examples=100, deadline=None)
+    def test_score_matches_bruteforce(self, a, b):
+        assert needleman_wunsch(a, b).score == nw_bruteforce(a, b)
+
+    @given(a=protein, b=protein)
+    @settings(max_examples=60, deadline=None)
+    def test_degapped_alignment_reproduces_inputs(self, a, b):
+        r = needleman_wunsch(a, b)
+        assert bytes(ch for ch in r.aligned_a if ch != GAP_CHAR) == a
+        assert bytes(ch for ch in r.aligned_b if ch != GAP_CHAR) == b
+
+
+class TestSmithWaterman:
+    def test_finds_embedded_common_substring(self):
+        r = smith_waterman(b"XXXACDEFGYYY", b"QQACDEFGPP")
+        assert r.aligned_a == b"ACDEFG"
+        assert r.aligned_b == b"ACDEFG"
+        assert r.score == 2 * 6
+
+    def test_spans_locate_the_region(self):
+        a, b = b"XXXACDEFGYYY", b"QQACDEFGPP"
+        r = smith_waterman(a, b)
+        assert a[r.span_a[0] : r.span_a[1]] == b"ACDEFG"
+        assert b[r.span_b[0] : r.span_b[1]] == b"ACDEFG"
+
+    def test_unrelated_strings_score_low_but_nonnegative(self):
+        r = smith_waterman(b"AAAA", b"CCCC")
+        assert r.score >= 0
+
+    @given(a=protein, b=protein)
+    @settings(max_examples=100, deadline=None)
+    def test_local_score_at_least_global(self, a, b):
+        # Local alignment can always do at least as well as 0 and at
+        # least as well as the best global sub-alignment.
+        local = smith_waterman(a, b).score
+        assert local >= 0
+        if a and b:
+            assert local >= max(0, needleman_wunsch(a, b).score)
+
+    @given(core=protein_nonempty, pad=protein)
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_core_always_found(self, core, pad):
+        a = pad + core + pad
+        local = smith_waterman(a, core).score
+        assert local >= 2 * len(core)
+
+
+class TestTimedAlignment:
+    def test_radram_beats_conventional(self):
+        from repro.align.timed import align_timed
+
+        a, b = related_sequences(256, seed=1)
+        conv = align_timed(a, b, system="conventional")
+        rad = align_timed(a, b, system="radram")
+        assert rad.result.score == conv.result.score
+        assert rad.total_ns < conv.total_ns
+
+    def test_local_and_global_both_supported(self):
+        from repro.align.timed import align_timed
+
+        a, b = related_sequences(64, seed=2)
+        for algorithm in ("global", "local"):
+            timed = align_timed(a, b, algorithm=algorithm, system="radram")
+            assert timed.total_ns > 0
+
+    def test_unknown_algorithm_rejected(self):
+        from repro.align.timed import align_timed
+
+        with pytest.raises(ValueError):
+            align_timed(b"A", b"A", algorithm="quantum")

@@ -1,0 +1,149 @@
+"""Unit + property tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.data import (
+    RECORD_BYTES,
+    RECORD_LAYOUT,
+    SparseVectorPair,
+    address_book,
+    boeing_pairs,
+    field_bytes,
+    lcs_reference,
+    median3x3_reference,
+    mpeg_blocks,
+    noisy_image,
+    protein_sequence,
+    related_sequences,
+    simplex_pairs,
+)
+
+
+def lcs_bruteforce(a: bytes, b: bytes) -> int:
+    table = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+    for i, ca in enumerate(a, 1):
+        for j, cb in enumerate(b, 1):
+            if ca == cb:
+                table[i][j] = table[i - 1][j - 1] + 1
+            else:
+                table[i][j] = max(table[i - 1][j], table[i][j - 1])
+    return table[-1][-1]
+
+
+class TestAddressBook:
+    def test_record_layout_fits(self):
+        last = max(off + length for off, length in RECORD_LAYOUT.values())
+        assert last <= RECORD_BYTES
+
+    def test_deterministic_in_seed(self):
+        assert np.array_equal(address_book(10, seed=3), address_book(10, seed=3))
+        assert not np.array_equal(address_book(10, seed=3), address_book(10, seed=4))
+
+    def test_names_are_ascii(self):
+        records = address_book(20, seed=0)
+        name = field_bytes(records[0], "lastname").rstrip(b"\x00")
+        assert name.isalpha()
+
+    def test_names_repeat_so_queries_match(self):
+        records = address_book(500, seed=0)
+        names = {field_bytes(r, "lastname") for r in records}
+        assert len(names) < 500  # collisions exist
+
+
+class TestImages:
+    def test_median_removes_isolated_impulse(self):
+        img = np.full((5, 5), 100, dtype=np.uint16)
+        img[2, 2] = 4000
+        out = median3x3_reference(img)
+        assert out[2, 2] == 100
+
+    def test_median_preserves_borders(self):
+        img = noisy_image(8, 8, seed=1)
+        out = median3x3_reference(img)
+        assert np.array_equal(out[0], img[0])
+        assert np.array_equal(out[:, -1], img[:, -1])
+
+    def test_median_of_constant_is_constant(self):
+        img = np.full((6, 7), 42, dtype=np.uint16)
+        assert np.array_equal(median3x3_reference(img), img)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_median_matches_numpy_median(self, seed):
+        rng = np.random.default_rng(seed)
+        img = rng.integers(0, 4096, (7, 9)).astype(np.uint16)
+        out = median3x3_reference(img)
+        for i in range(1, 6):
+            for j in range(1, 8):
+                expected = np.median(img[i - 1 : i + 2, j - 1 : j + 2])
+                assert out[i, j] == int(expected)
+
+
+class TestSequences:
+    def test_protein_alphabet(self):
+        seq = protein_sequence(200, seed=0)
+        assert set(seq) <= set(b"ACDEFGHIKLMNPQRSTVWY")
+
+    def test_related_sequences_share_structure(self):
+        a, b = related_sequences(100, seed=0)
+        assert len(a) == len(b) == 100
+        # Homologs: LCS much longer than for random pairs.
+        assert lcs_reference(a, b) > 60
+
+    @given(
+        a=st.binary(min_size=0, max_size=24),
+        b=st.binary(min_size=0, max_size=24),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lcs_reference_matches_bruteforce(self, a, b):
+        assert lcs_reference(a, b) == lcs_bruteforce(a, b)
+
+    def test_lcs_identical_sequences(self):
+        s = protein_sequence(50, seed=1)
+        assert lcs_reference(s, s) == 50
+
+
+class TestSparsePairs:
+    def test_simplex_density_is_constant(self):
+        pairs = simplex_pairs(10, seed=0)
+        sizes = {len(p.idx_a) for p in pairs}
+        assert len(sizes) == 1
+
+    def test_boeing_density_varies(self):
+        pairs = boeing_pairs(20, seed=0)
+        sizes = [len(p.idx_a) for p in pairs]
+        assert max(sizes) > 1.5 * min(sizes)
+
+    def test_simplex_matches_near_operating_point(self):
+        pairs = simplex_pairs(20, seed=0)
+        mean_m = np.mean([len(p.matches()) for p in pairs])
+        assert 40 < mean_m < 80  # calibrated ~58
+
+    def test_indices_sorted_and_unique(self):
+        for p in simplex_pairs(3, seed=1) + boeing_pairs(3, seed=1):
+            for idx in (p.idx_a, p.idx_b):
+                assert np.all(np.diff(idx) > 0)
+
+    def test_dot_matches_dense_computation(self):
+        p = simplex_pairs(1, seed=5)[0]
+        dense_a = np.zeros(10000)
+        dense_b = np.zeros(10000)
+        dense_a[p.idx_a] = p.val_a
+        dense_b[p.idx_b] = p.val_b
+        assert p.dot() == pytest.approx(float(dense_a @ dense_b))
+
+
+class TestMpegBlocks:
+    def test_shapes(self):
+        frames, corrections = mpeg_blocks(10, seed=0)
+        assert frames.shape == (10, 64)
+        assert corrections.shape == (10, 64)
+
+    def test_saturation_actually_occurs(self):
+        # Some sums must exceed int16 so saturating != wrapping.
+        frames, corrections = mpeg_blocks(100, seed=0)
+        sums = frames.astype(np.int32) + corrections.astype(np.int32)
+        assert np.any(sums > 32767) or np.any(sums < -32768)

@@ -1,0 +1,44 @@
+"""Tests for field-parameterized database queries."""
+
+import pytest
+
+from repro.apps.data import RECORD_LAYOUT
+from repro.apps.database import DatabaseApp
+from repro.experiments.runner import run_conventional, run_radram
+
+PAGE = 64 * 1024
+
+
+class TestSearchFields:
+    @pytest.mark.parametrize("field", ["lastname", "firstname", "city", "zip"])
+    def test_any_string_field_searchable(self, field):
+        app = DatabaseApp(search_field=field)
+        conv = run_conventional(app, 2, page_bytes=PAGE, functional=True, cap_pages=None)
+        rad = run_radram(app, 2, page_bytes=PAGE, functional=True)
+        app.check_equivalence(conv.workload, rad.workload)
+        assert rad.workload.results["count"] >= 1
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            DatabaseApp(search_field="shoe_size")
+
+    def test_different_fields_give_different_counts(self):
+        # A lastname query and a zip query over the same book find
+        # different record sets (zips are near-unique, names repeat).
+        name_app = DatabaseApp(search_field="lastname")
+        zip_app = DatabaseApp(search_field="zip")
+        name_run = run_radram(name_app, 4, page_bytes=PAGE, functional=True)
+        zip_run = run_radram(zip_app, 4, page_bytes=PAGE, functional=True)
+        assert name_run.workload.results["count"] >= zip_run.workload.results["count"]
+
+    def test_shorter_fields_still_one_line_per_record(self):
+        # The zip field (10 B) fits one cache line: the conventional
+        # scan's miss count equals the record count either way.
+        app = DatabaseApp(search_field="zip")
+        conv = run_conventional(app, 1, page_bytes=PAGE, cap_pages=None)
+        assert conv.total_ns > 0
+
+    def test_default_registry_instance_uses_lastname(self):
+        from repro.apps.registry import get_app
+
+        assert get_app("database").search_field == "lastname"

@@ -1,0 +1,128 @@
+"""Functional equivalence: conventional vs Active-Page versions.
+
+The load-bearing integration tests of the repository: both versions of
+every application run on real bytes and must produce identical results
+— across whole-page, multi-page and fractional (sub-page) problem
+sizes and several seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import ALL_APPS, get_app
+from repro.experiments.runner import run_conventional, run_radram
+
+PAGE = 16 * 1024
+
+ALL_NAMES = sorted(ALL_APPS)
+
+
+def run_both(name, n_pages, seed=0, page_bytes=PAGE):
+    app = get_app(name)
+    conv = run_conventional(
+        app, n_pages, page_bytes=page_bytes, functional=True, seed=seed, cap_pages=None
+    )
+    rad = run_radram(app, n_pages, page_bytes=page_bytes, functional=True, seed=seed)
+    return app, conv, rad
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_single_page(self, name):
+        app, conv, rad = run_both(name, 1)
+        app.check_equivalence(conv.workload, rad.workload)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_multi_page(self, name):
+        app, conv, rad = run_both(name, 5)
+        app.check_equivalence(conv.workload, rad.workload)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_sub_page(self, name):
+        app, conv, rad = run_both(name, 0.4)
+        app.check_equivalence(conv.workload, rad.workload)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_seeds(self, name, seed):
+        app, conv, rad = run_both(name, 3, seed=seed)
+        app.check_equivalence(conv.workload, rad.workload)
+
+    @pytest.mark.parametrize("name", ["array-insert", "median-kernel", "database"])
+    def test_larger_pages(self, name):
+        app, conv, rad = run_both(name, 2, page_bytes=64 * 1024)
+        app.check_equivalence(conv.workload, rad.workload)
+
+
+class TestResultSanity:
+    """The results are not just equal — they are *right*."""
+
+    def test_array_insert_really_inserts(self):
+        app, conv, rad = run_both("array-insert", 2)
+        arr = rad.workload.results["array"]
+        pos = rad.workload.data["position"]
+        assert arr[pos] == app.VALUE
+        initial = rad.workload.data["initial"]
+        assert np.array_equal(arr[:pos], initial[:pos])
+        assert np.array_equal(arr[pos + 1 :], initial[pos:-1])
+
+    def test_array_delete_really_deletes(self):
+        app, conv, rad = run_both("array-delete", 2)
+        arr = rad.workload.results["array"]
+        pos = rad.workload.data["position"]
+        initial = rad.workload.data["initial"]
+        assert np.array_equal(arr[:pos], initial[:pos])
+        assert np.array_equal(arr[pos:-1], initial[pos + 1 :])
+        assert arr[-1] == 0
+
+    def test_array_find_counts_planted_keys(self):
+        app, conv, rad = run_both("array-find", 2)
+        w = rad.workload
+        expected = int(np.count_nonzero(w.data["initial"] == w.data["key"]))
+        assert w.results["count"] == expected
+        assert expected > 0
+
+    def test_database_count_positive(self):
+        app, conv, rad = run_both("database", 2)
+        assert rad.workload.results["count"] >= 1
+
+    def test_median_matches_reference_filter(self):
+        from repro.apps.data import median3x3_reference
+
+        app, conv, rad = run_both("median-kernel", 3)
+        expected = median3x3_reference(rad.workload.data["image"])
+        assert np.array_equal(rad.workload.results["filtered"], expected)
+
+    def test_lcs_length_is_plausible(self):
+        app, conv, rad = run_both("dynamic-prog", 1)
+        n = rad.workload.data["n"]
+        lcs = rad.workload.results["lcs"]
+        assert 0 < lcs <= n
+        assert lcs > n // 2  # related sequences
+
+    def test_matrix_dots_match_scipy(self):
+        import scipy.sparse as sp
+
+        app, conv, rad = run_both("matrix-simplex", 3)
+        pairs = rad.workload.data["pairs"]
+        dots = rad.workload.results["dots"]
+        for pair, dot in zip(pairs, dots):
+            size = 1 + int(max(pair.idx_a.max(), pair.idx_b.max()))
+            va = sp.csr_matrix(
+                (pair.val_a, (np.zeros(len(pair.idx_a), dtype=int), pair.idx_a)),
+                shape=(1, size),
+            )
+            vb = sp.csr_matrix(
+                (pair.val_b, (np.zeros(len(pair.idx_b), dtype=int), pair.idx_b)),
+                shape=(1, size),
+            )
+            assert dot == pytest.approx((va @ vb.T)[0, 0])
+
+    def test_mpeg_saturating_semantics(self):
+        app, conv, rad = run_both("mpeg-mmx", 2)
+        w = rad.workload
+        exact = w.data["frames"].astype(np.int32) + w.data["corrections"].astype(
+            np.int32
+        )
+        expected = np.clip(exact, -32768, 32767).astype(np.int16)
+        assert np.array_equal(w.results["frames"], expected)

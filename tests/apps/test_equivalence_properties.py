@@ -1,0 +1,63 @@
+"""Property-based functional equivalence across random problem sizes.
+
+The fixed-size equivalence tests pin typical shapes; these let
+hypothesis choose fractional and awkward page counts and seeds, on the
+apps whose page decomposition has boundary-carry logic (the likeliest
+place for an off-by-one).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.registry import get_app
+from repro.experiments.runner import run_conventional, run_radram
+
+PAGE = 8 * 1024
+
+sizes = st.one_of(
+    st.floats(min_value=0.1, max_value=0.95),  # sub-page
+    st.integers(min_value=1, max_value=6).map(float),  # whole pages
+    st.floats(min_value=1.1, max_value=5.9),  # partial last page
+)
+
+
+def check(name, n_pages, seed):
+    app = get_app(name)
+    conv = run_conventional(
+        app, n_pages, page_bytes=PAGE, functional=True, seed=seed, cap_pages=None
+    )
+    rad = run_radram(app, n_pages, page_bytes=PAGE, functional=True, seed=seed)
+    app.check_equivalence(conv.workload, rad.workload)
+
+
+class TestEquivalenceProperties:
+    @given(n_pages=sizes, seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_array_insert(self, n_pages, seed):
+        check("array-insert", n_pages, seed)
+
+    @given(n_pages=sizes, seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_array_delete(self, n_pages, seed):
+        check("array-delete", n_pages, seed)
+
+    @given(n_pages=sizes, seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_array_find(self, n_pages, seed):
+        check("array-find", n_pages, seed)
+
+    @given(n_pages=sizes, seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_median_band_halos(self, n_pages, seed):
+        check("median-kernel", n_pages, seed)
+
+    @given(n_pages=sizes, seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_database_blocks(self, n_pages, seed):
+        check("database", n_pages, seed)
+
+    @given(n_pages=sizes, seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_lcs_bands(self, n_pages, seed):
+        check("dynamic-prog", n_pages, seed)

@@ -1,0 +1,111 @@
+"""Structural and timing properties of the application op streams."""
+
+import pytest
+
+from repro.apps.base import PHASE_ACTIVATION, PHASE_POST
+from repro.apps.registry import ALL_APPS, FIG3_APPS, TABLE4_APPS, get_app
+from repro.experiments.runner import run_conventional, run_radram
+from repro.sim import ops as O
+
+PAGE = 16 * 1024
+
+ALL_NAMES = sorted(ALL_APPS)
+
+
+class TestStreamStructure:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_phases_balance(self, name):
+        app = get_app(name)
+        w = app.workload(3, PAGE, functional=False)
+        depth = 0
+        for op in app.radram_stream(w):
+            if isinstance(op, O.BeginPhase):
+                depth += 1
+            elif isinstance(op, O.EndPhase):
+                depth -= 1
+            assert depth >= 0
+        assert depth == 0
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_every_activation_is_awaited(self, name):
+        app = get_app(name)
+        w = app.workload(3, PAGE, functional=False)
+        activated, waited = set(), set()
+        activations = 0
+        for op in app.radram_stream(w):
+            if isinstance(op, O.Activate):
+                activated.add(op.page_no)
+                activations += 1
+            elif isinstance(op, O.WaitPage):
+                waited.add(op.page_no)
+        if name == "array-delete":
+            pass  # sub-page fallback handled below; 3 pages activate
+        assert activations >= 1
+        assert activated <= waited
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_conventional_stream_has_no_active_page_ops(self, name):
+        app = get_app(name)
+        w = app.workload(2, PAGE, functional=False)
+        for op in app.conventional_stream(w):
+            assert not isinstance(op, (O.Activate, O.WaitPage, O.ServicePending))
+
+    @pytest.mark.parametrize("name", TABLE4_APPS)
+    def test_descriptor_words_match_declaration(self, name):
+        app = get_app(name)
+        w = app.workload(2, PAGE, functional=False)
+        for op in app.radram_stream(w):
+            if isinstance(op, O.Activate):
+                assert op.descriptor_words == app.descriptor_words
+
+    def test_streams_are_deterministic(self):
+        app = get_app("database")
+        w1 = app.workload(2, PAGE, functional=False, seed=7)
+        w2 = app.workload(2, PAGE, functional=False, seed=7)
+        assert list(app.conventional_stream(w1)) == list(app.conventional_stream(w2))
+
+
+class TestTimingProperties:
+    @pytest.mark.parametrize("name", FIG3_APPS)
+    def test_radram_beats_conventional_at_scale(self, name):
+        app = get_app(name)
+        conv = run_conventional(app, 8, page_bytes=PAGE, cap_pages=None)
+        rad = run_radram(app, 8, page_bytes=PAGE)
+        assert conv.total_ns > rad.total_ns
+
+    def test_conventional_cost_roughly_linear_in_pages(self):
+        app = get_app("array-find")
+        t4 = run_conventional(app, 4, page_bytes=PAGE, cap_pages=None).total_ns
+        t8 = run_conventional(app, 8, page_bytes=PAGE, cap_pages=None).total_ns
+        assert t8 / t4 == pytest.approx(2.0, rel=0.1)
+
+    def test_subpage_delete_uses_processor(self):
+        # The adaptive algorithm: sub-page deletes run conventionally,
+        # so both systems take the same time.
+        app = get_app("array-delete")
+        conv = run_conventional(app, 0.5, page_bytes=PAGE, cap_pages=None)
+        rad = run_radram(app, 0.5, page_bytes=PAGE)
+        assert rad.total_ns == pytest.approx(conv.total_ns, rel=0.05)
+
+    def test_activation_time_constant_per_page(self):
+        # Section 2: "activation time is generally constant for each
+        # page for a given function".
+        app = get_app("database")
+        r_small = run_radram(app, 4, page_bytes=PAGE)
+        r_large = run_radram(app, 16, page_bytes=PAGE)
+        ta_small = r_small.stats.phase_mean_ns(PHASE_ACTIVATION)
+        ta_large = r_large.stats.phase_mean_ns(PHASE_ACTIVATION)
+        assert ta_large == pytest.approx(ta_small, rel=0.02)
+
+    def test_stall_fraction_falls_as_pages_grow(self):
+        # Figure 4: saturating apps overlap completely at scale.
+        app = get_app("matrix-simplex")
+        small = run_radram(app, 2, page_bytes=PAGE)
+        large = run_radram(app, 32, page_bytes=PAGE)
+        assert large.stall_fraction < small.stall_fraction
+
+    def test_mpeg_wide_instructions_fewer_activations(self):
+        app = get_app("mpeg-mmx")
+        r = run_radram(app, 4, page_bytes=PAGE)
+        # One wide instruction per page, not one per 32-bit word.
+        assert r.stats.activations == 4

@@ -1,0 +1,184 @@
+"""Unit + property tests for the Figure 7 analytic model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import (
+    non_overlap_times,
+    pages_for_complete_overlap,
+    partitioned_time,
+    predict_speedup,
+    speedup_correlation,
+    speedup_overall,
+    speedup_partitioned,
+)
+
+pos_time = st.floats(min_value=0.01, max_value=1e4, allow_nan=False)
+
+
+class TestNonOverlap:
+    def test_single_page_stalls_for_full_tc(self):
+        # With one page there is nothing to overlap with.
+        no = non_overlap_times(t_a=1.0, t_p=1.0, t_c=100.0, n_pages=1)
+        assert no[0] == pytest.approx(100.0)
+
+    def test_many_pages_hide_tc_completely(self):
+        # 101 pages: after activating page 1 the processor spends
+        # 100 * t_a = t_c activating the rest, so NO(1) = 0, and later
+        # pages have even more slack.
+        no = non_overlap_times(t_a=1.0, t_p=1.0, t_c=100.0, n_pages=101)
+        assert np.all(no == 0.0)
+
+    def test_partial_overlap_shrinks_monotonically(self):
+        no = non_overlap_times(t_a=1.0, t_p=2.0, t_c=50.0, n_pages=10)
+        # First page stalls the most; later pages benefit from
+        # accumulated slack.
+        assert no[0] == pytest.approx(50.0 - 9.0)
+        assert np.all(np.diff(no) <= 0)
+
+    def test_earlier_stalls_count_as_slack(self):
+        # Page 2's gap includes NO(1): stalling on page 1 gave page 2
+        # time to compute.
+        no = non_overlap_times(t_a=0.0, t_p=0.0, t_c=10.0, n_pages=2)
+        assert no[0] == pytest.approx(10.0)
+        assert no[1] == pytest.approx(0.0)
+
+    def test_per_page_arrays_supported(self):
+        tc = [100.0, 1.0, 1.0]
+        no = non_overlap_times(t_a=1.0, t_p=1.0, t_c=tc, n_pages=3)
+        assert no[0] == pytest.approx(100.0 - 2.0)
+        assert no[1] == 0.0 and no[2] == 0.0
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            non_overlap_times([1.0, 2.0], 1.0, 1.0, n_pages=3)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            non_overlap_times(-1.0, 1.0, 1.0, n_pages=2)
+
+    @given(
+        ta=pos_time, tp=pos_time, tc=pos_time, k=st.integers(min_value=1, max_value=200)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_no_is_never_negative_and_bounded_by_tc(self, ta, tp, tc, k):
+        no = non_overlap_times(ta, tp, tc, k)
+        assert np.all(no >= 0.0)
+        assert np.all(no <= tc + 1e-9)
+
+    @given(ta=pos_time, tp=pos_time, tc=pos_time, k=st.integers(min_value=2, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_total_stall_never_grows_with_more_pages(self, ta, tp, tc, k):
+        """Per-page stall decreases as more pages provide slack."""
+        no_k = non_overlap_times(ta, tp, tc, k)
+        no_k1 = non_overlap_times(ta, tp, tc, k + 1)
+        assert no_k1[0] <= no_k[0] + 1e-9
+
+
+class TestSpeedup:
+    def test_partitioned_speedup_matches_hand_computation(self):
+        # K=2, ta=1, tp=1, tc=0 -> denom = 4; conv = 10*1*2 = 20.
+        s = speedup_partitioned(10.0, 1.0, 1.0, 1.0, 0.0, 2)
+        assert s == pytest.approx(5.0)
+
+    def test_speedup_grows_in_scalable_region(self):
+        args = dict(t_conv_per_item=10.0, alpha=1.0, t_a=1.0, t_p=1.0, t_c=1000.0)
+        s_small = speedup_partitioned(n_pages=2, **args)
+        s_large = speedup_partitioned(n_pages=64, **args)
+        assert s_large > s_small
+
+    def test_speedup_saturates_at_large_problem(self):
+        args = dict(t_conv_per_item=10.0, alpha=1.0, t_a=1.0, t_p=1.0, t_c=100.0)
+        s1 = speedup_partitioned(n_pages=1000, **args)
+        s2 = speedup_partitioned(n_pages=2000, **args)
+        # Once overlapped, speedup is conv/(ta+tp) per page: constant.
+        assert s1 == pytest.approx(s2)
+        assert s1 == pytest.approx(10.0 / 2.0)
+
+    def test_amdahl_limits_overall_speedup(self):
+        assert speedup_overall(0.5, 1e9) == pytest.approx(2.0, rel=1e-6)
+        assert speedup_overall(1.0, 7.0) == pytest.approx(7.0)
+        assert speedup_overall(0.0, 7.0) == pytest.approx(1.0)
+
+    def test_amdahl_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            speedup_overall(1.5, 2.0)
+
+    @given(
+        frac=st.floats(min_value=0.0, max_value=1.0),
+        sp=st.floats(min_value=0.1, max_value=1e6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_amdahl_bounds(self, frac, sp):
+        s = speedup_overall(frac, sp)
+        assert s <= max(sp, 1.0) + 1e-9
+        if sp >= 1.0:
+            assert s >= 1.0 - 1e-9
+
+
+class TestPagesForOverlap:
+    def test_activation_bound_case(self):
+        # t_a > t_p: the first page is hardest to hide;
+        # K ~ t_c / t_a + 1.  (Median filter's shape in Table 4.)
+        k = pages_for_complete_overlap(t_a=0.381, t_p=0.580, t_c=3502.0)
+        assert 5000 < k < 10000
+
+    def test_postprocessing_bound_case(self):
+        # t_p < t_a: the *last* page is hardest; K ~ t_c / t_p.
+        # (Array-insert's shape in Table 4.)
+        k = pages_for_complete_overlap(t_a=2.058, t_p=0.387, t_c=1250.0)
+        assert 2500 < k < 4000
+
+    def test_tiny_tc_needs_one_page(self):
+        assert pages_for_complete_overlap(1.0, 1.0, 0.0) == 1
+
+    def test_zero_overheads_never_overlap(self):
+        assert pages_for_complete_overlap(0.0, 0.0, 5.0, max_pages=4096) == 4096
+
+    @given(ta=pos_time, tp=pos_time, tc=pos_time)
+    @settings(max_examples=50, deadline=None)
+    def test_result_is_minimal(self, ta, tp, tc):
+        k = pages_for_complete_overlap(ta, tp, tc, max_pages=1 << 20)
+        if k < (1 << 20):
+            assert float(np.sum(non_overlap_times(ta, tp, tc, k))) == 0.0
+            if k > 1:
+                assert float(np.sum(non_overlap_times(ta, tp, tc, k - 1))) > 0.0
+
+
+class TestCorrelation:
+    def test_perfect_prediction(self):
+        measured = [1.0, 2.0, 4.0, 8.0]
+        assert speedup_correlation(measured, measured) == pytest.approx(1.0)
+
+    def test_linear_scaling_is_still_perfect(self):
+        assert speedup_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_poor_prediction_scores_low(self):
+        c = speedup_correlation([1, 2, 3, 4], [4, 1, 3, 2])
+        assert c < 0.5
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            speedup_correlation([1.0], [1.0])
+
+    def test_predict_speedup_is_figure7_special_case(self):
+        p = predict_speedup(10.0, 1.0, 1.0, 100.0, 50)
+        s = speedup_partitioned(10.0, 1.0, 1.0, 1.0, 100.0, 50)
+        assert p == pytest.approx(s)
+
+
+class TestPartitionedTime:
+    def test_sums_all_three_components(self):
+        # K=2, ta=1, tp=2, tc=10: NO(1)=10-1=9, NO(2)=max(0,10-(2+9))=0.
+        t = partitioned_time(1.0, 2.0, 10.0, 2)
+        assert t == pytest.approx(2 * 1.0 + 2 * 2.0 + 9.0)
+
+    @given(ta=pos_time, tp=pos_time, tc=pos_time, k=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_time_at_least_overheads_and_at_least_tc(self, ta, tp, tc, k):
+        t = partitioned_time(ta, tp, tc, k)
+        assert t >= k * (ta + tp) - 1e-6
+        # The kernel cannot finish before the first page's computation.
+        assert t >= tc - 1e-6

@@ -1,0 +1,172 @@
+"""Unit tests for pages, groups, sync areas and the AP interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import HostEmulationSystem
+from repro.core.errors import ActivationError, BindError, GroupError
+from repro.core.functions import APFunction, PageTask
+from repro.core.page import SYNC_BYTES
+from repro.core.sync import SyncState
+from repro.sim.memory import PagedMemory
+
+PAGE = 4096
+
+
+def make_system():
+    return HostEmulationSystem(memory=PagedMemory(page_bytes=PAGE))
+
+
+def fill_fn(value=7):
+    def apply(page, args):
+        page.data_view(np.uint8)[:] = value
+        return None
+
+    return APFunction(name="fill", apply=apply, cost=lambda args: PageTask.simple(10))
+
+
+def count_fn():
+    def apply(page, args):
+        (needle,) = args
+        return int(np.count_nonzero(page.data_view(np.uint32) == needle))
+
+    return APFunction(name="count", apply=apply)
+
+
+class TestAllocation:
+    def test_alloc_creates_n_pages(self):
+        sys = make_system()
+        group = sys.ap_alloc("g", 4)
+        assert len(group) == 4
+
+    def test_repeated_alloc_extends_group(self):
+        sys = make_system()
+        sys.ap_alloc("g", 2)
+        group = sys.ap_alloc("g", 3)
+        assert len(group) == 5
+
+    def test_groups_are_separate(self):
+        sys = make_system()
+        a = sys.ap_alloc("a", 1)
+        b = sys.ap_alloc("b", 1)
+        assert a.page(0).page_no != b.page(0).page_no
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(GroupError):
+            make_system().group("nope")
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(GroupError):
+            make_system().ap_alloc("g", 0)
+
+    def test_page_index_bounds_checked(self):
+        sys = make_system()
+        group = sys.ap_alloc("g", 2)
+        with pytest.raises(GroupError):
+            group.page(2)
+
+
+class TestPageLayout:
+    def test_data_plus_sync_equals_page(self):
+        sys = make_system()
+        page = sys.ap_alloc("g", 1).page(0)
+        assert page.data_bytes == PAGE - SYNC_BYTES
+
+    def test_sync_area_does_not_alias_data(self):
+        sys = make_system()
+        page = sys.ap_alloc("g", 1).page(0)
+        page.data_view(np.uint8)[:] = 0xFF
+        assert page.sync.status == SyncState.IDLE
+
+    def test_data_view_typed_and_writable(self):
+        sys = make_system()
+        page = sys.ap_alloc("g", 1).page(0)
+        words = page.data_view(np.uint32)
+        words[0] = 0xDEADBEEF
+        assert page.data_view(np.uint8)[0] == 0xEF  # little-endian
+
+
+class TestBinding:
+    def test_bind_then_activate(self):
+        sys = make_system()
+        sys.ap_alloc("g", 1)
+        sys.ap_bind("g", [fill_fn()])
+        sys.activate("g", 0, "fill")
+        page = sys.group("g").page(0)
+        assert np.all(page.data_view(np.uint8) == 7)
+        assert sys.is_done("g", 0)
+
+    def test_activation_of_unbound_function_raises(self):
+        sys = make_system()
+        sys.ap_alloc("g", 1)
+        sys.ap_bind("g", [fill_fn()])
+        with pytest.raises(BindError):
+            sys.activate("g", 0, "missing")
+
+    def test_rebind_replaces_function_set(self):
+        sys = make_system()
+        sys.ap_alloc("g", 1)
+        sys.ap_bind("g", [fill_fn()])
+        sys.ap_bind("g", [count_fn()])
+        with pytest.raises(BindError):
+            sys.activate("g", 0, "fill")
+
+    def test_le_budget_enforced(self):
+        sys = make_system()
+        sys.le_budget = 256
+        sys.ap_alloc("g", 1)
+        big = APFunction(name="big", apply=lambda p, a: None, le_count=300)
+        with pytest.raises(BindError):
+            sys.ap_bind("g", [big])
+
+    def test_le_budget_counts_whole_set(self):
+        sys = make_system()
+        sys.le_budget = 256
+        sys.ap_alloc("g", 1)
+        f1 = APFunction(name="a", apply=lambda p, a: None, le_count=150)
+        f2 = APFunction(name="b", apply=lambda p, a: None, le_count=150)
+        with pytest.raises(BindError):
+            sys.ap_bind("g", [f1, f2])
+        sys.ap_bind("g", [f1])  # fits alone
+
+    def test_duplicate_names_rejected(self):
+        sys = make_system()
+        sys.ap_alloc("g", 1)
+        with pytest.raises(BindError):
+            sys.ap_bind("g", [fill_fn(), fill_fn()])
+
+
+class TestActivationResults:
+    def test_result_words_returned(self):
+        sys = make_system()
+        sys.ap_alloc("g", 1)
+        page = sys.group("g").page(0)
+        page.data_view(np.uint32)[:10] = 42
+        sys.ap_bind("g", [count_fn()])
+        sys.activate("g", 0, "count", args=(42,))
+        assert sys.results("g", 0, 1) == [10]
+
+    def test_results_before_done_raise(self):
+        sys = make_system()
+        sys.ap_alloc("g", 1)
+        sys.ap_bind("g", [count_fn()])
+        with pytest.raises(ActivationError):
+            sys.results("g", 0, 1)
+
+    def test_sync_args_visible_to_function(self):
+        sys = make_system()
+        sys.ap_alloc("g", 1)
+
+        def apply(page, args):
+            return page.sync.read_args(1)[0] * 2
+
+        sys.ap_bind("g", [APFunction(name="dbl", apply=apply)])
+        sys.activate("g", 0, "dbl", args=(21,))
+        assert sys.results("g", 0, 1) == [42]
+
+    def test_read_write_passthrough(self):
+        sys = make_system()
+        group = sys.ap_alloc("g", 1)
+        base = group.region.base
+        sys.write(base, np.arange(8, dtype=np.uint8))
+        assert list(sys.read(base, 8)) == list(range(8))

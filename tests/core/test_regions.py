@@ -1,0 +1,61 @@
+"""Unit tests for Figure 1 region classification."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import speedup_partitioned
+from repro.core.regions import Region, classify_regions, region_boundaries
+
+
+def model_curve(t_conv=10.0, ta=1.0, tp=1.0, tc=100.0, ks=None):
+    ks = ks or [0.25, 0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    speeds = []
+    for k in ks:
+        pages = max(1, int(k))
+        s = speedup_partitioned(t_conv, 1.0, ta, tp, tc, pages)
+        if k < 1:
+            # Sub-page: same activation cost, less useful work.
+            s *= k
+        speeds.append(s)
+    return ks, speeds
+
+
+class TestClassification:
+    def test_three_regions_appear_in_order(self):
+        ks, speeds = model_curve()
+        points = classify_regions(ks, speeds)
+        labels = [p.region for p in points]
+        assert labels[0] == Region.SUB_PAGE
+        assert Region.SCALABLE in labels
+        assert labels[-1] == Region.SATURATED
+        # Once saturated, never back to scalable.
+        sat_start = labels.index(Region.SATURATED)
+        assert all(l == Region.SATURATED for l in labels[sat_start:])
+
+    def test_boundaries_reported(self):
+        ks, speeds = model_curve()
+        bounds = region_boundaries(classify_regions(ks, speeds))
+        assert bounds[Region.SUB_PAGE] == 0.25
+        assert bounds[Region.SCALABLE] > 1
+        assert bounds[Region.SATURATED] > bounds[Region.SCALABLE]
+
+    def test_never_saturating_curve_has_no_saturated_points(self):
+        ks = [2, 4, 8, 16, 32]
+        speeds = [2.0 * k for k in ks]  # pure linear growth
+        points = classify_regions(ks, speeds)
+        assert all(p.region == Region.SCALABLE for p in points)
+
+    def test_rejects_nonincreasing_pages(self):
+        with pytest.raises(ValueError):
+            classify_regions([1, 1, 2], [1, 2, 3])
+
+    def test_rejects_nonpositive_speedup(self):
+        with pytest.raises(ValueError):
+            classify_regions([1, 2], [1.0, 0.0])
+
+    def test_slopes_are_recorded(self):
+        ks = [2, 4, 8]
+        speeds = [2.0, 4.0, 8.0]
+        points = classify_regions(ks, speeds)
+        for p in points:
+            assert p.slope == pytest.approx(1.0)

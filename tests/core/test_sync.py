@@ -1,0 +1,91 @@
+"""Unit tests for the synchronization-variable protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.sync import (
+    N_ARG_WORDS,
+    N_RESULT_WORDS,
+    SYNC_WORDS,
+    SyncArea,
+    SyncState,
+)
+
+
+def make_area():
+    return SyncArea(np.zeros(SYNC_WORDS, dtype=np.uint32)), None
+
+
+class TestSyncArea:
+    def test_fresh_area_is_idle(self):
+        area, _ = make_area()
+        assert area.status == SyncState.IDLE
+
+    def test_status_roundtrip(self):
+        area, _ = make_area()
+        for state in SyncState:
+            area.status = state
+            assert area.status == state
+
+    def test_function_id_roundtrip(self):
+        area, _ = make_area()
+        area.function_id = 3
+        assert area.function_id == 3
+
+    def test_args_roundtrip(self):
+        area, _ = make_area()
+        area.write_args([1, 2, 3])
+        assert area.read_args(3) == [1, 2, 3]
+
+    def test_args_wrap_to_32_bits(self):
+        area, _ = make_area()
+        area.write_args([-1])
+        assert area.read_args(1) == [0xFFFFFFFF]
+
+    def test_too_many_args_rejected(self):
+        area, _ = make_area()
+        with pytest.raises(ValueError):
+            area.write_args([0] * (N_ARG_WORDS + 1))
+
+    def test_results_roundtrip(self):
+        area, _ = make_area()
+        area.write_results([7, 8])
+        assert area.read_results(2) == [7, 8]
+
+    def test_too_many_results_rejected(self):
+        area, _ = make_area()
+        with pytest.raises(ValueError):
+            area.write_results([0] * (N_RESULT_WORDS + 1))
+
+    def test_args_and_results_do_not_alias(self):
+        area, _ = make_area()
+        area.write_args([11] * N_ARG_WORDS)
+        area.write_results([22] * N_RESULT_WORDS)
+        assert area.read_args(N_ARG_WORDS) == [11] * N_ARG_WORDS
+        assert area.read_results(N_RESULT_WORDS) == [22] * N_RESULT_WORDS
+
+    def test_undersized_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            SyncArea(np.zeros(SYNC_WORDS - 1, dtype=np.uint32))
+
+    def test_protocol_sequence_on_real_page(self):
+        # The interface contract: processor arms, page runs, page
+        # publishes results and flips DONE, processor reads.
+        from repro.core.api import HostEmulationSystem
+        from repro.core.functions import APFunction
+        from repro.sim.memory import PagedMemory
+
+        sys = HostEmulationSystem(memory=PagedMemory(page_bytes=4096))
+        sys.ap_alloc("g", 1)
+        observed = []
+
+        def apply(page, args):
+            observed.append(page.sync.status)
+            return 99
+
+        sys.ap_bind("g", [APFunction(name="f", apply=apply)])
+        sys.activate("g", 0, "f")
+        assert observed == [SyncState.RUNNING]
+        page = sys.group("g").page(0)
+        assert page.sync.status == SyncState.DONE
+        assert sys.results("g", 0, 1) == [99]

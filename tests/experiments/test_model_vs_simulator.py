@@ -1,0 +1,84 @@
+"""Property test: the simulator obeys the Figure 7 analytic model.
+
+For synthetic applications with constant per-page activation and
+computation times and *no processor work between waits*, the
+simulator's total stall time must equal the analytic NO(i) recursion
+exactly, and total kernel time must equal Σ(T_A + T_P + NO).  This is
+the strongest consistency check in the repository: two independent
+implementations of the paper's timing semantics agreeing bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.functions import PageTask
+from repro.core.model import non_overlap_times
+from repro.radram.config import RADramConfig
+from repro.radram.dispatch import activation_ns
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+
+
+def run_synthetic(n_pages: int, words: int, cycles: float, post_ops: float):
+    cfg = RADramConfig.reference().with_page_bytes(4096)
+    memsys = RADramMemorySystem(cfg)
+    machine = Machine(memory=PagedMemory(page_bytes=4096), memsys=memsys)
+    ops = []
+    for p in range(n_pages):
+        ops.append(O.Activate(p, words, PageTask.simple(cycles)))
+    for p in range(n_pages):
+        ops.append(O.WaitPage(p))
+        ops.append(O.Compute(post_ops))
+    stats = machine.run(iter(ops))
+    t_a = activation_ns(words, cfg, machine.config.dram, machine.config.bus)
+    t_c = cycles * cfg.logic_cycle_ns
+    return stats, t_a, t_c
+
+
+class TestModelSimulatorAgreement:
+    @given(
+        n_pages=st.integers(min_value=1, max_value=64),
+        words=st.integers(min_value=0, max_value=64),
+        cycles=st.floats(min_value=0.0, max_value=1e5),
+        post_ops=st.floats(min_value=0.0, max_value=5e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stall_equals_no_recursion(self, n_pages, words, cycles, post_ops):
+        stats, t_a, t_c = run_synthetic(n_pages, words, cycles, post_ops)
+        expected = float(
+            np.sum(non_overlap_times(t_a, post_ops, t_c, n_pages))
+        )
+        assert stats.wait_ns == pytest.approx(expected, abs=1e-6)
+
+    @given(
+        n_pages=st.integers(min_value=1, max_value=64),
+        words=st.integers(min_value=0, max_value=64),
+        cycles=st.floats(min_value=0.0, max_value=1e5),
+        post_ops=st.floats(min_value=0.0, max_value=5e3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_time_equals_model_sum(self, n_pages, words, cycles, post_ops):
+        stats, t_a, t_c = run_synthetic(n_pages, words, cycles, post_ops)
+        no = float(np.sum(non_overlap_times(t_a, post_ops, t_c, n_pages)))
+        expected_total = n_pages * (t_a + post_ops) + no
+        assert stats.total_ns == pytest.approx(expected_total, abs=1e-6)
+
+    def test_pages_for_overlap_matches_simulated_zero_stall(self):
+        # At the model's overlap point the simulator's stall is 0; one
+        # page fewer and it is positive.
+        from repro.core.model import pages_for_complete_overlap
+
+        words, cycles, post_ops = 8, 20_000, 1_000.0
+        cfg = RADramConfig.reference()
+        t_a = activation_ns(words, cfg, Machine().config.dram, Machine().config.bus)
+        t_c = cycles * cfg.logic_cycle_ns
+        k = pages_for_complete_overlap(t_a, post_ops, t_c)
+        stats_at, _, _ = run_synthetic(k, words, cycles, post_ops)
+        assert stats_at.wait_ns == 0.0
+        if k > 1:
+            stats_below, _, _ = run_synthetic(k - 1, words, cycles, post_ops)
+            assert stats_below.wait_ns > 0.0

@@ -1,0 +1,69 @@
+"""Tests for experiment result containers and exports."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.results import ExperimentResult
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="figure-x",
+        title="A test figure",
+        columns=["application", "pages", "speedup"],
+        rows=[
+            {"application": "db", "pages": 1, "speedup": 2.5},
+            {"application": "db", "pages": 4, "speedup": 9.0},
+        ],
+        notes=["synthetic"],
+    )
+
+
+class TestRender:
+    def test_render_includes_all_cells(self):
+        text = make_result().render()
+        assert "figure-x" in text
+        assert "2.5" in text and "9" in text
+        assert "note: synthetic" in text
+
+    def test_column_extraction(self):
+        assert make_result().column("speedup") == [2.5, 9.0]
+
+    def test_missing_column_yields_nones(self):
+        assert make_result().column("ghost") == [None, None]
+
+    def test_large_and_small_floats_formatted(self):
+        result = ExperimentResult(
+            "t", "t", ["v"], [{"v": 1234567.0}, {"v": 0.0001}, {"v": 0.0}]
+        )
+        text = result.render()
+        assert "1.23e+06" in text
+        assert "0.0001" in text
+
+
+class TestExports:
+    def test_csv_roundtrip(self):
+        text = make_result().to_csv()
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["application"] == "db"
+        assert float(rows[1]["speedup"]) == 9.0
+
+    def test_json_roundtrip(self):
+        data = json.loads(make_result().to_json())
+        assert data["experiment_id"] == "figure-x"
+        assert data["rows"][1]["pages"] == 4
+        assert data["notes"] == ["synthetic"]
+
+    def test_report_output_directory(self, tmp_path, capsys):
+        from repro.experiments.report import main
+
+        code = main(["--quick", "--only", "table-3", "--output", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "table-3.csv").exists()
+        assert (tmp_path / "table-3.json").exists()
+        data = json.loads((tmp_path / "table-3.json").read_text())
+        assert len(data["rows"]) == 7

@@ -1,0 +1,56 @@
+"""Tests for the shared experiment runner."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.experiments.runner import (
+    measure_speedup,
+    run_conventional,
+    run_radram,
+)
+
+PAGE = 512 * 1024
+
+
+class TestExtrapolation:
+    @pytest.mark.parametrize("name", ["array-find", "database", "mpeg-mmx"])
+    def test_extrapolation_matches_direct(self, name):
+        """The measure-small/extrapolate-large strategy is valid: the
+        extrapolated time matches a direct simulation within 2%."""
+        app = get_app(name)
+        direct = run_conventional(app, 16, page_bytes=PAGE, cap_pages=None)
+        extrapolated = run_conventional(app, 16, page_bytes=PAGE, cap_pages=8.0)
+        assert extrapolated.scaled_from_pages == 8.0
+        assert extrapolated.total_ns == pytest.approx(direct.total_ns, rel=0.02)
+
+    def test_no_extrapolation_below_cap(self):
+        app = get_app("database")
+        r = run_conventional(app, 4, page_bytes=PAGE, cap_pages=8.0)
+        assert r.scaled_from_pages is None
+
+    def test_functional_runs_never_extrapolate(self):
+        app = get_app("database")
+        r = run_conventional(app, 16, page_bytes=16 * 1024, functional=True, cap_pages=8.0)
+        assert r.scaled_from_pages is None
+
+
+class TestRunResults:
+    def test_radram_reports_mean_page_busy(self):
+        r = run_radram(get_app("database"), 4, page_bytes=PAGE)
+        # T_C for database is ~60 us per page.
+        assert 40e3 < r.mean_page_busy_ns < 90e3
+
+    def test_speedup_point_consistency(self):
+        p = measure_speedup(get_app("database"), 4, page_bytes=PAGE)
+        assert p.speedup == pytest.approx(p.conventional_ns / p.radram_ns)
+        assert 0.0 <= p.stall_fraction <= 1.0
+
+    def test_runs_are_reproducible(self):
+        a = measure_speedup(get_app("matrix-simplex"), 4, page_bytes=PAGE)
+        b = measure_speedup(get_app("matrix-simplex"), 4, page_bytes=PAGE)
+        assert a.speedup == b.speedup
+
+    def test_radram_config_page_size_follows_workload(self):
+        # page_bytes different from the RADram default must not break.
+        r = run_radram(get_app("database"), 2, page_bytes=64 * 1024)
+        assert r.total_ns > 0

@@ -1,0 +1,130 @@
+"""Tests for the image-processing filter family."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.data import noisy_image
+from repro.imaging.filters import (
+    FILTERS,
+    convolve3x3,
+    dilate3x3,
+    erode3x3,
+    filter_timed,
+    sobel_magnitude,
+)
+
+images = arrays(np.uint16, (7, 9), elements=st.integers(0, 4000))
+
+
+class TestConvolution:
+    def test_identity_kernel(self):
+        img = noisy_image(8, 8, seed=0)
+        out = convolve3x3(img, [[0, 0, 0], [0, 1, 0], [0, 0, 0]])
+        assert np.array_equal(out, img)
+
+    def test_box_blur_averages(self):
+        img = np.zeros((5, 5), dtype=np.uint16)
+        img[2, 2] = 16
+        out = convolve3x3(img, np.ones((3, 3), dtype=int), shift=0)
+        # Every interior neighbour of the impulse sums it once.
+        assert out[1, 1] == 16 and out[2, 2] == 16 and out[3, 3] == 16
+
+    def test_shift_normalizes(self):
+        img = np.full((5, 5), 16, dtype=np.uint16)
+        out = convolve3x3(img, np.ones((3, 3), dtype=int), shift=3)
+        assert out[2, 2] == 16 * 9 >> 3
+
+    def test_clamps_to_dtype(self):
+        img = np.full((5, 5), 60000, dtype=np.uint16)
+        out = convolve3x3(img, np.ones((3, 3), dtype=int))
+        assert out[2, 2] == 65535
+
+    def test_borders_copied(self):
+        img = noisy_image(6, 6, seed=1)
+        out = convolve3x3(img, [[1, 1, 1], [1, 1, 1], [1, 1, 1]], shift=3)
+        assert np.array_equal(out[0], img[0])
+        assert np.array_equal(out[:, -1], img[:, -1])
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            convolve3x3(np.zeros((5, 5), dtype=np.uint16), np.ones((2, 2)))
+
+
+class TestMorphology:
+    def test_erosion_removes_bright_speck(self):
+        img = np.full((5, 5), 100, dtype=np.uint16)
+        img[2, 2] = 4000
+        assert erode3x3(img)[2, 2] == 100
+
+    def test_dilation_spreads_bright_speck(self):
+        img = np.full((5, 5), 100, dtype=np.uint16)
+        img[2, 2] = 4000
+        out = dilate3x3(img)
+        assert out[1, 1] == 4000 and out[3, 3] == 4000
+
+    @given(img=images)
+    @settings(max_examples=50, deadline=None)
+    def test_erode_le_image_le_dilate(self, img):
+        interior = np.s_[1:-1, 1:-1]
+        assert np.all(erode3x3(img)[interior] <= img[interior])
+        assert np.all(dilate3x3(img)[interior] >= img[interior])
+
+    @given(img=images)
+    @settings(max_examples=50, deadline=None)
+    def test_duality_on_inverted_images(self, img):
+        # Erosion of the complement equals complement of dilation.
+        inv = (4095 - img).astype(np.uint16)
+        left = erode3x3(inv)[1:-1, 1:-1]
+        right = (4095 - dilate3x3(img))[1:-1, 1:-1]
+        assert np.array_equal(left, right)
+
+    @given(img=images)
+    @settings(max_examples=30, deadline=None)
+    def test_opening_is_idempotent_under_repeat(self, img):
+        # erode-then-dilate (opening) never exceeds the original.
+        opened = dilate3x3(erode3x3(img))
+        assert np.all(opened[2:-2, 2:-2] <= dilate3x3(img)[2:-2, 2:-2])
+
+
+class TestSobel:
+    def test_flat_image_has_zero_edges(self):
+        img = np.full((6, 6), 500, dtype=np.uint16)
+        assert np.all(sobel_magnitude(img)[1:-1, 1:-1] == 0)
+
+    def test_vertical_step_detected(self):
+        img = np.zeros((6, 6), dtype=np.uint16)
+        img[:, 3:] = 1000
+        out = sobel_magnitude(img)
+        assert out[2, 2] > 0 or out[2, 3] > 0
+        assert out[2, 1] == 0  # far from the edge
+
+
+class TestCircuitsAndTiming:
+    def test_all_circuits_fit_the_le_budget(self):
+        for name, filt in FILTERS.items():
+            assert 0 < filt.le_count <= 256, name
+
+    @pytest.mark.parametrize("name", sorted(FILTERS))
+    def test_timed_matches_functional(self, name):
+        img = noisy_image(16, 16, seed=2)
+        result, stats = filter_timed(img, name, system="conventional")
+        assert np.array_equal(result, FILTERS[name].apply(img))
+        assert stats.total_ns > 0
+
+    def test_radram_wins_at_scale(self):
+        img = noisy_image(256, 256, seed=3)
+        cfg = None
+        _, conv = filter_timed(img, "sobel", system="conventional")
+        _, rad = filter_timed(img, "sobel", system="radram", bands=16)
+        assert rad.total_ns < conv.total_ns
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(KeyError):
+            filter_timed(np.zeros((4, 4), dtype=np.uint16), "glow")
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            filter_timed(np.zeros((4, 4), dtype=np.uint16), "blur", system="gpu")

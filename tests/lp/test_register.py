@@ -1,0 +1,103 @@
+"""Tests for LP-based register allocation."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.register import (
+    AllocationResult,
+    allocate_registers,
+    interval_interference_graph,
+)
+
+
+class TestIntervalGraphs:
+    def test_overlapping_ranges_interfere(self):
+        graph = interval_interference_graph([(0, 10), (5, 15), (20, 30)])
+        assert graph.has_edge("v0", "v1")
+        assert not graph.has_edge("v0", "v2")
+
+    def test_touching_ranges_do_not_interfere(self):
+        graph = interval_interference_graph([(0, 10), (10, 20)])
+        assert not graph.has_edge("v0", "v1")
+
+    def test_custom_names(self):
+        graph = interval_interference_graph([(0, 5), (3, 8)], names=["a", "b"])
+        assert graph.has_edge("a", "b")
+
+
+class TestAllocation:
+    def test_no_interference_keeps_everything(self):
+        graph = nx.empty_graph(5)
+        result = allocate_registers(graph, k=1)
+        assert len(result.in_registers) == 5
+        assert not result.spilled
+
+    def test_clique_bounded_by_k(self):
+        graph = nx.complete_graph(["a", "b", "c", "d"])
+        result = allocate_registers(graph, k=2)
+        assert len(result.in_registers) == 2
+        assert len(result.spilled) == 2
+
+    def test_weights_steer_spills(self):
+        graph = nx.complete_graph(["hot", "cold"])
+        result = allocate_registers(graph, k=1, weights={"hot": 100.0, "cold": 1.0})
+        assert result.in_registers == {"hot"}
+        assert result.spilled == {"cold"}
+
+    def test_zero_registers_spills_all_interfering(self):
+        graph = nx.complete_graph(["a", "b"])
+        result = allocate_registers(graph, k=0)
+        assert not result.in_registers
+
+    def test_empty_graph(self):
+        result = allocate_registers(nx.Graph(), k=4)
+        assert result.saved_cost == 0.0
+
+    def test_interval_graphs_round_tightly(self):
+        # Straight-line code: interval interference graphs are
+        # perfect, so the LP bound is achieved exactly.
+        ranges = [(0, 4), (1, 6), (2, 8), (5, 9), (7, 12), (10, 14)]
+        graph = interval_interference_graph(ranges)
+        result = allocate_registers(graph, k=2)
+        assert result.is_lp_tight
+        # Verify feasibility: no point in time has > k live residents.
+        for t in range(15):
+            live = [
+                f"v{i}"
+                for i, (s, e) in enumerate(ranges)
+                if s <= t < e and f"v{i}" in result.in_registers
+            ]
+            assert len(live) <= 2
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_allocations_always_clique_feasible(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 9))
+        starts = rng.integers(0, 20, n)
+        lengths = rng.integers(1, 10, n)
+        ranges = [(int(s), int(s + l)) for s, l in zip(starts, lengths)]
+        graph = interval_interference_graph(ranges)
+        k = int(rng.integers(1, 4))
+        result = allocate_registers(graph, k=k)
+        for clique in nx.find_cliques(graph):
+            resident = [v for v in clique if v in result.in_registers]
+            assert len(resident) <= k
+
+    @given(seed=st.integers(0, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_saved_cost_never_exceeds_lp_bound(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        graph = nx.gnp_random_graph(int(rng.integers(2, 8)), 0.5, seed=seed)
+        result = allocate_registers(graph, k=2)
+        assert result.saved_cost <= result.lp_bound + 1e-6
+
+    def test_rejects_negative_registers(self):
+        with pytest.raises(ValueError):
+            allocate_registers(nx.Graph(), k=-1)

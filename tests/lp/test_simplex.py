@@ -1,0 +1,117 @@
+"""Tests for the simplex solver, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.lp.simplex import LPStatus, simplex_solve, solve_timed
+
+
+def scipy_solve(c, a, b):
+    """Reference: scipy solves min, we solve max."""
+    res = linprog(-np.asarray(c, float), A_ub=a, b_ub=b, bounds=(0, None), method="highs")
+    return res
+
+
+class TestKnownProblems:
+    def test_textbook_two_variable(self):
+        # max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+        c = [3, 5]
+        a = [[1, 0], [0, 2], [3, 2]]
+        b = [4, 12, 18]
+        result = simplex_solve(c, np.array(a, float), np.array(b, float))
+        assert result.status is LPStatus.OPTIMAL
+        assert result.objective == pytest.approx(36.0)
+        assert result.x == pytest.approx([2.0, 6.0])
+
+    def test_unbounded_detected(self):
+        c = [1.0]
+        a = [[-1.0]]
+        b = [0.0]
+        result = simplex_solve(np.array(c), np.array(a), np.array(b))
+        assert result.status is LPStatus.UNBOUNDED
+
+    def test_zero_objective_needs_no_pivots(self):
+        result = simplex_solve(
+            np.zeros(3), np.eye(3), np.ones(3)
+        )
+        assert result.pivots == 0
+        assert result.objective == 0.0
+
+    def test_degenerate_tableau_terminates(self):
+        # Classic degeneracy: multiple constraints active at the
+        # origin; Bland's rule must not cycle.
+        c = [0.75, -150, 0.02, -6]
+        a = [
+            [0.25, -60, -0.04, 9],
+            [0.5, -90, -0.02, 3],
+            [0.0, 0, 1.0, 0],
+        ]
+        b = [0.0, 0.0, 1.0]
+        result = simplex_solve(np.array(c), np.array(a, float), np.array(b, float))
+        assert result.status is LPStatus.OPTIMAL
+        ref = scipy_solve(c, a, b)
+        assert result.objective == pytest.approx(-ref.fun, rel=1e-6)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            simplex_solve(np.ones(2), np.ones((3, 3)), np.ones(3))
+
+    def test_negative_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            simplex_solve(np.ones(1), np.ones((1, 1)), -np.ones(1))
+
+
+class TestAgainstScipy:
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=60, deadline=None)
+    def test_random_bounded_problems_match(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        m = int(rng.integers(1, 7))
+        c = rng.uniform(-2, 3, n)
+        a = rng.uniform(0, 2, (m, n))
+        b = rng.uniform(0.5, 5, m)
+        # Box constraints keep it bounded.
+        a_full = np.vstack([a, np.eye(n)])
+        b_full = np.concatenate([b, np.full(n, 10.0)])
+        result = simplex_solve(c, a_full, b_full)
+        assert result.status is LPStatus.OPTIMAL
+        ref = scipy_solve(c, a_full, b_full)
+        assert result.objective == pytest.approx(-ref.fun, abs=1e-6)
+        # The solution is primal-feasible.
+        assert np.all(a_full @ result.x <= b_full + 1e-6)
+        assert np.all(result.x >= -1e-9)
+
+
+class TestTimed:
+    @staticmethod
+    def _problem(n, m, density, seed=1):
+        rng = np.random.default_rng(seed)
+        c = rng.uniform(0.1, 1.0, n)
+        a = (rng.random((m, n)) < density) * rng.uniform(0.2, 1.5, (m, n))
+        b = rng.uniform(1.0, 4.0, m)
+        return c, a, b
+
+    def test_small_lp_stays_in_the_sub_page_region(self):
+        # Tiny tableaus cannot amortize activation: the conventional
+        # system wins — exactly the paper's sub-page region.
+        c, a, b = self._problem(n=8, m=10, density=0.3)
+        _, conv = solve_timed(c, a, b, system="conventional")
+        _, rad = solve_timed(c, a, b, system="radram")
+        assert rad.total_ns > conv.total_ns
+
+    def test_large_sparse_lp_crosses_over(self):
+        # Register-allocation-scale sparse tableaus: the gather saves
+        # far more than activation costs.
+        c, a, b = self._problem(n=48, m=80, density=0.08)
+        result_conv, conv = solve_timed(c, a, b, system="conventional")
+        result_rad, rad = solve_timed(c, a, b, system="radram")
+        assert result_conv.objective == pytest.approx(result_rad.objective)
+        assert rad.total_ns < conv.total_ns
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            solve_timed(np.ones(1), np.ones((1, 1)), np.ones(1), system="abacus")

@@ -1,0 +1,121 @@
+"""Integration tests for motion estimation and the full P-frame codec."""
+
+import numpy as np
+import pytest
+
+from repro.mpeg import motion as M
+from repro.mpeg.pipeline import MpegPipeline
+from repro.radram.config import RADramConfig
+
+
+def make_frames(h=48, w=64, shift=(2, -3), seed=0):
+    """A reference frame and a shifted 'current' frame."""
+    rng = np.random.default_rng(seed)
+    big = rng.integers(0, 1024, (h + 32, w + 32), dtype=np.int16)
+    # Smooth it so motion search has texture but not pure noise.
+    big = (big + np.roll(big, 1, 0) + np.roll(big, 1, 1) + np.roll(big, 2, 0)) // 4
+    ref = big[16 : 16 + h, 16 : 16 + w].copy()
+    cur = big[16 + shift[0] : 16 + shift[0] + h, 16 + shift[1] : 16 + shift[1] + w].copy()
+    return cur.astype(np.int16), ref.astype(np.int16)
+
+
+class TestMotion:
+    def test_finds_global_shift(self):
+        cur, ref = make_frames(shift=(2, -3))
+        vectors = M.estimate_motion(cur, ref, search=4)
+        # Interior macroblocks should find the (2, -3) displacement.
+        interior = [v for row in vectors[1:-1] for v in row[1:-1]]
+        hits = sum(1 for v in interior if (v.dy, v.dx) == (2, -3))
+        assert hits >= 0.8 * len(interior)
+
+    def test_zero_motion_for_identical_frames(self):
+        cur, ref = make_frames(shift=(0, 0))
+        vectors = M.estimate_motion(cur, ref, search=3)
+        assert all(v == M.MotionVector(0, 0) for row in vectors for v in row)
+
+    def test_compensation_reverses_estimation(self):
+        cur, ref = make_frames(shift=(1, 2))
+        vectors = M.estimate_motion(cur, ref, search=3)
+        prediction = M.compensate(ref, vectors)
+        assert M.sad(cur, prediction) < M.sad(cur, ref)
+
+    def test_residual_plus_prediction_reconstructs(self):
+        cur, ref = make_frames()
+        vectors = M.estimate_motion(cur, ref, search=3)
+        prediction = M.compensate(ref, vectors)
+        resid = M.residual(cur, prediction)
+        assert np.array_equal(M.reconstruct(prediction, resid), cur)
+
+    def test_unaligned_frame_rejected(self):
+        with pytest.raises(ValueError):
+            M.estimate_motion(np.zeros((20, 32)), np.zeros((20, 32)))
+
+
+class TestCodec:
+    def test_lossless_at_fine_quantization(self):
+        # At scale 0.0005 the worst-case coefficient error (q/2 per
+        # coefficient, Frobenius-bounded through the orthonormal IDCT)
+        # stays below half a pixel, so round() reconstructs exactly.
+        cur, ref = make_frames()
+        codec = MpegPipeline(quant_scale=0.0005, search=3)
+        frame = codec.encode(cur, ref)
+        decoded = codec.decode(frame, ref)
+        assert np.array_equal(decoded, cur)
+
+    def test_lossy_reconstruction_bounded_by_quantization(self):
+        cur, ref = make_frames()
+        codec = MpegPipeline(quant_scale=1.0, search=3)
+        decoded = codec.decode(codec.encode(cur, ref), ref)
+        err = np.abs(decoded.astype(np.int32) - cur.astype(np.int32))
+        assert float(np.mean(err)) < 30.0
+        assert float(np.max(err)) < 400.0
+
+    def test_compression_achieved(self):
+        cur, ref = make_frames()
+        codec = MpegPipeline(quant_scale=2.0, search=3)
+        frame = codec.encode(cur, ref)
+        assert frame.compression_ratio() > 2.0
+
+    def test_coarser_quantization_compresses_more(self):
+        cur, ref = make_frames()
+        fine = MpegPipeline(quant_scale=0.5, search=3).encode(cur, ref)
+        coarse = MpegPipeline(quant_scale=4.0, search=3).encode(cur, ref)
+        assert coarse.compressed_bytes < fine.compressed_bytes
+
+    def test_decode_needs_matching_reference(self):
+        cur, ref = make_frames()
+        codec = MpegPipeline(quant_scale=0.0005, search=3)
+        frame = codec.encode(cur, ref)
+        wrong_ref = np.roll(ref, 5, axis=0)
+        assert not np.array_equal(codec.decode(frame, wrong_ref), cur)
+
+
+class TestTimedPipeline:
+    def test_radram_encoder_beats_conventional(self):
+        cur, ref = make_frames(h=64, w=64)
+        codec = MpegPipeline(quant_scale=1.0, search=3)
+        cfg = RADramConfig.reference().with_page_bytes(8 * 1024)
+        _, conv = codec.encode_timed(cur, ref, system="conventional")
+        _, rad = codec.encode_timed(cur, ref, system="radram", radram_config=cfg)
+        assert conv.total_ns > rad.total_ns
+
+    def test_motion_search_dominates_conventional_encode(self):
+        cur, ref = make_frames(h=64, w=64)
+        codec = MpegPipeline(quant_scale=1.0, search=3)
+        _, conv = codec.encode_timed(cur, ref, system="conventional")
+        from repro.mpeg.motion import sad_operations
+
+        sad_ns = 1.5 * sad_operations(64, 64, 3) / 2
+        assert sad_ns > 0.4 * conv.compute_ns
+
+    def test_timed_encode_returns_same_functional_frame(self):
+        cur, ref = make_frames()
+        codec = MpegPipeline(quant_scale=1.0, search=3)
+        frame_a, _ = codec.encode_timed(cur, ref, system="conventional")
+        frame_b = codec.encode(cur, ref)
+        assert frame_a.payload == frame_b.payload
+
+    def test_unknown_system_rejected(self):
+        cur, ref = make_frames()
+        with pytest.raises(ValueError):
+            MpegPipeline().encode_timed(cur, ref, system="vax")

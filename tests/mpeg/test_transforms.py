@@ -1,0 +1,151 @@
+"""Unit + property tests for DCT, zigzag/RLE and Huffman stages."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mpeg import dct as D
+from repro.mpeg import huffman as H
+from repro.mpeg import rle as R
+
+blocks8 = arrays(np.float64, (4, 8, 8), elements=st.floats(-1000, 1000, width=16))
+int_blocks = arrays(np.int16, (3, 8, 8), elements=st.integers(-300, 300))
+
+
+class TestDCT:
+    def test_dct_idct_roundtrip(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.standard_normal((10, 8, 8)) * 100
+        assert np.allclose(D.idct2(D.dct2(blocks)), blocks, atol=1e-9)
+
+    def test_dc_coefficient_is_scaled_mean(self):
+        block = np.full((8, 8), 16.0)
+        coeffs = D.dct2(block)
+        assert coeffs[0, 0] == pytest.approx(16.0 * 8)
+        assert np.allclose(coeffs.ravel()[1:], 0.0, atol=1e-9)
+
+    def test_dct_is_orthonormal(self):
+        rng = np.random.default_rng(1)
+        block = rng.standard_normal((8, 8))
+        assert np.sum(block**2) == pytest.approx(np.sum(D.dct2(block) ** 2))
+
+    @given(blocks=blocks8)
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, blocks):
+        assert np.allclose(D.idct2(D.dct2(blocks)), blocks, atol=1e-6)
+
+    def test_blockize_roundtrip(self):
+        rng = np.random.default_rng(2)
+        image = rng.integers(0, 100, (24, 32)).astype(np.float64)
+        blocks = D.blockize(image)
+        assert blocks.shape == (12, 8, 8)
+        assert np.array_equal(D.unblockize(blocks, 24, 32), image)
+
+    def test_blockize_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            D.blockize(np.zeros((10, 16)))
+
+    def test_quantization_shrinks_high_frequencies_harder(self):
+        coeffs = np.full((8, 8), 100.0)
+        levels = D.quantize(coeffs)
+        assert levels[0, 0] > levels[7, 7]
+
+    def test_quantize_dequantize_bounded_error(self):
+        rng = np.random.default_rng(3)
+        coeffs = rng.standard_normal((5, 8, 8)) * 200
+        err = np.abs(D.dequantize(D.quantize(coeffs)) - coeffs)
+        assert np.all(err <= D.DEFAULT_QUANT / 2 + 1e-9)
+
+
+class TestZigzagRLE:
+    def test_zigzag_starts_with_dc_and_low_frequencies(self):
+        block = np.arange(64).reshape(8, 8)
+        scan = R.zigzag(block)
+        assert scan[0] == 0  # (0,0)
+        assert set(scan[:3]) == {0, 1, 8}  # (0,0), (0,1), (1,0)
+
+    def test_zigzag_roundtrip(self):
+        block = np.arange(64).reshape(8, 8)
+        assert np.array_equal(R.unzigzag(R.zigzag(block)), block)
+
+    def test_all_zero_block_is_one_symbol(self):
+        assert R.rle_encode_block(np.zeros((8, 8), dtype=np.int16)) == [R.EOB]
+
+    def test_single_dc_block(self):
+        block = np.zeros((8, 8), dtype=np.int16)
+        block[0, 0] = 5
+        assert R.rle_encode_block(block) == [(0, 5), R.EOB]
+
+    def test_runs_counted(self):
+        block = np.zeros((8, 8), dtype=np.int16)
+        block[0, 0] = 1
+        scan = np.zeros(64, dtype=np.int16)
+        scan[0] = 1
+        scan[5] = -3
+        block = R.unzigzag(scan)
+        assert R.rle_encode_block(block) == [(0, 1), (4, -3), R.EOB]
+
+    @given(blocks=int_blocks)
+    @settings(max_examples=50, deadline=None)
+    def test_rle_roundtrip(self, blocks):
+        assert np.array_equal(R.rle_decode(R.rle_encode(blocks)), blocks)
+
+    def test_overrun_rejected(self):
+        with pytest.raises(ValueError):
+            R.rle_decode_block([(63, 1), (5, 2), R.EOB])
+
+
+class TestHuffman:
+    def test_roundtrip_simple(self):
+        symbols = [(0, 1)] * 10 + [(1, -2)] * 5 + [R.EOB] * 3
+        table = H.HuffmanTable.from_symbols(symbols)
+        payload, n_bits = H.encode_symbols(symbols, table)
+        assert H.decode_symbols(payload, n_bits, len(symbols), table) == symbols
+
+    def test_frequent_symbols_get_short_codes(self):
+        symbols = [(0, 1)] * 100 + [(2, 9)] * 1
+        table = H.HuffmanTable.from_symbols(symbols)
+        assert table.codes[(0, 1)][1] <= table.codes[(2, 9)][1]
+
+    def test_single_symbol_alphabet(self):
+        symbols = [R.EOB] * 4
+        table = H.HuffmanTable.from_symbols(symbols)
+        payload, n_bits = H.encode_symbols(symbols, table)
+        assert H.decode_symbols(payload, n_bits, 4, table) == symbols
+
+    def test_compression_beats_fixed_width_on_skewed_input(self):
+        rng = np.random.default_rng(0)
+        symbols = [(0, 1)] * 900 + [(int(r), int(l)) for r, l in
+                   rng.integers(0, 8, (100, 2))]
+        table = H.HuffmanTable.from_symbols(symbols)
+        _, n_bits = H.encode_symbols(symbols, table)
+        distinct = len({s for s in symbols})
+        fixed_bits = len(symbols) * max(1, int(np.ceil(np.log2(distinct))))
+        assert n_bits < fixed_bits
+
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(-64, 64)),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        table = H.HuffmanTable.from_symbols(data)
+        payload, n_bits = H.encode_symbols(data, table)
+        assert H.decode_symbols(payload, n_bits, len(data), table) == data
+
+    def test_canonical_codes_are_prefix_free(self):
+        symbols = [(i % 5, i % 7 - 3) for i in range(200)]
+        table = H.HuffmanTable.from_symbols(symbols)
+        codes = [
+            format(code, f"0{length}b")
+            for code, length in table.codes.values()
+        ]
+        for a in codes:
+            for b in codes:
+                if a != b:
+                    assert not b.startswith(a)

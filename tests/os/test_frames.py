@@ -1,0 +1,88 @@
+"""Tests for physical frame allocation policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.os.frames import Frame, FrameAllocator, OutOfFramesError
+
+
+class TestAllocation:
+    def test_allocates_requested_count(self):
+        alloc = FrameAllocator(n_chips=4, frames_per_chip=8)
+        frames = alloc.allocate("g", 5)
+        assert len(frames) == 5
+        assert alloc.used_frames == 5
+        assert alloc.free_frames == 27
+
+    def test_exhaustion_raises(self):
+        alloc = FrameAllocator(n_chips=1, frames_per_chip=4)
+        alloc.allocate("a", 3)
+        with pytest.raises(OutOfFramesError):
+            alloc.allocate("b", 2)
+
+    def test_release_group_returns_frames(self):
+        alloc = FrameAllocator(n_chips=2, frames_per_chip=4)
+        alloc.allocate("g", 6)
+        assert alloc.release_group("g") == 6
+        assert alloc.free_frames == 8
+
+    def test_double_release_rejected(self):
+        alloc = FrameAllocator(n_chips=1, frames_per_chip=2)
+        (frame,) = alloc.allocate("g", 1)
+        alloc.release(frame)
+        with pytest.raises(KeyError):
+            alloc.release(frame)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(1, 1, policy="chaotic")
+
+
+class TestPolicies:
+    def test_colocate_minimizes_chips_spanned(self):
+        alloc = FrameAllocator(n_chips=4, frames_per_chip=8, policy="co-locate")
+        alloc.allocate("g", 8)
+        assert alloc.chips_spanned("g") == 1
+
+    def test_colocate_spills_to_second_chip_when_needed(self):
+        alloc = FrameAllocator(n_chips=4, frames_per_chip=8, policy="co-locate")
+        alloc.allocate("g", 12)
+        assert alloc.chips_spanned("g") == 2
+
+    def test_colocate_beats_first_fit_after_fragmentation(self):
+        def fragment(policy):
+            alloc = FrameAllocator(n_chips=4, frames_per_chip=8, policy=policy)
+            # Small groups scattered, then released in part.
+            for i in range(8):
+                alloc.allocate(f"s{i}", 3)
+            for i in range(0, 8, 2):
+                alloc.release_group(f"s{i}")
+            alloc.allocate("big", 8)
+            return alloc.chips_spanned("big")
+
+        assert fragment("co-locate") <= fragment("first-fit")
+
+    @given(
+        requests=st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_frame_double_allocated(self, requests):
+        alloc = FrameAllocator(n_chips=4, frames_per_chip=8)
+        seen = set()
+        for i, n in enumerate(requests):
+            if n > alloc.free_frames:
+                break
+            for frame in alloc.allocate(f"g{i}", n):
+                assert frame not in seen
+                seen.add(frame)
+        assert alloc.used_frames == len(seen)
+
+    @given(n=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=30, deadline=None)
+    def test_free_plus_used_is_constant(self, n):
+        alloc = FrameAllocator(n_chips=4, frames_per_chip=8)
+        total = alloc.free_frames
+        if n <= total:
+            alloc.allocate("g", n)
+        assert alloc.free_frames + alloc.used_frames == total

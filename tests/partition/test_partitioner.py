@@ -1,0 +1,174 @@
+"""Tests for the automatic partitioning compiler (Section 10)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.estimator import PartitionEstimator, Placement
+from repro.partition.kernel import Kernel, OpClass, Stage
+from repro.partition.library import TABLE2_EXPECTATIONS, matrix_kernel, median_kernel
+from repro.partition.partitioner import (
+    annealed_partition,
+    exhaustive_partition,
+    greedy_partition,
+)
+
+
+def tiny_kernel(**overrides) -> Kernel:
+    defaults = dict(
+        name="tiny",
+        n_pages=8,
+        stages=[
+            Stage("produce", OpClass.DATA, elements=100_000, ops_per_element=4.0,
+                  stream_bytes=4.0, logic_cycles_per_element=1.0, le_cost=100),
+            Stage("consume", OpClass.FP, elements=1_000, ops_per_element=8.0,
+                  bytes_in={"produce": 8.0}, le_cost=100),
+        ],
+    )
+    defaults.update(overrides)
+    return Kernel(**defaults)
+
+
+class TestKernelIR:
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel("k", [Stage("a", OpClass.INT, 1, 1.0), Stage("a", OpClass.INT, 1, 1.0)])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel("k", [Stage("a", OpClass.INT, 1, 1.0, bytes_in={"ghost": 1.0})])
+
+    def test_topological_order_required(self):
+        with pytest.raises(ValueError):
+            Kernel(
+                "k",
+                [
+                    Stage("late", OpClass.INT, 1, 1.0, bytes_in={"early": 1.0}),
+                    Stage("early", OpClass.INT, 1, 1.0),
+                ],
+            )
+
+
+class TestEstimator:
+    def test_all_processor_is_always_feasible(self):
+        est = PartitionEstimator(tiny_kernel())
+        assert math.isfinite(est.estimate(est.all_processor()))
+
+    def test_le_budget_makes_assignment_infeasible(self):
+        kernel = tiny_kernel(
+            stages=[
+                Stage("a", OpClass.DATA, 1000, 1.0, le_cost=200),
+                Stage("b", OpClass.DATA, 1000, 1.0, le_cost=200),
+            ]
+        )
+        est = PartitionEstimator(kernel)
+        both_on_pages = {"a": Placement.PAGES, "b": Placement.PAGES}
+        assert est.estimate(both_on_pages) == math.inf
+        one = {"a": Placement.PAGES, "b": Placement.PROCESSOR}
+        assert math.isfinite(est.estimate(one))
+
+    def test_pinned_stage_cannot_move(self):
+        kernel = tiny_kernel(
+            stages=[Stage("io", OpClass.CONTROL, 10, 1.0, pinned_to_processor=True)]
+        )
+        est = PartitionEstimator(kernel)
+        assert est.estimate({"io": Placement.PAGES}) == math.inf
+
+    def test_fp_penalty_keeps_fp_off_pages(self):
+        kernel = tiny_kernel()
+        est = PartitionEstimator(kernel)
+        fp_on_pages = {"produce": Placement.PAGES, "consume": Placement.PAGES}
+        fp_on_cpu = {"produce": Placement.PAGES, "consume": Placement.PROCESSOR}
+        assert est.estimate(fp_on_cpu) < est.estimate(fp_on_pages)
+
+    def test_boundary_traffic_priced(self):
+        kernel = tiny_kernel()
+        est = PartitionEstimator(kernel)
+        split = {"produce": Placement.PAGES, "consume": Placement.PROCESSOR}
+        breakdown = est.breakdown(split)
+        assert breakdown["consume"].boundary_bytes == 8.0 * 1_000
+        together = est.all_processor()
+        assert est.breakdown(together)["consume"].boundary_bytes == 0.0
+
+    def test_incomplete_assignment_rejected(self):
+        est = PartitionEstimator(tiny_kernel())
+        with pytest.raises(ValueError):
+            est.estimate({"produce": Placement.PAGES})
+
+
+class TestSearch:
+    @pytest.mark.parametrize("name", sorted(TABLE2_EXPECTATIONS))
+    def test_exhaustive_recovers_table2(self, name):
+        factory, expected = TABLE2_EXPECTATIONS[name]
+        partition = exhaustive_partition(factory())
+        assert partition.page_stages == expected
+
+    @pytest.mark.parametrize("name", sorted(TABLE2_EXPECTATIONS))
+    def test_greedy_matches_exhaustive_on_app_kernels(self, name):
+        factory, _ = TABLE2_EXPECTATIONS[name]
+        kernel = factory()
+        est = PartitionEstimator(kernel)
+        greedy = greedy_partition(kernel, est)
+        optimal = exhaustive_partition(kernel, est)
+        assert greedy.estimated_ns == pytest.approx(optimal.estimated_ns)
+
+    @pytest.mark.parametrize("name", sorted(TABLE2_EXPECTATIONS))
+    def test_annealing_matches_exhaustive_on_app_kernels(self, name):
+        factory, _ = TABLE2_EXPECTATIONS[name]
+        kernel = factory()
+        est = PartitionEstimator(kernel)
+        annealed = annealed_partition(kernel, est, seed=1)
+        optimal = exhaustive_partition(kernel, est)
+        assert annealed.estimated_ns == pytest.approx(optimal.estimated_ns, rel=0.01)
+
+    def test_partitioned_kernels_beat_all_processor(self):
+        for name, (factory, _) in TABLE2_EXPECTATIONS.items():
+            kernel = factory()
+            est = PartitionEstimator(kernel)
+            partition = exhaustive_partition(kernel, est)
+            assert partition.speedup_over_all_processor(est) > 1.5, name
+
+    def test_annealing_deterministic_per_seed(self):
+        kernel = matrix_kernel()
+        a = annealed_partition(kernel, seed=7)
+        b = annealed_partition(kernel, seed=7)
+        assert a.assignment == b.assignment
+
+    def test_exhaustive_guards_against_explosion(self):
+        stages = [Stage(f"s{i}", OpClass.INT, 10, 1.0) for i in range(21)]
+        with pytest.raises(ValueError):
+            exhaustive_partition(Kernel("big", stages))
+
+    @given(
+        elements=st.integers(min_value=1000, max_value=10_000_000),
+        ops=st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_heuristics_never_beat_the_oracle(self, elements, ops):
+        kernel = tiny_kernel(
+            stages=[
+                Stage("produce", OpClass.DATA, elements, ops,
+                      stream_bytes=4.0, le_cost=100),
+                Stage("consume", OpClass.FP, max(1, elements // 100), 8.0,
+                      bytes_in={"produce": 8.0}, le_cost=100),
+            ]
+        )
+        est = PartitionEstimator(kernel)
+        optimal = exhaustive_partition(kernel, est).estimated_ns
+        assert greedy_partition(kernel, est).estimated_ns >= optimal - 1e-6
+        assert annealed_partition(kernel, est, steps=400).estimated_ns >= optimal - 1e-6
+
+    def test_more_pages_shift_partition_toward_memory(self):
+        # With one page there is no parallelism to win; with many, the
+        # data stage belongs in memory.
+        kernel_small = median_kernel(n_pages=1)
+        kernel_large = median_kernel(n_pages=64)
+        small = exhaustive_partition(kernel_small)
+        large = exhaustive_partition(kernel_large)
+        est_small = PartitionEstimator(kernel_small)
+        est_large = PartitionEstimator(kernel_large)
+        assert large.speedup_over_all_processor(
+            est_large
+        ) > small.speedup_over_all_processor(est_small)

@@ -1,0 +1,107 @@
+"""Integration tests for the user-facing RADram Active-Page system."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ActivationError, BindError
+from repro.core.functions import APFunction, PageTask
+from repro.radram.api import RADram
+from repro.radram.config import RADramConfig
+
+
+def small_radram(**kwargs):
+    cfg = RADramConfig.reference().with_page_bytes(4096)
+    for key, value in kwargs.items():
+        from dataclasses import replace
+
+        cfg = replace(cfg, **{key: value})
+    return RADram(config=cfg)
+
+
+def fill_function(cycles=100):
+    def apply(page, args):
+        (value,) = args
+        page.data_view(np.uint8)[:] = value
+
+    return APFunction(
+        name="fill",
+        apply=apply,
+        cost=lambda args: PageTask.simple(cycles),
+        le_count=50,
+        descriptor_words=2,
+    )
+
+
+class TestRADramAPI:
+    def test_functional_and_timed_execution(self):
+        ap = small_radram()
+        ap.ap_alloc("g", 2)
+        ap.ap_bind("g", [fill_function()])
+        t0 = ap.elapsed_ns
+        ap.activate("g", 0, "fill", args=(5,))
+        ap.activate("g", 1, "fill", args=(6,))
+        ap.wait_all("g")
+        assert ap.elapsed_ns > t0
+        assert np.all(ap.group("g").page(0).data_view(np.uint8) == 5)
+        assert np.all(ap.group("g").page(1).data_view(np.uint8) == 6)
+
+    def test_pages_execute_in_parallel(self):
+        # Two pages of work should take much less than twice one page:
+        # computations overlap, only dispatch is serial.
+        def runtime(n_pages):
+            ap = small_radram()
+            ap.ap_alloc("g", n_pages)
+            ap.ap_bind("g", [fill_function(cycles=10_000)])
+            for i in range(n_pages):
+                ap.activate("g", i, "fill", args=(1,))
+            ap.wait_all("g")
+            return ap.elapsed_ns
+
+        t1, t4 = runtime(1), runtime(4)
+        assert t4 < 2 * t1
+
+    def test_le_budget_enforced_at_bind(self):
+        ap = small_radram()
+        ap.ap_alloc("g", 1)
+        huge = APFunction(name="huge", apply=lambda p, a: None, le_count=999)
+        with pytest.raises(BindError):
+            ap.ap_bind("g", [huge])
+
+    def test_reconfiguration_charged_when_configured(self):
+        ap_free = small_radram()
+        ap_free.ap_alloc("g", 4)
+        ap_free.ap_bind("g", [fill_function()])
+        assert ap_free.elapsed_ns == 0.0
+
+        ap_paid = small_radram(reconfig_ns_per_page=1000.0)
+        ap_paid.ap_alloc("g", 4)
+        ap_paid.ap_bind("g", [fill_function()])
+        assert ap_paid.elapsed_ns == pytest.approx(4000.0)
+
+    def test_is_done_polls_without_blocking(self):
+        ap = small_radram()
+        ap.ap_alloc("g", 1)
+        ap.ap_bind("g", [fill_function(cycles=1_000_000)])
+        ap.activate("g", 0, "fill", args=(1,))
+        assert not ap.is_done("g", 0)
+        ap.compute(20_000_000)  # 20 ms of processor work
+        assert ap.is_done("g", 0)
+
+    def test_results_require_wait(self):
+        ap = small_radram()
+        ap.ap_alloc("g", 1)
+        ap.ap_bind("g", [fill_function()])
+        ap.activate("g", 0, "fill", args=(1,))
+        with pytest.raises(ActivationError):
+            ap.results("g", 0, 1)
+        ap.wait("g", 0)  # now legal (no result words written by fill)
+
+    def test_timed_memory_roundtrip(self):
+        ap = small_radram()
+        group = ap.ap_alloc("g", 1)
+        base = group.region.base
+        t0 = ap.elapsed_ns
+        ap.mem_write(base, np.arange(16, dtype=np.uint8))
+        data = ap.mem_read(base, 16)
+        assert list(data) == list(range(16))
+        assert ap.elapsed_ns > t0

@@ -1,0 +1,71 @@
+"""Unit tests for RADram configuration and logic blocks."""
+
+import pytest
+
+from repro.core.errors import BindError
+from repro.core.functions import APFunction
+from repro.radram.config import RADramConfig
+from repro.radram.logic import LogicBlock
+from repro.sim.config import KB
+from repro.sim.errors import ConfigError
+
+
+class TestConfig:
+    def test_reference_matches_paper(self):
+        cfg = RADramConfig.reference()
+        assert cfg.page_bytes == 512 * KB
+        assert cfg.les_per_page == 256
+        assert cfg.logic_hz == 100e6
+        assert cfg.logic_cycle_ns == 10.0
+
+    def test_logic_divisor_reference_is_10(self):
+        assert RADramConfig.reference().logic_divisor(1e9) == 10.0
+
+    def test_with_logic_divisor(self):
+        cfg = RADramConfig.reference().with_logic_divisor(2)  # 500 MHz
+        assert cfg.logic_hz == pytest.approx(500e6)
+        slow = RADramConfig.reference().with_logic_divisor(100)  # 10 MHz
+        assert slow.logic_cycle_ns == pytest.approx(100.0)
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ConfigError):
+            RADramConfig.reference().with_logic_divisor(0)
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ConfigError):
+            RADramConfig(page_bytes=0)
+
+
+class TestLogicBlock:
+    def test_configure_within_budget(self):
+        block = LogicBlock(RADramConfig.reference())
+        fns = [APFunction(name="f", le_count=200)]
+        block.configure(fns)
+        assert block.configured_les == 200
+        assert block.utilization == pytest.approx(200 / 256)
+
+    def test_configure_over_budget_raises(self):
+        block = LogicBlock(RADramConfig.reference())
+        with pytest.raises(BindError):
+            block.configure([APFunction(name="f", le_count=257)])
+
+    def test_set_total_is_budgeted(self):
+        block = LogicBlock(RADramConfig.reference())
+        fns = [
+            APFunction(name="a", le_count=150),
+            APFunction(name="b", le_count=150),
+        ]
+        with pytest.raises(BindError):
+            block.configure(fns)
+
+    def test_all_paper_circuits_fit(self):
+        # Table 3: every application circuit is below 256 LEs.
+        table3_les = [109, 115, 141, 142, 179, 205, 131]
+        block = LogicBlock(RADramConfig.reference())
+        for les in table3_les:
+            block.configure([APFunction(name="f", le_count=les)])
+        assert block.reconfigurations == len(table3_les)
+
+    def test_cycles_to_ns_uses_logic_clock(self):
+        block = LogicBlock(RADramConfig.reference())
+        assert block.cycles_to_ns(100) == pytest.approx(1000.0)

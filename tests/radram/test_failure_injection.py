@@ -1,0 +1,130 @@
+"""Failure injection: the memory system's error paths and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ActivationError, BindError
+from repro.core.functions import APFunction, CommRequest, PageTask, Segment
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.errors import OperationError
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+
+
+def make_machine():
+    cfg = RADramConfig.reference().with_page_bytes(4096)
+    memsys = RADramMemorySystem(cfg)
+    return Machine(memory=PagedMemory(page_bytes=4096), memsys=memsys), memsys
+
+
+class TestActivationFailures:
+    def test_double_activation_of_running_page_raises(self):
+        machine, _ = make_machine()
+        ops = [
+            O.Activate(0, 1, PageTask.simple(1000)),
+            O.Activate(0, 1, PageTask.simple(1000)),
+        ]
+        with pytest.raises(RuntimeError, match="still running"):
+            machine.run(iter(ops))
+
+    def test_reactivation_after_wait_is_fine(self):
+        machine, _ = make_machine()
+        ops = [
+            O.Activate(0, 1, PageTask.simple(100)),
+            O.WaitPage(0),
+            O.Activate(0, 1, PageTask.simple(100)),
+            O.WaitPage(0),
+        ]
+        stats = machine.run(iter(ops))
+        assert stats.activations == 2
+
+    def test_activate_with_no_task_rejected(self):
+        machine, _ = make_machine()
+        with pytest.raises(OperationError):
+            machine.run(iter([O.Activate(0, 1, None)]))
+
+    def test_negative_segment_cycles_rejected_at_construction(self):
+        with pytest.raises(ActivationError):
+            Segment(-1.0)
+
+
+class TestCommFailures:
+    def test_comm_with_unmapped_addresses_is_timing_only(self):
+        # A CommRequest whose addresses are not mapped carries no
+        # functional payload; the service must not crash.
+        machine, memsys = make_machine()
+        task = PageTask.of(
+            [Segment(10, CommRequest(nbytes=64, src_vaddr=0xDEAD000, dst_vaddr=0xBEEF000))]
+        )
+        stats = machine.run(iter([O.Activate(0, 1, task), O.WaitPage(0)]))
+        assert stats.interrupts == 1
+
+    def test_zero_byte_comm_costs_only_entry(self):
+        machine, memsys = make_machine()
+        task = PageTask.of([Segment(10, CommRequest(nbytes=0))])
+        stats = machine.run(iter([O.Activate(0, 1, task), O.WaitPage(0)]))
+        cfg = memsys.config
+        assert stats.interrupt_ns == pytest.approx(
+            cfg.interrupt_base_ns + 2 * machine.config.dram.miss_latency_ns
+        )
+
+    def test_unbatched_ablation_pays_entry_per_request(self):
+        from dataclasses import replace
+
+        def interrupt_cost(batch: bool) -> float:
+            cfg = replace(
+                RADramConfig.reference().with_page_bytes(4096),
+                batch_interrupts=batch,
+            )
+            memsys = RADramMemorySystem(cfg)
+            machine = Machine(memory=PagedMemory(page_bytes=4096), memsys=memsys)
+            task = lambda: PageTask.of([Segment(500, CommRequest(nbytes=4)), Segment(10)])
+            ops = [O.Activate(p, 1, task()) for p in range(4)]
+            ops += [O.Compute(7000)]
+            ops += [O.WaitPage(p) for p in range(4)]
+            return machine.run(iter(ops)).interrupt_ns
+
+        batched = interrupt_cost(True)
+        unbatched = interrupt_cost(False)
+        assert unbatched == pytest.approx(batched + 3 * 500.0)
+
+
+class TestBudgetEdges:
+    def test_exactly_at_le_budget_is_accepted(self):
+        from repro.radram.logic import LogicBlock
+
+        block = LogicBlock(RADramConfig.reference())
+        block.configure([APFunction(name="f", le_count=256)])
+        assert block.utilization == 1.0
+
+    def test_one_over_budget_rejected(self):
+        from repro.radram.logic import LogicBlock
+
+        block = LogicBlock(RADramConfig.reference())
+        with pytest.raises(BindError):
+            block.configure([APFunction(name="f", le_count=257)])
+
+    def test_empty_task_completes_immediately(self):
+        machine, _ = make_machine()
+        stats = machine.run(
+            iter([O.Activate(0, 1, PageTask.simple(0.0)), O.WaitPage(0)])
+        )
+        assert stats.wait_ns == 0.0
+
+
+class TestWorkloadEdges:
+    def test_database_rejects_pages_too_small_for_a_record(self):
+        from repro.apps.registry import get_app
+
+        with pytest.raises(ValueError):
+            get_app("database").workload(1, page_bytes=256, functional=False)
+
+    def test_tiny_fractional_workloads_run(self):
+        from repro.apps.registry import ALL_APPS
+        from repro.experiments.runner import run_radram
+
+        for name, app in ALL_APPS.items():
+            r = run_radram(app, 0.05, page_bytes=16 * 1024, functional=True)
+            assert r.total_ns > 0, name

@@ -1,0 +1,86 @@
+"""Tests for inter-chip communication penalties (Section 10)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.functions import CommRequest, PageTask, Segment
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+
+PAGE = 4096
+
+
+def run_comm(src_page: int, dst_page: int, pages_per_chip: int = 4):
+    cfg = replace(
+        RADramConfig.reference().with_page_bytes(PAGE).with_hardware_comm(),
+        pages_per_chip=pages_per_chip,
+    )
+    memsys = RADramMemorySystem(cfg)
+    machine = Machine(memory=PagedMemory(page_bytes=PAGE), memsys=memsys)
+    task = PageTask.of(
+        [
+            Segment(
+                10,
+                CommRequest(
+                    nbytes=64,
+                    src_vaddr=src_page * PAGE,
+                    dst_vaddr=dst_page * PAGE,
+                ),
+            ),
+            Segment(10),
+        ]
+    )
+    stats = machine.run(iter([O.Activate(dst_page, 1, task), O.WaitPage(dst_page)]))
+    return stats, memsys
+
+
+class TestInterChip:
+    def test_same_chip_reference_pays_no_interchip_hop(self):
+        stats, memsys = run_comm(src_page=1, dst_page=2)  # both on chip 0
+        assert memsys.interchip_requests == 0
+
+    def test_cross_chip_reference_pays_the_hop(self):
+        stats_local, _ = run_comm(src_page=1, dst_page=2)
+        stats_remote, memsys = run_comm(src_page=1, dst_page=6)  # chips 0, 1
+        assert memsys.interchip_requests == 1
+        assert stats_remote.total_ns > stats_local.total_ns
+        delta = stats_remote.total_ns - stats_local.total_ns
+        assert delta == pytest.approx(
+            RADramConfig.reference().interchip_hop_ns
+        )
+
+    def test_chip_of_mapping(self):
+        cfg = replace(RADramConfig.reference(), pages_per_chip=128)
+        assert cfg.chip_of(0) == 0
+        assert cfg.chip_of(127) == 0
+        assert cfg.chip_of(128) == 1
+
+    def test_colocation_matters_for_wavefront_apps(self):
+        # The OS frame allocator's co-location policy exists for this:
+        # a group split across chips pays inter-chip hops per boundary.
+        def total(pages_per_chip):
+            cfg = replace(
+                RADramConfig.reference().with_page_bytes(PAGE).with_hardware_comm(),
+                pages_per_chip=pages_per_chip,
+            )
+            memsys = RADramMemorySystem(cfg)
+            machine = Machine(memory=PagedMemory(page_bytes=PAGE), memsys=memsys)
+            ops = []
+            for p in range(8):
+                comm = CommRequest(
+                    nbytes=64, src_vaddr=max(0, p - 1) * PAGE, dst_vaddr=p * PAGE
+                )
+                task = PageTask.of([Segment(5, comm), Segment(5)])
+                ops.append(O.Activate(p, 1, task))
+            ops += [O.WaitPage(p) for p in range(8)]
+            return machine.run(iter(ops)).total_ns, memsys.interchip_requests
+
+        t_colocated, hops_colocated = total(pages_per_chip=8)
+        t_split, hops_split = total(pages_per_chip=1)
+        assert hops_colocated == 0
+        assert hops_split == 7
+        assert t_split > t_colocated

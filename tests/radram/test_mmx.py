@@ -1,0 +1,115 @@
+"""Unit + property tests for MMX packed-integer semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.radram.mmx import (
+    CONVENTIONAL_MMX_BYTES_PER_INSN,
+    MMX_OPS,
+    conventional_instruction_count,
+    mmx_op,
+    radram_mmx_task,
+)
+
+i16 = arrays(np.int16, 16, elements=st.integers(-32768, 32767))
+u8 = arrays(np.uint8, 16, elements=st.integers(0, 255))
+
+
+class TestSemantics:
+    def test_paddsw_saturates_high(self):
+        op = mmx_op("paddsw")
+        a = np.array([32000, 100], dtype=np.int16)
+        b = np.array([32000, 100], dtype=np.int16)
+        assert list(op.apply(a, b)) == [32767, 200]
+
+    def test_paddsw_saturates_low(self):
+        op = mmx_op("paddsw")
+        a = np.array([-32000], dtype=np.int16)
+        b = np.array([-32000], dtype=np.int16)
+        assert list(op.apply(a, b)) == [-32768]
+
+    def test_paddw_wraps(self):
+        op = mmx_op("paddw")
+        a = np.array([32767], dtype=np.int16)
+        b = np.array([1], dtype=np.int16)
+        assert list(op.apply(a, b)) == [-32768]
+
+    def test_paddusb_saturates_at_255(self):
+        op = mmx_op("paddusb")
+        a = np.array([250, 10], dtype=np.uint8)
+        b = np.array([10, 10], dtype=np.uint8)
+        assert list(op.apply(a, b)) == [255, 20]
+
+    def test_psubusb_saturates_at_zero(self):
+        op = mmx_op("psubusb")
+        a = np.array([5], dtype=np.uint8)
+        b = np.array([10], dtype=np.uint8)
+        assert list(op.apply(a, b)) == [0]
+
+    def test_pmullw_keeps_low_16(self):
+        op = mmx_op("pmullw")
+        a = np.array([300], dtype=np.int16)
+        b = np.array([300], dtype=np.int16)
+        assert list(op.apply(a, b)) == [np.int16(90000 & 0xFFFF)]
+
+    def test_pmulhw_keeps_high_16(self):
+        op = mmx_op("pmulhw")
+        a = np.array([300], dtype=np.int16)
+        b = np.array([300], dtype=np.int16)
+        assert list(op.apply(a, b)) == [90000 >> 16]
+
+    def test_pcmpeqw_all_ones_mask(self):
+        op = mmx_op("pcmpeqw")
+        a = np.array([1, 2], dtype=np.int16)
+        b = np.array([1, 3], dtype=np.int16)
+        assert list(op.apply(a, b)) == [-1, 0]
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            mmx_op("pbogus")
+
+
+class TestSemanticsProperties:
+    @given(a=i16, b=i16)
+    @settings(max_examples=100, deadline=None)
+    def test_paddsw_never_overflows(self, a, b):
+        out = mmx_op("paddsw").apply(a, b)
+        exact = a.astype(np.int32) + b.astype(np.int32)
+        assert np.all(out == np.clip(exact, -32768, 32767))
+
+    @given(a=u8, b=u8)
+    @settings(max_examples=100, deadline=None)
+    def test_paddusb_monotone_in_saturation(self, a, b):
+        out = mmx_op("paddusb").apply(a, b)
+        assert np.all(out >= np.maximum(a, b) - 0)  # saturating add >= max input
+
+    @given(a=i16, b=i16)
+    @settings(max_examples=100, deadline=None)
+    def test_xor_is_self_inverse(self, a, b):
+        op = mmx_op("pxor")
+        au = a.view(np.uint16).astype(np.uint32)
+        bu = b.view(np.uint16).astype(np.uint32)
+        assert np.all(op.apply(op.apply(au, bu), bu) == au)
+
+
+class TestCostModels:
+    def test_conventional_one_insn_per_32bits(self):
+        assert conventional_instruction_count(256 * 1024) == 64 * 1024
+        assert conventional_instruction_count(5) == 2
+
+    def test_radram_wide_instruction_time_matches_table4(self):
+        # One instruction over 256 KB should take ~142 us at 100 MHz.
+        task = radram_mmx_task(256 * 1024)
+        t_c_us = task.total_cycles * 10.0 / 1000.0
+        assert t_c_us == pytest.approx(142.3, rel=0.02)
+
+    def test_wide_form_beats_conventional_by_orders_of_magnitude(self):
+        nbytes = 256 * 1024
+        conv_ns = conventional_instruction_count(nbytes) * 1.0
+        radram_ns = radram_mmx_task(nbytes).total_cycles * 10.0
+        assert conv_ns / radram_ns < 1.0  # per page, logic is slower...
+        # ...but 128 pages run in parallel while the CPU runs serially.
+        assert 128 * conv_ns / radram_ns > 30.0

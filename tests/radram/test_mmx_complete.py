@@ -1,0 +1,143 @@
+"""Tests for the completed MMX instruction set (Section 5.2 extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.radram.mmx import MMX_SHIFTS, mmx_op, mmx_shift
+
+i16v = arrays(np.int16, 8, elements=st.integers(-32768, 32767))
+u8v = arrays(np.uint8, 8, elements=st.integers(0, 255))
+
+
+class TestPmaddwd:
+    def test_matches_manual_dot_of_pairs(self):
+        a = np.array([1, 2, 3, 4], dtype=np.int16)
+        b = np.array([10, 20, 30, 40], dtype=np.int16)
+        out = mmx_op("pmaddwd").apply(a, b)
+        assert list(out) == [1 * 10 + 2 * 20, 3 * 30 + 4 * 40]
+
+    def test_no_intermediate_overflow(self):
+        a = np.array([32767, 32767], dtype=np.int16)
+        b = np.array([32767, 32767], dtype=np.int16)
+        out = mmx_op("pmaddwd").apply(a, b)
+        assert out[0] == 2 * 32767 * 32767  # fits int32
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            mmx_op("pmaddwd").apply(
+                np.array([1], dtype=np.int16), np.array([1], dtype=np.int16)
+            )
+
+    @given(a=i16v, b=i16v)
+    @settings(max_examples=50, deadline=None)
+    def test_matches_int32_reference(self, a, b):
+        out = mmx_op("pmaddwd").apply(a, b)
+        ref = (a.astype(np.int64) * b.astype(np.int64)).reshape(-1, 2).sum(axis=1)
+        assert np.array_equal(out, ref)
+
+
+class TestPack:
+    def test_packsswb_saturates(self):
+        a = np.array([300, -300], dtype=np.int16)
+        b = np.array([5, -5], dtype=np.int16)
+        out = mmx_op("packsswb").apply(a, b)
+        assert list(out) == [127, -128, 5, -5]
+
+    def test_packuswb_clamps_to_unsigned(self):
+        a = np.array([-5, 300], dtype=np.int16)
+        b = np.array([128, 7], dtype=np.int16)
+        out = mmx_op("packuswb").apply(a, b)
+        assert list(out) == [0, 255, 128, 7]
+
+    def test_unpack_roundtrips_pack_for_small_values(self):
+        lo = np.array([1, 2, 3, 4], dtype=np.uint8)
+        hi = np.array([5, 6, 7, 8], dtype=np.uint8)
+        inter = mmx_op("punpcklbw").apply(
+            np.concatenate([lo, hi]), np.zeros(8, dtype=np.uint8)
+        )
+        # Interleaving with zeros widens bytes to words (the classic
+        # MMX byte->word promotion idiom).
+        words = inter.view(np.uint16) if inter.dtype == np.uint8 else inter
+        assert list(inter[0::2]) == [1, 2, 3, 4]
+        assert all(v == 0 for v in inter[1::2])
+
+    def test_punpckhbw_takes_high_halves(self):
+        a = np.arange(8, dtype=np.uint8)
+        b = np.arange(8, 16, dtype=np.uint8)
+        out = mmx_op("punpckhbw").apply(a, b)
+        assert list(out[0::2]) == [4, 5, 6, 7]
+        assert list(out[1::2]) == [12, 13, 14, 15]
+
+
+class TestShifts:
+    def test_psllw_multiplies_by_power_of_two(self):
+        a = np.array([3, -3], dtype=np.int16)
+        out = mmx_shift("psllw").apply(a, 4)
+        assert list(out) == [48, -48]
+
+    def test_psraw_preserves_sign(self):
+        a = np.array([-256, 256], dtype=np.int16)
+        out = mmx_shift("psraw").apply(a, 4)
+        assert list(out) == [-16, 16]
+
+    def test_psrlw_is_logical(self):
+        a = np.array([-1], dtype=np.int16)
+        out = mmx_shift("psrlw").apply(a, 8)
+        assert out[0] == 0x00FF
+
+    def test_overwidth_logical_shift_zeroes(self):
+        a = np.array([1234], dtype=np.int16)
+        assert mmx_shift("psllw").apply(a, 16)[0] == 0
+        assert mmx_shift("psrlw").apply(a, 20)[0] == 0
+
+    def test_overwidth_arithmetic_shift_sign_fills(self):
+        a = np.array([-1234], dtype=np.int16)
+        assert mmx_shift("psraw").apply(a, 99)[0] == -1
+
+    def test_dword_shifts(self):
+        a = np.array([1 << 20], dtype=np.int32)
+        assert mmx_shift("pslld").apply(a, 4)[0] == 1 << 24
+        assert mmx_shift("psrld").apply(a, 4)[0] == 1 << 16
+        assert mmx_shift("psrad").apply(np.array([-1024], dtype=np.int32), 4)[0] == -64
+
+    @given(a=i16v, n=st.integers(min_value=0, max_value=15))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_pairs_are_inverses_on_preserved_bits(self, a, n):
+        left = mmx_shift("psllw").apply(a, n)
+        back = mmx_shift("psrlw").apply(left, n)
+        mask = np.uint16((1 << (16 - n)) - 1)
+        assert np.array_equal(
+            back.view(np.uint16) & mask, a.view(np.uint16) & mask
+        )
+
+    def test_all_shifts_registered(self):
+        assert set(MMX_SHIFTS) == {"psllw", "psrlw", "psraw", "pslld", "psrld", "psrad"}
+
+    def test_unknown_shift_rejected(self):
+        with pytest.raises(KeyError):
+            mmx_shift("psllq")
+
+
+class TestNewBinaryOps:
+    def test_paddd_wraps(self):
+        a = np.array([0x7FFFFFFF], dtype=np.int32)
+        out = mmx_op("paddd").apply(a, np.array([1], dtype=np.int32))
+        assert out[0] == -0x80000000
+
+    def test_psubsb_saturates(self):
+        a = np.array([-120], dtype=np.int8)
+        out = mmx_op("psubsb").apply(a, np.array([100], dtype=np.int8))
+        assert out[0] == -128
+
+    def test_byte_compares(self):
+        a = np.array([1, 5], dtype=np.int8)
+        b = np.array([1, 3], dtype=np.int8)
+        assert list(mmx_op("pcmpeqb").apply(a, b)) == [-1, 0]
+        assert list(mmx_op("pcmpgtb").apply(a, b)) == [0, -1]
+
+    def test_dword_compare(self):
+        a = np.array([7], dtype=np.int32)
+        assert mmx_op("pcmpeqd").apply(a, a)[0] == -1

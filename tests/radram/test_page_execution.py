@@ -1,0 +1,80 @@
+"""Unit tests for in-page task execution timelines."""
+
+import pytest
+
+from repro.core.functions import CommRequest, PageTask, Segment
+from repro.radram.config import RADramConfig
+from repro.radram.subarray import PageExecution, Subarray
+
+
+def make_exec(segments, start=0.0, cycle_ns=10.0):
+    return PageExecution(PageTask.of(segments), start, cycle_ns)
+
+
+class TestPageExecution:
+    def test_simple_task_completes_without_blocking(self):
+        ex = make_exec([Segment(100)])
+        assert ex.is_done
+        assert ex.completion_ns == pytest.approx(1000.0)
+
+    def test_start_offset_shifts_completion(self):
+        ex = make_exec([Segment(100)], start=500.0)
+        assert ex.completion_ns == pytest.approx(1500.0)
+
+    def test_blocks_at_comm_point(self):
+        ex = make_exec([Segment(50, CommRequest(nbytes=64)), Segment(50)])
+        assert ex.is_blocked
+        assert ex.block_time_ns == pytest.approx(500.0)
+        assert not ex.is_done
+
+    def test_resume_continues_from_service_time(self):
+        ex = make_exec([Segment(50, CommRequest(nbytes=64)), Segment(50)])
+        ex.resume(serviced_at_ns=2000.0)
+        assert ex.is_done
+        assert ex.completion_ns == pytest.approx(2500.0)
+
+    def test_resume_before_block_time_is_clamped(self):
+        ex = make_exec([Segment(50, CommRequest(nbytes=64)), Segment(50)])
+        ex.resume(serviced_at_ns=100.0)  # earlier than the block at 500
+        assert ex.completion_ns == pytest.approx(1000.0)
+
+    def test_multiple_blocks_in_sequence(self):
+        ex = make_exec(
+            [
+                Segment(10, CommRequest(nbytes=4)),
+                Segment(10, CommRequest(nbytes=4)),
+                Segment(10),
+            ]
+        )
+        assert ex.block_time_ns == pytest.approx(100.0)
+        ex.resume(100.0)
+        assert ex.is_blocked
+        assert ex.block_time_ns == pytest.approx(200.0)
+        ex.resume(200.0)
+        assert ex.is_done
+        assert ex.completion_ns == pytest.approx(300.0)
+
+    def test_resume_when_not_blocked_raises(self):
+        ex = make_exec([Segment(10)])
+        with pytest.raises(RuntimeError):
+            ex.resume(0.0)
+
+    def test_busy_time_excludes_blocked_time(self):
+        ex = make_exec([Segment(50, CommRequest(nbytes=4)), Segment(50)])
+        ex.resume(10_000.0)
+        assert ex.busy_ns == pytest.approx(1000.0)
+
+
+class TestSubarray:
+    def test_activation_while_running_raises(self):
+        sub = Subarray(0, RADramConfig.reference())
+        sub.start(PageTask.of([Segment(10, CommRequest(nbytes=4))]), 0.0)
+        with pytest.raises(RuntimeError):
+            sub.start(PageTask.simple(10), 0.0)
+
+    def test_reactivation_after_done_accumulates_busy(self):
+        sub = Subarray(0, RADramConfig.reference())
+        sub.start(PageTask.simple(100), 0.0)
+        sub.start(PageTask.simple(50), 5000.0)
+        assert sub.activations == 2
+        assert sub.total_busy_ns == pytest.approx(1000.0)

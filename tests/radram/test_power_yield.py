@@ -1,0 +1,159 @@
+"""Tests for the power and yield models (Section 3 arguments)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radram.config import RADramConfig
+from repro.radram.power import PowerModel, port_width_study
+from repro.radram.yieldmodel import (
+    CHIP_CLASSES,
+    ChipClass,
+    chip_yield,
+    cost_per_working_chip,
+    yield_table,
+)
+
+
+class TestPowerModel:
+    def test_power_scales_with_active_les(self):
+        m = PowerModel(RADramConfig.reference())
+        assert m.logic_mw(256) > m.logic_mw(100) > 0
+
+    def test_power_scales_with_logic_clock(self):
+        fast = PowerModel(RADramConfig.reference().with_logic_divisor(2))
+        slow = PowerModel(RADramConfig.reference().with_logic_divisor(100))
+        assert fast.logic_mw(150) > slow.logic_mw(150)
+
+    def test_refresh_doubles_per_10c(self):
+        m = PowerModel(RADramConfig.reference())
+        assert m.refresh_mw(65.0) == pytest.approx(4 * m.refresh_mw(45.0))
+
+    def test_temperature_fixed_point_converges(self):
+        m = PowerModel(RADramConfig.reference())
+        p = m.page_power(active_les=150)
+        # Refresh is elevated above ambient baseline but bounded.
+        assert m.refresh_mw(45.0) < p.refresh_mw < 10 * m.refresh_mw(45.0)
+
+    def test_wider_port_costs_more_power(self):
+        narrow = PowerModel(RADramConfig(port_bytes=4))
+        wide = PowerModel(RADramConfig(port_bytes=64))
+        assert wide.port_mw() > 10 * narrow.port_mw()
+
+    def test_chip_power_linear_in_active_pages(self):
+        m = PowerModel(RADramConfig.reference())
+        assert m.chip_mw(128) == pytest.approx(2 * m.chip_mw(64))
+
+
+class TestPortWidthStudy:
+    def test_reproduces_section3_tradeoff(self):
+        rows = port_width_study([4, 8, 32, 64])
+        assert [r["port_bits"] for r in rows] == [32, 64, 256, 512]
+        # Bandwidth rises linearly, power monotonically.
+        bw = [r["relative_bandwidth"] for r in rows]
+        assert bw == sorted(bw)
+        power = [r["page_power_mw"] for r in rows]
+        assert power == sorted(power)
+        # "beyond our area constraints for some applications": at 512
+        # bits some circuits no longer fit; at 32 bits all seven do.
+        assert rows[0]["circuits_fitting"] == 7
+        assert rows[-1]["circuits_fitting"] < 7
+
+
+class TestYieldModel:
+    def test_dram_yield_is_high(self):
+        assert chip_yield(CHIP_CLASSES["dram"]) > 0.9
+
+    def test_radram_yields_like_dram(self):
+        # The paper's core claim: "RADram is intended to fabricate at
+        # DRAM costs".
+        dram = cost_per_working_chip(CHIP_CLASSES["dram"])
+        radram = cost_per_working_chip(CHIP_CLASSES["radram"])
+        assert radram < 1.10 * dram
+
+    def test_processor_costs_about_ten_times_dram(self):
+        table = {r["chip"]: r for r in yield_table()}
+        assert 7 < table["processor"]["cost_vs_dram"] < 13
+
+    def test_iram_sits_between(self):
+        table = {r["chip"]: r for r in yield_table()}
+        assert (
+            table["radram"]["cost_vs_dram"]
+            < table["iram"]["cost_vs_dram"]
+            < table["processor"]["cost_vs_dram"]
+        )
+
+    @given(density=st.floats(min_value=0.05, max_value=3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_yield_decreases_with_defect_density(self, density):
+        for chip in CHIP_CLASSES.values():
+            assert chip_yield(chip, density) >= chip_yield(chip, density + 0.5)
+
+    @given(
+        repairable=st.floats(min_value=0.0, max_value=1.0),
+        spares=st.integers(min_value=0, max_value=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_yield_is_a_probability(self, repairable, spares):
+        chip = ChipClass("x", area_cm2=1.0, repairable_fraction=repairable, spare_capacity=spares)
+        y = chip_yield(chip)
+        assert 0.0 <= y <= 1.0
+
+    def test_more_spares_never_hurt(self):
+        base = ChipClass("a", 1.0, 0.9, spare_capacity=2)
+        more = ChipClass("b", 1.0, 0.9, spare_capacity=10)
+        assert chip_yield(more) >= chip_yield(base)
+
+
+class TestHardwareComm:
+    def test_hardware_comm_avoids_processor_interrupts(self):
+        from repro.core.functions import CommRequest, PageTask, Segment
+        from repro.radram.system import RADramMemorySystem
+        from repro.sim import ops as O
+        from repro.sim.machine import Machine
+        from repro.sim.memory import PagedMemory
+
+        def run(config):
+            memsys = RADramMemorySystem(config)
+            machine = Machine(memory=PagedMemory(page_bytes=4096), memsys=memsys)
+            task = PageTask.of([Segment(100, CommRequest(nbytes=256)), Segment(100)])
+            stats = machine.run(iter([O.Activate(0, 1, task), O.WaitPage(0)]))
+            return stats, memsys
+
+        base = RADramConfig.reference().with_page_bytes(4096)
+        proc_stats, proc_sys = run(base)
+        hw_stats, hw_sys = run(base.with_hardware_comm())
+        assert proc_stats.interrupts == 1
+        assert hw_stats.interrupts == 0
+        assert hw_sys.comm_requests == 1  # still counted
+        # The hardware network resolves the reference faster than an
+        # interrupt + two DRAM round trips.
+        assert hw_stats.total_ns < proc_stats.total_ns
+
+    def test_hardware_comm_still_copies_functionally(self):
+        import numpy as np
+
+        from repro.core.functions import CommRequest, PageTask, Segment
+        from repro.radram.system import RADramMemorySystem
+        from repro.sim import ops as O
+        from repro.sim.machine import Machine
+        from repro.sim.memory import PagedMemory
+
+        cfg = RADramConfig.reference().with_page_bytes(4096).with_hardware_comm()
+        memsys = RADramMemorySystem(cfg)
+        machine = Machine(memory=PagedMemory(page_bytes=4096), memsys=memsys)
+        region = machine.memory.alloc_pages(2)
+        machine.memory.write(region.base, np.full(8, 5, dtype=np.uint8))
+        page_no = region.base // 4096
+        task = PageTask.of(
+            [Segment(10, CommRequest(nbytes=8, src_vaddr=region.base,
+                                     dst_vaddr=region.base + 4096))]
+        )
+        machine.run(iter([O.Activate(page_no, 1, task), O.WaitPage(page_no)]))
+        assert np.all(machine.memory.read(region.base + 4096, 8) == 5)
+
+    def test_bad_mechanism_rejected(self):
+        from repro.sim.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            RADramConfig(comm_mechanism="telepathy")

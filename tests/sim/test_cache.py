@@ -1,0 +1,180 @@
+"""Unit + property tests for the cache hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.bus import Bus
+from repro.sim.cache import Cache, build_hierarchy
+from repro.sim.config import KB, BusConfig, CacheConfig, DRAMConfig
+from repro.sim.dram import DRAM
+
+
+def make_dram(miss_ns=50.0):
+    return DRAM(DRAMConfig(miss_latency_ns=miss_ns), Bus(BusConfig()))
+
+
+def small_cache(size=1024, assoc=2, line=32, hit=1.0, dram=None):
+    dram = dram or make_dram()
+    return Cache("L1", CacheConfig(size_bytes=size, assoc=assoc, line_bytes=line, hit_ns=hit), dram=dram)
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_second_hits(self):
+        c = small_cache()
+        t1 = c.access_line(0, write=False)
+        t2 = c.access_line(0, write=False)
+        assert c.stats.misses == 1
+        assert c.stats.hits == 1
+        assert t1 > t2
+        assert t2 == 1.0  # pure hit latency
+
+    def test_miss_pays_dram_latency_plus_bus(self):
+        c = small_cache()
+        t = c.access_line(7, write=False)
+        # hit_ns + miss latency + line transfer (32 B over 4 B/10 ns bus)
+        assert t == pytest.approx(1.0 + 50.0 + 80.0)
+
+    def test_distinct_sets_do_not_conflict(self):
+        c = small_cache(size=1024, assoc=1)  # 32 sets
+        n_sets = c.config.n_sets
+        c.access_line(0, write=False)
+        c.access_line(1, write=False)
+        assert c.contains(0) and c.contains(1)
+        # Same set, different tag evicts in a direct-mapped cache.
+        c.access_line(n_sets, write=False)
+        assert not c.contains(0)
+
+    def test_lru_evicts_least_recent(self):
+        c = small_cache(size=64, assoc=2, line=32)  # 1 set, 2 ways
+        c.access_line(0, write=False)
+        c.access_line(1, write=False)
+        c.access_line(0, write=False)  # 0 becomes MRU
+        c.access_line(2, write=False)  # evicts 1
+        assert c.contains(0)
+        assert not c.contains(1)
+        assert c.contains(2)
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = small_cache(size=64, assoc=1, line=32)  # 2 sets, 1 way
+        c.access_line(0, write=True)
+        c.access_line(2, write=False)  # same set 0, evicts dirty line 0
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_has_no_writeback(self):
+        c = small_cache(size=64, assoc=1, line=32)
+        c.access_line(0, write=False)
+        c.access_line(2, write=False)
+        assert c.stats.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        c = small_cache(size=64, assoc=1, line=32)
+        c.access_line(0, write=False)
+        c.access_line(0, write=True)
+        c.access_line(2, write=False)
+        assert c.stats.writebacks == 1
+
+    def test_invalidate_all_empties_cache(self):
+        c = small_cache()
+        for i in range(10):
+            c.access_line(i, write=False)
+        c.invalidate_all()
+        assert c.resident_lines() == 0
+
+    def test_requires_backing(self):
+        with pytest.raises(ValueError):
+            Cache("x", CacheConfig(size_bytes=64, assoc=1))
+
+
+class TestHierarchy:
+    def test_l2_absorbs_l1_capacity_misses(self):
+        dram = make_dram()
+        l1d, _, l2 = build_hierarchy(
+            CacheConfig(size_bytes=64, assoc=1, line_bytes=32, hit_ns=1.0),
+            CacheConfig(size_bytes=1024, assoc=4, line_bytes=32, hit_ns=6.0),
+            dram,
+        )
+        # Touch 4 lines: all L1 capacity evictions land in L2.
+        for i in range(4):
+            l1d.access_line(i, write=False)
+        dram_reads_before = dram.reads
+        for i in range(4):
+            l1d.access_line(i, write=False)
+        # Second pass misses L1 (2 sets x 1 way) but hits L2: no DRAM.
+        assert dram.reads == dram_reads_before
+
+    def test_l2_hit_is_cheaper_than_dram(self):
+        dram = make_dram()
+        l1d, _, l2 = build_hierarchy(
+            CacheConfig(size_bytes=64, assoc=1, line_bytes=32, hit_ns=1.0),
+            CacheConfig(size_bytes=1024, assoc=4, line_bytes=32, hit_ns=6.0),
+            dram,
+        )
+        t_cold = l1d.access_line(0, write=False)
+        l1d.access_line(2, write=False)  # evict line 0 from L1 set 0
+        t_l2 = l1d.access_line(0, write=False)
+        assert t_l2 == pytest.approx(1.0 + 6.0)
+        assert t_l2 < t_cold
+
+    def test_larger_cache_never_increases_misses_on_a_scan(self):
+        def misses(size):
+            dram = make_dram()
+            c = small_cache(size=size, assoc=2, dram=dram)
+            for _ in range(3):
+                for i in range(64):
+                    c.access_line(i, write=False)
+            return c.stats.misses
+
+        assert misses(4 * KB) <= misses(1 * KB)
+
+
+class TestProperties:
+    @given(
+        addrs=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addrs):
+        c = small_cache()
+        for a in addrs:
+            c.access_line(a, write=False)
+        assert c.stats.hits + c.stats.misses == len(addrs)
+
+    @given(
+        addrs=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_residency_never_exceeds_capacity(self, addrs):
+        c = small_cache(size=256, assoc=2, line=32)  # 8 lines capacity
+        for a in addrs:
+            c.access_line(a, write=bool(a % 2))
+        assert c.resident_lines() <= 8
+
+    @given(
+        addrs=st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_repeat_of_recent_line_always_hits(self, addrs):
+        c = small_cache(size=1024, assoc=2)
+        for a in addrs:
+            c.access_line(a, write=False)
+            hits_before = c.stats.hits
+            c.access_line(a, write=False)
+            assert c.stats.hits == hits_before + 1
+
+    @given(
+        addrs=st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=150),
+        write_frac=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_total_latency_is_sum_of_line_latencies(self, addrs, write_frac):
+        c1 = small_cache()
+        c2 = small_cache()
+        writes = [bool(i % 4 < write_frac) for i in range(len(addrs))]
+        total = 0.0
+        for a, w in zip(addrs, writes):
+            total += c1.access_line(a, w)
+        bulk = 0.0
+        for a, w in zip(addrs, writes):
+            bulk += c2.access_line(a, w)
+        assert total == pytest.approx(bulk)

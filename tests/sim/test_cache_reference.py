@@ -1,0 +1,109 @@
+"""Cross-validation of the cache against an independent reference model.
+
+The reference implementation below is written for obviousness, not
+speed — an ordered dict of resident lines per set — and is developed
+from the textbook definition of a set-associative LRU write-back
+cache.  Hypothesis drives both models with the same access strings and
+demands identical hit/miss/writeback decisions on every access.
+"""
+
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.bus import Bus
+from repro.sim.cache import Cache
+from repro.sim.config import BusConfig, CacheConfig, DRAMConfig
+from repro.sim.dram import DRAM
+
+
+class ReferenceCache:
+    """Textbook set-associative LRU write-back write-allocate cache."""
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        self.n_sets = n_sets
+        self.assoc = assoc
+        # set index -> OrderedDict[tag, dirty]; first item = LRU.
+        self.sets: Dict[int, "OrderedDict[int, bool]"] = {
+            s: OrderedDict() for s in range(n_sets)
+        }
+
+    def access(self, line_addr: int, write: bool) -> Tuple[bool, bool]:
+        """Returns (hit, wrote_back_dirty_victim)."""
+        s = line_addr % self.n_sets
+        tag = line_addr // self.n_sets
+        entries = self.sets[s]
+        if tag in entries:
+            dirty = entries.pop(tag)
+            entries[tag] = dirty or write
+            return True, False
+        wrote_back = False
+        if len(entries) >= self.assoc:
+            _, victim_dirty = entries.popitem(last=False)
+            wrote_back = victim_dirty
+        entries[tag] = write
+        return False, wrote_back
+
+
+def make_cache(size=512, assoc=2, line=32):
+    dram = DRAM(DRAMConfig(), Bus(BusConfig()))
+    return Cache(
+        "L1",
+        CacheConfig(size_bytes=size, assoc=assoc, line_bytes=line, hit_ns=1.0),
+        dram=dram,
+    )
+
+
+access_strings = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=127), st.booleans()),
+    min_size=1,
+    max_size=400,
+)
+
+
+class TestAgainstReference:
+    @given(accesses=access_strings)
+    @settings(max_examples=100, deadline=None)
+    def test_hit_miss_decisions_identical(self, accesses):
+        cache = make_cache()
+        ref = ReferenceCache(n_sets=cache.config.n_sets, assoc=2)
+        for line_addr, write in accesses:
+            hits_before = cache.stats.hits
+            cache.access_line(line_addr, write)
+            model_hit = cache.stats.hits == hits_before + 1
+            ref_hit, _ = ref.access(line_addr, write)
+            assert model_hit == ref_hit, (line_addr, write)
+
+    @given(accesses=access_strings)
+    @settings(max_examples=100, deadline=None)
+    def test_writeback_decisions_identical(self, accesses):
+        cache = make_cache()
+        ref = ReferenceCache(n_sets=cache.config.n_sets, assoc=2)
+        for line_addr, write in accesses:
+            wb_before = cache.stats.writebacks
+            cache.access_line(line_addr, write)
+            model_wb = cache.stats.writebacks == wb_before + 1
+            _, ref_wb = ref.access(line_addr, write)
+            assert model_wb == ref_wb, (line_addr, write)
+
+    @given(
+        accesses=access_strings,
+        assoc=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_residency_sets_identical(self, accesses, assoc):
+        cache = make_cache(size=32 * 8 * assoc, assoc=assoc)
+        ref = ReferenceCache(n_sets=8, assoc=assoc)
+        for line_addr, write in accesses:
+            cache.access_line(line_addr, write)
+            ref.access(line_addr, write)
+        resident_ref = {
+            tag * 8 + s for s, entries in ref.sets.items() for tag in entries
+        }
+        resident_model = {
+            line for line in range(256) if cache.contains(line)
+        }
+        assert resident_model == resident_ref

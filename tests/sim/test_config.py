@@ -1,0 +1,99 @@
+"""Unit tests for machine configuration (paper Table 1)."""
+
+import pytest
+
+from repro.sim.config import (
+    KB,
+    MB,
+    BusConfig,
+    CacheConfig,
+    CPUConfig,
+    DRAMConfig,
+    MachineConfig,
+)
+from repro.sim.errors import ConfigError
+
+
+class TestCPUConfig:
+    def test_reference_clock_is_1ghz(self):
+        cpu = CPUConfig()
+        assert cpu.clock_hz == 1e9
+        assert cpu.cycle_ns == 1.0
+
+    def test_compute_time_scales_with_ops(self):
+        cpu = CPUConfig()
+        assert cpu.compute_ns(100) == 100.0
+
+    def test_compute_time_scales_with_clock(self):
+        cpu = CPUConfig(clock_hz=2e9)
+        assert cpu.compute_ns(100) == 50.0
+
+    def test_issue_width_divides_time(self):
+        cpu = CPUConfig(issue_width=2)
+        assert cpu.compute_ns(100) == 50.0
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ConfigError):
+            CPUConfig(clock_hz=0)
+
+    def test_rejects_zero_issue_width(self):
+        with pytest.raises(ConfigError):
+            CPUConfig(issue_width=0)
+
+
+class TestCacheConfig:
+    def test_reference_l1d_geometry(self):
+        cfg = CacheConfig(size_bytes=64 * KB, assoc=2)
+        assert cfg.n_sets == 64 * KB // (2 * 32)
+
+    def test_rejects_nondivisible_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, assoc=3, line_bytes=32)
+
+    def test_rejects_negative_hit_latency(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=64 * KB, assoc=2, hit_ns=-1)
+
+
+class TestBusConfig:
+    def test_32bits_per_10ns(self):
+        bus = BusConfig()
+        assert bus.transfer_ns(4) == 10.0
+
+    def test_rounds_up_to_whole_transfers(self):
+        bus = BusConfig()
+        assert bus.transfer_ns(5) == 20.0
+        assert bus.transfer_ns(32) == 80.0
+
+    def test_zero_bytes_is_free(self):
+        assert BusConfig().transfer_ns(0) == 0.0
+
+
+class TestMachineConfig:
+    def test_reference_matches_table1(self):
+        m = MachineConfig.reference()
+        assert m.cpu.clock_hz == 1e9
+        assert m.l1i.size_bytes == 64 * KB
+        assert m.l1d.size_bytes == 64 * KB
+        assert m.l2.size_bytes == 1 * MB
+        assert m.dram.miss_latency_ns == 50.0
+        assert m.bus.bytes_per_transfer == 4
+        assert m.bus.ns_per_transfer == 10.0
+
+    def test_l1d_sweep_preserves_other_params(self):
+        m = MachineConfig.reference().with_l1d_size(32 * KB)
+        assert m.l1d.size_bytes == 32 * KB
+        assert m.l2.size_bytes == 1 * MB
+
+    def test_miss_latency_sweep(self):
+        m = MachineConfig.reference().with_miss_latency(600.0)
+        assert m.dram.miss_latency_ns == 600.0
+
+    def test_l2_sweep(self):
+        m = MachineConfig.reference().with_l2_size(4 * MB)
+        assert m.l2.size_bytes == 4 * MB
+
+    def test_configs_are_frozen(self):
+        m = MachineConfig.reference()
+        with pytest.raises(Exception):
+            m.cpu.clock_hz = 2e9  # type: ignore[misc]

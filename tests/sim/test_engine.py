@@ -1,0 +1,61 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.errors import SimulationError
+
+
+class TestEngine:
+    def test_events_run_in_time_order(self):
+        eng = Engine()
+        order = []
+        eng.schedule(30, lambda: order.append("c"))
+        eng.schedule(10, lambda: order.append("a"))
+        eng.schedule(20, lambda: order.append("b"))
+        eng.run_until_idle()
+        assert order == ["a", "b", "c"]
+        assert eng.now == 30
+
+    def test_ties_break_by_insertion_order(self):
+        eng = Engine()
+        order = []
+        eng.schedule(5, lambda: order.append(1))
+        eng.schedule(5, lambda: order.append(2))
+        eng.run_until_idle()
+        assert order == [1, 2]
+
+    def test_run_until_stops_at_deadline(self):
+        eng = Engine()
+        order = []
+        eng.schedule(10, lambda: order.append("early"))
+        eng.schedule(100, lambda: order.append("late"))
+        eng.run_until(50)
+        assert order == ["early"]
+        assert eng.now == 50
+        assert eng.peek_time() == 100
+
+    def test_cannot_schedule_in_the_past(self):
+        eng = Engine()
+        eng.advance(100)
+        with pytest.raises(SimulationError):
+            eng.schedule_at(50, lambda: None)
+
+    def test_events_may_schedule_events(self):
+        eng = Engine()
+        seen = []
+
+        def first():
+            seen.append(eng.now)
+            eng.schedule(5, lambda: seen.append(eng.now))
+
+        eng.schedule(10, first)
+        eng.run_until_idle()
+        assert seen == [10, 15]
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            Engine().advance(-1)

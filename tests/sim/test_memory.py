@@ -1,0 +1,134 @@
+"""Unit + property tests for the functional paged memory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.errors import AddressError
+from repro.sim.memory import PagedMemory
+
+
+class TestAllocation:
+    def test_allocations_are_page_aligned(self):
+        mem = PagedMemory(page_bytes=4096)
+        r1 = mem.alloc(100)
+        r2 = mem.alloc(5000)
+        assert r1.base % 4096 == 0
+        assert r2.base % 4096 == 0
+        assert r2.base >= r1.base + 4096
+
+    def test_alloc_rounds_to_whole_pages(self):
+        mem = PagedMemory(page_bytes=4096)
+        r = mem.alloc(5000)
+        assert len(r.buffer) == 8192
+        assert len(list(mem.pages_of(r))) == 2
+
+    def test_alloc_pages_exact(self):
+        mem = PagedMemory(page_bytes=4096)
+        r = mem.alloc_pages(3)
+        assert len(r.buffer) == 3 * 4096
+
+    def test_rejects_nonpositive_alloc(self):
+        mem = PagedMemory(page_bytes=4096)
+        with pytest.raises(AddressError):
+            mem.alloc(0)
+
+    def test_freed_pages_unmapped(self):
+        mem = PagedMemory(page_bytes=4096)
+        r = mem.alloc_pages(2)
+        base = r.base
+        mem.free(r)
+        with pytest.raises(AddressError):
+            mem.region_of(base)
+
+
+class TestAddressing:
+    def test_region_of_interior_address(self):
+        mem = PagedMemory(page_bytes=4096)
+        r = mem.alloc_pages(2)
+        assert mem.region_of(r.base + 5000) is r
+
+    def test_unmapped_address_raises(self):
+        mem = PagedMemory(page_bytes=4096)
+        with pytest.raises(AddressError):
+            mem.region_of(0x42)
+
+    def test_page_view_sees_region_bytes(self):
+        mem = PagedMemory(page_bytes=4096)
+        r = mem.alloc_pages(2)
+        words = r.view(np.uint32)
+        words[:] = np.arange(len(words), dtype=np.uint32)
+        pages = list(mem.pages_of(r))
+        page1 = mem.page_view(pages[1], dtype=np.uint32)
+        assert page1[0] == 4096 // 4
+
+    def test_page_view_is_a_view_not_copy(self):
+        mem = PagedMemory(page_bytes=4096)
+        r = mem.alloc_pages(1)
+        page = mem.page_view(next(iter(mem.pages_of(r))))
+        page[0] = 0xAB
+        assert r.buffer[0] == 0xAB
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        mem = PagedMemory(page_bytes=4096)
+        r = mem.alloc(100)
+        data = np.arange(50, dtype=np.uint8)
+        mem.write(r.base + 10, data)
+        assert np.array_equal(mem.read(r.base + 10, 50), data)
+
+    def test_copy_between_regions(self):
+        mem = PagedMemory(page_bytes=4096)
+        a = mem.alloc(100)
+        b = mem.alloc(100)
+        mem.write(a.base, np.full(64, 7, dtype=np.uint8))
+        mem.copy(a.base, b.base + 8, 64)
+        assert np.array_equal(mem.read(b.base + 8, 64), np.full(64, 7, dtype=np.uint8))
+
+    def test_write_past_region_raises(self):
+        mem = PagedMemory(page_bytes=4096)
+        r = mem.alloc(4096)
+        with pytest.raises(AddressError):
+            mem.write(r.base + 4090, np.zeros(10, dtype=np.uint8))
+
+    def test_typed_view_bounds_checked(self):
+        mem = PagedMemory(page_bytes=4096)
+        r = mem.alloc(64)
+        with pytest.raises(AddressError):
+            r.view(np.uint32, offset=0, count=4096)
+
+
+class TestProperties:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=10000), min_size=1, max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_regions_never_overlap(self, sizes):
+        mem = PagedMemory(page_bytes=4096)
+        regions = [mem.alloc(s) for s in sizes]
+        spans = sorted((r.base, r.end) for r in regions)
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    @given(
+        offset=st.integers(min_value=0, max_value=4000),
+        payload=st.binary(min_size=1, max_size=96),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_write_read_roundtrip_anywhere(self, offset, payload):
+        mem = PagedMemory(page_bytes=4096)
+        r = mem.alloc_pages(1)
+        data = np.frombuffer(payload, dtype=np.uint8)
+        mem.write(r.base + offset, data)
+        assert np.array_equal(mem.read(r.base + offset, len(data)), data)
+
+    @given(n_pages=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=20, deadline=None)
+    def test_page_views_tile_region_exactly(self, n_pages):
+        mem = PagedMemory(page_bytes=1024)
+        r = mem.alloc_pages(n_pages)
+        r.buffer[:] = np.random.default_rng(0).integers(0, 256, len(r.buffer), dtype=np.uint8)
+        rebuilt = np.concatenate([mem.page_view(p) for p in mem.pages_of(r)])
+        assert np.array_equal(rebuilt, r.buffer)

@@ -1,0 +1,89 @@
+"""Unit + property tests for line-address expansion of memory ops."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.ops import lines_for_block, lines_for_gather, lines_for_stride
+
+
+class TestBlockExpansion:
+    def test_block_within_one_line(self):
+        assert list(lines_for_block(0, 16, 32)) == [0]
+
+    def test_block_spanning_lines(self):
+        assert list(lines_for_block(16, 32, 32)) == [0, 1]
+
+    def test_exact_line_multiple(self):
+        assert list(lines_for_block(32, 64, 32)) == [1, 2]
+
+    def test_empty_block(self):
+        assert list(lines_for_block(0, 0, 32)) == []
+
+
+class TestStrideExpansion:
+    def test_unit_stride_collapses_within_line(self):
+        lines = lines_for_stride(0, count=8, stride_bytes=4, elem_bytes=4, line_bytes=32)
+        assert list(lines) == [0]
+
+    def test_large_stride_touches_every_line(self):
+        lines = lines_for_stride(0, count=4, stride_bytes=512, elem_bytes=4, line_bytes=32)
+        assert list(lines) == [0, 16, 32, 48]
+
+    def test_element_straddles_line_boundary(self):
+        lines = lines_for_stride(30, count=1, stride_bytes=64, elem_bytes=4, line_bytes=32)
+        assert list(lines) == [0, 1]
+
+    def test_zero_count(self):
+        assert len(lines_for_stride(0, 0, 4, 4, 32)) == 0
+
+    def test_element_larger_than_line(self):
+        lines = lines_for_stride(0, count=2, stride_bytes=128, elem_bytes=64, line_bytes=32)
+        assert list(lines) == [0, 1, 4, 5]
+
+
+class TestGatherExpansion:
+    def test_duplicate_consecutive_addresses_collapse(self):
+        lines = lines_for_gather([0, 4, 8, 100], elem_bytes=4, line_bytes=32)
+        assert list(lines) == [0, 3]
+
+    def test_order_preserved(self):
+        lines = lines_for_gather([100, 0, 200], elem_bytes=4, line_bytes=32)
+        assert list(lines) == [3, 0, 6]
+
+    def test_empty_gather(self):
+        assert len(lines_for_gather([], 4, 32)) == 0
+
+
+class TestExpansionProperties:
+    @given(
+        addr=st.integers(min_value=0, max_value=10000),
+        count=st.integers(min_value=0, max_value=200),
+        stride=st.integers(min_value=1, max_value=256),
+        elem=st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_stride_matches_naive_gather(self, addr, count, stride, elem):
+        """Strided expansion equals gather over the same addresses."""
+        addrs = [addr + i * stride for i in range(count)]
+        a = lines_for_stride(addr, count, stride, elem, 32)
+        b = lines_for_gather(addrs, elem, 32)
+        assert np.array_equal(a, b)
+
+    @given(
+        addr=st.integers(min_value=0, max_value=10000),
+        nbytes=st.integers(min_value=1, max_value=4096),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_block_covers_all_bytes(self, addr, nbytes):
+        lines = set(lines_for_block(addr, nbytes, 32))
+        for byte in (addr, addr + nbytes - 1, addr + nbytes // 2):
+            assert byte // 32 in lines
+
+    @given(
+        addrs=st.lists(st.integers(min_value=0, max_value=100000), max_size=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gather_has_no_consecutive_duplicates(self, addrs):
+        lines = lines_for_gather(addrs, 4, 32)
+        assert all(lines[i] != lines[i + 1] for i in range(len(lines) - 1))

@@ -1,0 +1,120 @@
+"""Unit tests for the in-order processor model and machine assembly."""
+
+import pytest
+
+from repro.sim import ops as O
+from repro.sim.config import MachineConfig
+from repro.sim.errors import OperationError
+from repro.sim.machine import Machine
+
+
+def run_ops(ops, config=None):
+    machine = Machine(config=config)
+    return machine, machine.run(iter(ops))
+
+
+class TestCompute:
+    def test_compute_advances_one_ns_per_op(self):
+        _, stats = run_ops([O.Compute(1000)])
+        assert stats.compute_ns == 1000.0
+        assert stats.total_ns == 1000.0
+
+    def test_multiple_ops_accumulate(self):
+        _, stats = run_ops([O.Compute(100), O.Compute(200)])
+        assert stats.total_ns == 300.0
+
+
+class TestMemoryOps:
+    def test_cold_read_pays_l1_l2_dram(self):
+        _, stats = run_ops([O.MemRead(addr=0, nbytes=4)])
+        # L1 hit_ns(1) + L2 hit_ns(6) + 50 DRAM + 80 bus for a 32B line.
+        assert stats.mem_ns == pytest.approx(1 + 6 + 50 + 80)
+
+    def test_warm_read_is_l1_hit(self):
+        _, stats = run_ops([O.MemRead(0, 4), O.MemRead(0, 4)])
+        assert stats.mem_ns == pytest.approx((1 + 6 + 50 + 80) + 1)
+
+    def test_sequential_block_misses_once_per_line(self):
+        machine, stats = run_ops([O.MemRead(0, 1024)])
+        assert machine.l1d.stats.misses == 1024 // 32
+
+    def test_strided_read_misses_every_line(self):
+        machine, _ = run_ops([O.StridedRead(addr=0, count=8, stride_bytes=512, elem_bytes=4)])
+        assert machine.l1d.stats.misses == 8
+
+    def test_gather_and_scatter_round_trip(self):
+        addrs = [0, 64, 128]
+        machine, _ = run_ops([O.GatherRead(addrs), O.ScatterWrite(addrs)])
+        assert machine.l1d.stats.misses == 3
+        assert machine.l1d.stats.hits == 3
+
+    def test_writes_mark_lines_dirty(self):
+        machine, _ = run_ops([O.MemWrite(0, 32)])
+        machine.l1d.invalidate_all()  # drops without writeback accounting
+        assert machine.l1d.stats.misses == 1
+
+
+class TestPhases:
+    def test_phase_accumulates_enclosed_time(self):
+        _, stats = run_ops(
+            [
+                O.BeginPhase("activation"),
+                O.Compute(500),
+                O.EndPhase("activation"),
+                O.Compute(100),
+            ]
+        )
+        assert stats.phase_ns["activation"] == 500.0
+        assert stats.phase_counts["activation"] == 1
+
+    def test_phase_mean_over_occurrences(self):
+        _, stats = run_ops(
+            [
+                O.BeginPhase("post"),
+                O.Compute(100),
+                O.EndPhase("post"),
+                O.BeginPhase("post"),
+                O.Compute(300),
+                O.EndPhase("post"),
+            ]
+        )
+        assert stats.phase_mean_ns("post") == 200.0
+
+    def test_mismatched_phase_raises(self):
+        with pytest.raises(ValueError):
+            run_ops([O.BeginPhase("a"), O.EndPhase("b")])
+
+
+class TestConventionalSystem:
+    def test_rejects_activate(self):
+        with pytest.raises(OperationError):
+            run_ops([O.Activate(page_no=0, descriptor_words=1, task=None)])
+
+    def test_rejects_wait(self):
+        with pytest.raises(OperationError):
+            run_ops([O.WaitPage(page_no=0)])
+
+    def test_faster_clock_shrinks_compute_only(self):
+        from dataclasses import replace
+        from repro.sim.config import CPUConfig
+
+        ref = MachineConfig.reference()
+        fast = replace(ref, cpu=CPUConfig(clock_hz=2e9))
+        _, s_ref = run_ops([O.Compute(1000), O.MemRead(0, 4)], config=ref)
+        _, s_fast = run_ops([O.Compute(1000), O.MemRead(0, 4)], config=fast)
+        assert s_fast.compute_ns == s_ref.compute_ns / 2
+        assert s_fast.mem_ns == s_ref.mem_ns
+
+
+class TestMachineReset:
+    def test_reset_clears_timing_but_not_memory(self):
+        machine = Machine()
+        region = machine.memory.alloc(64)
+        import numpy as np
+
+        machine.memory.write(region.base, np.full(16, 3, dtype=np.uint8))
+        machine.run(iter([O.Compute(10), O.MemRead(0, 64)]))
+        machine.reset_timing()
+        assert machine.processor.now == 0.0
+        assert machine.l1d.stats.accesses == 0
+        assert machine.memory.read(region.base, 16)[0] == 3

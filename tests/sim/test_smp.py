@@ -1,0 +1,142 @@
+"""Tests for SMP co-simulation with Active Pages."""
+
+import numpy as np
+import pytest
+
+from repro.core.functions import PageTask
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.errors import OperationError
+from repro.sim.memory import PagedMemory
+from repro.sim.smp import AtomicRMW, Barrier, SMPMachine
+
+
+def make_smp(n_cpus=2, radram=False):
+    memory = PagedMemory(page_bytes=4096)
+    memsys = None
+    if radram:
+        memsys = RADramMemorySystem(RADramConfig.reference().with_page_bytes(4096))
+    return SMPMachine(n_cpus, memory=memory, memsys=memsys)
+
+
+class TestBasics:
+    def test_independent_streams_run_concurrently(self):
+        smp = make_smp(2)
+        stats = smp.run([[O.Compute(1000)], [O.Compute(2000)]])
+        assert stats[0].total_ns == 1000.0
+        assert stats[1].total_ns == 2000.0
+        assert smp.makespan_ns == 2000.0
+
+    def test_private_l1_shared_l2(self):
+        smp = make_smp(2)
+        smp.run([[O.MemRead(0, 32)], [O.MemRead(0, 32)]])
+        # CPU0 misses to DRAM; CPU1's private L1 misses but hits in the
+        # shared L2.
+        assert smp.dram.reads == 1
+        assert smp.processors[1].l1d.stats.misses == 1
+
+    def test_stream_count_must_match(self):
+        with pytest.raises(ValueError):
+            make_smp(2).run([[O.Compute(1)]])
+
+    def test_single_cpu_matches_machine(self):
+        from repro.sim.machine import Machine
+
+        ops = [O.Compute(500), O.MemRead(0, 64), O.Compute(100)]
+        single = Machine().run(iter(list(ops)))
+        smp = make_smp(1)
+        (stats,) = smp.run([list(ops)])
+        assert stats.total_ns == single.total_ns
+
+
+class TestBarrier:
+    def test_barrier_aligns_clocks(self):
+        smp = make_smp(2)
+        streams = [
+            [O.Compute(100), Barrier(1), O.Compute(10)],
+            [O.Compute(5000), Barrier(1), O.Compute(10)],
+        ]
+        stats = smp.run(streams)
+        assert stats[0].total_ns == stats[1].total_ns == 5010.0
+        assert stats[0].wait_ns == pytest.approx(4900.0)
+
+    def test_missing_barrier_partner_deadlocks(self):
+        smp = make_smp(2)
+        with pytest.raises(OperationError, match="deadlock"):
+            smp.run([[Barrier(1)], [O.Compute(10)]])
+
+    def test_multiple_barriers_in_sequence(self):
+        smp = make_smp(2)
+        streams = [
+            [O.Compute(10), Barrier(1), O.Compute(10), Barrier(2)],
+            [O.Compute(20), Barrier(1), O.Compute(5), Barrier(2)],
+        ]
+        stats = smp.run(streams)
+        assert stats[0].total_ns == stats[1].total_ns
+
+
+class TestAtomics:
+    def test_test_and_set_returns_old_value(self):
+        smp = make_smp(2)
+        region = smp.memory.alloc(64)
+        lock = region.base
+        smp.run([[AtomicRMW(lock, "tas")], [O.Compute(10_000), AtomicRMW(lock, "tas")]])
+        # CPU0 gets the lock first (earlier in global time).
+        assert smp.rmw_results[0] == 0
+        assert smp.rmw_results[1] == 1
+
+    def test_fetch_and_add_accumulates_atomically(self):
+        smp = make_smp(4)
+        region = smp.memory.alloc(64)
+        counter = region.base
+        streams = [[AtomicRMW(counter, "add", operand=5)] for _ in range(4)]
+        smp.run(streams)
+        value = int(smp.memory.read(counter, 4).view(np.uint32)[0])
+        assert value == 20
+
+    def test_unknown_atomic_rejected(self):
+        smp = make_smp(1)
+        region = smp.memory.alloc(64)
+        with pytest.raises(OperationError):
+            smp.run([[AtomicRMW(region.base, "cas2")]])
+
+    def test_atomics_pay_uncached_latency(self):
+        smp = make_smp(1)
+        region = smp.memory.alloc(64)
+        (stats,) = smp.run([[AtomicRMW(region.base, "tas")]])
+        assert stats.mem_ns >= 2 * smp.config.dram.miss_latency_ns
+
+
+class TestSMPActivePages:
+    def test_two_cpus_split_activation_work(self):
+        # The saturated region is activation-bound: two CPUs
+        # dispatching halves the kernel time (Section 2's SMP note).
+        def makespan(n_cpus):
+            smp = make_smp(n_cpus, radram=True)
+            pages = 64
+            share = pages // n_cpus
+            streams = []
+            for cpu in range(n_cpus):
+                ops = []
+                for p in range(cpu * share, (cpu + 1) * share):
+                    ops.append(O.Activate(p, 8, PageTask.simple(100)))
+                for p in range(cpu * share, (cpu + 1) * share):
+                    ops.append(O.WaitPage(p))
+                ops.append(Barrier(1))
+                streams.append(ops)
+            smp.run(streams)
+            return smp.makespan_ns
+
+        t1, t2 = makespan(1), makespan(2)
+        assert t2 < 0.65 * t1
+
+    def test_pages_visible_to_both_cpus(self):
+        smp = make_smp(2, radram=True)
+        streams = [
+            [O.Activate(0, 1, PageTask.simple(1000))],
+            [O.Compute(50_000), O.WaitPage(0)],
+        ]
+        stats = smp.run(streams)
+        # CPU1 waited on a page CPU0 activated: no stall (long compute).
+        assert stats[1].wait_ns == 0.0

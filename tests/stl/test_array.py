@@ -1,0 +1,193 @@
+"""Tests for the STL array template (both backends)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radram.config import RADramConfig
+from repro.stl.array import APArray, _shuffle_permutation
+from repro.stl.operations import OPERATION_CIRCUITS
+
+SMALL = RADramConfig.reference().with_page_bytes(8 * 1024)
+
+
+def make_pair(capacity_pages=3, fill=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 1 << 16, fill, dtype=np.uint32)
+    arrays = []
+    for backend in ("conventional", "radram"):
+        a = APArray(capacity_pages=capacity_pages, backend=backend, radram_config=SMALL)
+        a.extend(values)
+        arrays.append(a)
+    return arrays[0], arrays[1], values
+
+
+class TestBasics:
+    def test_extend_and_len(self):
+        conv, rad, values = make_pair()
+        assert len(conv) == len(rad) == len(values)
+        assert np.array_equal(conv.to_numpy(), rad.to_numpy())
+
+    def test_getitem(self):
+        conv, rad, values = make_pair()
+        assert conv[7] == rad[7] == int(values[7])
+
+    def test_capacity_enforced(self):
+        a = APArray(capacity_pages=1, backend="radram", radram_config=SMALL)
+        with pytest.raises(ValueError):
+            a.extend(range(100000))
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            APArray(backend="quantum")
+
+    def test_position_bounds_checked(self):
+        conv, rad, _ = make_pair()
+        with pytest.raises(IndexError):
+            rad.insert(len(rad) + 1, 0)
+        with pytest.raises(IndexError):
+            rad.delete(len(rad))
+
+
+class TestOperationEquivalence:
+    """Both backends produce identical results for every operation."""
+
+    def test_insert(self):
+        conv, rad, _ = make_pair()
+        for a in (conv, rad):
+            a.insert(100, 0xABCD)
+            a.insert(0, 7)
+        assert np.array_equal(conv.to_numpy(), rad.to_numpy())
+        assert rad[0] == 7 and rad[101] == 0xABCD
+
+    def test_delete(self):
+        conv, rad, values = make_pair()
+        for a in (conv, rad):
+            a.delete(50)
+        assert np.array_equal(conv.to_numpy(), rad.to_numpy())
+        assert len(rad) == len(values) - 1
+        assert rad[50] == int(values[51])
+
+    def test_count(self):
+        conv, rad, values = make_pair()
+        needle = int(values[13])
+        assert conv.count(needle) == rad.count(needle) >= 1
+
+    def test_accumulate(self):
+        conv, rad, values = make_pair()
+        expected = int(np.sum(values, dtype=np.uint32))
+        assert conv.accumulate() == rad.accumulate() == expected
+
+    def test_partial_sum(self):
+        conv, rad, values = make_pair()
+        for a in (conv, rad):
+            a.partial_sum()
+        expected = np.cumsum(values, dtype=np.uint32)
+        assert np.array_equal(conv.to_numpy(), expected)
+        assert np.array_equal(rad.to_numpy(), expected)
+
+    def test_rotate(self):
+        conv, rad, values = make_pair()
+        for a in (conv, rad):
+            a.rotate(137)
+        expected = np.roll(values, -137)
+        assert np.array_equal(conv.to_numpy(), expected)
+        assert np.array_equal(rad.to_numpy(), expected)
+
+    def test_adjacent_difference(self):
+        conv, rad, values = make_pair()
+        for a in (conv, rad):
+            a.adjacent_difference()
+        expected = values.copy()
+        expected[1:] = np.diff(values)
+        assert np.array_equal(conv.to_numpy(), expected)
+        assert np.array_equal(rad.to_numpy(), expected)
+
+    def test_random_shuffle_identical_and_a_permutation(self):
+        conv, rad, values = make_pair()
+        for a in (conv, rad):
+            a.random_shuffle(seed=3)
+        assert np.array_equal(conv.to_numpy(), rad.to_numpy())
+        assert sorted(conv.to_numpy()) == sorted(values)
+        assert not np.array_equal(conv.to_numpy(), values)
+
+    @given(
+        ops=st.lists(
+            st.sampled_from(["insert", "delete", "rotate", "partial_sum"]),
+            min_size=1,
+            max_size=5,
+        ),
+        seed=st.integers(0, 10),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_operation_sequences_stay_equivalent(self, ops, seed):
+        conv, rad, _ = make_pair(fill=300, seed=seed)
+        rng = np.random.default_rng(seed)
+        for op in ops:
+            if op == "insert":
+                pos, val = int(rng.integers(0, len(conv))), int(rng.integers(0, 99))
+                conv.insert(pos, val)
+                rad.insert(pos, val)
+            elif op == "delete" and len(conv) > 1:
+                pos = int(rng.integers(0, len(conv) - 1))
+                conv.delete(pos)
+                rad.delete(pos)
+            elif op == "rotate":
+                k = int(rng.integers(0, len(conv)))
+                conv.rotate(k)
+                rad.rotate(k)
+            else:
+                conv.partial_sum()
+                rad.partial_sum()
+        assert np.array_equal(conv.to_numpy(), rad.to_numpy())
+
+
+class TestTiming:
+    def test_radram_wins_on_bulk_mutation(self):
+        conv, rad, _ = make_pair(capacity_pages=8, fill=12000)
+        t0c, t0r = conv.elapsed_ns, rad.elapsed_ns
+        conv.insert(10, 1)
+        rad.insert(10, 1)
+        assert conv.elapsed_ns - t0c > rad.elapsed_ns - t0r
+
+    def test_rebinding_charged_when_configured(self):
+        from dataclasses import replace
+
+        cfg = replace(SMALL, reconfig_ns_per_page=10_000.0)
+        a = APArray(capacity_pages=2, backend="radram", radram_config=cfg)
+        a.extend(range(100))
+        a.insert(0, 1)  # mutation set already bound at construction
+        before = a.elapsed_ns
+        a.accumulate()  # needs a re-bind: + pages * reconfig
+        assert a.elapsed_ns - before > 2 * 10_000.0
+
+    def test_mutation_set_needs_no_rebinding(self):
+        a = APArray(capacity_pages=2, backend="radram", radram_config=SMALL)
+        a.extend(range(100))
+        impl = a._impl
+        a.insert(0, 1)
+        a.delete(0)
+        assert impl._bound == ("insert", "delete")
+        a.count(5)  # count does not fit beside the shifters: re-bind
+        assert impl._bound == ("count",)
+        a.insert(0, 2)  # and back
+        assert impl._bound == ("insert", "delete")
+
+
+class TestOperationCircuits:
+    def test_all_extension_circuits_fit_the_page_budget(self):
+        for name, op in OPERATION_CIRCUITS.items():
+            assert 0 < op.le_count <= 256, name
+
+    def test_mutation_set_fits_but_count_does_not(self):
+        # insert+delete = 224 LEs fits the 256-LE page; adding count
+        # (141) would overflow — exactly the paper's re-binding case.
+        assert 115 + 109 <= 256
+        assert 115 + 109 + 141 > 256
+
+    def test_shuffle_permutation_deterministic(self):
+        p1 = _shuffle_permutation(100, 32, seed=5)
+        p2 = _shuffle_permutation(100, 32, seed=5)
+        assert np.array_equal(p1, p2)
+        assert sorted(p1) == list(range(100))

@@ -1,0 +1,87 @@
+"""Unit + property tests for the 4-LUT mapping model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.lut import (
+    code_size_bytes,
+    le_count,
+    operator_les,
+    operator_levels,
+)
+from repro.synth.netlist import Netlist, Operator, OpKind
+
+widths = st.integers(min_value=1, max_value=64)
+
+
+class TestOperatorMapping:
+    def test_adder_one_le_per_bit(self):
+        assert operator_les(Operator(OpKind.ADD, 32)) == 32
+
+    def test_equality_uses_reduction_tree(self):
+        # 32 bits: 8 + 2 + 1 = 11 LUTs.
+        assert operator_les(Operator(OpKind.EQ, 32)) == 11
+        assert operator_les(Operator(OpKind.EQ, 16)) == 5
+        assert operator_les(Operator(OpKind.EQ, 4)) == 1
+
+    def test_mux4_twice_mux2(self):
+        assert operator_les(Operator(OpKind.MUX4, 8)) == 2 * operator_les(
+            Operator(OpKind.MUX2, 8)
+        )
+
+    def test_register_one_le_per_bit(self):
+        assert operator_les(Operator(OpKind.REG, 32)) == 32
+
+    def test_satclamp_is_detect_plus_mux(self):
+        assert operator_les(Operator(OpKind.SATCLAMP, 16)) == 5 + 16
+
+    def test_fsm_one_hot(self):
+        assert operator_les(Operator(OpKind.FSM, 4)) == 8
+
+    def test_register_contributes_no_levels(self):
+        assert operator_levels(Operator(OpKind.REG, 32)) == 0.0
+
+    def test_wider_adders_are_slower(self):
+        assert operator_levels(Operator(OpKind.ADD, 32)) > operator_levels(
+            Operator(OpKind.ADD, 8)
+        )
+
+    @given(bits=widths)
+    @settings(max_examples=50, deadline=None)
+    def test_every_kind_maps_to_positive_les(self, bits):
+        for kind in OpKind:
+            assert operator_les(Operator(kind, bits)) >= 1
+
+    @given(bits=widths)
+    @settings(max_examples=50, deadline=None)
+    def test_le_counts_monotone_in_width(self, bits):
+        for kind in OpKind:
+            narrow = operator_les(Operator(kind, bits))
+            wide = operator_les(Operator(kind, bits + 8))
+            assert wide >= narrow
+
+
+class TestNetlist:
+    def test_le_count_sums_operators(self):
+        n = Netlist("t").add(OpKind.ADD, 8).add(OpKind.REG, 8)
+        assert le_count(n) == 16
+
+    def test_code_size_tracks_les(self):
+        small = Netlist("s").add(OpKind.ADD, 8)
+        large = Netlist("l").add(OpKind.ADD, 64)
+        assert code_size_bytes(large) > code_size_bytes(small)
+
+    def test_stage_bookkeeping(self):
+        n = Netlist("t").add(OpKind.ADD, 8, stage=0).add(OpKind.REG, 8, stage=2)
+        assert n.n_stages == 3
+        assert len(n.stage_operators(0)) == 1
+        assert len(n.stage_operators(1)) == 0
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            Operator(OpKind.ADD, 0)
+
+    def test_by_kind_counts(self):
+        n = Netlist("t").add(OpKind.ADD, 8).add(OpKind.ADD, 16).add(OpKind.REG, 8)
+        assert n.by_kind()[OpKind.ADD] == 2

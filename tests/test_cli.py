@@ -1,0 +1,52 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_app_command(self, capsys):
+        assert main(["app", "database", "--pages", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "database" in out
+
+    def test_synth_command(self, capsys):
+        assert main(["synth"]) == 0
+        out = capsys.readouterr().out
+        assert "MPEG-MMX" in out
+        assert "205" in out  # Matrix LEs
+
+    def test_yield_command(self, capsys):
+        assert main(["yield"]) == 0
+        out = capsys.readouterr().out
+        assert "radram" in out and "processor" in out
+
+    def test_yield_defect_density_flag(self, capsys):
+        assert main(["yield", "--defects", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "dram" in out
+
+    def test_power_command(self, capsys):
+        assert main(["power"]) == 0
+        out = capsys.readouterr().out
+        assert "512" in out
+
+    def test_trace_command(self, capsys):
+        assert main(["trace", "matrix-simplex", "--pages", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "page " in out and "processor" in out
+
+    def test_report_only_subset(self, capsys):
+        assert main(["report", "--quick", "--only", "table-3"]) == 0
+        out = capsys.readouterr().out
+        assert "table-3" in out
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["app", "nonexistent"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

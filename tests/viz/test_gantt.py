@@ -1,0 +1,84 @@
+"""Tests for the Gantt trace renderer."""
+
+import pytest
+
+from repro.core.functions import PageTask
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+from repro.viz.gantt import page_intervals, render_gantt
+
+
+def run_small(n_pages=4, cycles=1000):
+    cfg = RADramConfig.reference().with_page_bytes(4096)
+    memsys = RADramMemorySystem(cfg)
+    machine = Machine(memory=PagedMemory(page_bytes=4096), memsys=memsys)
+    ops = [O.Activate(p, 1, PageTask.simple(cycles)) for p in range(n_pages)]
+    ops += [O.WaitPage(p) for p in range(n_pages)]
+    stats = machine.run(iter(ops))
+    return memsys, stats
+
+
+class TestIntervals:
+    def test_one_interval_per_activation(self):
+        memsys, _ = run_small(n_pages=3)
+        intervals = page_intervals(memsys)
+        assert set(intervals) == {0, 1, 2}
+        assert all(len(v) == 1 for v in intervals.values())
+
+    def test_intervals_are_staggered_by_activation_order(self):
+        memsys, _ = run_small(n_pages=3)
+        intervals = page_intervals(memsys)
+        starts = [intervals[p][0][0] for p in range(3)]
+        assert starts == sorted(starts)
+        assert starts[0] < starts[1] < starts[2]
+
+    def test_reactivation_appends_history(self):
+        cfg = RADramConfig.reference().with_page_bytes(4096)
+        memsys = RADramMemorySystem(cfg)
+        machine = Machine(memory=PagedMemory(page_bytes=4096), memsys=memsys)
+        ops = [
+            O.Activate(0, 1, PageTask.simple(100)),
+            O.WaitPage(0),
+            O.Activate(0, 1, PageTask.simple(100)),
+            O.WaitPage(0),
+        ]
+        machine.run(iter(ops))
+        assert len(page_intervals(memsys)[0]) == 2
+
+
+class TestRendering:
+    @staticmethod
+    def _page_rows(text):
+        return sum(
+            1 for line in text.splitlines() if line.lstrip().startswith("page ")
+        )
+
+    def test_render_contains_rows_and_legend(self):
+        memsys, stats = run_small(n_pages=4)
+        text = render_gantt(memsys, stats)
+        assert "# page busy" in text
+        assert self._page_rows(text) == 4
+        assert "processor" in text
+        assert "4 activations" in text
+
+    def test_page_rows_capped(self):
+        memsys, stats = run_small(n_pages=8)
+        text = render_gantt(memsys, stats, max_pages=3)
+        assert self._page_rows(text) == 3
+        assert "more pages" in text
+
+    def test_busy_marks_present(self):
+        memsys, stats = run_small()
+        text = render_gantt(memsys, stats)
+        assert "#" in text
+        assert "=" in text
+
+    def test_empty_run_handled(self):
+        cfg = RADramConfig.reference().with_page_bytes(4096)
+        memsys = RADramMemorySystem(cfg)
+        machine = Machine(memory=PagedMemory(page_bytes=4096), memsys=memsys)
+        stats = machine.run(iter([O.Compute(10)]))
+        assert "no page activity" in render_gantt(memsys, stats)
