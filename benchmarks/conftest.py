@@ -5,6 +5,13 @@ Experiment functions are deterministic simulations (no I/O, no
 randomness beyond fixed seeds), so a single round is meaningful;
 ``once`` wraps ``benchmark.pedantic`` accordingly and returns the
 experiment's result so benches can assert the reproduced shape.
+
+Sweep-driven experiments go through ``repro.experiments.harness`` and
+memoize results under ``.repro_cache/`` (``$REPRO_CACHE_DIR`` to
+relocate): the first benchmark run simulates everything, re-runs are
+mostly cache reads.  For a true cold-simulation measurement, clear the
+store first (``python -m repro cache --clear``) or export
+``REPRO_CACHE_DIR`` to an empty directory.
 """
 
 import pytest

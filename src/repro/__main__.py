@@ -3,11 +3,16 @@
 Commands
 --------
 report       regenerate the paper's tables and figures
+fig3 ...     shorthand for one experiment (fig1/3/4/5/6/8/9, table2/3/4)
 app          run one application on both systems at a problem size
 synth        print Table 3 (circuit synthesis)
 yield        print the Section 3 yield/cost comparison
 power        print the Section 3 port-width power study
 trace        run an application on RADram and draw its Gantt chart
+cache        inspect or clear the sweep result cache
+
+Sweep-driven commands accept ``--jobs N`` (parallel workers) and
+``--no-cache`` (bypass ``.repro_cache/``).
 """
 
 from __future__ import annotations
@@ -17,21 +22,48 @@ import sys
 from typing import List, Optional
 
 from repro.apps.registry import ALL_APPS, get_app
+from repro.experiments import harness
 from repro.experiments import report as report_mod
 from repro.experiments.runner import run_conventional, run_radram
 
+#: Shorthand subcommands for single experiments.
+EXPERIMENT_ALIASES = {
+    "fig1": "figure-1",
+    "fig3": "figure-3",
+    "fig4": "figure-4",
+    "fig5": "figure-5",
+    "fig6": "figure-6",
+    "fig8": "figure-8",
+    "fig9": "figure-9",
+    "table2": "table-2",
+    "table3": "table-3",
+    "table4": "table-4",
+}
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    argv = []
+
+def _report_argv(args: argparse.Namespace, only: Optional[List[str]]) -> List[str]:
+    argv: List[str] = []
     if args.quick:
         argv.append("--quick")
-    if args.only:
-        argv += ["--only"] + args.only
-    if args.extensions:
+    if only:
+        argv += ["--only"] + only
+    if getattr(args, "extensions", False):
         argv.append("--extensions")
     if args.output:
         argv += ["--output", args.output]
-    return report_mod.main(argv)
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    return argv
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    return report_mod.main(_report_argv(args, args.only))
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    return report_mod.main(_report_argv(args, [EXPERIMENT_ALIASES[args.command]]))
 
 
 def _cmd_app(args: argparse.Namespace) -> int:
@@ -98,16 +130,49 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = harness.ResultCache(harness.current_settings().resolve_cache_dir())
+    entries = cache.entries()
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached sweep results from {cache.root}")
+        return 0
+    total_bytes = sum(p.stat().st_size for p in entries)
+    print(f"cache dir: {cache.root}")
+    print(f"entries:   {len(entries)}")
+    print(f"size:      {total_bytes / 1024:.1f} KiB")
+    return 0
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true", help="reduced sweeps")
+    parser.add_argument("--output", metavar="DIR")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N", help="parallel sweep workers"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the sweep result cache"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_report = sub.add_parser("report", help="regenerate tables and figures")
-    p_report.add_argument("--quick", action="store_true")
     p_report.add_argument("--only", nargs="*", choices=sorted(report_mod.EXPERIMENTS))
     p_report.add_argument("--extensions", action="store_true")
-    p_report.add_argument("--output", metavar="DIR")
+    _add_sweep_flags(p_report)
     p_report.set_defaults(func=_cmd_report)
+
+    for alias, experiment_id in EXPERIMENT_ALIASES.items():
+        p_exp = sub.add_parser(alias, help=f"regenerate {experiment_id} only")
+        _add_sweep_flags(p_exp)
+        p_exp.set_defaults(func=_cmd_experiment)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the sweep cache")
+    p_cache.add_argument("--clear", action="store_true")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_app = sub.add_parser("app", help="run one application")
     p_app.add_argument("name", choices=sorted(ALL_APPS))

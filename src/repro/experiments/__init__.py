@@ -2,9 +2,18 @@
 
 Each ``figN_*``/``tableN_*`` module exposes a ``run()`` returning rows
 and a ``format_*`` renderer; ``repro.experiments.report`` drives them
-all.  The shared machinery lives in :mod:`repro.experiments.runner`.
+all.  The shared machinery lives in :mod:`repro.experiments.runner`
+(one simulation) and :mod:`repro.experiments.harness` (sweep fan-out
+across a worker pool with on-disk result caching).
 """
 
+from repro.experiments.harness import (
+    HarnessSettings,
+    SweepOutcome,
+    SweepTask,
+    configure,
+    run_sweep,
+)
 from repro.experiments.runner import (
     RunResult,
     SpeedupPoint,
@@ -14,9 +23,14 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "HarnessSettings",
     "RunResult",
     "SpeedupPoint",
+    "SweepOutcome",
+    "SweepTask",
+    "configure",
     "measure_speedup",
     "run_conventional",
     "run_radram",
+    "run_sweep",
 ]

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.apps.registry import FIG3_APPS, get_app
+from repro.apps.registry import FIG3_APPS
+from repro.experiments import harness
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import SpeedupPoint, measure_speedup
+from repro.experiments.runner import SpeedupPoint
 from repro.sim.memory import DEFAULT_PAGE_BYTES
 
 #: Per-application page sweeps.  Communication-orchestrated (dynprog)
@@ -35,6 +36,20 @@ DEFAULT_SWEEPS: Dict[str, List[float]] = {
 SMOKE_SWEEP = [0.5, 2, 8, 32]
 
 
+def sweep_tasks(
+    apps: Sequence[str],
+    sweep: Optional[Sequence[float]] = None,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    **kwargs,
+) -> List[harness.SweepTask]:
+    """The Figure 3/4 sweep, declared as harness tasks."""
+    return [
+        harness.speedup_task(name, k, page_bytes=page_bytes, **kwargs)
+        for name in apps
+        for k in (sweep if sweep is not None else DEFAULT_SWEEPS[name])
+    ]
+
+
 def sweep_app(
     name: str,
     sweep: Optional[Sequence[float]] = None,
@@ -42,10 +57,11 @@ def sweep_app(
     **kwargs,
 ) -> List[SpeedupPoint]:
     """Measure one application's speedup curve."""
-    app = get_app(name)
-    points = sweep if sweep is not None else DEFAULT_SWEEPS[name]
+    tasks = sweep_tasks([name], sweep=sweep, page_bytes=page_bytes, **kwargs)
+    outcome = harness.run_sweep(tasks)
     return [
-        measure_speedup(app, k, page_bytes=page_bytes, **kwargs) for k in points
+        SpeedupPoint.from_values(task.app_name, task.n_pages, result.values)
+        for task, result in zip(tasks, outcome)
     ]
 
 
@@ -56,19 +72,21 @@ def run(
 ) -> ExperimentResult:
     """Regenerate Figure 3's series for all (or selected) applications."""
     apps = list(apps) if apps is not None else FIG3_APPS
+    tasks = sweep_tasks(apps, sweep=sweep, page_bytes=page_bytes)
+    outcome = harness.run_sweep(tasks)
     rows = []
-    for name in apps:
-        for point in sweep_app(name, sweep=sweep, page_bytes=page_bytes):
-            rows.append(
-                {
-                    "application": name,
-                    "pages": point.n_pages,
-                    "speedup": point.speedup,
-                    "stall_fraction": point.stall_fraction,
-                    "conventional_ms": point.conventional_ns / 1e6,
-                    "radram_ms": point.radram_ns / 1e6,
-                }
-            )
+    for task, result in zip(tasks, outcome):
+        point = SpeedupPoint.from_values(task.app_name, task.n_pages, result.values)
+        rows.append(
+            {
+                "application": task.app_name,
+                "pages": point.n_pages,
+                "speedup": point.speedup,
+                "stall_fraction": point.stall_fraction,
+                "conventional_ms": point.conventional_ns / 1e6,
+                "radram_ms": point.radram_ns / 1e6,
+            }
+        )
     return ExperimentResult(
         experiment_id="figure-3",
         title="RADram speedup as problem size varies",
@@ -85,5 +103,6 @@ def run(
             "pages are 512 KB superpages; fractional sizes are the sub-page region",
             "conventional times above the linearity cap are measured at 8 pages "
             "and extrapolated (validated in tests)",
-        ],
+        ]
+        + outcome.notes(),
     )

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.apps.registry import get_app
+from repro.experiments import harness
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import run_conventional, run_radram
 from repro.sim.config import KB, MB, MachineConfig
 from repro.sim.memory import DEFAULT_PAGE_BYTES
 
@@ -49,26 +48,35 @@ def run(
     sweep = list(l1_sweep_kb) if l1_sweep_kb is not None else (
         L1_SWEEP_KB if level == "l1" else L2_SWEEP_KB
     )
+    def config_for(size_kb: int) -> MachineConfig:
+        if level == "l1":
+            return MachineConfig.reference().with_l1d_size(size_kb * KB)
+        return MachineConfig.reference().with_l2_size(size_kb * KB)
+
+    tasks = [
+        harness.speedup_task(
+            name,
+            n_pages,
+            page_bytes=page_bytes,
+            cap_pages=None,
+            machine_config=config_for(size_kb),
+        )
+        for name in apps
+        for size_kb in sweep
+    ]
+    outcome = harness.run_sweep(tasks)
     rows: List[dict] = []
-    for name in apps:
-        app = get_app(name)
-        for size_kb in sweep:
-            if level == "l1":
-                cfg = MachineConfig.reference().with_l1d_size(size_kb * KB)
-            else:
-                cfg = MachineConfig.reference().with_l2_size(size_kb * KB)
-            conv = run_conventional(
-                app, n_pages, page_bytes=page_bytes, machine_config=cfg, cap_pages=None
-            )
-            rad = run_radram(app, n_pages, page_bytes=page_bytes, machine_config=cfg)
-            rows.append(
-                {
-                    "application": name,
-                    f"{level}_kb": size_kb,
-                    "conventional_ms": conv.total_ns / 1e6,
-                    "radram_ms": rad.total_ns / 1e6,
-                }
-            )
+    for (task, result), size_kb in zip(
+        zip(tasks, outcome), [s for _ in apps for s in sweep]
+    ):
+        rows.append(
+            {
+                "application": task.app_name,
+                f"{level}_kb": size_kb,
+                "conventional_ms": result["conventional_ns"] / 1e6,
+                "radram_ms": result["radram_ns"] / 1e6,
+            }
+        )
     return ExperimentResult(
         experiment_id="figure-5" if level == "l1" else "section-7.3-l2",
         title=(
@@ -78,5 +86,5 @@ def run(
         ),
         columns=["application", f"{level}_kb", "conventional_ms", "radram_ms"],
         rows=rows,
-        notes=[f"problem size fixed at {n_pages} pages"],
+        notes=[f"problem size fixed at {n_pages} pages"] + outcome.notes(),
     )

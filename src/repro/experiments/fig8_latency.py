@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.apps.registry import get_app
+from repro.experiments import harness
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import measure_speedup
 from repro.sim.config import MachineConfig
 from repro.sim.memory import DEFAULT_PAGE_BYTES
 
@@ -43,24 +42,33 @@ def run(
     """Regenerate Figure 8's speedup-vs-latency series."""
     apps = list(apps) if apps is not None else list(DEFAULT_SIZES)
     sweep = list(latencies_ns) if latencies_ns is not None else LATENCY_SWEEP_NS
-    rows: List[dict] = []
-    for name in apps:
-        app = get_app(name)
-        n_pages = DEFAULT_SIZES.get(name, 32)
-        for latency in sweep:
-            cfg = MachineConfig.reference().with_miss_latency(latency)
-            point = measure_speedup(app, n_pages, page_bytes=page_bytes, machine_config=cfg)
-            rows.append(
-                {
-                    "application": name,
-                    "miss_latency_ns": latency,
-                    "speedup": point.speedup,
-                }
-            )
+    grid = [
+        (name, latency)
+        for name in apps
+        for latency in sweep
+    ]
+    tasks = [
+        harness.speedup_task(
+            name,
+            DEFAULT_SIZES.get(name, 32),
+            page_bytes=page_bytes,
+            machine_config=MachineConfig.reference().with_miss_latency(latency),
+        )
+        for name, latency in grid
+    ]
+    outcome = harness.run_sweep(tasks)
+    rows: List[dict] = [
+        {
+            "application": name,
+            "miss_latency_ns": latency,
+            "speedup": result["speedup"],
+        }
+        for (name, latency), result in zip(grid, outcome)
+    ]
     return ExperimentResult(
         experiment_id="figure-8",
         title="RADram speedup as cache-to-memory latency varies",
         columns=["application", "miss_latency_ns", "speedup"],
         rows=rows,
-        notes=["reference latency is 50 ns"],
+        notes=["reference latency is 50 ns"] + outcome.notes(),
     )

@@ -16,9 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.apps.registry import get_app
+from repro.experiments import harness
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import measure_speedup
 from repro.radram.config import RADramConfig
 from repro.sim.memory import DEFAULT_PAGE_BYTES
 
@@ -43,29 +42,36 @@ def run(
     """Regenerate Figure 9's speedup-vs-logic-divisor series."""
     apps = list(apps) if apps is not None else list(DEFAULT_SIZES)
     sweep = list(divisors) if divisors is not None else DIVISOR_SWEEP
-    rows: List[dict] = []
+    grid: List[Tuple[str, str, float, float]] = []
     for name in apps:
-        app = get_app(name)
         scalable_pages, saturated_pages = DEFAULT_SIZES.get(name, (8, 256))
         for region, n_pages in (("scalable", scalable_pages), ("saturated", saturated_pages)):
             for divisor in sweep:
-                rconfig = RADramConfig.reference().with_logic_divisor(divisor)
-                point = measure_speedup(
-                    app, n_pages, page_bytes=page_bytes, radram_config=rconfig
-                )
-                rows.append(
-                    {
-                        "application": name,
-                        "region": region,
-                        "pages": n_pages,
-                        "logic_divisor": divisor,
-                        "speedup": point.speedup,
-                    }
-                )
+                grid.append((name, region, n_pages, divisor))
+    tasks = [
+        harness.speedup_task(
+            name,
+            n_pages,
+            page_bytes=page_bytes,
+            radram_config=RADramConfig.reference().with_logic_divisor(divisor),
+        )
+        for name, _, n_pages, divisor in grid
+    ]
+    outcome = harness.run_sweep(tasks)
+    rows: List[dict] = [
+        {
+            "application": name,
+            "region": region,
+            "pages": n_pages,
+            "logic_divisor": divisor,
+            "speedup": result["speedup"],
+        }
+        for (name, region, n_pages, divisor), result in zip(grid, outcome)
+    ]
     return ExperimentResult(
         experiment_id="figure-9",
         title="RADram speedup as logic speed varies (higher divisor = slower)",
         columns=["application", "region", "pages", "logic_divisor", "speedup"],
         rows=rows,
-        notes=["reference divisor is 10 (100 MHz logic, 1 GHz core)"],
+        notes=["reference divisor is 10 (100 MHz logic, 1 GHz core)"] + outcome.notes(),
     )

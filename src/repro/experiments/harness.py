@@ -1,0 +1,497 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+Every figure/table of the evaluation is a *sweep*: the same
+simulation, repeated over a grid of (application, problem size,
+machine parameters).  Re-simulating each point serially and from
+scratch on every invocation makes the report and the benchmark suite
+the slowest path in the repository.  This module treats experiment
+execution as a small batch system instead:
+
+``SweepTask``
+    One pure, hashable point of a sweep — application name, problem
+    size, full :class:`~repro.sim.config.MachineConfig` /
+    :class:`~repro.radram.config.RADramConfig` (``None`` = reference),
+    seed, and a *mode* selecting what is measured.  A task captures
+    everything the simulation depends on, so two equal tasks always
+    produce bit-identical results.
+
+``run_sweep``
+    Executes a list of tasks, preserving input order.  Identical tasks
+    are computed once; with ``jobs > 1`` the distinct tasks fan out
+    across a ``multiprocessing`` pool (each worker rebuilds the whole
+    machine from the task, and per-task RNG seeding is derived from
+    the task hash, so pooled and in-process execution are
+    bit-identical).  Completed tasks are memoized in an on-disk cache.
+
+``ResultCache``
+    A content-addressed JSON store under ``.repro_cache/`` (or
+    ``$REPRO_CACHE_DIR``).  Keys are SHA-256 hashes over the canonical
+    task encoding, the cache schema version, and ``repro.__version__``;
+    corrupt or truncated entries are dropped and recomputed.  The
+    ``--no-cache`` CLI flag (→ :func:`configure`) bypasses it.
+
+Experiment modules declare their sweeps as task lists and read results
+back positionally; cache-hit counters and simulation wall-time are
+surfaced in ``ExperimentResult.notes`` (prefixed ``harness:`` so
+regression tooling can strip the volatile lines).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.apps.base import PHASE_ACTIVATION, PHASE_POST
+from repro.radram.config import RADramConfig
+from repro.sim.config import MachineConfig
+from repro.sim.memory import DEFAULT_PAGE_BYTES
+
+#: Bump when the meaning of cached values changes (invalidates entries).
+CACHE_SCHEMA = 1
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Environment override for the cache location (used by the test suite
+#: to keep sweep caches isolated per session).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Task modes.
+MODE_SPEEDUP = "speedup"  # conventional vs RADram at one size
+MODE_CONSTANTS = "constants"  # Table 4 calibration (T_A/T_P/T_C)
+
+_MODES = (MODE_SPEEDUP, MODE_CONSTANTS)
+
+
+# ----------------------------------------------------------------------
+# Tasks
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One pure, hashable sweep point.
+
+    ``machine_config``/``radram_config`` of ``None`` mean the Table 1
+    reference configuration (kept as ``None`` — not expanded — so the
+    common case hashes compactly and reference-default drift is caught
+    by the ``repro.__version__`` component of the key).
+    """
+
+    app_name: str
+    n_pages: float
+    mode: str = MODE_SPEEDUP
+    page_bytes: int = DEFAULT_PAGE_BYTES
+    seed: int = 0
+    cap_pages: Optional[float] = None
+    machine_config: Optional[MachineConfig] = None
+    radram_config: Optional[RADramConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"unknown sweep mode {self.mode!r}")
+        if self.n_pages <= 0:
+            raise ValueError("n_pages must be positive")
+
+    def canonical(self) -> Dict[str, object]:
+        """JSON-ready encoding; equal tasks encode identically."""
+        encoded = dataclasses.asdict(self)
+        return encoded
+
+    def key(self) -> str:
+        """Stable content hash identifying this task's result."""
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "task": self.canonical(),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+#: Sentinel: "use the runner's default extrapolation cap".
+_DEFAULT_CAP = object()
+
+
+def speedup_task(
+    app_name: str,
+    n_pages: float,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    seed: int = 0,
+    cap_pages: object = _DEFAULT_CAP,
+    machine_config: Optional[MachineConfig] = None,
+    radram_config: Optional[RADramConfig] = None,
+) -> SweepTask:
+    """A conventional-vs-RADram measurement at one problem size."""
+    from repro.experiments.runner import DEFAULT_CAP_PAGES
+
+    if cap_pages is _DEFAULT_CAP:
+        cap_pages = DEFAULT_CAP_PAGES
+    return SweepTask(
+        app_name=app_name,
+        n_pages=n_pages,
+        mode=MODE_SPEEDUP,
+        page_bytes=page_bytes,
+        seed=seed,
+        cap_pages=cap_pages,
+        machine_config=machine_config,
+        radram_config=radram_config,
+    )
+
+
+def constants_task(
+    app_name: str,
+    n_pages: float,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    seed: int = 0,
+) -> SweepTask:
+    """A Table 4 calibration run (T_A/T_P/T_C; conventional un-capped)."""
+    return SweepTask(
+        app_name=app_name,
+        n_pages=n_pages,
+        mode=MODE_CONSTANTS,
+        page_bytes=page_bytes,
+        seed=seed,
+        cap_pages=None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+
+
+def _seed_rngs(task: SweepTask) -> None:
+    """Seed global RNGs deterministically from the task identity.
+
+    Workloads take explicit seeds, but seeding the global generators
+    too guarantees pooled workers and in-process execution see the same
+    RNG state even if some code path consults ``random``/``numpy``.
+    """
+    derived = int(task.key()[:16], 16) ^ task.seed
+    random.seed(derived)
+    try:
+        import numpy as np
+
+        np.random.seed(derived % (2**32))
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        pass
+
+
+def execute_task(task: SweepTask) -> Dict[str, float]:
+    """Run one task's simulations; returns a flat, JSON-able mapping."""
+    from repro.apps.registry import get_app
+    from repro.experiments.runner import (
+        measure_speedup,
+        run_conventional,
+        run_radram,
+    )
+
+    _seed_rngs(task)
+    app = get_app(task.app_name)
+    if task.mode == MODE_SPEEDUP:
+        point = measure_speedup(
+            app,
+            task.n_pages,
+            page_bytes=task.page_bytes,
+            machine_config=task.machine_config,
+            radram_config=task.radram_config,
+            seed=task.seed,
+            cap_pages=task.cap_pages,
+        )
+        return {
+            "conventional_ns": point.conventional_ns,
+            "radram_ns": point.radram_ns,
+            "speedup": point.speedup,
+            "stall_fraction": point.stall_fraction,
+        }
+    # MODE_CONSTANTS — Section 7.4.2 calibration at a medium size.
+    rad = run_radram(
+        app,
+        task.n_pages,
+        page_bytes=task.page_bytes,
+        machine_config=task.machine_config,
+        radram_config=task.radram_config,
+        seed=task.seed,
+    )
+    conv = run_conventional(
+        app,
+        task.n_pages,
+        page_bytes=task.page_bytes,
+        machine_config=task.machine_config,
+        seed=task.seed,
+        cap_pages=task.cap_pages,
+    )
+    activations = max(1, rad.stats.activations)
+    return {
+        "t_a_us": rad.stats.phase_mean_ns(PHASE_ACTIVATION) / 1e3,
+        "t_p_us": rad.stats.phase_mean_ns(PHASE_POST, exclude_wait=True) / 1e3,
+        "t_c_us": rad.mean_page_busy_ns / 1e3,
+        "t_conv_per_activation_us": conv.total_ns / activations / 1e3,
+        "activations": float(rad.stats.activations),
+    }
+
+
+@dataclass
+class TaskResult:
+    """One completed task: its values plus execution metadata."""
+
+    task: SweepTask
+    values: Dict[str, float]
+    wall_s: float
+    cached: bool = False
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+
+def _timed_execute(task: SweepTask) -> TaskResult:
+    t0 = time.perf_counter()
+    values = execute_task(task)
+    return TaskResult(task=task, values=values, wall_s=time.perf_counter() - t0)
+
+
+def _pool_entry(task: SweepTask) -> Tuple[Dict[str, float], float]:
+    """Top-level worker entry point (must be picklable)."""
+    t0 = time.perf_counter()
+    values = execute_task(task)
+    return values, time.perf_counter() - t0
+
+
+# ----------------------------------------------------------------------
+# On-disk cache
+
+
+class ResultCache:
+    """Content-addressed JSON store of completed task results."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, task: SweepTask) -> Optional[TaskResult]:
+        """The memoized result, or None (corrupt entries are dropped)."""
+        path = self.path_for(task.key())
+        try:
+            payload = json.loads(path.read_text())
+            values = payload["values"]
+            wall_s = float(payload["wall_s"])
+            if not isinstance(values, dict) or not values:
+                raise ValueError("empty or malformed values")
+            values = {str(k): float(v) for k, v in values.items()}
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupt-entry recovery: discard and let the caller re-run.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return TaskResult(task=task, values=values, wall_s=wall_s, cached=True)
+
+    def store(self, result: TaskResult) -> None:
+        """Persist one result atomically (tmp file + rename)."""
+        key = result.task.key()
+        path = self.path_for(key)
+        payload = {
+            "key": key,
+            "schema": CACHE_SCHEMA,
+            "version": __version__,
+            "task": result.task.canonical(),
+            "values": result.values,
+            "wall_s": result.wall_s,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only cache directory must not fail the sweep.
+            pass
+
+    def entries(self) -> List[Path]:
+        """All cache entry files currently on disk."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Settings (process-wide defaults, set from the CLI)
+
+
+@dataclass
+class HarnessSettings:
+    """Execution policy for :func:`run_sweep`."""
+
+    jobs: int = 1
+    use_cache: bool = True
+    cache_dir: Optional[str] = None  # None -> $REPRO_CACHE_DIR or default
+
+    def resolve_cache_dir(self) -> Path:
+        if self.cache_dir is not None:
+            return Path(self.cache_dir)
+        return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+_settings = HarnessSettings()
+
+
+def configure(
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> HarnessSettings:
+    """Update the process-wide sweep settings (CLI entry point)."""
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        _settings.jobs = jobs
+    if use_cache is not None:
+        _settings.use_cache = use_cache
+    if cache_dir is not None:
+        _settings.cache_dir = cache_dir
+    return _settings
+
+
+def current_settings() -> HarnessSettings:
+    """A copy of the process-wide settings."""
+    return dataclasses.replace(_settings)
+
+
+def reset_settings() -> None:
+    """Restore the default settings (test isolation)."""
+    global _settings
+    _settings = HarnessSettings()
+
+
+# ----------------------------------------------------------------------
+# Sweep execution
+
+
+@dataclass
+class SweepStats:
+    """Cache-hit counters and wall-time for one sweep."""
+
+    tasks: int = 0
+    unique: int = 0
+    hits: int = 0
+    misses: int = 0
+    sim_wall_s: float = 0.0
+
+
+@dataclass
+class SweepOutcome:
+    """Ordered results of one :func:`run_sweep` call."""
+
+    results: List[TaskResult]
+    stats: SweepStats
+    settings: HarnessSettings = field(default_factory=HarnessSettings)
+
+    def __iter__(self) -> Iterator[TaskResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, index: int) -> TaskResult:
+        return self.results[index]
+
+    def notes(self) -> List[str]:
+        """Human-readable sweep accounting for ``ExperimentResult.notes``.
+
+        Prefixed ``harness:`` — the wall-time line is volatile, so
+        golden-output comparisons strip lines with this prefix.
+        """
+        s = self.stats
+        return [
+            f"harness: {s.tasks} tasks ({s.misses} simulated, {s.hits} cached), "
+            f"jobs={self.settings.jobs}",
+            f"harness: simulation wall time {s.sim_wall_s:.2f}s",
+        ]
+
+
+#: Stats of the most recent sweep (introspection for tests/CLI).
+last_sweep_stats: Optional[SweepStats] = None
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    settings: Optional[HarnessSettings] = None,
+) -> SweepOutcome:
+    """Execute ``tasks`` (cache → pool → in-process), preserving order.
+
+    Results are returned positionally: ``outcome[i]`` corresponds to
+    ``tasks[i]``.  Duplicate tasks are simulated once and fanned back
+    out to every position that requested them.
+    """
+    global last_sweep_stats
+    settings = settings if settings is not None else current_settings()
+    cache = ResultCache(settings.resolve_cache_dir()) if settings.use_cache else None
+    stats = SweepStats(tasks=len(tasks))
+
+    results: List[Optional[TaskResult]] = [None] * len(tasks)
+    pending: Dict[SweepTask, List[int]] = {}
+    for i, task in enumerate(tasks):
+        if task in pending:  # duplicate of an already-pending task
+            pending[task].append(i)
+            continue
+        hit = cache.load(task) if cache is not None else None
+        if hit is not None:
+            stats.hits += 1
+            results[i] = hit
+        else:
+            pending[task] = [i]
+
+    unique = list(pending)
+    stats.unique = len(unique) + stats.hits
+    stats.misses = len(unique)
+    if unique:
+        if settings.jobs > 1 and len(unique) > 1:
+            computed = _run_pooled(unique, settings.jobs)
+        else:
+            computed = [_timed_execute(task) for task in unique]
+        for task, result in zip(unique, computed):
+            stats.sim_wall_s += result.wall_s
+            if cache is not None:
+                cache.store(result)
+            for i in pending[task]:
+                results[i] = result
+
+    assert all(r is not None for r in results)
+    last_sweep_stats = stats
+    return SweepOutcome(results=results, stats=stats, settings=settings)  # type: ignore[arg-type]
+
+
+def _run_pooled(tasks: List[SweepTask], jobs: int) -> List[TaskResult]:
+    """Fan distinct tasks out across a worker pool, in input order."""
+    import multiprocessing
+
+    n_workers = min(jobs, len(tasks))
+    with multiprocessing.Pool(processes=n_workers) as pool:
+        raw = pool.map(_pool_entry, tasks)
+    return [
+        TaskResult(task=task, values=values, wall_s=wall_s)
+        for task, (values, wall_s) in zip(tasks, raw)
+    ]

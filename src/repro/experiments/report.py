@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     fig1_regions,
+    harness,
     fig3_speedup,
     fig4_nonoverlap,
     fig5_cache,
@@ -79,7 +80,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="also run the extension studies (Sections 2/3/8/10)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan sweep points out across N worker processes",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk sweep result cache (.repro_cache/)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    harness.configure(
+        jobs=args.jobs, use_cache=False if args.no_cache else None
+    )
     t0 = time.time()
     results = run_all(quick=args.quick, only=args.only)
     if args.extensions:

@@ -76,3 +76,15 @@ class ExperimentResult:
             indent=2,
             default=str,
         )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output (round-trip)."""
+        payload = json.loads(text)
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            columns=list(payload["columns"]),
+            rows=[dict(row) for row in payload["rows"]],
+            notes=list(payload.get("notes", [])),
+        )

@@ -59,6 +59,19 @@ class SpeedupPoint:
     def speedup(self) -> float:
         return self.conventional_ns / self.radram_ns
 
+    @classmethod
+    def from_values(
+        cls, app_name: str, n_pages: float, values: "dict"
+    ) -> "SpeedupPoint":
+        """Rebuild a point from a sweep-harness value mapping."""
+        return cls(
+            app_name=app_name,
+            n_pages=n_pages,
+            conventional_ns=values["conventional_ns"],
+            radram_ns=values["radram_ns"],
+            stall_fraction=values["stall_fraction"],
+        )
+
 
 def run_conventional(
     app: Application,

@@ -17,17 +17,16 @@ For every Table 4 application:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.apps.base import PHASE_ACTIVATION, PHASE_POST
 from repro.apps.registry import TABLE4_APPS, get_app
 from repro.core.model import (
     pages_for_complete_overlap,
     predict_speedup,
     speedup_correlation,
 )
+from repro.experiments import harness
 from repro.experiments.results import ExperimentResult
-from repro.experiments.runner import measure_speedup, run_conventional, run_radram
 from repro.sim.memory import DEFAULT_PAGE_BYTES
 
 #: Problem size (pages) at which the constants are measured.
@@ -38,16 +37,12 @@ CORRELATION_SWEEP = [1, 2, 4, 8, 16, 32, 64]
 
 def measure_constants(name: str, page_bytes: int = DEFAULT_PAGE_BYTES) -> dict:
     """Measure T_A/T_P/T_C (microseconds) for one application."""
-    app = get_app(name)
-    rad = run_radram(app, MEASURE_PAGES, page_bytes=page_bytes)
-    conv = run_conventional(app, MEASURE_PAGES, page_bytes=page_bytes, cap_pages=None)
-    activations = max(1, rad.stats.activations)
-    return {
-        "t_a_us": rad.stats.phase_mean_ns(PHASE_ACTIVATION) / 1e3,
-        "t_p_us": rad.stats.phase_mean_ns(PHASE_POST, exclude_wait=True) / 1e3,
-        "t_c_us": rad.mean_page_busy_ns / 1e3,
-        "t_conv_per_activation_us": conv.total_ns / activations / 1e3,
-    }
+    outcome = harness.run_sweep(
+        [harness.constants_task(name, MEASURE_PAGES, page_bytes=page_bytes)]
+    )
+    values = dict(outcome[0].values)
+    values.pop("activations", None)
+    return values
 
 
 def run(
@@ -58,10 +53,30 @@ def run(
     """Regenerate Table 4."""
     apps = list(apps) if apps is not None else TABLE4_APPS
     sweep = list(sweep) if sweep is not None else CORRELATION_SWEEP
+    # One batch for everything Table 4 needs: per-app calibration runs
+    # plus the correlation sweep, fanned out / memoized together.
+    tasks: List[harness.SweepTask] = [
+        harness.constants_task(name, MEASURE_PAGES, page_bytes=page_bytes)
+        for name in apps
+    ] + [
+        harness.speedup_task(name, k, page_bytes=page_bytes)
+        for name in apps
+        for k in sweep
+    ]
+    outcome = harness.run_sweep(tasks)
+    constants_of: Dict[str, Dict[str, float]] = {
+        name: outcome[i].values for i, name in enumerate(apps)
+    }
+    measured_of: Dict[str, List[float]] = {}
+    for j, name in enumerate(apps):
+        base = len(apps) + j * len(sweep)
+        measured_of[name] = [
+            outcome[base + i]["speedup"] for i in range(len(sweep))
+        ]
     rows: List[dict] = []
     for name in apps:
         app = get_app(name)
-        constants = measure_constants(name, page_bytes=page_bytes)
+        constants = constants_of[name]
         predicted = [
             predict_speedup(
                 constants["t_conv_per_activation_us"],
@@ -72,9 +87,7 @@ def run(
             )
             for k in sweep
         ]
-        measured = [
-            measure_speedup(app, k, page_bytes=page_bytes).speedup for k in sweep
-        ]
+        measured = measured_of[name]
         correlation = speedup_correlation(predicted, measured)
         overlap = pages_for_complete_overlap(
             constants["t_a_us"], constants["t_p_us"], constants["t_c_us"]
@@ -116,5 +129,6 @@ def run(
             "paper T_C column for database/matrix rows read as microseconds "
             "(consistent with its own pages-for-overlap; see EXPERIMENTS.md)",
             "pages-for-overlap computed from the NO(i) recursion, not a closed form",
-        ],
+        ]
+        + outcome.notes(),
     )

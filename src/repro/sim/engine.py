@@ -54,8 +54,19 @@ class Engine:
         return True
 
     def run_until(self, deadline: float) -> None:
-        """Run all events with timestamps <= ``deadline``."""
-        while self._queue and self._queue[0][0] <= deadline:
+        """Run all events with timestamps <= ``deadline``.
+
+        The queue is re-inspected after every callback, so events
+        scheduled *during* the drain — including events a callback
+        running at exactly ``deadline`` schedules at ``deadline`` —
+        are processed before this call returns, not left for the next
+        one.  On return the clock is at ``deadline`` (or later, if it
+        already was) and no event at or before ``deadline`` remains.
+        """
+        while True:
+            when = self.peek_time()
+            if when is None or when > deadline:
+                break
             self.step()
         self.now = max(self.now, deadline)
 

@@ -1,0 +1,36 @@
+"""Suite-wide fixtures.
+
+The sweep harness memoizes simulation results under ``.repro_cache/``
+(or ``$REPRO_CACHE_DIR``).  Tests must never read a developer's warm
+cache or leave entries behind in the repository, so the whole session
+is pointed at a throwaway directory.  Within the session the cache is
+*shared*: experiments swept by several test modules (e.g. the Figure 3
+grid) simulate once.  Tests that need a cold or private cache pass an
+explicit ``HarnessSettings``/``cache_dir``.
+"""
+
+import pytest
+
+from repro.experiments import harness
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _session_sweep_cache(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("sweep-cache")
+    import os
+
+    previous = os.environ.get(harness.CACHE_DIR_ENV)
+    os.environ[harness.CACHE_DIR_ENV] = str(cache_dir)
+    yield cache_dir
+    if previous is None:
+        os.environ.pop(harness.CACHE_DIR_ENV, None)
+    else:
+        os.environ[harness.CACHE_DIR_ENV] = previous
+
+
+@pytest.fixture(autouse=True)
+def _default_harness_settings():
+    """Each test starts from (and restores) the default sweep policy."""
+    harness.reset_settings()
+    yield
+    harness.reset_settings()

@@ -1,0 +1,75 @@
+"""Determinism guarantees of the sweep harness.
+
+The same ``SweepTask`` must produce bit-identical values no matter how
+it is executed: directly in-process, through a multiprocessing worker
+pool, or via an on-disk cache round-trip.  This guards the harness
+against seed drift (workers seeing different RNG state) and float
+drift (values changing through JSON serialization).
+"""
+
+import pytest
+
+from repro.experiments.harness import (
+    HarnessSettings,
+    constants_task,
+    execute_task,
+    run_sweep,
+    speedup_task,
+)
+
+PAGE = 64 * 1024
+
+TASKS = [
+    speedup_task("database", 2.0, page_bytes=PAGE),
+    speedup_task("array-insert", 2.0, page_bytes=PAGE),
+    constants_task("database", 2.0, page_bytes=PAGE),
+]
+
+
+@pytest.fixture(scope="module")
+def in_process_values():
+    return [execute_task(task) for task in TASKS]
+
+
+class TestExecutionPathsAgree:
+    def test_pool_matches_in_process(self, in_process_values):
+        outcome = run_sweep(
+            TASKS, settings=HarnessSettings(jobs=4, use_cache=False)
+        )
+        for result, direct in zip(outcome, in_process_values):
+            assert result.values == direct  # bit-identical floats
+
+    def test_cache_roundtrip_matches_in_process(self, tmp_path, in_process_values):
+        settings = HarnessSettings(cache_dir=str(tmp_path / "cache"))
+        run_sweep(TASKS, settings=settings)  # populate
+        warm = run_sweep(TASKS, settings=settings)  # read back from disk
+        assert all(r.cached for r in warm)
+        for result, direct in zip(warm, in_process_values):
+            assert result.values == direct
+
+    def test_serial_sweep_matches_in_process(self, in_process_values):
+        outcome = run_sweep(
+            TASKS, settings=HarnessSettings(jobs=1, use_cache=False)
+        )
+        for result, direct in zip(outcome, in_process_values):
+            assert result.values == direct
+
+    def test_repeated_execution_is_stable(self):
+        task = TASKS[0]
+        assert execute_task(task) == execute_task(task)
+
+    def test_total_ns_bit_identical_across_paths(self, tmp_path):
+        """The headline numbers (total times) specifically: serial,
+        pooled, and cached execution may not differ by even one ULP."""
+        task = TASKS[0]
+        serial = run_sweep([task], settings=HarnessSettings(use_cache=False))
+        pooled = run_sweep(
+            [task, TASKS[1]], settings=HarnessSettings(jobs=2, use_cache=False)
+        )
+        settings = HarnessSettings(cache_dir=str(tmp_path / "cache"))
+        run_sweep([task], settings=settings)
+        cached = run_sweep([task], settings=settings)
+        for path in (pooled[0], cached[0]):
+            assert path["conventional_ns"] == serial[0]["conventional_ns"]
+            assert path["radram_ns"] == serial[0]["radram_ns"]
+            assert path["stall_fraction"] == serial[0]["stall_fraction"]

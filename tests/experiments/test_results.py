@@ -58,6 +58,12 @@ class TestExports:
         assert data["rows"][1]["pages"] == 4
         assert data["notes"] == ["synthetic"]
 
+    def test_from_json_rebuilds_equal_result(self):
+        original = make_result()
+        rebuilt = ExperimentResult.from_json(original.to_json())
+        assert rebuilt == original
+        assert rebuilt.render() == original.render()
+
     def test_report_output_directory(self, tmp_path, capsys):
         from repro.experiments.report import main
 

@@ -107,3 +107,126 @@ class TestAgainstReference:
             line for line in range(256) if cache.contains(line)
         }
         assert resident_model == resident_ref
+
+    @given(
+        set_index=st.integers(min_value=0, max_value=7),
+        ways=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=15), st.booleans()),
+            min_size=1,
+            max_size=200,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_set_conflict_streams(self, set_index, ways):
+        """All accesses land in one set: pure conflict/LRU behaviour."""
+        cache = make_cache(size=32 * 8 * 2, assoc=2, line=32)  # 8 sets
+        ref = ReferenceCache(n_sets=8, assoc=2)
+        for way, write in ways:
+            line_addr = set_index + way * 8
+            hits_before = cache.stats.hits
+            wb_before = cache.stats.writebacks
+            cache.access_line(line_addr, write)
+            ref_hit, ref_wb = ref.access(line_addr, write)
+            assert (cache.stats.hits == hits_before + 1) == ref_hit
+            assert (cache.stats.writebacks == wb_before + 1) == ref_wb
+
+
+class ReferenceHierarchy:
+    """Two chained reference caches mirroring ``build_hierarchy``.
+
+    The L2 sees exactly the L1's demand misses (as reads: the model
+    fills from below with ``write=False``).  L1 writebacks are posted
+    and do not allocate or update state in the L2 — matching
+    ``Cache._writeback``, which only charges the next level's hit time.
+    """
+
+    def __init__(self, l1_sets, l1_assoc, l2_sets, l2_assoc):
+        self.l1 = ReferenceCache(n_sets=l1_sets, assoc=l1_assoc)
+        self.l2 = ReferenceCache(n_sets=l2_sets, assoc=l2_assoc)
+
+    def access(self, line_addr, write):
+        """Returns (l1_hit, l1_writeback, l2_hit_or_None)."""
+        l1_hit, l1_wb = self.l1.access(line_addr, write)
+        l2_hit = None
+        if not l1_hit:
+            l2_hit, _ = self.l2.access(line_addr, write=False)
+        return l1_hit, l1_wb, l2_hit
+
+
+def make_hierarchy(l1_size=256, l1_assoc=2, l2_size=1024, l2_assoc=4, line=32):
+    dram = DRAM(DRAMConfig(), Bus(BusConfig()))
+    l2 = Cache(
+        "L2",
+        CacheConfig(size_bytes=l2_size, assoc=l2_assoc, line_bytes=line, hit_ns=6.0),
+        dram=dram,
+    )
+    l1 = Cache(
+        "L1",
+        CacheConfig(size_bytes=l1_size, assoc=l1_assoc, line_bytes=line, hit_ns=1.0),
+        next_level=l2,
+    )
+    return l1, l2
+
+
+class TestMultiLevelAgainstReference:
+    """The two-level hierarchy against chained reference caches."""
+
+    @given(accesses=access_strings)
+    @settings(max_examples=60, deadline=None)
+    def test_both_levels_decisions_identical(self, accesses):
+        l1, l2 = make_hierarchy()
+        ref = ReferenceHierarchy(
+            l1_sets=l1.config.n_sets,
+            l1_assoc=l1.config.assoc,
+            l2_sets=l2.config.n_sets,
+            l2_assoc=l2.config.assoc,
+        )
+        for line_addr, write in accesses:
+            l1_hits = l1.stats.hits
+            l2_hits = l2.stats.hits
+            l2_accesses = l2.stats.accesses
+            l1.access_line(line_addr, write)
+            model_l1_hit = l1.stats.hits == l1_hits + 1
+            ref_l1_hit, _, ref_l2_hit = ref.access(line_addr, write)
+            assert model_l1_hit == ref_l1_hit, (line_addr, write)
+            if ref_l1_hit:
+                # An L1 hit must not generate L2 traffic.
+                assert l2.stats.accesses == l2_accesses
+            else:
+                assert l2.stats.accesses == l2_accesses + 1
+                assert (l2.stats.hits == l2_hits + 1) == ref_l2_hit
+
+    @given(accesses=access_strings)
+    @settings(max_examples=60, deadline=None)
+    def test_l1_writebacks_do_not_disturb_l2_state(self, accesses):
+        l1, l2 = make_hierarchy()
+        ref = ReferenceHierarchy(
+            l1_sets=l1.config.n_sets,
+            l1_assoc=l1.config.assoc,
+            l2_sets=l2.config.n_sets,
+            l2_assoc=l2.config.assoc,
+        )
+        for line_addr, write in accesses:
+            wb_before = l1.stats.writebacks
+            l1.access_line(line_addr, write)
+            _, ref_wb, _ = ref.access(line_addr, write)
+            assert (l1.stats.writebacks == wb_before + 1) == ref_wb
+        # Posted writebacks never allocate in L2, so the model's L2
+        # residency must equal the reference L2's (demand fills only).
+        resident_ref = {
+            tag * ref.l2.n_sets + s
+            for s, entries in ref.l2.sets.items()
+            for tag in entries
+        }
+        resident_model = {line for line in range(256) if l2.contains(line)}
+        assert resident_model == resident_ref
+
+    def test_mostly_included_working_set(self):
+        """Deterministic inclusion check: after touching a small
+        working set, every L1-resident line is also L2-resident."""
+        l1, l2 = make_hierarchy(l1_size=256, l2_size=2048)
+        for line in range(8):
+            l1.access_line(line, write=False)
+        for line in range(256):
+            if l1.contains(line):
+                assert l2.contains(line)

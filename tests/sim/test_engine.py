@@ -59,3 +59,70 @@ class TestEngine:
     def test_advance_rejects_negative(self):
         with pytest.raises(SimulationError):
             Engine().advance(-1)
+
+
+class TestRunUntilDeadlineScheduling:
+    """``run_until`` must drain events its own callbacks schedule at
+    exactly the deadline, within the same call (regression guard)."""
+
+    def test_deadline_callback_schedules_at_deadline(self):
+        eng = Engine()
+        seen = []
+
+        def at_deadline():
+            seen.append("first")
+            eng.schedule(0.0, lambda: seen.append("second"))
+
+        eng.schedule(100, at_deadline)
+        eng.run_until(100)
+        assert seen == ["first", "second"]
+        assert eng.peek_time() is None
+        assert eng.now == 100
+
+    def test_cascade_of_same_timestamp_events_at_deadline(self):
+        eng = Engine()
+        seen = []
+
+        def chain(depth):
+            def cb():
+                seen.append(depth)
+                if depth < 5:
+                    eng.schedule_at(100, chain(depth + 1))
+
+            return cb
+
+        eng.schedule_at(100, chain(1))
+        eng.run_until(100)
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_pre_deadline_callback_schedules_at_deadline(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(60, lambda: eng.schedule_at(100, lambda: seen.append("d")))
+        eng.run_until(100)
+        assert seen == ["d"]
+
+    def test_events_after_deadline_stay_queued(self):
+        eng = Engine()
+        seen = []
+
+        def at_deadline():
+            seen.append("now")
+            eng.schedule(0.0, lambda: seen.append("also-now"))
+            eng.schedule(1.0, lambda: seen.append("later"))
+
+        eng.schedule(100, at_deadline)
+        eng.run_until(100)
+        assert seen == ["now", "also-now"]
+        assert eng.peek_time() == 101
+        eng.run_until_idle()
+        assert seen == ["now", "also-now", "later"]
+
+    def test_consecutive_run_until_calls_see_no_leftovers(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(50, lambda: eng.schedule_at(50, lambda: seen.append("a")))
+        eng.run_until(50)
+        assert seen == ["a"]
+        eng.run_until(50)  # idempotent: nothing <= 50 remains
+        assert seen == ["a"]

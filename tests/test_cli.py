@@ -50,3 +50,44 @@ class TestCLI:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepCLI:
+    """The harness-facing surface: aliases, --jobs, --no-cache, cache."""
+
+    def test_experiment_alias_runs_one_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "table-2" in out
+        assert "figure-3" not in out
+
+    def test_fig_alias_reports_harness_counters(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["fig8", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "figure-8" in out
+        assert "harness:" in out
+
+    def test_no_cache_flag_leaves_no_cache_dir(self, capsys, monkeypatch, tmp_path):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(["fig8", "--quick", "--no-cache"]) == 0
+        assert not cache_dir.exists()
+
+    def test_jobs_flag_accepted(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["fig8", "--quick", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out
+
+    def test_cache_info_and_clear(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["fig8", "--quick"]) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "entries:   0" not in out
+        assert main(["cache", "--clear"]) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        assert "entries:   0" in capsys.readouterr().out
