@@ -1,0 +1,66 @@
+"""Cache-hierarchy hot-path benchmarks and the perf-regression gate.
+
+Replays the :mod:`repro.experiments.simbench` workloads on both the
+vectorized engine and the retained scalar reference, then compares each
+workload's speedup *ratio* against the committed ``BENCH_sim.json``
+baseline.  Ratios (not wall-clock) gate regressions: both engines run
+on the same host in the same process, so the ratio is a property of the
+code.  A workload fails if its ratio falls more than
+``REGRESSION_TOLERANCE`` (30%) below baseline.
+
+Refresh the baseline after intentional perf changes with
+``python -m repro bench``.
+"""
+
+import pytest
+
+from repro.experiments import simbench
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    try:
+        return simbench.load_baseline()
+    except OSError:
+        pytest.skip("BENCH_sim.json missing; run `python -m repro bench`")
+
+
+@pytest.fixture(scope="module")
+def current():
+    return simbench.run_benchmarks()
+
+
+class TestHotpathRegressionGate:
+    def test_baseline_covers_all_workloads(self, baseline):
+        assert set(baseline["workloads"]) == set(simbench.WORKLOADS)
+
+    @pytest.mark.parametrize("name", sorted(simbench.WORKLOADS))
+    def test_no_speedup_regression(self, name, current, baseline):
+        failures = simbench.check_regressions(
+            {name: current[name]}, {"workloads": {name: baseline["workloads"][name]}}
+        )
+        assert not failures, failures
+
+    def test_vectorized_engine_beats_scalar_on_wide_batches(self, current):
+        """The headline claim: >=5x on the cache-bound wide scans."""
+        for name in ("cold_read_scan_4mb", "cold_write_scan_4mb", "strided_50k_128b"):
+            assert current[name]["speedup_ratio"] >= 3.5, (
+                name,
+                current[name],
+            )
+
+
+class TestHotpathTimings:
+    """Wall-clock per workload, for ``pytest-benchmark`` trend tracking."""
+
+    @pytest.mark.parametrize("name", sorted(simbench.WORKLOADS))
+    def test_bench_workload(self, benchmark, name):
+        streams, write, repeats = simbench.WORKLOADS[name]()
+
+        def run():
+            l1d = simbench._reference_hierarchy(simbench.build_hierarchy)
+            for _ in range(repeats):
+                for lines in streams:
+                    l1d.access_lines(lines, write=write)
+
+        benchmark.pedantic(run, rounds=1, iterations=1)

@@ -10,6 +10,8 @@ yield        print the Section 3 yield/cost comparison
 power        print the Section 3 port-width power study
 trace        run an application on RADram and draw its Gantt chart
 cache        inspect or clear the sweep result cache
+bench        run the cache hot-path microbenchmarks (``--update`` to
+             refresh the committed ``BENCH_sim.json`` baseline)
 
 Sweep-driven commands accept ``--jobs N`` (parallel workers) and
 ``--no-cache`` (bypass ``.repro_cache/``).
@@ -144,6 +146,38 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments import simbench
+
+    if args.update:
+        doc = simbench.refresh_baseline(note=args.note or "")
+        current = doc["workloads"]
+        print(f"baseline refreshed: {simbench.BASELINE_PATH}")
+    else:
+        current = simbench.run_benchmarks()
+    print(
+        f"{'workload':<26} {'lines':>8} {'vec ms':>9} "
+        f"{'scalar ms':>10} {'ns/line':>8} {'ratio':>7}"
+    )
+    for name, row in sorted(current.items()):
+        print(
+            f"{name:<26} {row['lines']:>8} {row['vectorized_ms']:>9.1f} "
+            f"{row['scalar_ref_ms']:>10.1f} {row['vectorized_ns_per_line']:>8.1f} "
+            f"{row['speedup_ratio']:>6.2f}x"
+        )
+    if args.update:
+        return 0
+    try:
+        baseline = simbench.load_baseline()
+    except OSError:
+        print("no BENCH_sim.json baseline; run `python -m repro bench --update`")
+        return 1
+    failures = simbench.check_regressions(current, baseline)
+    for name, why in sorted(failures.items()):
+        print(f"REGRESSION {name}: {why}")
+    return 1 if failures else 0
+
+
 def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quick", action="store_true", help="reduced sweeps")
     parser.add_argument("--output", metavar="DIR")
@@ -169,6 +203,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         p_exp = sub.add_parser(alias, help=f"regenerate {experiment_id} only")
         _add_sweep_flags(p_exp)
         p_exp.set_defaults(func=_cmd_experiment)
+
+    p_bench = sub.add_parser("bench", help="cache hot-path microbenchmarks")
+    p_bench.add_argument(
+        "--update", action="store_true", help="rewrite the BENCH_sim.json baseline"
+    )
+    p_bench.add_argument("--note", metavar="TEXT", help="note stored with --update")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the sweep cache")
     p_cache.add_argument("--clear", action="store_true")

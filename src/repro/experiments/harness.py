@@ -55,7 +55,7 @@ from repro.sim.config import MachineConfig
 from repro.sim.memory import DEFAULT_PAGE_BYTES
 
 #: Bump when the meaning of cached values changes (invalidates entries).
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2  # bumped: vectorized hierarchy + writeback-install fix
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"

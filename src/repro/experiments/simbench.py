@@ -1,0 +1,184 @@
+"""Cache-hierarchy hot-path microbenchmarks and the perf baseline.
+
+``BENCH_sim.json`` (repo root) records the simulator's perf trajectory
+across PRs.  Because wall-clock numbers are machine-dependent, the
+*regression gate* is the speedup **ratio** of the vectorized engine
+(:mod:`repro.sim.cache`) over the retained scalar reference
+(:mod:`repro.sim.cache_reference`) on the same host at the same moment:
+that ratio is a property of the code, not the machine.  Absolute
+timings are recorded alongside for context only.
+
+Refresh the baseline with ``python -m repro bench``; CI replays the
+workloads via ``benchmarks/test_sim_hotpath.py`` and fails if any
+workload's speedup ratio falls more than ``REGRESSION_TOLERANCE``
+below the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.sim.bus import Bus
+from repro.sim.cache import build_hierarchy
+from repro.sim.cache_reference import build_scalar_hierarchy
+from repro.sim.config import KB, MB, BusConfig, CacheConfig, DRAMConfig
+from repro.sim.dram import DRAM
+
+#: A workload's speedup ratio may fall at most this far below baseline.
+REGRESSION_TOLERANCE = 0.30
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parents[3] / "BENCH_sim.json"
+
+LINE = 32
+
+
+def _reference_hierarchy(build):
+    l1 = CacheConfig(size_bytes=64 * KB, assoc=2, line_bytes=LINE, hit_ns=1.0)
+    l2 = CacheConfig(size_bytes=1 * MB, assoc=4, line_bytes=LINE, hit_ns=6.0)
+    dram = DRAM(DRAMConfig(), Bus(BusConfig()))
+    l1d, _, _ = build(l1, l2, dram)
+    return l1d
+
+
+# ----------------------------------------------------------------------
+# Workloads: factories return ([stream, ...], write?, repeats)
+
+
+def _cold_read_scan():
+    return [range(0, (4 * MB) // LINE)], False, 1
+
+
+def _cold_write_scan():
+    return [range(0, (4 * MB) // LINE)], True, 1
+
+
+def _warm_retouch():
+    return [range(0, (32 * KB) // LINE)], False, 20
+
+
+def _strided_conflict():
+    # 128-byte stride: touches every 4th line over a 6.4MB footprint.
+    return [np.arange(50_000, dtype=np.int64) * 4], False, 1
+
+
+def _app_trace_blocks():
+    # The app-trace shape: thousands of narrow (16-line) block ops.
+    # Exercises the small-batch scalar regime of the adaptive dispatch.
+    return [
+        np.arange(i * 16, i * 16 + 16, dtype=np.int64) for i in range(10_000)
+    ], False, 1
+
+
+WORKLOADS: Dict[str, Callable] = {
+    "cold_read_scan_4mb": _cold_read_scan,
+    "cold_write_scan_4mb": _cold_write_scan,
+    "warm_retouch_32kb_x20": _warm_retouch,
+    "strided_50k_128b": _strided_conflict,
+    "app_trace_16line_blocks": _app_trace_blocks,
+}
+
+
+def _time_workload(l1d, streams, write: bool, repeats: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        for lines in streams:
+            l1d.access_lines(lines, write=write)
+    return time.perf_counter() - t0
+
+
+def run_workload(name: str, trials: int = 3) -> Dict[str, float]:
+    """Run one workload on both engines; returns timings + ratio.
+
+    Each engine gets ``trials`` fresh-hierarchy runs and the fastest
+    counts: short workloads are jittery and the *minimum* is the
+    stable, noise-resistant estimator for a regression gate.
+    """
+    factory = WORKLOADS[name]
+    streams, write, repeats = factory()
+    n_lines = sum(len(s) for s in streams) * repeats
+
+    t_vec = t_ref = float("inf")
+    for _ in range(trials):
+        vec = _reference_hierarchy(build_hierarchy)
+        t_vec = min(t_vec, _time_workload(vec, streams, write, repeats))
+        ref = _reference_hierarchy(build_scalar_hierarchy)
+        t_ref = min(t_ref, _time_workload(ref, streams, write, repeats))
+
+    # Equal work is a correctness smoke check, not just timing hygiene.
+    assert (vec.stats.hits, vec.stats.misses, vec.stats.writebacks) == (
+        ref.stats.hits,
+        ref.stats.misses,
+        ref.stats.writebacks,
+    ), f"engines diverged on workload {name!r}"
+
+    return {
+        "lines": n_lines,
+        "vectorized_ms": round(t_vec * 1e3, 3),
+        "scalar_ref_ms": round(t_ref * 1e3, 3),
+        "vectorized_ns_per_line": round(t_vec / n_lines * 1e9, 1),
+        "speedup_ratio": round(t_ref / t_vec, 2),
+    }
+
+
+def run_benchmarks() -> Dict[str, Dict[str, float]]:
+    """All workloads; keyed by workload name."""
+    return {name: run_workload(name) for name in sorted(WORKLOADS)}
+
+
+def load_baseline() -> dict:
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+def check_regressions(
+    current: Dict[str, Dict[str, float]], baseline: dict
+) -> Dict[str, str]:
+    """Compare current ratios against the baseline; returns failures."""
+    failures = {}
+    for name, base in baseline["workloads"].items():
+        cur = current.get(name)
+        if cur is None:
+            failures[name] = "workload missing from current run"
+            continue
+        floor = base["speedup_ratio"] * (1.0 - REGRESSION_TOLERANCE)
+        if cur["speedup_ratio"] < floor:
+            failures[name] = (
+                f"speedup ratio {cur['speedup_ratio']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup_ratio']:.2f}x "
+                f"- {REGRESSION_TOLERANCE:.0%} tolerance)"
+            )
+    return failures
+
+
+def refresh_baseline(note: str = "") -> dict:
+    """Re-measure and rewrite ``BENCH_sim.json`` (the ``bench`` CLI)."""
+    current = run_benchmarks()
+    doc = {
+        "comment": (
+            "Cache-hierarchy hot-path perf baseline. The regression gate "
+            "is 'speedup_ratio' (vectorized engine vs scalar reference, "
+            "same host): machine-independent. Absolute ms are context "
+            "only. Refresh with: python -m repro bench"
+        ),
+        "regression_tolerance": REGRESSION_TOLERANCE,
+        "workloads": current,
+    }
+    if note:
+        doc["note"] = note
+    # Keep historical context blocks if present.
+    try:
+        old = load_baseline()
+        for key in ("seed_before", "report_quick"):
+            if key in old:
+                doc[key] = old[key]
+    except (OSError, json.JSONDecodeError):
+        pass
+    with open(BASELINE_PATH, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return doc

@@ -33,6 +33,10 @@ from repro.sim.processor import MemorySystemBase, Processor
 class RADramMemorySystem(MemorySystemBase):
     """RADram behind the caches: DRAM subarrays with active logic."""
 
+    # Blocked inter-page references are serviced at instruction
+    # granularity, so the processor must poll between ops.
+    needs_poll = True
+
     def __init__(self, config: Optional[RADramConfig] = None) -> None:
         self.config = config or RADramConfig.reference()
         self.subarrays: Dict[int, Subarray] = {}

@@ -30,6 +30,21 @@ class Bus:
         self.transfers += 1
         return duration
 
+    def transfer_batch(self, count: int, nbytes_each: int) -> float:
+        """Account ``count`` equal transfers; returns the per-transfer ns.
+
+        Equivalent to calling :meth:`transfer` ``count`` times (the
+        occupancy accumulator may differ in the last float ulps from the
+        sequential sum, which is the only tolerated deviation).
+        """
+        if count <= 0 or nbytes_each <= 0:
+            return 0.0
+        duration = self.config.transfer_ns(nbytes_each)
+        self.bytes_transferred += nbytes_each * count
+        self.busy_ns += duration * count
+        self.transfers += count
+        return duration
+
     def reset(self) -> None:
         """Clear accumulated statistics."""
         self.bytes_transferred = 0

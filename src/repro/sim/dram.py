@@ -35,6 +35,24 @@ class DRAM:
         self.writes += 1
         return self.bus.transfer(line_bytes)
 
+    def read_lines(self, count: int, line_bytes: int) -> float:
+        """Account ``count`` line fetches; returns the per-line latency.
+
+        Batched twin of :meth:`read_line` — each line costs the same, so
+        one call covers a whole miss stream.
+        """
+        if count <= 0:
+            return 0.0
+        self.reads += count
+        return self.config.miss_latency_ns + self.bus.transfer_batch(count, line_bytes)
+
+    def write_lines(self, count: int, line_bytes: int) -> float:
+        """Account ``count`` posted line writebacks; returns per-line ns."""
+        if count <= 0:
+            return 0.0
+        self.writes += count
+        return self.bus.transfer_batch(count, line_bytes)
+
     def uncached_write(self, nbytes: int) -> float:
         """A memory-mapped (uncached) store of ``nbytes``.
 

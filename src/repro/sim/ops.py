@@ -16,8 +16,9 @@ than per byte — identical hit/miss behaviour, tractable in Python.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Union
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator, Sequence, Union
 
 import numpy as np
 
@@ -158,13 +159,30 @@ OpStream = Iterator[Op]
 # Line-address expansion
 
 
-def lines_for_block(addr: int, nbytes: int, line_bytes: int) -> range:
-    """Cache lines touched by a sequential block access."""
+_EMPTY_LINES = np.empty(0, dtype=np.int64)
+_EMPTY_LINES.setflags(write=False)
+
+
+@lru_cache(maxsize=4096)
+def _block_lines_cached(first: int, last: int) -> np.ndarray:
+    """Read-only line array [first, last] — kernels re-touch the same
+    blocks every sweep point, so expansions are memoized."""
+    lines = np.arange(first, last + 1, dtype=np.int64)
+    lines.setflags(write=False)
+    return lines
+
+
+def lines_for_block(addr: int, nbytes: int, line_bytes: int) -> np.ndarray:
+    """Cache lines touched by a sequential block access.
+
+    Returns a read-only int64 array (memoized per distinct
+    ``(first, last)`` pair — do not mutate).
+    """
     if nbytes <= 0:
-        return range(0)
+        return _EMPTY_LINES
     first = addr // line_bytes
     last = (addr + nbytes - 1) // line_bytes
-    return range(first, last + 1)
+    return _block_lines_cached(first, last)
 
 
 def lines_for_stride(
@@ -179,13 +197,15 @@ def lines_for_stride(
         return np.empty(0, dtype=np.int64)
     starts = addr + np.arange(count, dtype=np.int64) * stride_bytes
     if elem_bytes > line_bytes:
-        # Each element spans several lines; fall back to per-element blocks.
-        pieces: List[np.ndarray] = []
-        for s in starts:
-            pieces.append(
-                np.asarray(lines_for_block(int(s), elem_bytes, line_bytes))
-            )
-        lines = np.concatenate(pieces)
+        # Each element spans several lines: expand every [first, last]
+        # line interval with one segmented arange (no per-element loop).
+        first = starts // line_bytes
+        last = (starts + elem_bytes - 1) // line_bytes
+        counts = last - first + 1
+        total = int(counts.sum())
+        seg_starts = np.cumsum(counts) - counts
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, counts)
+        lines = np.repeat(first, counts) + offsets
     else:
         first = starts // line_bytes
         last = (starts + elem_bytes - 1) // line_bytes

@@ -32,6 +32,11 @@ from repro.sim.stats import MachineStats
 class MemorySystemBase:
     """Interface the processor uses to reach the memory system."""
 
+    #: Whether :meth:`poll` must be called between ops.  Passive memory
+    #: systems (conventional DRAM) leave this False and skip a Python
+    #: call per op; RADram keeps instruction-granularity polling.
+    needs_poll: bool = False
+
     def on_run_begin(self, proc: "Processor") -> None:
         """Called once before an op stream starts."""
 
@@ -88,9 +93,13 @@ class Processor:
     def run(self, stream: Iterable[O.Op]) -> MachineStats:
         """Execute an op stream to completion; returns the stats."""
         self.memsys.on_run_begin(self)
-        for op in stream:
-            self.step(op)
-            self.memsys.poll(self)
+        if self.memsys.needs_poll:
+            for op in stream:
+                self.step(op)
+                self.memsys.poll(self)
+        else:
+            for op in stream:
+                self.step(op)
         self.memsys.on_run_end(self)
         self.stats.total_ns = self.now
         return self.stats

@@ -144,7 +144,8 @@ class SMPMachine:
                 self._atomic_rmw(cpu, op)
             else:
                 proc.step(op)
-            self.memsys.poll(proc)
+            if self.memsys.needs_poll:
+                self.memsys.poll(proc)
         for proc in self.processors:
             self.memsys.on_run_end(proc)
             proc.stats.total_ns = proc.now

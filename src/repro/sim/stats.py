@@ -36,7 +36,8 @@ class MachineStats:
 
     def charge(self, category: str, ns: float) -> None:
         """Add ``ns`` to ``category`` and to the open phase, if any."""
-        setattr(self, category, getattr(self, category) + ns)
+        d = self.__dict__  # hot path: skip attribute-protocol dispatch
+        d[category] += ns
         if self._phase_stack:
             phase = self._phase_stack[-1]
             self.phase_ns[phase] = self.phase_ns.get(phase, 0.0) + ns

