@@ -8,7 +8,8 @@ app          run one application on both systems at a problem size
 synth        print Table 3 (circuit synthesis)
 yield        print the Section 3 yield/cost comparison
 power        print the Section 3 port-width power study
-trace        run an application on RADram and draw its Gantt chart
+trace        run an app (or fig6) under the event tracer: Gantt chart,
+             ``--out`` Perfetto trace_event JSON, ``--csv`` flat CSV
 cache        inspect or clear the sweep result cache
 bench        run the cache hot-path microbenchmarks (``--update`` to
              refresh the committed ``BENCH_sim.json`` baseline)
@@ -57,6 +58,8 @@ def _report_argv(args: argparse.Namespace, only: Optional[List[str]]) -> List[st
         argv += ["--jobs", str(args.jobs)]
     if args.no_cache:
         argv.append("--no-cache")
+    if getattr(args, "trace_summary", False):
+        argv.append("--trace-summary")
     return argv
 
 
@@ -113,22 +116,50 @@ def _cmd_power(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.viz.gantt import render_gantt
+    from repro.trace import events as trace_events
+    from repro.trace import export as trace_export
+    from repro.viz.gantt import render_gantt_events
 
-    app = get_app(args.name)
-    # Build the machine by hand so the memory system stays accessible.
-    from repro.radram.config import RADramConfig
-    from repro.radram.system import RADramMemorySystem
-    from repro.sim.machine import Machine
-    from repro.sim.memory import PagedMemory
+    if args.name in EXPERIMENT_ALIASES:
+        if args.name != "fig6":
+            print(f"only the fig6 experiment is traceable (got {args.name!r})")
+            return 2
+        from repro.experiments import fig6_gantt
 
-    rconfig = RADramConfig.reference()
-    memsys = RADramMemorySystem(rconfig)
-    machine = Machine(memory=PagedMemory(page_bytes=rconfig.page_bytes), memsys=memsys)
-    w = app.workload(args.pages, rconfig.page_bytes, functional=False)
-    w.data["radram_config"] = rconfig
-    stats = machine.run(app.radram_stream(w))
-    print(render_gantt(memsys, stats, max_pages=args.max_pages))
+        result, events = fig6_gantt.run_traced(n_pages=args.pages)
+        print(result.render())
+    else:
+        app = get_app(args.name)
+        # Build the machine by hand so the memory system stays accessible.
+        from repro.radram.config import RADramConfig
+        from repro.radram.system import RADramMemorySystem
+        from repro.sim.machine import Machine
+        from repro.sim.memory import PagedMemory
+
+        rconfig = RADramConfig.reference()
+        memsys = RADramMemorySystem(rconfig)
+        machine = Machine(
+            memory=PagedMemory(page_bytes=rconfig.page_bytes), memsys=memsys
+        )
+        w = app.workload(args.pages, rconfig.page_bytes, functional=False)
+        w.data["radram_config"] = rconfig
+        with trace_events.tracing() as tracer:
+            stats = machine.run(app.radram_stream(w))
+        events = tracer.events()
+        print(render_gantt_events(events, stats, max_pages=args.max_pages))
+
+    summary = trace_export.summarize(events)
+    print(
+        f"trace: {int(summary['events'])} events "
+        f"({int(summary['spans'])} spans, {int(summary['instants'])} instants, "
+        f"{int(summary['counters'])} counters)"
+    )
+    if args.out:
+        trace_export.write_chrome_trace(args.out, events)
+        print(f"trace: wrote Perfetto trace_event JSON to {args.out}")
+    if args.csv:
+        trace_export.write_csv(args.csv, events)
+        print(f"trace: wrote CSV to {args.csv}")
     return 0
 
 
@@ -187,6 +218,11 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true", help="bypass the sweep result cache"
     )
+    parser.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="trace sweep runs; cached results carry trace.* digests",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -231,10 +267,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_power = sub.add_parser("power", help="port-width power study")
     p_power.set_defaults(func=_cmd_power)
 
-    p_trace = sub.add_parser("trace", help="Gantt chart of a RADram run")
-    p_trace.add_argument("name", choices=sorted(ALL_APPS))
+    p_trace = sub.add_parser(
+        "trace", help="traced run: Gantt chart + Perfetto/CSV export"
+    )
+    p_trace.add_argument("name", choices=sorted(ALL_APPS) + ["fig6"])
     p_trace.add_argument("--pages", type=float, default=8.0)
     p_trace.add_argument("--max-pages", type=int, default=16)
+    p_trace.add_argument(
+        "--out", metavar="FILE", help="write Chrome/Perfetto trace_event JSON"
+    )
+    p_trace.add_argument("--csv", metavar="FILE", help="write a flat event CSV")
     p_trace.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)

@@ -3,15 +3,18 @@
 The paper's Figure 6 is a hand-drawn timeline: the processor activates
 pages 1..K in sequence, pages compute in staggered parallel, and the
 processor returns to post-process each, stalling (NO(i)) where a page
-has not finished.  We regenerate it from a *real* simulated run: the
-database kernel at a size small enough to show non-overlap, rendered
-as the ASCII Gantt of :mod:`repro.viz.gantt`, plus a row table of
-per-page activation/completion times.
+has not finished.  We regenerate it from a *real* simulated run — and
+since PR 3, from the run's **trace events**: the simulation executes
+under :func:`repro.trace.tracing`, the per-page activation rows come
+from the ``"X"`` compute spans on the ``page/<n>`` tracks, and the
+ASCII Gantt is :func:`repro.viz.gantt.render_gantt_events` over the
+same event stream.  ``python -m repro trace fig6 --out FILE`` exports
+the identical events as Perfetto-loadable JSON.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Tuple
 
 from repro.apps.registry import get_app
 from repro.experiments.results import ExperimentResult
@@ -19,16 +22,22 @@ from repro.radram.config import RADramConfig
 from repro.radram.system import RADramMemorySystem
 from repro.sim.machine import Machine
 from repro.sim.memory import PagedMemory
-from repro.viz.gantt import page_intervals, render_gantt
+from repro.trace import events as trace_events
+from repro.trace.events import Event
+from repro.viz.gantt import page_intervals_from_events, render_gantt_events
 
 DEFAULT_APP = "database"
 DEFAULT_PAGES = 8.0
 
 
-def run(
+def run_traced(
     app_name: str = DEFAULT_APP, n_pages: float = DEFAULT_PAGES
-) -> ExperimentResult:
-    """Regenerate Figure 6 from a simulated run."""
+) -> Tuple[ExperimentResult, List[Event]]:
+    """Regenerate Figure 6; returns the result *and* the trace events.
+
+    The CLI ``trace`` subcommand exports the returned events; ``run``
+    below keeps the plain experiment interface for the report.
+    """
     app = get_app(app_name)
     rconfig = RADramConfig.reference()
     memsys = RADramMemorySystem(rconfig)
@@ -37,10 +46,13 @@ def run(
     )
     w = app.workload(n_pages, rconfig.page_bytes, functional=False)
     w.data["radram_config"] = rconfig
-    stats = machine.run(app.radram_stream(w))
+    with trace_events.tracing() as tracer:
+        stats = machine.run(app.radram_stream(w))
+    events = tracer.events()
 
     rows = []
-    for index, (page_no, spans) in enumerate(sorted(page_intervals(memsys).items())):
+    intervals = page_intervals_from_events(events)
+    for index, (page_no, spans) in enumerate(intervals.items()):
         start, end = spans[0]
         rows.append(
             {
@@ -50,11 +62,20 @@ def run(
                 "t_c_us": (end - start) / 1e3,
             }
         )
-    gantt = render_gantt(memsys, stats, max_pages=int(max(1, n_pages)))
-    return ExperimentResult(
+    gantt = render_gantt_events(events, stats, max_pages=int(max(1, n_pages)))
+    result = ExperimentResult(
         experiment_id="figure-6",
         title=f"Processor and Active-Page activity ({app_name}, {n_pages} pages)",
         columns=["page", "activated_us", "completed_us", "t_c_us"],
         rows=rows,
         notes=[line for line in gantt.splitlines()],
     )
+    return result, events
+
+
+def run(
+    app_name: str = DEFAULT_APP, n_pages: float = DEFAULT_PAGES
+) -> ExperimentResult:
+    """Regenerate Figure 6 from a simulated, traced run."""
+    result, _ = run_traced(app_name, n_pages)
+    return result

@@ -184,8 +184,31 @@ def _seed_rngs(task: SweepTask) -> None:
         pass
 
 
-def execute_task(task: SweepTask) -> Dict[str, float]:
-    """Run one task's simulations; returns a flat, JSON-able mapping."""
+#: Key prefix under which trace summaries land in task values.
+TRACE_KEY_PREFIX = "trace."
+
+
+def execute_task(task: SweepTask, trace_summary: bool = False) -> Dict[str, float]:
+    """Run one task's simulations; returns a flat, JSON-able mapping.
+
+    With ``trace_summary`` the simulations execute under
+    :func:`repro.trace.events.tracing` and the flattened
+    :func:`repro.trace.export.summarize` of the captured events is
+    merged into the values under ``trace.``-prefixed keys — so cached
+    sweep results carry a trace digest alongside the measurements.
+    """
+    if trace_summary:
+        from repro.trace import events as trace_events
+        from repro.trace import export as trace_export
+
+        with trace_events.tracing() as tracer:
+            values = execute_task(task, trace_summary=False)
+        summary = trace_export.summarize(tracer.events())
+        values.update(
+            {f"{TRACE_KEY_PREFIX}{k}": float(v) for k, v in summary.items()}
+        )
+        return values
+
     from repro.apps.registry import get_app
     from repro.experiments.runner import (
         measure_speedup,
@@ -251,16 +274,23 @@ class TaskResult:
         return self.values[name]
 
 
-def _timed_execute(task: SweepTask) -> TaskResult:
+def _timed_execute(task: SweepTask, trace_summary: bool = False) -> TaskResult:
     t0 = time.perf_counter()
-    values = execute_task(task)
+    values = execute_task(task, trace_summary=trace_summary)
     return TaskResult(task=task, values=values, wall_s=time.perf_counter() - t0)
 
 
-def _pool_entry(task: SweepTask) -> Tuple[Dict[str, float], float]:
-    """Top-level worker entry point (must be picklable)."""
+def _pool_entry(
+    task: SweepTask, trace_summary: bool = False
+) -> Tuple[Dict[str, float], float]:
+    """Top-level worker entry point (must be picklable).
+
+    ``trace_summary`` is threaded explicitly (via ``functools.partial``)
+    because pool workers do not inherit the parent's process-global
+    harness settings.
+    """
     t0 = time.perf_counter()
-    values = execute_task(task)
+    values = execute_task(task, trace_summary=trace_summary)
     return values, time.perf_counter() - t0
 
 
@@ -348,6 +378,7 @@ class HarnessSettings:
     jobs: int = 1
     use_cache: bool = True
     cache_dir: Optional[str] = None  # None -> $REPRO_CACHE_DIR or default
+    trace_summary: bool = False  # attach trace.* digests to task values
 
     def resolve_cache_dir(self) -> Path:
         if self.cache_dir is not None:
@@ -362,6 +393,7 @@ def configure(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    trace_summary: Optional[bool] = None,
 ) -> HarnessSettings:
     """Update the process-wide sweep settings (CLI entry point)."""
     if jobs is not None:
@@ -372,6 +404,8 @@ def configure(
         _settings.use_cache = use_cache
     if cache_dir is not None:
         _settings.cache_dir = cache_dir
+    if trace_summary is not None:
+        _settings.trace_summary = trace_summary
     return _settings
 
 
@@ -458,6 +492,12 @@ def run_sweep(
             pending[task].append(i)
             continue
         hit = cache.load(task) if cache is not None else None
+        if hit is not None and settings.trace_summary and not any(
+            k.startswith(TRACE_KEY_PREFIX) for k in hit.values
+        ):
+            # Cached before trace summaries were requested: recompute so
+            # the entry gains its trace.* digest.
+            hit = None
         if hit is not None:
             stats.hits += 1
             results[i] = hit
@@ -469,9 +509,14 @@ def run_sweep(
     stats.misses = len(unique)
     if unique:
         if settings.jobs > 1 and len(unique) > 1:
-            computed = _run_pooled(unique, settings.jobs)
+            computed = _run_pooled(
+                unique, settings.jobs, trace_summary=settings.trace_summary
+            )
         else:
-            computed = [_timed_execute(task) for task in unique]
+            computed = [
+                _timed_execute(task, trace_summary=settings.trace_summary)
+                for task in unique
+            ]
         for task, result in zip(unique, computed):
             stats.sim_wall_s += result.wall_s
             if cache is not None:
@@ -484,13 +529,17 @@ def run_sweep(
     return SweepOutcome(results=results, stats=stats, settings=settings)  # type: ignore[arg-type]
 
 
-def _run_pooled(tasks: List[SweepTask], jobs: int) -> List[TaskResult]:
+def _run_pooled(
+    tasks: List[SweepTask], jobs: int, trace_summary: bool = False
+) -> List[TaskResult]:
     """Fan distinct tasks out across a worker pool, in input order."""
+    import functools
     import multiprocessing
 
     n_workers = min(jobs, len(tasks))
+    entry = functools.partial(_pool_entry, trace_summary=trace_summary)
     with multiprocessing.Pool(processes=n_workers) as pool:
-        raw = pool.map(_pool_entry, tasks)
+        raw = pool.map(entry, tasks)
     return [
         TaskResult(task=task, values=values, wall_s=wall_s)
         for task, (values, wall_s) in zip(tasks, raw)

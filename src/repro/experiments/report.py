@@ -92,11 +92,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="bypass the on-disk sweep result cache (.repro_cache/)",
     )
+    parser.add_argument(
+        "--trace-summary",
+        action="store_true",
+        help="run sweeps under the event tracer and cache trace.* digests",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
     harness.configure(
-        jobs=args.jobs, use_cache=False if args.no_cache else None
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+        trace_summary=True if args.trace_summary else None,
     )
     t0 = time.time()
     results = run_all(quick=args.quick, only=args.only)

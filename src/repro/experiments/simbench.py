@@ -32,6 +32,21 @@ from repro.sim.dram import DRAM
 #: A workload's speedup ratio may fall at most this far below baseline.
 REGRESSION_TOLERANCE = 0.30
 
+#: Budget for the *disabled* tracer on the vectorized hot path: with
+#: ``repro.trace`` off, each workload's speedup ratio may sit at most
+#: this far below the committed baseline.  The instrumented engine pays
+#: one ``TRACER is None`` test per batch, so 5% is generous — a failure
+#: means someone put a guard inside a per-line loop.
+TRACING_OVERHEAD_TOLERANCE = 0.05
+
+#: The wide workloads gated at :data:`TRACING_OVERHEAD_TOLERANCE` —
+#: exactly the batch shapes whose per-batch guard cost must vanish.
+TRACE_GATE_WORKLOADS = (
+    "cold_read_scan_4mb",
+    "cold_write_scan_4mb",
+    "strided_50k_128b",
+)
+
 BASELINE_PATH = pathlib.Path(__file__).resolve().parents[3] / "BENCH_sim.json"
 
 LINE = 32
@@ -153,6 +168,56 @@ def check_regressions(
                 f"- {REGRESSION_TOLERANCE:.0%} tolerance)"
             )
     return failures
+
+
+def check_tracing_overhead(
+    current: Dict[str, Dict[str, float]], baseline: dict
+) -> Dict[str, str]:
+    """The ≤5% tracing-disabled gate over :data:`TRACE_GATE_WORKLOADS`.
+
+    ``current`` must come from a run with the tracer disabled (the
+    default — benchmarks never enable it).  Like the 30% regression
+    gate this compares speedup *ratios*, so it is machine-independent;
+    only the tolerance differs.
+    """
+    failures = {}
+    for name in TRACE_GATE_WORKLOADS:
+        base = baseline["workloads"].get(name)
+        cur = current.get(name)
+        if base is None or cur is None:
+            failures[name] = "workload missing from baseline or current run"
+            continue
+        floor = base["speedup_ratio"] * (1.0 - TRACING_OVERHEAD_TOLERANCE)
+        if cur["speedup_ratio"] < floor:
+            failures[name] = (
+                f"speedup ratio {cur['speedup_ratio']:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base['speedup_ratio']:.2f}x - "
+                f"{TRACING_OVERHEAD_TOLERANCE:.0%} tracing-overhead budget)"
+            )
+    return failures
+
+
+def run_traced_workload(
+    name: str = "cold_read_scan_4mb", capacity: int = 100_000
+) -> Dict[str, float]:
+    """One vectorized-engine workload run with tracing *enabled*.
+
+    The smoke half of the tracing benchmarks: proves the instrumented
+    hot path actually emits under a live tracer (and that the ring
+    buffer bounds memory) without gating on enabled-mode wall-clock,
+    which is allowed to be slower.
+    """
+    from repro.trace import events as trace_events
+
+    streams, write, repeats = WORKLOADS[name]()
+    l1d = _reference_hierarchy(build_hierarchy)
+    with trace_events.tracing(capacity=capacity) as tracer:
+        seconds = _time_workload(l1d, streams, write, repeats)
+    return {
+        "seconds": seconds,
+        "events": float(len(tracer)),
+        "dropped": float(tracer.dropped),
+    }
 
 
 def refresh_baseline(note: str = "") -> dict:

@@ -13,8 +13,11 @@ activation times (T_A) in the 0.4-8.5 microsecond range of Table 4.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.radram.config import RADramConfig
 from repro.sim.config import BusConfig, DRAMConfig
+from repro.trace import events as _trace
 
 
 def descriptor_bytes(descriptor_words: int) -> int:
@@ -27,7 +30,24 @@ def activation_ns(
     radram: RADramConfig,
     dram: DRAMConfig,
     bus: BusConfig,
+    trace_ts: Optional[float] = None,
 ) -> float:
-    """Processor time to dispatch one activation."""
+    """Processor time to dispatch one activation.
+
+    When tracing is enabled, the dispatch is recorded as an instant
+    event on the ``radram.dispatch`` track at ``trace_ts`` (callers
+    with a clock pass the processor time; otherwise the tracer's clock
+    hint is used).
+    """
     per_word = dram.miss_latency_ns + bus.transfer_ns(4)
-    return radram.activation_base_ns + max(0, descriptor_words) * per_word
+    cost = radram.activation_base_ns + max(0, descriptor_words) * per_word
+    tr = _trace.TRACER
+    if tr is not None:
+        tr.instant(
+            "radram.dispatch",
+            "dispatch",
+            tr.now if trace_ts is None else trace_ts,
+            words=descriptor_words,
+            cost_ns=cost,
+        )
+    return cost

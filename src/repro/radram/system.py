@@ -28,6 +28,8 @@ from repro.radram.subarray import PageExecution, Subarray
 from repro.sim import ops as O
 from repro.sim.errors import OperationError
 from repro.sim.processor import MemorySystemBase, Processor
+from repro.trace import events as _trace
+from repro.trace.events import Event
 
 
 class RADramMemorySystem(MemorySystemBase):
@@ -46,6 +48,8 @@ class RADramMemorySystem(MemorySystemBase):
         self.comm_bytes: int = 0
         self.comm_requests: int = 0
         self.interchip_requests: int = 0
+        # Page intervals already flushed to a tracer (page_no -> count).
+        self._trace_flushed: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Machine wiring
@@ -61,6 +65,7 @@ class RADramMemorySystem(MemorySystemBase):
         self.comm_bytes = 0
         self.comm_requests = 0
         self.interchip_requests = 0
+        self._trace_flushed.clear()
 
     def subarray(self, page_no: int) -> Subarray:
         sub = self.subarrays.get(page_no)
@@ -80,11 +85,20 @@ class RADramMemorySystem(MemorySystemBase):
             self.config,
             self.machine.config.dram,
             self.machine.config.bus,
+            trace_ts=proc.now,
         )
         proc.stats.activations += 1
         proc.charge("activation_ns", cost)
         self.machine.bus.transfer(4 * op.descriptor_words)
         execution = self.subarray(op.page_no).start(op.task, proc.now)
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.instant(
+                f"page/{op.page_no}",
+                "activate",
+                proc.now,
+                words=op.descriptor_words,
+            )
         if execution.is_blocked:
             self._note_blocked(execution, op.page_no)
 
@@ -101,6 +115,14 @@ class RADramMemorySystem(MemorySystemBase):
                 request = execution.blocked_on
                 self.comm_requests += 1
                 self.comm_bytes += request.nbytes
+                tr = _trace.TRACER
+                if tr is not None:
+                    tr.instant(
+                        f"page/{page_no}",
+                        "hwcomm",
+                        execution.block_time_ns,
+                        bytes=request.nbytes,
+                    )
                 if request.nbytes > 0 and request.src_vaddr != request.dst_vaddr:
                     self._functional_copy(request)
                 transfer = self.config.hw_hop_ns + (
@@ -188,6 +210,15 @@ class RADramMemorySystem(MemorySystemBase):
             proc.stats.interrupts += 1
             self.comm_requests += 1
             self.comm_bytes += request.nbytes
+            tr = _trace.TRACER
+            if tr is not None:
+                tr.instant(
+                    f"page/{page_no}",
+                    "interpage",
+                    proc.now,
+                    bytes=request.nbytes,
+                )
+                tr.counter("radram", "comm_bytes", proc.now, self.comm_bytes)
             proc.charge("interrupt_ns", cost)
             self.machine.bus.transfer(2 * request.nbytes)
             if request.nbytes > 0 and request.src_vaddr != request.dst_vaddr:
@@ -205,6 +236,51 @@ class RADramMemorySystem(MemorySystemBase):
         except Exception:
             return  # timing-only request with no functional payload
         memory.copy(request.src_vaddr, request.dst_vaddr, request.nbytes)
+
+    # ------------------------------------------------------------------
+    # Tracing
+
+    def on_run_end(self, proc: Processor) -> None:
+        """Flush page activation spans into the active tracer, if any.
+
+        Page executions advance lazily against the processor clock, so
+        their (start, end) spans are only final once the op stream is
+        drained; emitting here keeps the per-op hot path untouched.
+        """
+        tr = _trace.TRACER
+        if tr is not None:
+            for event in self.page_trace_events(new_only=True):
+                tr.emit(event)
+            self._trace_flushed = {
+                page_no: len(sub.intervals())
+                for page_no, sub in self.subarrays.items()
+            }
+
+    def page_trace_events(self, new_only: bool = False) -> List[Event]:
+        """Completed activations as ``"X"`` events on ``page/<n>`` tracks.
+
+        This is the canonical event form of the per-subarray interval
+        history — the Gantt renderer and the Figure 6 experiment consume
+        these events rather than reaching into subarray state.
+        ``new_only`` skips intervals already flushed to a tracer by a
+        previous :meth:`on_run_end` (repeat runs stay duplicate-free).
+        """
+        flushed = self._trace_flushed if new_only else {}
+        out: List[Event] = []
+        for page_no, sub in sorted(self.subarrays.items()):
+            intervals = sub.intervals()
+            for start, end in intervals[flushed.get(page_no, 0):]:
+                out.append(
+                    Event(
+                        "X",
+                        start,
+                        end - start,
+                        f"page/{page_no}",
+                        "compute",
+                        None,
+                    )
+                )
+        return out
 
     # ------------------------------------------------------------------
     # Introspection

@@ -9,6 +9,7 @@ Active Pages claim is that only *useful* data crosses the bus.
 from __future__ import annotations
 
 from repro.sim.config import BusConfig
+from repro.trace import events as _trace
 
 
 class Bus:
@@ -20,6 +21,11 @@ class Bus:
         self.busy_ns: float = 0.0
         self.transfers: int = 0
 
+    def _trace_counters(self, tr) -> None:
+        ts = tr.now
+        tr.counter("bus", "bytes", ts, self.bytes_transferred)
+        tr.counter("bus", "busy_ns", ts, self.busy_ns)
+
     def transfer(self, nbytes: int) -> float:
         """Account a transfer of ``nbytes``; returns its duration in ns."""
         if nbytes <= 0:
@@ -28,6 +34,9 @@ class Bus:
         self.bytes_transferred += nbytes
         self.busy_ns += duration
         self.transfers += 1
+        tr = _trace.TRACER
+        if tr is not None:
+            self._trace_counters(tr)
         return duration
 
     def transfer_batch(self, count: int, nbytes_each: int) -> float:
@@ -43,6 +52,9 @@ class Bus:
         self.bytes_transferred += nbytes_each * count
         self.busy_ns += duration * count
         self.transfers += count
+        tr = _trace.TRACER
+        if tr is not None:
+            self._trace_counters(tr)
         return duration
 
     def reset(self) -> None:

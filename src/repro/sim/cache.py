@@ -93,6 +93,7 @@ import numpy as np
 
 from repro.sim.config import CacheConfig
 from repro.sim.dram import DRAM
+from repro.trace import events as _trace
 
 #: Batch op kinds: demand read, demand write, posted victim install.
 _READ = 0
@@ -323,6 +324,12 @@ class Cache:
         n = addrs.shape[0]
         if n == 0:
             return 0.0
+        # Tracing guard: one module load + None test per *batch*, never
+        # per line — the disabled cost on this hot path is what the
+        # benchmarks/test_sim_hotpath.py 5% overhead gate enforces.
+        tr = _trace.TRACER
+        if tr is not None:
+            h0, m0, w0 = self.stats.hits, self.stats.misses, self.stats.writebacks
         if n <= self._SMALL_BATCH:
             # Narrow batch: the dict-based scalar walk beats numpy's
             # fixed per-call overhead.  Left-to-right accumulation
@@ -331,12 +338,37 @@ class Cache:
             access = self.access_line
             for a in addrs.tolist():
                 total += access(a, write)
-            return total
-        kinds = np.full(n, _WRITE if write else _READ, dtype=np.int8)
-        lat = self._process(addrs, kinds)
-        # Left-to-right accumulation: bit-identical to the scalar
-        # ``total += access_line(...)`` loop (cumsum is sequential).
-        return float(lat.cumsum()[-1])
+        else:
+            kinds = np.full(n, _WRITE if write else _READ, dtype=np.int8)
+            lat = self._process(addrs, kinds)
+            # Left-to-right accumulation: bit-identical to the scalar
+            # ``total += access_line(...)`` loop (cumsum is sequential).
+            total = float(lat.cumsum()[-1])
+        if tr is not None:
+            self._trace_batch(tr, n, write, total, h0, m0, w0)
+        return total
+
+    def _trace_batch(
+        self, tr, n: int, write: bool, total: float, h0: int, m0: int, w0: int
+    ) -> None:
+        """Emit one batch's events (only ever called while tracing)."""
+        stats = self.stats
+        track = f"cache.{self.name}"
+        ts = tr.now
+        tr.instant(
+            track,
+            "batch",
+            ts,
+            lines=n,
+            write=write,
+            latency_ns=total,
+            hits=stats.hits - h0,
+            misses=stats.misses - m0,
+        )
+        tr.counter(track, "hits", ts, stats.hits)
+        tr.counter(track, "misses", ts, stats.misses)
+        if stats.writebacks != w0:
+            tr.counter(track, "writebacks", ts, stats.writebacks)
 
     # ------------------------------------------------------------------
     # Batch resolution core

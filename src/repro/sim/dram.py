@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.sim.bus import Bus
 from repro.sim.config import DRAMConfig
+from repro.trace import events as _trace
 
 
 class DRAM:
@@ -21,9 +22,17 @@ class DRAM:
         self.reads: int = 0
         self.writes: int = 0
 
+    def _trace_counters(self, tr) -> None:
+        ts = tr.now
+        tr.counter("dram", "reads", ts, self.reads)
+        tr.counter("dram", "writes", ts, self.writes)
+
     def read_line(self, line_bytes: int) -> float:
         """Latency of fetching one cache line from DRAM."""
         self.reads += 1
+        tr = _trace.TRACER
+        if tr is not None:
+            self._trace_counters(tr)
         return self.config.miss_latency_ns + self.bus.transfer(line_bytes)
 
     def write_line(self, line_bytes: int) -> float:
@@ -33,6 +42,9 @@ class DRAM:
         DRAM array write proceeds in the background.
         """
         self.writes += 1
+        tr = _trace.TRACER
+        if tr is not None:
+            self._trace_counters(tr)
         return self.bus.transfer(line_bytes)
 
     def read_lines(self, count: int, line_bytes: int) -> float:
@@ -44,6 +56,9 @@ class DRAM:
         if count <= 0:
             return 0.0
         self.reads += count
+        tr = _trace.TRACER
+        if tr is not None:
+            self._trace_counters(tr)
         return self.config.miss_latency_ns + self.bus.transfer_batch(count, line_bytes)
 
     def write_lines(self, count: int, line_bytes: int) -> float:
@@ -51,6 +66,9 @@ class DRAM:
         if count <= 0:
             return 0.0
         self.writes += count
+        tr = _trace.TRACER
+        if tr is not None:
+            self._trace_counters(tr)
         return self.bus.transfer_batch(count, line_bytes)
 
     def uncached_write(self, nbytes: int) -> float:

@@ -13,6 +13,7 @@ import heapq
 from typing import Callable, List, Optional, Tuple
 
 from repro.sim.errors import SimulationError
+from repro.trace import events as _trace
 
 Callback = Callable[[], None]
 
@@ -48,8 +49,12 @@ class Engine:
         """Run the next event.  Returns False if the queue was empty."""
         if not self._queue:
             return False
-        when, _, callback = heapq.heappop(self._queue)
+        when, seq, callback = heapq.heappop(self._queue)
         self.now = when
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.now = when
+            tr.instant("engine", "dispatch", when, seq=seq, queued=len(self._queue))
         callback()
         return True
 

@@ -27,6 +27,7 @@ from repro.sim.config import MachineConfig
 from repro.sim.errors import OperationError
 from repro.sim import ops as O
 from repro.sim.stats import MachineStats
+from repro.trace import events as _trace
 
 
 class MemorySystemBase:
@@ -78,8 +79,15 @@ class Processor:
         """Advance the clock by ``ns``, billed to ``category``."""
         if ns < 0:
             raise OperationError("cannot charge negative time")
-        self.now += ns
+        start = self.now
+        self.now = start + ns
         self.stats.charge(category, ns)
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.now = self.now
+            if ns > 0:
+                # "compute_ns" -> span "compute" on the cpu timeline.
+                tr.complete("cpu", category[:-3], start, self.now)
 
     def stall_until(self, when: float) -> None:
         """Stall (non-overlap) until absolute time ``when``."""
@@ -139,7 +147,13 @@ class Processor:
             self.memsys.handle_service(self)
         elif isinstance(op, O.BeginPhase):
             self.stats.begin_phase(op.name)
+            tr = _trace.TRACER
+            if tr is not None:
+                tr.begin("cpu.phase", op.name, self.now)
         elif isinstance(op, O.EndPhase):
             self.stats.end_phase(op.name)
+            tr = _trace.TRACER
+            if tr is not None:
+                tr.end("cpu.phase", op.name, self.now)
         else:
             raise OperationError(f"unknown operation {op!r}")

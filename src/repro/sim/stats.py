@@ -9,8 +9,19 @@ therefore buckets time by category and by user-named phase.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterator, List
+
+#: Time categories accepted by :meth:`MachineStats.charge`.
+CHARGE_CATEGORIES = (
+    "total_ns",
+    "compute_ns",
+    "mem_ns",
+    "activation_ns",
+    "wait_ns",
+    "interrupt_ns",
+)
 
 
 @dataclass
@@ -35,9 +46,19 @@ class MachineStats:
     # Charging
 
     def charge(self, category: str, ns: float) -> None:
-        """Add ``ns`` to ``category`` and to the open phase, if any."""
+        """Add ``ns`` to ``category`` and to the open phase, if any.
+
+        Raises :class:`ValueError` for unknown category names (the hot
+        path stays a plain dict add; validation only runs on failure).
+        """
         d = self.__dict__  # hot path: skip attribute-protocol dispatch
-        d[category] += ns
+        try:
+            d[category] += ns
+        except (KeyError, TypeError):
+            raise ValueError(
+                f"unknown stats category {category!r}; expected one of "
+                f"{', '.join(CHARGE_CATEGORIES)}"
+            ) from None
         if self._phase_stack:
             phase = self._phase_stack[-1]
             self.phase_ns[phase] = self.phase_ns.get(phase, 0.0) + ns
@@ -53,6 +74,25 @@ class MachineStats:
         if not self._phase_stack or self._phase_stack[-1] != name:
             raise ValueError(f"phase {name!r} is not the innermost open phase")
         self._phase_stack.pop()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator["MachineStats"]:
+        """Charge the enclosed block to phase ``name``, exception-safe.
+
+        Unlike a bare ``begin_phase``/``end_phase`` pair, the stack is
+        unwound even when the body raises — including any nested phases
+        the body opened and never closed — so ``_phase_stack`` can
+        never be left unbalanced.
+        """
+        self.begin_phase(name)
+        try:
+            yield self
+        finally:
+            # Unwind to (and including) our own entry; anything above
+            # it is a nested phase the body leaked.
+            while self._phase_stack:
+                if self._phase_stack.pop() == name:
+                    break
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -85,8 +125,12 @@ class MachineStats:
         return total / count
 
     def as_dict(self) -> Dict[str, float]:
-        """Flat summary used by the experiment result tables."""
-        return {
+        """Flat summary used by the experiment result tables.
+
+        Includes per-phase totals and counts as ``phase.<name>_ns`` /
+        ``phase.<name>_count`` keys.
+        """
+        out = {
             "total_ns": self.total_ns,
             "compute_ns": self.compute_ns,
             "mem_ns": self.mem_ns,
@@ -97,3 +141,7 @@ class MachineStats:
             "activations": float(self.activations),
             "interrupts": float(self.interrupts),
         }
+        for name in sorted(self.phase_ns):
+            out[f"phase.{name}_ns"] = self.phase_ns[name]
+            out[f"phase.{name}_count"] = float(self.phase_counts.get(name, 0))
+        return out

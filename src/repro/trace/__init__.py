@@ -1,0 +1,56 @@
+"""``repro.trace`` — event tracing, metrics, and Perfetto export.
+
+Quick start::
+
+    from repro import trace
+
+    with trace.tracing() as tr:
+        stats = machine.run(stream)
+    trace.write_chrome_trace("run.json", tr)   # load in ui.perfetto.dev
+
+See ``docs/tracing.md`` for the full event model and a worked example.
+"""
+
+from repro.trace.events import (
+    DEFAULT_CAPACITY,
+    Event,
+    Tracer,
+    disable,
+    enable,
+    is_enabled,
+    tracing,
+)
+from repro.trace.export import (
+    summarize,
+    to_chrome_trace,
+    to_csv,
+    write_chrome_trace,
+    write_csv,
+)
+from repro.trace.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    collect_machine_metrics,
+    stats_metrics,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "Event",
+    "Tracer",
+    "enable",
+    "disable",
+    "is_enabled",
+    "tracing",
+    "to_chrome_trace",
+    "to_csv",
+    "write_chrome_trace",
+    "write_csv",
+    "summarize",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_machine_metrics",
+    "stats_metrics",
+]

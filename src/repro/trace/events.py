@@ -1,0 +1,165 @@
+"""Low-overhead structured trace events for the whole machine.
+
+The simulator's evaluation questions are all "where does time go"
+questions — Figure 4's processor/memory non-overlap, Figure 6's
+activation Gantt, Table 4's per-phase T_A/T_P — so every component can
+emit *typed events* into a process-wide :class:`Tracer`:
+
+``"X"``  complete   a named span ``[ts, ts + dur)`` on a track
+``"B"``/``"E"``  begin/end  an open/close pair (nested phases)
+``"I"``  instant    a point event (activations, inter-page service)
+``"C"``  counter    a sampled cumulative value (hits, bytes, reads)
+
+Zero overhead when off
+----------------------
+Tracing is controlled by the module-level :data:`TRACER`, which is
+``None`` when disabled.  Instrumented hot paths guard with::
+
+    tr = events.TRACER
+    if tr is not None:
+        tr.counter("cache.L1D", "misses", tr.now, self.stats.misses)
+
+so a disabled tracer costs one module-attribute load and a ``None``
+test — nothing else.  The vectorized cache paths guard once per
+*batch*, never per line, which is what keeps the hot-path benchmark
+gate (``benchmarks/test_sim_hotpath.py``) within its 5% budget.
+
+Bounded memory
+--------------
+Events land in a ring buffer (``deque(maxlen=capacity)``).  Once full,
+the oldest events are dropped and counted in :attr:`Tracer.dropped`, so
+tracing a billion-op run can never exhaust memory; exports record the
+drop count so truncated traces are never mistaken for complete ones.
+
+Timestamps
+----------
+All timestamps are simulated nanoseconds.  Components without their own
+clock (caches, DRAM, the bus) stamp events with :attr:`Tracer.now`, a
+clock *hint* that clock owners (the processor op loop, the RADram
+system) refresh as simulated time advances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Iterator, List, NamedTuple, Optional
+
+
+class Event(NamedTuple):
+    """One structured trace event (timestamps in simulated ns)."""
+
+    ph: str  # "X" | "B" | "E" | "I" | "C"
+    ts: float
+    dur: float  # spans only; 0.0 otherwise
+    track: str  # timeline the event belongs to, e.g. "cpu", "page/3"
+    name: str
+    args: Optional[dict]  # small JSON-able payload, or None
+
+
+#: Default ring-buffer capacity (events).  Big enough for every
+#: experiment in the report; a full buffer drops oldest-first.
+DEFAULT_CAPACITY = 1_000_000
+
+
+class Tracer:
+    """A bounded ring buffer of :class:`Event` plus a clock hint."""
+
+    __slots__ = ("_events", "capacity", "dropped", "now")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self.dropped: int = 0
+        #: Clock hint (simulated ns) for clockless components.
+        self.now: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Emission
+
+    def emit(self, event: Event) -> None:
+        q = self._events
+        if len(q) == self.capacity:
+            self.dropped += 1
+        q.append(event)
+
+    def complete(
+        self, track: str, name: str, start_ns: float, end_ns: float, **args
+    ) -> None:
+        """A finished span ``[start_ns, end_ns)`` on ``track``."""
+        self.emit(
+            Event("X", start_ns, end_ns - start_ns, track, name, args or None)
+        )
+
+    def begin(self, track: str, name: str, ts: float, **args) -> None:
+        self.emit(Event("B", ts, 0.0, track, name, args or None))
+
+    def end(self, track: str, name: str, ts: float) -> None:
+        self.emit(Event("E", ts, 0.0, track, name, None))
+
+    def instant(self, track: str, name: str, ts: float, **args) -> None:
+        self.emit(Event("I", ts, 0.0, track, name, args or None))
+
+    def counter(self, track: str, name: str, ts: float, value: float) -> None:
+        """Sample a cumulative counter's current ``value`` at ``ts``."""
+        self.emit(Event("C", ts, 0.0, track, name, {"value": value}))
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def events(self) -> List[Event]:
+        """The retained events, oldest first (a copy)."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+
+#: The process-wide tracer; ``None`` means tracing is disabled and every
+#: instrumentation site reduces to a load-and-test no-op.
+TRACER: Optional[Tracer] = None
+
+
+def enable(capacity: int = DEFAULT_CAPACITY) -> Tracer:
+    """Install (and return) a fresh process-wide tracer."""
+    global TRACER
+    TRACER = Tracer(capacity=capacity)
+    return TRACER
+
+
+def disable() -> Optional[Tracer]:
+    """Disable tracing; returns the tracer that was active, if any."""
+    global TRACER
+    previous, TRACER = TRACER, None
+    return previous
+
+
+def is_enabled() -> bool:
+    return TRACER is not None
+
+
+@contextmanager
+def tracing(capacity: int = DEFAULT_CAPACITY) -> Iterator[Tracer]:
+    """Enable tracing for a ``with`` block, restoring the prior state.
+
+    >>> with tracing() as tr:
+    ...     machine.run(stream)
+    >>> export.write_chrome_trace("run.json", tr)
+    """
+    global TRACER
+    previous = TRACER
+    tracer = Tracer(capacity=capacity)
+    TRACER = tracer
+    try:
+        yield tracer
+    finally:
+        TRACER = previous

@@ -1,0 +1,221 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON and flat CSV.
+
+The JSON format is the Trace Event Format consumed by
+``chrome://tracing`` and https://ui.perfetto.dev — load the exported
+file directly.  Mapping:
+
+* every distinct event ``track`` becomes one named thread (``tid``)
+  inside a single ``repro-sim`` process (``pid`` 1), announced with
+  ``thread_name`` metadata events;
+* timestamps/durations are converted from simulated nanoseconds to the
+  format's microseconds (fractional values are allowed and preserved);
+* ``"X"``/``"B"``/``"E"`` map 1:1; ``"I"`` becomes a thread-scoped
+  instant; ``"C"`` becomes a counter event with a single series.
+
+The CSV exporter is the greppable flat twin: one row per event with
+``args`` JSON-encoded in the last column.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.trace.events import Event, Tracer
+
+#: The single synthetic process id all tracks live under.
+PID = 1
+
+CSV_HEADER = "ph,track,name,ts_ns,dur_ns,args"
+
+EventSource = Union[Tracer, Iterable[Event]]
+
+
+def _event_list(events: EventSource) -> List[Event]:
+    if isinstance(events, Tracer):
+        return events.events()
+    return list(events)
+
+
+def _track_order(events: List[Event]) -> Dict[str, int]:
+    """Stable track -> tid assignment: cpu tracks first, then first-seen.
+
+    Sorting "cpu" tracks to the front makes the Perfetto default view
+    open on the processor timeline, with page tracks below it.
+    """
+    seen: List[str] = []
+    for event in events:
+        if event.track not in seen:
+            seen.append(event.track)
+    ordered = sorted(
+        seen, key=lambda t: (0 if t == "cpu" or t.startswith("cpu.") else 1,
+                             seen.index(t))
+    )
+    return {track: tid + 1 for tid, track in enumerate(ordered)}
+
+
+def to_chrome_trace(
+    events: EventSource,
+    metadata: Optional[dict] = None,
+) -> dict:
+    """A ``trace_event`` JSON document (as a dict) for ``events``."""
+    evs = _event_list(events)
+    tids = _track_order(evs)
+    trace_events: List[dict] = [
+        {
+            "ph": "M",
+            "pid": PID,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track, tid in tids.items()
+    ]
+    trace_events.insert(
+        0,
+        {
+            "ph": "M",
+            "pid": PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro-sim"},
+        },
+    )
+    for event in evs:
+        tid = tids[event.track]
+        ts_us = event.ts / 1e3
+        if event.ph == "X":
+            entry = {
+                "ph": "X",
+                "pid": PID,
+                "tid": tid,
+                "ts": ts_us,
+                "dur": event.dur / 1e3,
+                "name": event.name,
+                "cat": event.track,
+            }
+            if event.args:
+                entry["args"] = event.args
+        elif event.ph in ("B", "E"):
+            entry = {
+                "ph": event.ph,
+                "pid": PID,
+                "tid": tid,
+                "ts": ts_us,
+                "name": event.name,
+                "cat": event.track,
+            }
+            if event.ph == "B" and event.args:
+                entry["args"] = event.args
+        elif event.ph == "I":
+            entry = {
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "pid": PID,
+                "tid": tid,
+                "ts": ts_us,
+                "name": event.name,
+                "cat": event.track,
+            }
+            if event.args:
+                entry["args"] = event.args
+        elif event.ph == "C":
+            value = (event.args or {}).get("value", 0.0)
+            entry = {
+                "ph": "C",
+                "pid": PID,
+                "tid": tid,
+                "ts": ts_us,
+                "name": f"{event.track}.{event.name}",
+                "args": {event.name: value},
+            }
+        else:  # unknown phase: preserve as metadata rather than drop
+            entry = {
+                "ph": "M",
+                "pid": PID,
+                "tid": tid,
+                "ts": ts_us,
+                "name": event.name,
+                "args": event.args or {},
+            }
+        trace_events.append(entry)
+
+    doc = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"generator": "repro.trace", "time_unit_in": "ns"},
+    }
+    if isinstance(events, Tracer):
+        doc["otherData"]["dropped_events"] = events.dropped
+        doc["otherData"]["capacity"] = events.capacity
+    if metadata:
+        doc["otherData"].update(metadata)
+    return doc
+
+
+def write_chrome_trace(
+    path: str, events: EventSource, metadata: Optional[dict] = None
+) -> dict:
+    """Write Perfetto-loadable JSON to ``path``; returns the document."""
+    doc = to_chrome_trace(events, metadata=metadata)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+def to_csv(events: EventSource) -> str:
+    """Flat CSV (one row per event, ``args`` JSON-encoded)."""
+    lines = [CSV_HEADER]
+    for event in _event_list(events):
+        args = json.dumps(event.args, sort_keys=True) if event.args else ""
+        if "," in args:
+            args = '"' + args.replace('"', '""') + '"'
+        lines.append(
+            f"{event.ph},{event.track},{event.name},"
+            f"{event.ts:g},{event.dur:g},{args}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(path: str, events: EventSource) -> str:
+    text = to_csv(events)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text
+
+
+# ----------------------------------------------------------------------
+# Summaries (sweep-harness / CLI digest)
+
+
+def summarize(events: EventSource) -> Dict[str, float]:
+    """Flat numeric digest of a trace (cacheable by the sweep harness).
+
+    ``events`` / ``spans`` / ``instants`` / ``counters`` count events by
+    phase; ``span_ns.<track>`` totals the ``"X"`` durations per track
+    (page tracks are folded into one ``page`` total so the summary stays
+    bounded for thousand-page runs).
+    """
+    evs = _event_list(events)
+    out: Dict[str, float] = {
+        "events": float(len(evs)),
+        "spans": 0.0,
+        "instants": 0.0,
+        "counters": 0.0,
+    }
+    span_ns: Dict[str, float] = {}
+    for event in evs:
+        if event.ph == "X":
+            out["spans"] += 1
+            track = "page" if event.track.startswith("page/") else event.track
+            span_ns[track] = span_ns.get(track, 0.0) + event.dur
+        elif event.ph == "I":
+            out["instants"] += 1
+        elif event.ph == "C":
+            out["counters"] += 1
+    for track, total in sorted(span_ns.items()):
+        out[f"span_ns.{track}"] = total
+    if isinstance(events, Tracer):
+        out["dropped"] = float(events.dropped)
+    return out

@@ -1,0 +1,203 @@
+"""Counter/histogram registry with per-component namespacing.
+
+The simulator already keeps canonical accumulators — ``MachineStats``
+for processor time, ``CacheStats`` per cache level, occupancy on the
+``Bus``, read/write counts on ``DRAM``, communication totals on the
+RADram system.  This registry deliberately does **not** shadow-count
+any of that: :func:`collect_machine_metrics` builds a namespaced view
+*from* those canonical objects after (or during) a run, so there is one
+source of truth and the registry is the uniform, exportable face of it.
+
+Components may also register live counters/histograms of their own
+(e.g. the sweep harness's trace summaries); names are dot-separated
+with the component namespace first: ``cache.L1D.misses``,
+``radram.comm_bytes``, ``cpu.wait_ns``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.trace.events import Tracer
+
+
+class Counter:
+    """A monotonically accumulating named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Overwrite with a canonical value (mirroring existing stats)."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-edge histogram of observed samples.
+
+    ``edges`` are the *upper* bounds of the finite bins; one overflow
+    bin catches everything beyond the last edge.
+    """
+
+    __slots__ = ("name", "edges", "counts", "n", "total")
+
+    def __init__(self, name: str, edges: Sequence[float]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram edges must be a sorted, non-empty list")
+        self.name = name
+        self.edges: List[float] = list(edges)
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.n = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.n += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {f"{self.name}.le_{edge:g}": float(c) for edge, c in zip(self.edges, self.counts)}
+        out[f"{self.name}.overflow"] = float(self.counts[-1])
+        out[f"{self.name}.count"] = float(self.n)
+        out[f"{self.name}.mean"] = self.mean
+        return out
+
+
+class MetricsRegistry:
+    """Named counters and histograms, addressable by dotted path."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Registration / lookup
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str, edges: Sequence[float]) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, edges)
+        return h
+
+    def namespace(self, prefix: str) -> "MetricsNamespace":
+        """A view that prepends ``prefix.`` to every metric name."""
+        return MetricsNamespace(self, prefix)
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+
+    def counters(self) -> Iterable[Counter]:
+        return self._counters.values()
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat ``{dotted.name: value}`` mapping (JSON/CSV-ready)."""
+        out = {name: c.value for name, c in sorted(self._counters.items())}
+        for _, h in sorted(self._histograms.items()):
+            out.update(h.as_dict())
+        return out
+
+    def emit_counters(self, tracer: Tracer, ts: Optional[float] = None) -> int:
+        """Sample every counter into ``tracer`` as ``"C"`` events.
+
+        The track is the first dotted component (the namespace), the
+        counter name the remainder.  Returns the number emitted.
+        """
+        when = tracer.now if ts is None else ts
+        n = 0
+        for name, c in sorted(self._counters.items()):
+            track, _, leaf = name.partition(".")
+            tracer.counter(track, leaf or track, when, c.value)
+            n += 1
+        return n
+
+
+class MetricsNamespace:
+    """A prefixing view over a :class:`MetricsRegistry`."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix.rstrip(".")
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(f"{self._prefix}.{name}")
+
+    def histogram(self, name: str, edges: Sequence[float]) -> Histogram:
+        return self._registry.histogram(f"{self._prefix}.{name}", edges)
+
+    def namespace(self, prefix: str) -> "MetricsNamespace":
+        return MetricsNamespace(self._registry, f"{self._prefix}.{prefix}")
+
+
+# ----------------------------------------------------------------------
+# Canonical-stats bridge
+
+
+def stats_metrics(stats, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Mirror a :class:`~repro.sim.stats.MachineStats` into ``cpu.*``."""
+    registry = registry if registry is not None else MetricsRegistry()
+    ns = registry.namespace("cpu")
+    for key, value in stats.as_dict().items():
+        ns.counter(key).set(float(value))
+    return registry
+
+
+def collect_machine_metrics(machine, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Namespaced counters for a whole :class:`~repro.sim.machine.Machine`.
+
+    Values are *read* from the machine's canonical stats objects —
+    ``MachineStats``, per-level ``CacheStats``, ``Bus``, ``DRAM`` and
+    (when present) the RADram memory system — never re-accumulated.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    stats_metrics(machine.processor.stats, registry)
+
+    for cache in (machine.l1d, machine.l1i, machine.l2):
+        if cache is None:
+            continue
+        ns = registry.namespace(f"cache.{cache.name}")
+        ns.counter("hits").set(float(cache.stats.hits))
+        ns.counter("misses").set(float(cache.stats.misses))
+        ns.counter("writebacks").set(float(cache.stats.writebacks))
+        ns.counter("miss_rate").set(cache.stats.miss_rate)
+
+    dram_ns = registry.namespace("dram")
+    dram_ns.counter("reads").set(float(machine.dram.reads))
+    dram_ns.counter("writes").set(float(machine.dram.writes))
+
+    bus_ns = registry.namespace("bus")
+    bus_ns.counter("bytes").set(float(machine.bus.bytes_transferred))
+    bus_ns.counter("busy_ns").set(machine.bus.busy_ns)
+    bus_ns.counter("transfers").set(float(machine.bus.transfers))
+
+    memsys = machine.memsys
+    if hasattr(memsys, "subarrays"):  # RADram
+        rns = registry.namespace("radram")
+        rns.counter("activations").set(float(memsys.total_activations))
+        rns.counter("comm_requests").set(float(memsys.comm_requests))
+        rns.counter("comm_bytes").set(float(memsys.comm_bytes))
+        rns.counter("interchip_requests").set(float(memsys.interchip_requests))
+        rns.counter("pages").set(float(len(memsys.subarrays)))
+        busy = sum(
+            memsys.page_busy_ns(page_no) for page_no in memsys.subarrays
+        )
+        rns.counter("page_busy_ns").set(busy)
+    return registry

@@ -5,6 +5,16 @@ paper's Figure 6 — activation ramps, parallel page computation,
 post-processing — for any simulated run, as plain text.
 """
 
-from repro.viz.gantt import page_intervals, render_gantt
+from repro.viz.gantt import (
+    page_intervals,
+    page_intervals_from_events,
+    render_gantt,
+    render_gantt_events,
+)
 
-__all__ = ["page_intervals", "render_gantt"]
+__all__ = [
+    "page_intervals",
+    "page_intervals_from_events",
+    "render_gantt",
+    "render_gantt_events",
+]

@@ -1,29 +1,56 @@
-"""ASCII Gantt rendering of Active-Page executions.
+"""ASCII Gantt rendering of Active-Page executions, from trace events.
 
 Reconstructs the paper's Figure 6 ("abstract view of processor and
-Active-Page memory activity") from a real simulation: one row per
-page showing when its logic computed, plus a processor row showing
-busy vs stalled time.
+Active-Page memory activity") from the structured events of
+:mod:`repro.trace`: one row per page showing when its logic computed
+(``"X"`` spans named ``compute`` on ``page/<n>`` tracks), plus a
+processor row showing busy vs stalled time.
+
+The renderer is trace-native — any event source works: a live
+:class:`~repro.trace.events.Tracer` from a traced run, a list of
+events re-loaded from an export, or the synthesized event form of a
+finished memory system (:meth:`RADramMemorySystem.page_trace_events`),
+which is what the ``render_gantt(memsys, ...)`` compatibility entry
+point uses.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.radram.system import RADramMemorySystem
 from repro.sim.stats import MachineStats
+from repro.trace.events import Event
 
 Interval = Tuple[float, float]
+
+#: Track prefix carrying page-logic computation spans.
+PAGE_TRACK_PREFIX = "page/"
+
+
+def page_intervals_from_events(
+    events: Iterable[Event],
+) -> Dict[int, List[Interval]]:
+    """(start, end) activation intervals per page, from ``"X"`` events.
+
+    Per-page interval order follows event order (chronological for any
+    tracer-produced stream); pages are sorted by page number.
+    """
+    raw: Dict[int, List[Interval]] = {}
+    for event in events:
+        if (
+            event.ph == "X"
+            and event.name == "compute"
+            and event.track.startswith(PAGE_TRACK_PREFIX)
+        ):
+            page_no = int(event.track[len(PAGE_TRACK_PREFIX):])
+            raw.setdefault(page_no, []).append((event.ts, event.ts + event.dur))
+    return {page_no: raw[page_no] for page_no in sorted(raw)}
 
 
 def page_intervals(memsys: RADramMemorySystem) -> Dict[int, List[Interval]]:
     """(start, end) activation intervals per page number."""
-    out: Dict[int, List[Interval]] = {}
-    for page_no, sub in sorted(memsys.subarrays.items()):
-        intervals = sub.intervals()
-        if intervals:
-            out[page_no] = intervals
-    return out
+    return page_intervals_from_events(memsys.page_trace_events())
 
 
 def _paint(row: List[str], start: float, end: float, total: float, char: str) -> None:
@@ -34,19 +61,19 @@ def _paint(row: List[str], start: float, end: float, total: float, char: str) ->
         row[i] = char
 
 
-def render_gantt(
-    memsys: RADramMemorySystem,
+def render_gantt_events(
+    events: Iterable[Event],
     stats: MachineStats,
     width: int = 72,
     max_pages: int = 16,
 ) -> str:
-    """Render the run as text.
+    """Render a traced run as text.
 
     ``#`` marks page-logic computation, ``=`` processor busy time and
     ``.`` processor stall (non-overlap).  Pages beyond ``max_pages``
     are summarized.
     """
-    intervals = page_intervals(memsys)
+    intervals = page_intervals_from_events(events)
     total = stats.total_ns
     if total <= 0 or not intervals:
         return "(no page activity recorded)"
@@ -75,3 +102,20 @@ def render_gantt(
         f"({stats.activations} activations, {stats.interrupts} interrupts)"
     )
     return "\n".join(lines)
+
+
+def render_gantt(
+    memsys: RADramMemorySystem,
+    stats: MachineStats,
+    width: int = 72,
+    max_pages: int = 16,
+) -> str:
+    """Render a finished run directly from its memory system.
+
+    Compatibility wrapper: synthesizes the page trace events from the
+    subarray interval history and delegates to
+    :func:`render_gantt_events`.
+    """
+    return render_gantt_events(
+        memsys.page_trace_events(), stats, width=width, max_pages=max_pages
+    )

@@ -188,3 +188,70 @@ class TestExperimentIntegration:
         points = fig3_speedup.sweep_app("database", sweep=[0.5, 2], page_bytes=PAGE)
         assert [p.n_pages for p in points] == [0.5, 2]
         assert all(p.speedup > 0 for p in points)
+
+
+class TestTraceSummary:
+    """Sweeps run with ``trace_summary`` carry trace.* digests."""
+
+    def test_execute_task_attaches_trace_keys(self):
+        task = fast_task()
+        values = execute_task(task, trace_summary=True)
+        assert values["trace.events"] > 0
+        assert values["trace.spans"] > 0
+        assert "trace.span_ns.page" in values
+
+    def test_trace_summary_does_not_perturb_measurements(self):
+        task = fast_task()
+        plain = execute_task(task)
+        traced = execute_task(task, trace_summary=True)
+        assert {
+            k: v for k, v in traced.items() if not k.startswith("trace.")
+        } == plain
+
+    def test_tracer_restored_after_execution(self):
+        from repro.trace import events as trace_events
+
+        execute_task(fast_task(), trace_summary=True)
+        assert trace_events.TRACER is None
+
+    def test_sweep_caches_and_rehits_trace_digests(self, tmp_path):
+        settings = settings_for(tmp_path, trace_summary=True)
+        task = fast_task()
+        cold = run_sweep([task], settings=settings)
+        assert cold.stats.misses == 1
+        assert any(k.startswith("trace.") for k in cold[0].values)
+        warm = run_sweep([task], settings=settings)
+        assert warm.stats.hits == 1 and warm.stats.misses == 0
+        assert warm[0].values == cold[0].values
+
+    def test_plain_cached_entry_recomputed_when_summary_requested(
+        self, tmp_path
+    ):
+        task = fast_task()
+        plain = run_sweep([task], settings=settings_for(tmp_path))
+        assert not any(k.startswith("trace.") for k in plain[0].values)
+        traced = run_sweep(
+            [task], settings=settings_for(tmp_path, trace_summary=True)
+        )
+        # The stale entry (no trace.* keys) must count as a miss ...
+        assert traced.stats.misses == 1 and traced.stats.hits == 0
+        assert any(k.startswith("trace.") for k in traced[0].values)
+        # ... and the refreshed entry satisfies later traced sweeps.
+        again = run_sweep(
+            [task], settings=settings_for(tmp_path, trace_summary=True)
+        )
+        assert again.stats.hits == 1
+
+    def test_traced_entry_still_hits_plain_sweeps(self, tmp_path):
+        task = fast_task()
+        run_sweep([task], settings=settings_for(tmp_path, trace_summary=True))
+        plain = run_sweep([task], settings=settings_for(tmp_path))
+        assert plain.stats.hits == 1
+
+    def test_pooled_workers_receive_trace_summary_flag(self, tmp_path):
+        settings = settings_for(tmp_path, jobs=2, trace_summary=True)
+        tasks = [fast_task(pages=p) for p in (1.0, 2.0)]
+        outcome = run_sweep(tasks, settings=settings)
+        assert all(
+            any(k.startswith("trace.") for k in r.values) for r in outcome
+        )

@@ -1,0 +1,117 @@
+"""Tests for MachineStats: charging, phases, and the flat summary."""
+
+import pytest
+
+from repro.sim.stats import CHARGE_CATEGORIES, MachineStats
+
+
+class TestCharge:
+    def test_accumulates_by_category(self):
+        stats = MachineStats()
+        stats.charge("compute_ns", 10.0)
+        stats.charge("compute_ns", 5.0)
+        stats.charge("wait_ns", 2.0)
+        assert stats.compute_ns == 15.0
+        assert stats.wait_ns == 2.0
+
+    def test_unknown_category_raises_clear_value_error(self):
+        stats = MachineStats()
+        with pytest.raises(ValueError, match="unknown stats category"):
+            stats.charge("bogus_ns", 1.0)
+        # The message names the accepted categories.
+        with pytest.raises(ValueError, match="compute_ns"):
+            stats.charge("bogus_ns", 1.0)
+
+    def test_non_numeric_category_target_raises_value_error(self):
+        # Charging into a non-float field (e.g. the phase dict) must not
+        # surface as an opaque TypeError/KeyError from the fast path.
+        stats = MachineStats()
+        with pytest.raises(ValueError):
+            stats.charge("phase_ns", 1.0)
+
+    def test_all_declared_categories_chargeable(self):
+        stats = MachineStats()
+        for category in CHARGE_CATEGORIES:
+            stats.charge(category, 1.0)
+
+
+class TestPhaseContextManager:
+    def test_charges_inside_block_land_in_phase(self):
+        stats = MachineStats()
+        with stats.phase("post"):
+            stats.charge("compute_ns", 7.0)
+        stats.charge("compute_ns", 3.0)  # outside: not phase-attributed
+        assert stats.phase_ns["post"] == 7.0
+        assert stats.phase_counts["post"] == 1
+        assert not stats._phase_stack
+
+    def test_stack_unwound_on_exception(self):
+        stats = MachineStats()
+        with pytest.raises(RuntimeError):
+            with stats.phase("post"):
+                stats.charge("compute_ns", 1.0)
+                raise RuntimeError("body failed")
+        assert not stats._phase_stack
+        # A later charge must not be attributed to the dead phase.
+        stats.charge("compute_ns", 5.0)
+        assert stats.phase_ns["post"] == 1.0
+
+    def test_leaked_nested_phases_are_unwound(self):
+        stats = MachineStats()
+        with stats.phase("outer"):
+            stats.begin_phase("inner")  # leaked: never ended
+        assert not stats._phase_stack
+
+    def test_nested_phases_attribute_to_innermost(self):
+        stats = MachineStats()
+        with stats.phase("outer"):
+            stats.charge("compute_ns", 1.0)
+            with stats.phase("inner"):
+                stats.charge("compute_ns", 2.0)
+        assert stats.phase_ns["inner"] == 2.0
+        assert stats.phase_ns["outer"] == 1.0
+
+    def test_wait_time_tracked_separately(self):
+        stats = MachineStats()
+        with stats.phase("post"):
+            stats.charge("compute_ns", 4.0)
+            stats.charge("wait_ns", 6.0)
+        assert stats.phase_ns["post"] == 10.0
+        assert stats.phase_wait_ns["post"] == 6.0
+        assert stats.phase_mean_ns("post") == 10.0
+        assert stats.phase_mean_ns("post", exclude_wait=True) == 4.0
+
+    def test_end_phase_rejects_mismatched_name(self):
+        stats = MachineStats()
+        stats.begin_phase("a")
+        with pytest.raises(ValueError):
+            stats.end_phase("b")
+
+
+class TestAsDict:
+    def test_includes_category_totals(self):
+        stats = MachineStats()
+        stats.charge("compute_ns", 10.0)
+        stats.total_ns = 20.0
+        d = stats.as_dict()
+        assert d["compute_ns"] == 10.0
+        assert d["total_ns"] == 20.0
+        assert d["stall_fraction"] == 0.0
+
+    def test_includes_per_phase_totals_and_counts(self):
+        stats = MachineStats()
+        with stats.phase("activation"):
+            stats.charge("activation_ns", 3.0)
+        with stats.phase("activation"):
+            stats.charge("activation_ns", 5.0)
+        with stats.phase("post"):
+            stats.charge("compute_ns", 2.0)
+        d = stats.as_dict()
+        assert d["phase.activation_ns"] == 8.0
+        assert d["phase.activation_count"] == 2.0
+        assert d["phase.post_ns"] == 2.0
+        assert d["phase.post_count"] == 1.0
+
+    def test_no_phases_means_no_phase_keys(self):
+        d = MachineStats().as_dict()
+        assert not [k for k in d if k.startswith("phase.")]

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -37,6 +39,47 @@ class TestCLI:
         assert main(["trace", "matrix-simplex", "--pages", "4"]) == 0
         out = capsys.readouterr().out
         assert "page " in out and "processor" in out
+
+    def test_trace_reports_event_totals(self, capsys):
+        assert main(["trace", "matrix-simplex", "--pages", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "events" in out
+
+    def test_trace_fig6_exports_perfetto_json(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "fig6", "--out", str(out_file)]) == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"]
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X"} <= phases  # track metadata + spans
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "cpu" in names
+        assert any(n.startswith("page/") for n in names)
+
+    def test_trace_app_exports_json_and_csv(self, capsys, tmp_path):
+        json_file = tmp_path / "t.json"
+        csv_file = tmp_path / "t.csv"
+        assert (
+            main(
+                [
+                    "trace", "database", "--pages", "4",
+                    "--out", str(json_file), "--csv", str(csv_file),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(json_file.read_text())["traceEvents"]
+        lines = csv_file.read_text().splitlines()
+        assert lines[0] == "ph,track,name,ts_ns,dur_ns,args"
+        assert len(lines) > 1
+
+    def test_trace_rejects_non_fig6_experiments(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["trace", "fig3"])
 
     def test_report_only_subset(self, capsys):
         assert main(["report", "--quick", "--only", "table-3"]) == 0
@@ -79,6 +122,19 @@ class TestSweepCLI:
         assert main(["fig8", "--quick", "--jobs", "2"]) == 0
         out = capsys.readouterr().out
         assert "jobs=2" in out
+
+    def test_trace_summary_flag_caches_trace_digests(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["fig8", "--quick", "--trace-summary"]) == 0
+        from repro.experiments import harness
+
+        cache = harness.ResultCache(tmp_path / "cache")
+        entries = cache.entries()
+        assert entries
+        payload = json.loads(entries[0].read_text())
+        assert any(k.startswith("trace.") for k in payload["values"])
 
     def test_cache_info_and_clear(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))

@@ -1,0 +1,90 @@
+"""Tests for the trace event core (ring buffer, global tracer)."""
+
+import pytest
+
+from repro.trace import events
+
+
+@pytest.fixture(autouse=True)
+def _tracing_disabled():
+    """Every test starts (and ends) with the global tracer off."""
+    events.disable()
+    yield
+    events.disable()
+
+
+class TestTracer:
+    def test_emission_helpers_produce_typed_events(self):
+        tr = events.Tracer()
+        tr.complete("cpu", "compute", 10.0, 25.0)
+        tr.begin("cpu.phase", "post", 25.0, page=3)
+        tr.end("cpu.phase", "post", 30.0)
+        tr.instant("page/1", "activate", 12.0, words=2)
+        tr.counter("cache.L1D", "misses", 30.0, 7)
+        phases = [e.ph for e in tr]
+        assert phases == ["X", "B", "E", "I", "C"]
+
+        span = tr.events()[0]
+        assert span.track == "cpu" and span.name == "compute"
+        assert span.ts == 10.0 and span.dur == 15.0
+
+        counter = tr.events()[-1]
+        assert counter.args == {"value": 7}
+
+    def test_argless_events_carry_none_not_empty_dict(self):
+        tr = events.Tracer()
+        tr.instant("cpu", "tick", 0.0)
+        assert tr.events()[0].args is None
+
+    def test_len_iter_and_clear(self):
+        tr = events.Tracer()
+        for i in range(5):
+            tr.instant("t", "e", float(i))
+        assert len(tr) == 5
+        assert [e.ts for e in tr] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        tr.clear()
+        assert len(tr) == 0 and tr.dropped == 0
+
+    def test_ring_buffer_bounds_memory_and_counts_drops(self):
+        tr = events.Tracer(capacity=3)
+        for i in range(10):
+            tr.instant("t", "e", float(i))
+        assert len(tr) == 3
+        assert tr.dropped == 7
+        # Oldest-first drop: the newest three survive.
+        assert [e.ts for e in tr.events()] == [7.0, 8.0, 9.0]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            events.Tracer(capacity=0)
+
+
+class TestGlobalTracer:
+    def test_disabled_by_default(self):
+        assert events.TRACER is None
+        assert not events.is_enabled()
+
+    def test_enable_installs_and_disable_returns_it(self):
+        tr = events.enable()
+        assert events.TRACER is tr and events.is_enabled()
+        assert events.disable() is tr
+        assert events.TRACER is None
+
+    def test_tracing_context_restores_previous_tracer(self):
+        outer = events.enable()
+        with events.tracing() as inner:
+            assert events.TRACER is inner
+            assert inner is not outer
+        assert events.TRACER is outer
+
+    def test_tracing_context_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with events.tracing():
+                raise RuntimeError("boom")
+        assert events.TRACER is None
+
+    def test_tracing_context_capacity(self):
+        with events.tracing(capacity=2) as tr:
+            for i in range(5):
+                tr.instant("t", "e", float(i))
+        assert len(tr) == 2 and tr.dropped == 3

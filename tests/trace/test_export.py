@@ -1,0 +1,120 @@
+"""Tests for the Chrome/Perfetto JSON and CSV exporters."""
+
+import json
+
+from repro.trace.events import Event, Tracer
+from repro.trace.export import (
+    CSV_HEADER,
+    summarize,
+    to_chrome_trace,
+    to_csv,
+    write_chrome_trace,
+    write_csv,
+)
+
+
+def _sample_events():
+    return [
+        Event("X", 1000.0, 500.0, "cpu", "compute", None),
+        Event("B", 1500.0, 0.0, "cpu.phase", "post", {"page": 1}),
+        Event("E", 1800.0, 0.0, "cpu.phase", "post", None),
+        Event("I", 1200.0, 0.0, "page/0", "activate", {"words": 2}),
+        Event("C", 1800.0, 0.0, "cache.L1D", "misses", {"value": 3}),
+        Event("X", 1300.0, 400.0, "page/0", "compute", None),
+    ]
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        doc = to_chrome_trace(_sample_events())
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["generator"] == "repro.trace"
+
+    def test_phase_mapping_and_microsecond_timestamps(self):
+        by_ph = {}
+        for entry in to_chrome_trace(_sample_events())["traceEvents"]:
+            by_ph.setdefault(entry["ph"], []).append(entry)
+        # "X" keeps ts/dur, converted ns -> us.
+        span = next(e for e in by_ph["X"] if e["cat"] == "cpu")
+        assert span["ts"] == 1.0 and span["dur"] == 0.5
+        # "I" becomes a thread-scoped lowercase instant.
+        (instant,) = by_ph["i"]
+        assert instant["s"] == "t" and instant["args"] == {"words": 2}
+        # "C" carries a single named series.
+        (counter,) = by_ph["C"]
+        assert counter["args"] == {"misses": 3}
+        assert "B" in by_ph and "E" in by_ph
+
+    def test_tracks_become_named_threads_cpu_first(self):
+        doc = to_chrome_trace(_sample_events())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = [
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        ]
+        assert set(names) == {"cpu", "cpu.phase", "page/0", "cache.L1D"}
+        # cpu tracks are assigned the lowest tids (default Perfetto view).
+        tids = {
+            e["args"]["name"]: e["tid"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert tids["cpu"] < tids["page/0"]
+        assert any(e["name"] == "process_name" for e in meta)
+
+    def test_tracer_source_records_drop_accounting(self):
+        tr = Tracer(capacity=2)
+        for i in range(5):
+            tr.instant("t", "e", float(i))
+        doc = to_chrome_trace(tr)
+        assert doc["otherData"]["dropped_events"] == 3
+        assert doc["otherData"]["capacity"] == 2
+
+    def test_write_round_trips_through_json_loads(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), _sample_events(), metadata={"run": "x"})
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["run"] == "x"
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = to_csv(_sample_events())
+        lines = text.strip().splitlines()
+        assert lines[0] == CSV_HEADER
+        assert len(lines) == 1 + len(_sample_events())
+        assert lines[1] == "X,cpu,compute,1000,500,"
+
+    def test_args_json_encoded_and_quoted(self):
+        event = Event("I", 1.0, 0.0, "t", "e", {"a": 1, "b": 2})
+        (row,) = to_csv([event]).strip().splitlines()[1:]
+        # Commas inside the JSON payload are CSV-quoted.
+        assert row.endswith('"{""a"": 1, ""b"": 2}"')
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv(str(path), _sample_events())
+        assert path.read_text().startswith(CSV_HEADER)
+
+
+class TestSummarize:
+    def test_counts_and_span_totals(self):
+        s = summarize(_sample_events())
+        assert s["events"] == 6.0
+        assert s["spans"] == 2.0
+        assert s["instants"] == 1.0
+        assert s["counters"] == 1.0
+        assert s["span_ns.cpu"] == 500.0
+        # page/<n> tracks fold into one bounded "page" total.
+        assert s["span_ns.page"] == 400.0
+
+    def test_tracer_source_adds_dropped(self):
+        tr = Tracer(capacity=1)
+        tr.instant("t", "a", 0.0)
+        tr.instant("t", "b", 1.0)
+        assert summarize(tr)["dropped"] == 1.0
+
+    def test_all_values_are_floats(self):
+        assert all(
+            isinstance(v, float) for v in summarize(_sample_events()).values()
+        )

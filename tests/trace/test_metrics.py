@@ -1,0 +1,124 @@
+"""Tests for the counter/histogram registry and the canonical-stats bridge."""
+
+import pytest
+
+from repro.core.functions import PageTask
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+from repro.sim.stats import MachineStats
+from repro.trace.events import Tracer
+from repro.trace.metrics import (
+    Histogram,
+    MetricsRegistry,
+    collect_machine_metrics,
+    stats_metrics,
+)
+
+
+class TestRegistry:
+    def test_counter_is_memoized_by_name(self):
+        reg = MetricsRegistry()
+        c = reg.counter("cache.L1D.misses")
+        c.add()
+        c.add(2.0)
+        assert reg.counter("cache.L1D.misses") is c
+        assert reg.as_dict()["cache.L1D.misses"] == 3.0
+
+    def test_namespace_prefixes_and_nests(self):
+        reg = MetricsRegistry()
+        ns = reg.namespace("cache").namespace("L1D")
+        ns.counter("hits").set(5.0)
+        assert reg.as_dict() == {"cache.L1D.hits": 5.0}
+
+    def test_emit_counters_samples_into_tracer(self):
+        reg = MetricsRegistry()
+        reg.counter("dram.reads").set(4.0)
+        reg.counter("bus.bytes").set(128.0)
+        tr = Tracer()
+        assert reg.emit_counters(tr, ts=7.0) == 2
+        evs = tr.events()
+        assert all(e.ph == "C" and e.ts == 7.0 for e in evs)
+        assert {(e.track, e.name, e.args["value"]) for e in evs} == {
+            ("dram", "reads", 4.0),
+            ("bus", "bytes", 128.0),
+        }
+
+
+class TestHistogram:
+    def test_binning_and_overflow(self):
+        h = Histogram("lat", edges=[10.0, 100.0])
+        for v in (1.0, 9.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]
+        assert h.n == 4
+        assert h.mean == pytest.approx(140.0)
+
+    def test_as_dict_has_edge_overflow_count_mean(self):
+        h = Histogram("lat", edges=[10.0])
+        h.observe(3.0)
+        d = h.as_dict()
+        assert d == {
+            "lat.le_10": 1.0,
+            "lat.overflow": 0.0,
+            "lat.count": 1.0,
+            "lat.mean": 3.0,
+        }
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", edges=[10.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("bad", edges=[])
+
+    def test_registry_histograms_land_in_as_dict(self):
+        reg = MetricsRegistry()
+        reg.namespace("cpu").histogram("lat", [10.0]).observe(2.0)
+        assert reg.as_dict()["cpu.lat.count"] == 1.0
+
+
+def _run_small_machine(n_pages=3, cycles=500):
+    cfg = RADramConfig.reference().with_page_bytes(4096)
+    memsys = RADramMemorySystem(cfg)
+    machine = Machine(memory=PagedMemory(page_bytes=4096), memsys=memsys)
+    ops = [O.Activate(p, 1, PageTask.simple(cycles)) for p in range(n_pages)]
+    ops += [O.WaitPage(p) for p in range(n_pages)]
+    stats = machine.run(iter(ops))
+    return machine, stats
+
+
+class TestCanonicalBridge:
+    def test_stats_metrics_mirrors_machine_stats(self):
+        stats = MachineStats()
+        stats.charge("compute_ns", 10.0)
+        stats.charge("wait_ns", 5.0)
+        d = stats_metrics(stats).as_dict()
+        assert d["cpu.compute_ns"] == 10.0
+        assert d["cpu.wait_ns"] == 5.0
+        # Every MachineStats.as_dict key is mirrored under cpu.*
+        assert set(d) == {f"cpu.{k}" for k in stats.as_dict()}
+
+    def test_collect_machine_metrics_reads_canonical_values(self):
+        machine, stats = _run_small_machine()
+        d = collect_machine_metrics(machine).as_dict()
+        # Values come FROM the canonical stats objects, not a shadow count.
+        assert d["cpu.total_ns"] == stats.total_ns
+        assert d["dram.reads"] == float(machine.dram.reads)
+        assert d["bus.bytes"] == float(machine.bus.bytes_transferred)
+        assert d["cache.L1D.hits"] == float(machine.l1d.stats.hits)
+        assert d["radram.activations"] == float(
+            machine.memsys.total_activations
+        )
+        assert d["radram.pages"] == 3.0
+        assert d["radram.page_busy_ns"] > 0.0
+
+    def test_collect_into_existing_registry(self):
+        machine, _ = _run_small_machine(n_pages=1)
+        reg = MetricsRegistry()
+        reg.counter("custom.thing").set(1.0)
+        out = collect_machine_metrics(machine, reg)
+        assert out is reg
+        d = reg.as_dict()
+        assert "custom.thing" in d and "cpu.total_ns" in d
