@@ -13,9 +13,13 @@ trace        run an app (or fig6) under the event tracer: Gantt chart,
 cache        inspect or clear the sweep result cache
 bench        run the cache hot-path microbenchmarks (``--update`` to
              refresh the committed ``BENCH_sim.json`` baseline)
+faults       defect-density-vs-speedup sweep under fault injection;
+             writes a Perfetto trace with fault/scrub/remap instants
 
-Sweep-driven commands accept ``--jobs N`` (parallel workers) and
-``--no-cache`` (bypass ``.repro_cache/``).
+Sweep-driven commands accept ``--jobs N`` (parallel workers),
+``--no-cache`` (bypass ``.repro_cache/``), ``--task-timeout S``
+(per-task deadline, pooled runs) and ``--retries N`` (re-attempts for
+crashed/hung/raising sweep tasks).
 """
 
 from __future__ import annotations
@@ -60,6 +64,10 @@ def _report_argv(args: argparse.Namespace, only: Optional[List[str]]) -> List[st
         argv.append("--no-cache")
     if getattr(args, "trace_summary", False):
         argv.append("--trace-summary")
+    if getattr(args, "task_timeout", None) is not None:
+        argv += ["--task-timeout", str(args.task_timeout)]
+    if getattr(args, "retries", None) is not None:
+        argv += ["--retries", str(args.retries)]
     return argv
 
 
@@ -209,6 +217,52 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments import faults_density
+    from repro.faults.models import FaultConfig
+    from repro.radram.config import RADramConfig
+    from repro.trace import events as trace_events
+    from repro.trace import export as trace_export
+
+    harness.configure(
+        jobs=args.jobs,
+        use_cache=False if args.no_cache else None,
+        task_timeout_s=args.task_timeout,
+        retries=args.retries,
+    )
+    densities = args.densities
+    if densities is None and args.quick:
+        densities = faults_density.DENSITY_SWEEP[::2]
+    result = faults_density.run(densities=densities, seed=args.seed)
+    print(result.render())
+
+    # One traced run at a moderate fault mix that exercises every
+    # tolerance path (scrub, spare-row remap, migration, degradation),
+    # so the exported Perfetto trace carries fault/scrub/remap/migrate
+    # instants on the "faults" track next to the page spans.
+    traced_cfg = RADramConfig.reference().with_faults(
+        FaultConfig(
+            seed=args.seed,
+            bit_flip_rate=0.4,
+            hard_fault_rate=0.3,
+            spare_rows=1,
+            migration_limit=1,
+            le_defect_density=100.0,
+        )
+    )
+    app = get_app(args.trace_app)
+    with trace_events.tracing() as tracer:
+        run_radram(app, args.trace_pages, radram_config=traced_cfg)
+    events = tracer.events()
+    fault_instants = sum(1 for e in events if e.track == "faults" and e.ph == "I")
+    trace_export.write_chrome_trace(args.out, events)
+    print(
+        f"trace: wrote {len(events)} events ({fault_instants} fault instants) "
+        f"to {args.out}"
+    )
+    return 0
+
+
 def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--quick", action="store_true", help="reduced sweeps")
     parser.add_argument("--output", metavar="DIR")
@@ -222,6 +276,20 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
         "--trace-summary",
         action="store_true",
         help="trace sweep runs; cached results carry trace.* digests",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-task deadline in seconds (pooled sweeps preempt hangs)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts for crashed/hung/raising sweep tasks",
     )
 
 
@@ -246,6 +314,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_bench.add_argument("--note", metavar="TEXT", help="note stored with --update")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_faults = sub.add_parser(
+        "faults", help="defect density vs speedup under fault injection"
+    )
+    p_faults.add_argument(
+        "--densities",
+        type=float,
+        nargs="*",
+        default=None,
+        metavar="D",
+        help="LE defect densities (defects/cm^2) to sweep",
+    )
+    p_faults.add_argument("--seed", type=int, default=0, help="fault seed")
+    p_faults.add_argument(
+        "--out",
+        metavar="FILE",
+        default="trace_faults.json",
+        help="Perfetto trace_event JSON with fault/scrub/remap instants",
+    )
+    p_faults.add_argument(
+        "--trace-app",
+        default="array-insert",
+        choices=sorted(ALL_APPS),
+        help="application used for the traced faulty run",
+    )
+    p_faults.add_argument("--trace-pages", type=float, default=8.0)
+    _add_sweep_flags(p_faults)
+    p_faults.set_defaults(func=_cmd_faults)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the sweep cache")
     p_cache.add_argument("--clear", action="store_true")

@@ -18,10 +18,15 @@ execution as a small batch system instead:
 ``run_sweep``
     Executes a list of tasks, preserving input order.  Identical tasks
     are computed once; with ``jobs > 1`` the distinct tasks fan out
-    across a ``multiprocessing`` pool (each worker rebuilds the whole
-    machine from the task, and per-task RNG seeding is derived from
-    the task hash, so pooled and in-process execution are
-    bit-identical).  Completed tasks are memoized in an on-disk cache.
+    across a process pool (each worker rebuilds the whole machine from
+    the task, and per-task RNG seeding is derived from the task hash,
+    so pooled and in-process execution are bit-identical).  Execution
+    is *resilient*: a raising task records a per-task failure instead
+    of aborting the sweep, crashed or hung workers are retried with
+    exponential backoff (``retries`` / ``task_timeout_s`` settings),
+    and a sweep with unrecoverable tasks still returns — partial, with
+    the failures itemized in ``SweepOutcome.notes()``.  Completed
+    tasks are memoized in an on-disk cache.
 
 ``ResultCache``
     A content-addressed JSON store under ``.repro_cache/`` (or
@@ -67,8 +72,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Task modes.
 MODE_SPEEDUP = "speedup"  # conventional vs RADram at one size
 MODE_CONSTANTS = "constants"  # Table 4 calibration (T_A/T_P/T_C)
+MODE_FAULTS = "faults"  # speedup under fault injection + fault counters
 
-_MODES = (MODE_SPEEDUP, MODE_CONSTANTS)
+_MODES = (MODE_SPEEDUP, MODE_CONSTANTS, MODE_FAULTS)
 
 
 # ----------------------------------------------------------------------
@@ -146,6 +152,37 @@ def speedup_task(
     )
 
 
+def faults_task(
+    app_name: str,
+    n_pages: float,
+    radram_config: RADramConfig,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    seed: int = 0,
+    cap_pages: object = _DEFAULT_CAP,
+) -> SweepTask:
+    """A speedup measurement under fault injection.
+
+    ``radram_config`` must carry a :class:`repro.faults.models.FaultConfig`
+    (``RADramConfig.with_faults``); the task's values gain the
+    ``faults.*`` counters next to the usual speedup keys.
+    """
+    from repro.experiments.runner import DEFAULT_CAP_PAGES
+
+    if radram_config.faults is None:
+        raise ValueError("faults_task needs a radram_config with faults set")
+    if cap_pages is _DEFAULT_CAP:
+        cap_pages = DEFAULT_CAP_PAGES
+    return SweepTask(
+        app_name=app_name,
+        n_pages=n_pages,
+        mode=MODE_FAULTS,
+        page_bytes=page_bytes,
+        seed=seed,
+        cap_pages=cap_pages,
+        radram_config=radram_config,
+    )
+
+
 def constants_task(
     app_name: str,
     n_pages: float,
@@ -215,9 +252,38 @@ def execute_task(task: SweepTask, trace_summary: bool = False) -> Dict[str, floa
         run_conventional,
         run_radram,
     )
+    from repro.faults import chaos
 
+    chaos.maybe_injure(task.key(), task.app_name)
     _seed_rngs(task)
     app = get_app(task.app_name)
+    if task.mode == MODE_FAULTS:
+        conv = run_conventional(
+            app,
+            task.n_pages,
+            page_bytes=task.page_bytes,
+            machine_config=task.machine_config,
+            seed=task.seed,
+            cap_pages=task.cap_pages,
+        )
+        rad = run_radram(
+            app,
+            task.n_pages,
+            page_bytes=task.page_bytes,
+            machine_config=task.machine_config,
+            radram_config=task.radram_config,
+            seed=task.seed,
+        )
+        values = {
+            "conventional_ns": conv.total_ns,
+            "radram_ns": rad.total_ns,
+            "speedup": conv.total_ns / rad.total_ns,
+            "stall_fraction": rad.stall_fraction,
+        }
+        values.update(
+            {f"faults.{name}": v for name, v in rad.fault_counters.items()}
+        )
+        return values
     if task.mode == MODE_SPEEDUP:
         point = measure_speedup(
             app,
@@ -263,14 +329,27 @@ def execute_task(task: SweepTask, trace_summary: bool = False) -> Dict[str, floa
 
 @dataclass
 class TaskResult:
-    """One completed task: its values plus execution metadata."""
+    """One completed (or failed) task: values plus execution metadata."""
 
     task: SweepTask
     values: Dict[str, float]
     wall_s: float
     cached: bool = False
+    #: how many execution attempts this result took (1 = first try).
+    attempts: int = 1
+    #: set when the task failed every attempt; ``values`` is then empty.
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     def __getitem__(self, name: str) -> float:
+        if self.error is not None:
+            raise KeyError(
+                f"task {self.task.app_name}@{self.task.n_pages:g} failed: "
+                f"{self.error}"
+            )
         return self.values[name]
 
 
@@ -329,7 +408,17 @@ class ResultCache:
         return TaskResult(task=task, values=values, wall_s=wall_s, cached=True)
 
     def store(self, result: TaskResult) -> None:
-        """Persist one result atomically (tmp file + rename)."""
+        """Persist one result atomically and durably.
+
+        Crash safety: the payload is written to a sibling tmp file
+        (never matched by :meth:`entries`' ``*.json`` glob), fsynced,
+        then :func:`os.replace`\\ d over the final name — a reader
+        either sees no entry or a complete one, never a torn write,
+        even when the writer is killed mid-store.  Failed tasks are
+        never stored.
+        """
+        if result.error is not None:
+            return
         key = result.task.key()
         path = self.path_for(key)
         payload = {
@@ -343,8 +432,21 @@ class ResultCache:
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps(payload, sort_keys=True, indent=1))
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
+            # Make the rename itself durable (directory metadata).
+            try:
+                dir_fd = os.open(path.parent, os.O_RDONLY)
+            except OSError:
+                pass  # platform without directory fds
+            else:
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
         except OSError:
             # A read-only cache directory must not fail the sweep.
             pass
@@ -379,6 +481,13 @@ class HarnessSettings:
     use_cache: bool = True
     cache_dir: Optional[str] = None  # None -> $REPRO_CACHE_DIR or default
     trace_summary: bool = False  # attach trace.* digests to task values
+    #: per-task wall-clock deadline; None = wait forever.  Only pooled
+    #: execution (jobs > 1) can preempt a hung simulation.
+    task_timeout_s: Optional[float] = None
+    #: extra attempts after a crashed/hung/raising task (0 = one try).
+    retries: int = 2
+    #: base delay between retry rounds; doubles each round.
+    retry_backoff_s: float = 0.25
 
     def resolve_cache_dir(self) -> Path:
         if self.cache_dir is not None:
@@ -394,6 +503,9 @@ def configure(
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
     trace_summary: Optional[bool] = None,
+    task_timeout_s: Optional[float] = None,
+    retries: Optional[int] = None,
+    retry_backoff_s: Optional[float] = None,
 ) -> HarnessSettings:
     """Update the process-wide sweep settings (CLI entry point)."""
     if jobs is not None:
@@ -406,6 +518,18 @@ def configure(
         _settings.cache_dir = cache_dir
     if trace_summary is not None:
         _settings.trace_summary = trace_summary
+    if task_timeout_s is not None:
+        if task_timeout_s <= 0:
+            raise ValueError("task timeout must be positive")
+        _settings.task_timeout_s = task_timeout_s
+    if retries is not None:
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
+        _settings.retries = retries
+    if retry_backoff_s is not None:
+        if retry_backoff_s < 0:
+            raise ValueError("retry backoff cannot be negative")
+        _settings.retry_backoff_s = retry_backoff_s
     return _settings
 
 
@@ -433,6 +557,10 @@ class SweepStats:
     hits: int = 0
     misses: int = 0
     sim_wall_s: float = 0.0
+    #: tasks that failed every attempt (their results carry ``error``).
+    failed: int = 0
+    #: extra attempts spent on crashed/hung/raising tasks.
+    retried: int = 0
 
 
 @dataclass
@@ -459,11 +587,31 @@ class SweepOutcome:
         golden-output comparisons strip lines with this prefix.
         """
         s = self.stats
-        return [
+        lines = [
             f"harness: {s.tasks} tasks ({s.misses} simulated, {s.hits} cached), "
             f"jobs={self.settings.jobs}",
             f"harness: simulation wall time {s.sim_wall_s:.2f}s",
         ]
+        if s.retried:
+            lines.append(f"harness: {s.retried} attempt(s) retried")
+        if s.failed:
+            lines.append(f"harness: {s.failed} task(s) FAILED (partial sweep)")
+            # Duplicate tasks share one TaskResult: report each failure once.
+            unique_failures = {id(r): r for r in self.results if r.error is not None}
+            for r in unique_failures.values():
+                lines.append(
+                    f"harness: failed {r.task.app_name}@{r.task.n_pages:g} "
+                    f"[{r.task.mode}] after {r.attempts} attempt(s): {r.error}"
+                )
+        return lines
+
+    @property
+    def complete(self) -> bool:
+        """Whether every task produced values (no failures)."""
+        return self.stats.failed == 0
+
+    def failed_results(self) -> List[TaskResult]:
+        return [r for r in self.results if r.error is not None]
 
 
 #: Stats of the most recent sweep (introspection for tests/CLI).
@@ -509,18 +657,16 @@ def run_sweep(
     stats.misses = len(unique)
     if unique:
         if settings.jobs > 1 and len(unique) > 1:
-            computed = _run_pooled(
-                unique, settings.jobs, trace_summary=settings.trace_summary
-            )
+            computed = _run_pooled(unique, settings)
         else:
-            computed = [
-                _timed_execute(task, trace_summary=settings.trace_summary)
-                for task in unique
-            ]
+            computed = [_execute_with_retry(task, settings) for task in unique]
         for task, result in zip(unique, computed):
             stats.sim_wall_s += result.wall_s
+            stats.retried += result.attempts - 1
+            if result.error is not None:
+                stats.failed += 1
             if cache is not None:
-                cache.store(result)
+                cache.store(result)  # no-op for failed results
             for i in pending[task]:
                 results[i] = result
 
@@ -529,18 +675,171 @@ def run_sweep(
     return SweepOutcome(results=results, stats=stats, settings=settings)  # type: ignore[arg-type]
 
 
-def _run_pooled(
-    tasks: List[SweepTask], jobs: int, trace_summary: bool = False
-) -> List[TaskResult]:
-    """Fan distinct tasks out across a worker pool, in input order."""
-    import functools
-    import multiprocessing
+def _backoff_sleep(settings: HarnessSettings, round_index: int) -> None:
+    """Exponential backoff between retry rounds (base * 2^round)."""
+    delay = settings.retry_backoff_s * (2**round_index)
+    if delay > 0:
+        time.sleep(min(delay, 30.0))
 
-    n_workers = min(jobs, len(tasks))
-    entry = functools.partial(_pool_entry, trace_summary=trace_summary)
-    with multiprocessing.Pool(processes=n_workers) as pool:
-        raw = pool.map(entry, tasks)
-    return [
-        TaskResult(task=task, values=values, wall_s=wall_s)
-        for task, (values, wall_s) in zip(tasks, raw)
-    ]
+
+def _execute_with_retry(task: SweepTask, settings: HarnessSettings) -> TaskResult:
+    """In-process execution with bounded retry on raising tasks.
+
+    Serial execution cannot preempt a hung or crashed *process* (the
+    task runs in this one); those failure modes are covered by the
+    pooled path.  What it can survive is a task that raises.
+    """
+    last_error = "unknown"
+    for attempt in range(settings.retries + 1):
+        if attempt:
+            _backoff_sleep(settings, attempt - 1)
+        try:
+            result = _timed_execute(task, trace_summary=settings.trace_summary)
+            result.attempts = attempt + 1
+            return result
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - captured per task
+            last_error = f"{type(exc).__name__}: {exc}"
+    return TaskResult(
+        task=task,
+        values={},
+        wall_s=0.0,
+        attempts=settings.retries + 1,
+        error=last_error,
+    )
+
+
+def _terminate_workers(executor) -> None:
+    """Forcefully end a pool's worker processes (hung-worker cleanup).
+
+    ``ProcessPoolExecutor`` has no public kill switch; terminating the
+    worker ``Process`` objects directly is the only way to reclaim a
+    worker stuck in an unbounded simulation without blocking interpreter
+    shutdown on its (non-daemon) process join.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:  # noqa: BLE001 - best-effort cleanup
+            pass
+
+
+def _run_pooled(tasks: List[SweepTask], settings: HarnessSettings) -> List[TaskResult]:
+    """Fan distinct tasks out across worker processes, in input order.
+
+    Resilience contract (exercised by the chaos tests):
+
+    * a task that **raises** is captured as that task's failure, not a
+      sweep abort;
+    * a **killed** worker (OOM, segfault, chaos ``crash``) breaks the
+      pool — every task still in flight is retried; because which task
+      killed the pool is unknowable from the outside, later rounds run
+      each task in its *own* single-worker pool, so a persistent
+      crasher exhausts only its own attempt budget and innocent
+      bystanders complete;
+    * a **hung** worker trips ``task_timeout_s``; the stuck process is
+      terminated and the task retried;
+    * retry rounds back off exponentially and give up after
+      ``settings.retries`` extra attempts, recording the last error.
+    """
+    import functools
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeoutError
+    from concurrent.futures.process import BrokenProcessPool
+
+    entry = functools.partial(_pool_entry, trace_summary=settings.trace_summary)
+    results: Dict[int, TaskResult] = {}
+    attempts: Dict[int, int] = {i: 0 for i in range(len(tasks))}
+    last_error: Dict[int, str] = {}
+    remaining = list(range(len(tasks)))
+    isolate = False  # after a pool break: one single-worker pool per task
+
+    round_index = 0
+    while remaining:
+        if round_index:
+            _backoff_sleep(settings, round_index - 1)
+        retry: List[int] = []
+        broke = False
+        if isolate:
+            # Crash attribution: each task gets a private pool (still at
+            # most ``jobs`` worker processes alive at once).
+            batches = [
+                remaining[k : k + settings.jobs]
+                for k in range(0, len(remaining), settings.jobs)
+            ]
+        else:
+            batches = [remaining]
+        for batch in batches:
+            if isolate:
+                executors = {
+                    i: ProcessPoolExecutor(max_workers=1) for i in batch
+                }
+            else:
+                shared = ProcessPoolExecutor(
+                    max_workers=min(settings.jobs, len(batch))
+                )
+                executors = {i: shared for i in batch}
+            futures = {i: executors[i].submit(entry, tasks[i]) for i in batch}
+            hung = set()
+            for i in batch:
+                attempts[i] += 1
+                try:
+                    values, wall_s = futures[i].result(
+                        timeout=settings.task_timeout_s
+                    )
+                except FutureTimeoutError:
+                    futures[i].cancel()
+                    hung.add(executors[i])
+                    last_error[i] = (
+                        f"timed out after {settings.task_timeout_s:g}s"
+                    )
+                    retry.append(i)
+                except BrokenProcessPool:
+                    # A worker died (crash/kill/OOM); every future on
+                    # its pool is lost and must be retried.
+                    broke = True
+                    last_error[i] = "worker process died (broken pool)"
+                    retry.append(i)
+                except KeyboardInterrupt:
+                    for ex in set(executors.values()):
+                        _terminate_workers(ex)
+                        ex.shutdown(wait=False, cancel_futures=True)
+                    raise
+                except Exception as exc:  # noqa: BLE001 - captured per task
+                    last_error[i] = f"{type(exc).__name__}: {exc}"
+                    retry.append(i)
+                else:
+                    results[i] = TaskResult(
+                        task=tasks[i],
+                        values=values,
+                        wall_s=wall_s,
+                        attempts=attempts[i],
+                    )
+            for ex in set(executors.values()):
+                if ex in hung:
+                    # A hung worker never returns; joining it would hang
+                    # the sweep (and interpreter exit) right behind it.
+                    _terminate_workers(ex)
+                    ex.shutdown(wait=False, cancel_futures=True)
+                else:
+                    ex.shutdown(wait=True, cancel_futures=True)
+        if broke:
+            isolate = True
+
+        remaining = []
+        for i in retry:
+            if attempts[i] > settings.retries:
+                results[i] = TaskResult(
+                    task=tasks[i],
+                    values={},
+                    wall_s=0.0,
+                    attempts=attempts[i],
+                    error=last_error.get(i, "unknown"),
+                )
+            else:
+                remaining.append(i)
+        round_index += 1
+
+    return [results[i] for i in range(len(tasks))]

@@ -93,6 +93,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="bypass the on-disk sweep result cache (.repro_cache/)",
     )
     parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-task deadline in seconds (pooled sweeps preempt hangs)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extra attempts for crashed/hung/raising sweep tasks",
+    )
+    parser.add_argument(
         "--trace-summary",
         action="store_true",
         help="run sweeps under the event tracer and cache trace.* digests",
@@ -104,6 +118,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         use_cache=False if args.no_cache else None,
         trace_summary=True if args.trace_summary else None,
+        task_timeout_s=args.task_timeout,
+        retries=args.retries,
     )
     t0 = time.time()
     results = run_all(quick=args.quick, only=args.only)

@@ -12,8 +12,8 @@ are not linear.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
 
 from repro.apps.base import Application, Workload
 from repro.radram.config import RADramConfig
@@ -39,6 +39,8 @@ class RunResult:
     workload: Workload
     scaled_from_pages: Optional[float] = None  # set when extrapolated
     mean_page_busy_ns: float = 0.0  # RADram only: measured T_C
+    #: fault/repair counters (empty unless fault injection was on).
+    fault_counters: Dict[str, float] = field(default_factory=dict)
 
     @property
     def stall_fraction(self) -> float:
@@ -157,6 +159,7 @@ def run_radram(
         stats=stats,
         workload=w,
         mean_page_busy_ns=busy / activations if activations else 0.0,
+        fault_counters=memsys.fault_counters(),
     )
 
 

@@ -47,6 +47,22 @@ TRACE_GATE_WORKLOADS = (
     "strided_50k_128b",
 )
 
+#: Tolerance for the fault-path dispatch gate.  With
+#: ``RADramConfig.faults`` left ``None`` (the default), the
+#: activate/wait handlers pay one ``self.faults is None`` test per
+#: activation and nothing else.  The gated number is the ratio of the
+#: same dispatch workload run with a present-but-disabled
+#: ``FaultConfig`` over the ``faults=None`` run — both sides share the
+#: host, the workload and the noise, so the ratio is tight.  It must
+#: stay within 5% of the committed baseline in *either* direction:
+#: falling means fault work leaked outside the ``faults is not None``
+#: guards (inflating the fault-free denominator every experiment runs
+#: on); rising means the disabled controller got more expensive.
+FAULTS_OVERHEAD_TOLERANCE = 0.05
+
+#: Baseline key for the fault-path dispatch benchmark.
+FAULTS_GATE_KEY = "radram_dispatch_2k"
+
 BASELINE_PATH = pathlib.Path(__file__).resolve().parents[3] / "BENCH_sim.json"
 
 LINE = 32
@@ -197,6 +213,115 @@ def check_tracing_overhead(
     return failures
 
 
+def _dispatch_machine(fault_config):
+    """A RADram machine for the dispatch benchmark (4 KB pages)."""
+    from repro.radram.config import RADramConfig
+    from repro.radram.system import RADramMemorySystem
+    from repro.sim.machine import Machine
+    from repro.sim.memory import PagedMemory
+
+    cfg = RADramConfig.reference().with_page_bytes(4 * KB).with_faults(fault_config)
+    memsys = RADramMemorySystem(cfg)
+    return Machine(memory=PagedMemory(page_bytes=4 * KB), memsys=memsys)
+
+
+def _dispatch_ops(n_pages: int = 64, rounds: int = 32):
+    """Wide activate/wait bursts: the dispatch-path hot loop."""
+    from repro.core.functions import PageTask
+    from repro.sim import ops as O
+
+    ops = []
+    for _ in range(rounds):
+        for p in range(n_pages):
+            ops.append(O.Activate(p, 1, PageTask.simple(1_000.0)))
+        for p in range(n_pages):
+            ops.append(O.WaitPage(p))
+    return ops
+
+
+def run_dispatch_workload(trials: int = 5) -> Dict[str, float]:
+    """The fault-path dispatch benchmark (:data:`FAULTS_GATE_KEY`).
+
+    Times 2048 activate/wait pairs through ``RADramMemorySystem`` three
+    ways: faults absent (``faults=None``, the default every experiment
+    runs with), a present-but-disabled :class:`FaultConfig` (controller
+    live, zero rates), and the frozen scalar cache engine as a same-host
+    yardstick.  ``faults_disabled_overhead`` (disabled-config time over
+    faults-absent time) is the gated number — both sides run the same
+    workload in the same call, so host noise cancels and a 5% drift
+    either way is code, not jitter.  ``dispatch_ratio`` (yardstick /
+    faults-absent time) and the absolute timings are context.
+    """
+    from repro.faults.models import FaultConfig
+
+    streams, write, repeats = _warm_retouch()
+    t_none = t_disabled = t_yard = float("inf")
+    for _ in range(trials):
+        machine = _dispatch_machine(None)
+        t0 = time.perf_counter()
+        machine.run(iter(_dispatch_ops()))
+        t_none = min(t_none, time.perf_counter() - t0)
+
+        machine = _dispatch_machine(FaultConfig())
+        t0 = time.perf_counter()
+        machine.run(iter(_dispatch_ops()))
+        t_disabled = min(t_disabled, time.perf_counter() - t0)
+
+        yard = _reference_hierarchy(build_scalar_hierarchy)
+        t_yard = min(t_yard, _time_workload(yard, streams, write, repeats))
+
+    return {
+        "activations": 2048,
+        "dispatch_ms": round(t_none * 1e3, 3),
+        "faults_disabled_ms": round(t_disabled * 1e3, 3),
+        "yardstick_ms": round(t_yard * 1e3, 3),
+        "dispatch_ratio": round(t_yard / t_none, 3),
+        "faults_disabled_overhead": round(t_disabled / t_none, 2),
+    }
+
+
+def check_faults_overhead(
+    current: Dict[str, float], baseline: dict
+) -> Dict[str, str]:
+    """The ±5% faults-disabled gate over the dispatch benchmark.
+
+    ``current`` is one :func:`run_dispatch_workload` result; the
+    baseline entry lives under :data:`FAULTS_GATE_KEY`.  The gated
+    number is ``faults_disabled_overhead`` — a paired same-workload
+    ratio, so host noise cancels — and the band is two-sided (see
+    :data:`FAULTS_OVERHEAD_TOLERANCE` for what each direction means).
+    """
+    base = baseline.get(FAULTS_GATE_KEY)
+    if base is None:
+        return {
+            FAULTS_GATE_KEY: (
+                "dispatch baseline missing; refresh with `python -m repro bench`"
+            )
+        }
+    anchor = base["faults_disabled_overhead"]
+    floor = anchor * (1.0 - FAULTS_OVERHEAD_TOLERANCE)
+    ceiling = anchor * (1.0 + FAULTS_OVERHEAD_TOLERANCE)
+    cur = current["faults_disabled_overhead"]
+    if cur < floor:
+        return {
+            FAULTS_GATE_KEY: (
+                f"faults-disabled overhead {cur:.2f}x fell below {floor:.2f}x "
+                f"(baseline {anchor:.2f}x - {FAULTS_OVERHEAD_TOLERANCE:.0%}): "
+                "fault work likely leaked outside the `faults is not None` "
+                "guards, slowing the fault-free path every experiment uses"
+            )
+        }
+    if cur > ceiling:
+        return {
+            FAULTS_GATE_KEY: (
+                f"faults-disabled overhead {cur:.2f}x rose above {ceiling:.2f}x "
+                f"(baseline {anchor:.2f}x + {FAULTS_OVERHEAD_TOLERANCE:.0%}): "
+                "the disabled fault controller got more expensive"
+            )
+        }
+    return {}
+
+
 def run_traced_workload(
     name: str = "cold_read_scan_4mb", capacity: int = 100_000
 ) -> Dict[str, float]:
@@ -232,6 +357,7 @@ def refresh_baseline(note: str = "") -> dict:
         ),
         "regression_tolerance": REGRESSION_TOLERANCE,
         "workloads": current,
+        FAULTS_GATE_KEY: run_dispatch_workload(),
     }
     if note:
         doc["note"] = note

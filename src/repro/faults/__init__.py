@@ -1,0 +1,37 @@
+"""Fault injection and resilience for the Active Pages simulator.
+
+:mod:`repro.faults.models` defines the deterministic, seedable fault
+models (what goes wrong, and when); :mod:`repro.faults.controller`
+applies them to a live RADram machine and implements the tolerance
+mechanisms — ECC scrubbing, spare-row and spare-LE-column remapping,
+page migration with activation replay, and graceful degradation to
+processor-only execution.  :mod:`repro.faults.chaos` injects failures
+into the *sweep harness itself* (crashed, hung or raising pool
+workers) for resilience testing.
+"""
+
+from repro.faults.models import (
+    BIT_FLIP,
+    BUS_ERROR,
+    DOUBLE_BIT,
+    FAULT_KINDS,
+    HARD_FAULT,
+    LE_DEFECT,
+    FaultConfig,
+    FaultInjector,
+    ScheduledFault,
+    expected_page_survival,
+)
+
+__all__ = [
+    "BIT_FLIP",
+    "BUS_ERROR",
+    "DOUBLE_BIT",
+    "FAULT_KINDS",
+    "HARD_FAULT",
+    "LE_DEFECT",
+    "FaultConfig",
+    "FaultInjector",
+    "ScheduledFault",
+    "expected_page_survival",
+]

@@ -1,0 +1,333 @@
+"""Run-time fault tolerance for RADram pages.
+
+The :class:`FaultController` sits beside
+:class:`repro.radram.system.RADramMemorySystem` and applies one
+:class:`~repro.faults.models.FaultConfig` to a live machine:
+
+* On a page's **first touch** it draws the page's fabrication defect
+  map (the dynamic counterpart of the Section 3 yield model), remaps
+  defective LE columns onto spares via
+  :meth:`repro.radram.logic.LogicBlock.remap_defects`, and allocates
+  the page a physical frame from an OS
+  :class:`~repro.os.frames.FrameAllocator`.
+* On every **activation** it draws transient bit flips (corrected by
+  SEC-DED ECC at ``scrub_ns`` each, charged to ``MachineStats``) and
+  hard row failures (absorbed by spare rows, then by *migration* to a
+  healthy frame — the OS remap path through
+  :meth:`FrameAllocator.migrate` and
+  :meth:`repro.os.paging.Pager.migrate`).
+* Faults **in flight** (scheduled with ``in_flight=True``) strike
+  while an activation is executing; the page migrates and the
+  dispatcher replays the activation on the new frame.
+* When a page's repair budget is exhausted — uncorrectable flips, ECC
+  off, spares and migrations spent, or no healthy frame left — the
+  controller raises :class:`~repro.sim.errors.FaultError`; the memory
+  system catches it and *degrades* that page to processor-only
+  execution for the rest of the run.
+
+Every fault, scrub, remap and migration is emitted as a
+:mod:`repro.trace` instant on the ``faults`` track (with running
+counters), and totalled in :meth:`counters_dict` for the ``faults.*``
+metrics namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.faults.models import (
+    BIT_FLIP,
+    BUS_ERROR,
+    DOUBLE_BIT,
+    HARD_FAULT,
+    FaultConfig,
+    FaultInjector,
+)
+from repro.os.frames import Frame, FrameAllocator, OutOfFramesError
+from repro.os.paging import Pager, SwapCosts
+from repro.sim.errors import FaultError, UncorrectableFaultError
+from repro.trace import events as _trace
+
+#: Counter names exported under the ``faults.`` metrics namespace.
+COUNTER_NAMES = (
+    "bit_flips",
+    "corrected",
+    "scrubs",
+    "uncorrectable",
+    "hard_faults",
+    "row_remaps",
+    "le_defects",
+    "le_columns_remapped",
+    "migrations",
+    "replays",
+    "degraded_pages",
+    "degraded_activations",
+    "bus_errors",
+    "bus_retries",
+)
+
+
+class PageHealth:
+    """Per-page defect budget and disposition."""
+
+    __slots__ = (
+        "spare_rows_left",
+        "migrations",
+        "activations",
+        "degraded",
+        "degrade_reason",
+        "frame",
+    )
+
+    def __init__(self, spare_rows: int) -> None:
+        self.spare_rows_left = spare_rows
+        self.migrations = 0
+        self.activations = 0
+        self.degraded = False
+        self.degrade_reason: Optional[str] = None
+        self.frame: Optional[Frame] = None
+
+
+class FaultController:
+    """Applies a :class:`FaultConfig` to one simulated RADram machine."""
+
+    def __init__(self, config: FaultConfig, radram) -> None:
+        self.config = config
+        self.radram = radram
+        self.injector = FaultInjector(config, pages_per_chip=radram.pages_per_chip)
+        self.frames = FrameAllocator(
+            n_chips=config.n_chips, frames_per_chip=radram.pages_per_chip
+        )
+        # Migration pays a memory-to-memory move plus (for configured
+        # pages) whatever reconfiguration the technology charges; no
+        # disk is involved, so disk latency plays no part.
+        self.pager = Pager(
+            n_frames=config.n_chips * radram.pages_per_chip,
+            costs=SwapCosts(
+                page_bytes=radram.page_bytes,
+                reconfig_ns=radram.reconfig_ns_per_page,
+            ),
+        )
+        self._pages: Dict[int, PageHealth] = {}
+        self._transfers = 0
+        self._force_bus_error = False
+        self.counters: Dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+    # ------------------------------------------------------------------
+    # Observability helpers
+
+    def _instant(self, name: str, ts: float, **args) -> None:
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.instant("faults", name, ts, **args)
+
+    def _count(self, name: str, ts: float, by: int = 1) -> None:
+        self.counters[name] += by
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.counter("faults", name, ts, self.counters[name])
+
+    def counters_dict(self) -> Dict[str, float]:
+        """All fault counters, as floats (metrics/sweep-value ready)."""
+        out = {name: float(self.counters[name]) for name in COUNTER_NAMES}
+        out["pages_touched"] = float(len(self._pages))
+        return out
+
+    # ------------------------------------------------------------------
+    # Page health
+
+    def is_degraded(self, page_no: int) -> bool:
+        health = self._pages.get(page_no)
+        return health is not None and health.degraded
+
+    def degraded_pages(self):
+        """Page numbers currently degraded to processor-only execution."""
+        return sorted(p for p, h in self._pages.items() if h.degraded)
+
+    def _degrade(self, page_no: int, health: PageHealth, reason: str, ts: float) -> None:
+        health.degraded = True
+        health.degrade_reason = reason
+        self._count("degraded_pages", ts)
+        self._instant("degrade", ts, page=page_no, reason=reason)
+        raise FaultError(f"page {page_no} degraded to processor-only: {reason}")
+
+    def _health(self, page_no: int, logic, proc) -> PageHealth:
+        """The page's health record; first touch draws its defect map."""
+        health = self._pages.get(page_no)
+        if health is not None:
+            return health
+        health = PageHealth(self.config.spare_rows)
+        self._pages[page_no] = health
+        try:
+            health.frame = self.frames.allocate(f"page/{page_no}", 1)[0]
+        except OutOfFramesError:
+            health.frame = None  # more pages than frames: untracked
+        # Residency bookkeeping only — swap costs are the separate
+        # repro.os paging study, not part of this machine's timeline.
+        self.pager.bind(page_no)
+        self.pager.touch(page_no)
+        defects = self.injector.le_defects(page_no)
+        if defects:
+            self._count("le_defects", proc.now, by=defects)
+            try:
+                consumed = logic.remap_defects(defects, self.config.spare_le_columns)
+            except FaultError:
+                self._degrade(
+                    page_no,
+                    health,
+                    f"{defects} fabrication defects exceed "
+                    f"{self.config.spare_le_columns} spare LE column(s)",
+                    proc.now,
+                )
+            else:
+                if consumed:
+                    self._count("le_columns_remapped", proc.now, by=consumed)
+                    self._instant("remap", proc.now, page=page_no, kind="le-column", n=consumed)
+        return health
+
+    # ------------------------------------------------------------------
+    # Fault application
+
+    def on_activate(self, page_no: int, logic, proc) -> bool:
+        """Apply dispatch-time faults for one activation.
+
+        Returns ``True`` when the page may run the activation on its
+        logic; ``False`` when the page is already degraded.  Raises
+        :class:`FaultError` when a fault degrades the page *now* (the
+        memory system catches it and falls back to the processor).
+        """
+        health = self._health(page_no, logic, proc)
+        if health.degraded:
+            return False
+        health.activations += 1
+        cycle = health.activations
+        kinds = [entry.kind for entry in self.injector.scheduled(page_no, cycle)]
+        flip = self.injector.bit_flip(page_no, cycle)
+        if flip is not None:
+            kinds.append(flip)
+        if self.injector.hard_fault(page_no, cycle):
+            kinds.append(HARD_FAULT)
+        for kind in kinds:
+            if kind == BIT_FLIP:
+                self._apply_bit_flip(page_no, health, proc)
+            elif kind == DOUBLE_BIT:
+                self._apply_uncorrectable(page_no, health, proc)
+            elif kind == HARD_FAULT:
+                self._apply_hard_fault(page_no, health, proc)
+            elif kind == BUS_ERROR:
+                self._force_bus_error = True
+        self.pager.begin_computation(page_no)
+        return True
+
+    def on_wait(self, page_no: int, proc) -> bool:
+        """Apply scheduled in-flight faults while the processor waits.
+
+        Returns ``True`` when the page migrated and the in-flight
+        activation must be *replayed* on the new frame.  Raises
+        :class:`FaultError` when the fault degrades the page instead.
+        """
+        health = self._pages.get(page_no)
+        if health is None or health.degraded:
+            return False
+        entries = self.injector.take_in_flight(page_no, health.activations)
+        replay = False
+        for entry in entries:
+            if entry.kind == HARD_FAULT:
+                # The row died under an active computation: spare-row
+                # remapping cannot recover the lost state — migrate and
+                # replay, or degrade when the budget is spent.
+                self._count("hard_faults", proc.now)
+                self._instant("hard", proc.now, page=page_no, in_flight=True)
+                self._migrate_or_degrade(page_no, health, proc, in_flight=True)
+                replay = True
+            elif entry.kind == BIT_FLIP:
+                self._apply_bit_flip(page_no, health, proc)
+            elif entry.kind == DOUBLE_BIT:
+                self._apply_uncorrectable(page_no, health, proc)
+        if replay:
+            self._count("replays", proc.now)
+        return replay
+
+    def on_complete(self, page_no: int) -> None:
+        """The page's activation finished (pager bookkeeping)."""
+        if page_no in self._pages:
+            self.pager.end_computation(page_no)
+
+    def transfer_retry_ns(self, nbytes: int, bus, ts: float) -> float:
+        """Extra bus time when this transfer draws a corruption.
+
+        The corrupted transfer is detected (checksum) and retransmitted
+        once; the retry occupies the bus again and its duration is
+        returned for the caller to charge.
+        """
+        self._transfers += 1
+        hit = self._force_bus_error or self.injector.bus_error(self._transfers)
+        self._force_bus_error = False
+        if not hit:
+            return 0.0
+        self._count("bus_errors", ts)
+        self._count("bus_retries", ts)
+        self._instant("bus-retry", ts, bytes=nbytes)
+        return bus.transfer(nbytes)
+
+    # ------------------------------------------------------------------
+    # Tolerance mechanisms
+
+    def _apply_bit_flip(self, page_no: int, health: PageHealth, proc) -> None:
+        self._count("bit_flips", proc.now)
+        self._instant("bitflip", proc.now, page=page_no)
+        if not self.config.ecc:
+            self._count("uncorrectable", proc.now)
+            self._degrade(page_no, health, "bit flip with ECC disabled", proc.now)
+        # SEC-DED corrects the single-bit flip; the scrub writes the
+        # corrected word back and costs processor time.
+        self._count("corrected", proc.now)
+        self._count("scrubs", proc.now)
+        proc.charge("scrub_ns", self.config.scrub_ns)
+        self._instant("scrub", proc.now, page=page_no)
+
+    def _apply_uncorrectable(self, page_no: int, health: PageHealth, proc) -> None:
+        self._count("bit_flips", proc.now)
+        self._count("uncorrectable", proc.now)
+        self._instant("bitflip", proc.now, page=page_no, bits=2)
+        try:
+            self._degrade(page_no, health, "multi-bit upset beyond SEC-DED", proc.now)
+        except FaultError as exc:
+            raise UncorrectableFaultError(str(exc)) from None
+
+    def _apply_hard_fault(self, page_no: int, health: PageHealth, proc) -> None:
+        self._count("hard_faults", proc.now)
+        self._instant("hard", proc.now, page=page_no)
+        if health.spare_rows_left > 0:
+            health.spare_rows_left -= 1
+            self._count("row_remaps", proc.now)
+            self._instant("remap", proc.now, page=page_no, kind="spare-row")
+            return
+        self._migrate_or_degrade(page_no, health, proc, in_flight=False)
+
+    def _migrate_or_degrade(
+        self, page_no: int, health: PageHealth, proc, in_flight: bool
+    ) -> None:
+        if health.migrations >= self.config.migration_limit:
+            self._degrade(
+                page_no, health, "spare rows and migration budget exhausted", proc.now
+            )
+        if health.frame is not None:
+            try:
+                health.frame = self.frames.migrate(health.frame, f"page/{page_no}")
+            except OutOfFramesError:
+                self._degrade(page_no, health, "no healthy frame left", proc.now)
+        cost = self.pager.migrate(page_no)
+        health.migrations += 1
+        # A fresh subarray brings fresh spare rows.
+        health.spare_rows_left = self.config.spare_rows
+        proc.charge("migration_ns", cost)
+        self._count("migrations", proc.now)
+        self._instant(
+            "migrate",
+            proc.now,
+            page=page_no,
+            cost_ns=cost,
+            in_flight=in_flight,
+            chip=None if health.frame is None else health.frame.chip,
+        )

@@ -1,0 +1,269 @@
+"""Deterministic, seedable fault models (paper Section 3, made dynamic).
+
+The paper's economic argument for RADram is *defect tolerance*: the
+uniform LE fabric and spared DRAM arrays survive defects that would
+kill a processor or IRAM die.  :mod:`repro.radram.yieldmodel` captures
+that statically (a Poisson formula); this module makes defects and
+faults *injectable events* the simulator experiences at run time:
+
+* **Transient DRAM bit flips** — soft errors in a page's data arrays,
+  raised at activation granularity.  Single-bit flips are correctable
+  by SEC-DED ECC (at a scrub cost); multi-bit flips are not.
+* **Hard subarray/row failures** — a row of the page's DRAM slice dies
+  permanently.  Spare rows absorb the first few; beyond that the page
+  must *migrate* to a healthy frame.
+* **Defective LE blocks** — fabrication defects in the reconfigurable
+  fabric, drawn from the same Poisson defect model the yield table
+  uses, repaired by spare LE columns until those run out.
+* **Bus transfer errors** — a corrupted descriptor or service transfer
+  that must be retransmitted.
+
+Determinism
+-----------
+Every draw is a pure function of ``(seed, fault kind, coordinates)``
+via SHA-256 — not of call order, process layout, or global RNG state.
+Two runs with the same seed see byte-identical fault histories, no
+matter how the sweep harness schedules them (``--jobs 1`` vs ``-j 8``).
+
+Faults are configured by *rate* (per activation / per transfer
+probabilities, defect density in defects/cm^2) or by explicit
+``(activation cycle, target page)`` schedules, or both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.sim.errors import ConfigError
+
+# Fault kinds (also the trace instant names on the "faults" track).
+BIT_FLIP = "bit-flip"  # transient single-bit DRAM upset (ECC-correctable)
+DOUBLE_BIT = "double-bit"  # multi-bit upset (uncorrectable, even with ECC)
+HARD_FAULT = "hard"  # permanent subarray/row failure
+LE_DEFECT = "le-defect"  # fabrication defect in the LE fabric
+BUS_ERROR = "bus"  # corrupted bus transfer (retransmitted)
+
+FAULT_KINDS = (BIT_FLIP, DOUBLE_BIT, HARD_FAULT, LE_DEFECT, BUS_ERROR)
+
+#: LE-fabric area of one page, in cm^2 — the RADram chip class of the
+#: yield model, divided across its pages.  Feeding the same defect
+#: density through :func:`expected_page_survival` and the dynamic
+#: injector keeps the static and dynamic views of Section 3 consistent.
+def _page_fabric_area_cm2(pages_per_chip: int) -> float:
+    from repro.radram.yieldmodel import CHIP_CLASSES
+
+    chip = CHIP_CLASSES["radram"]
+    return chip.area_cm2 / max(1, pages_per_chip)
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One explicitly scheduled fault: (activation cycle, target page).
+
+    ``activation`` counts the target page's activations (its dispatch
+    "cycle"), starting at 1.  ``in_flight`` schedules the fault to
+    strike *while* that activation is executing (detected when the
+    processor waits on the page) instead of at dispatch — this is the
+    path that forces the dispatcher to replay an in-flight activation
+    after migration.
+    """
+
+    activation: int
+    page_no: int
+    kind: str
+    in_flight: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in (BIT_FLIP, DOUBLE_BIT, HARD_FAULT, BUS_ERROR):
+            raise ConfigError(f"unschedulable fault kind {self.kind!r}")
+        if self.activation < 1:
+            raise ConfigError("scheduled activation cycles start at 1")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault injection rates, schedules, and tolerance budgets.
+
+    All rates are probabilities in ``[0, 1]`` per opportunity (per
+    activation for page faults, per transfer for bus errors) except
+    ``le_defect_density``, which is in defects/cm^2 over the page's LE
+    fabric — the same unit the Section 3 yield model uses.
+    """
+
+    seed: int = 0
+    #: transient single-bit DRAM upset per activation.
+    bit_flip_rate: float = 0.0
+    #: multi-bit (ECC-uncorrectable) upset per activation.
+    double_bit_rate: float = 0.0
+    #: permanent row/subarray failure per activation.
+    hard_fault_rate: float = 0.0
+    #: corrupted bus transfer per descriptor/service transfer.
+    bus_error_rate: float = 0.0
+    #: fabrication defect density over the LE fabric (defects/cm^2).
+    le_defect_density: float = 0.0
+    #: explicit (cycle, target) fault schedule, applied on top of rates.
+    schedule: Tuple[ScheduledFault, ...] = ()
+    #: SEC-DED ECC on the DRAM arrays; off, any bit flip is fatal.
+    ecc: bool = True
+    #: processor time to scrub one corrected word back to memory.
+    scrub_ns: float = 2_000.0
+    #: hard faults a page absorbs via spare-row remapping.
+    spare_rows: int = 2
+    #: defective LE columns a page's fabric can remap onto spares.
+    spare_le_columns: int = 2
+    #: page migrations allowed before the page degrades for good.
+    migration_limit: int = 1
+    #: chips backing the frame allocator used for migration targets.
+    n_chips: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("bit_flip_rate", "double_bit_rate", "hard_fault_rate", "bus_error_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be a probability, got {rate}")
+        if self.le_defect_density < 0:
+            raise ConfigError("defect density cannot be negative")
+        if self.scrub_ns < 0:
+            raise ConfigError("scrub latency cannot be negative")
+        for name in ("spare_rows", "spare_le_columns", "migration_limit", "n_chips"):
+            if getattr(self, name) < 0 or (name == "n_chips" and self.n_chips < 1):
+                raise ConfigError(f"{name} must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any injector can ever fire."""
+        return bool(
+            self.bit_flip_rate
+            or self.double_bit_rate
+            or self.hard_fault_rate
+            or self.bus_error_rate
+            or self.le_defect_density
+            or self.schedule
+        )
+
+
+class FaultInjector:
+    """Order-independent fault draws for one :class:`FaultConfig`.
+
+    Each decision hashes ``(seed, kind, coordinates)``; the coordinates
+    identify the opportunity (page number and activation index, or bus
+    transfer index), so the same seed always yields the same fault
+    history regardless of execution interleaving.
+    """
+
+    def __init__(self, config: FaultConfig, pages_per_chip: int = 128) -> None:
+        self.config = config
+        self._fabric_area = _page_fabric_area_cm2(pages_per_chip)
+        # (page_no, activation) -> scheduled faults, split by phase.
+        self._at_dispatch: Dict[Tuple[int, int], Tuple[ScheduledFault, ...]] = {}
+        self._in_flight: Dict[Tuple[int, int], Tuple[ScheduledFault, ...]] = {}
+        for entry in config.schedule:
+            key = (entry.page_no, entry.activation)
+            book = self._in_flight if entry.in_flight else self._at_dispatch
+            book[key] = book.get(key, ()) + (entry,)
+
+    # ------------------------------------------------------------------
+    # The deterministic uniform source
+
+    def _uniform(self, kind: str, *coords: int) -> float:
+        """A U[0,1) value fully determined by (seed, kind, coords)."""
+        label = f"{self.config.seed}|{kind}|" + "|".join(str(c) for c in coords)
+        digest = hashlib.sha256(label.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    # ------------------------------------------------------------------
+    # Rate-driven draws
+
+    def bit_flip(self, page_no: int, activation: int) -> Optional[str]:
+        """``None``, :data:`BIT_FLIP` or :data:`DOUBLE_BIT` for one activation."""
+        cfg = self.config
+        if not (cfg.bit_flip_rate or cfg.double_bit_rate):
+            return None
+        u = self._uniform(BIT_FLIP, page_no, activation)
+        if u < cfg.double_bit_rate:
+            return DOUBLE_BIT
+        if u < cfg.double_bit_rate + cfg.bit_flip_rate:
+            return BIT_FLIP
+        return None
+
+    def hard_fault(self, page_no: int, activation: int) -> bool:
+        """Whether a permanent row failure strikes this activation."""
+        cfg = self.config
+        return bool(
+            cfg.hard_fault_rate
+            and self._uniform(HARD_FAULT, page_no, activation) < cfg.hard_fault_rate
+        )
+
+    def bus_error(self, transfer_index: int) -> bool:
+        """Whether bus transfer number ``transfer_index`` is corrupted."""
+        cfg = self.config
+        return bool(
+            cfg.bus_error_rate
+            and self._uniform(BUS_ERROR, transfer_index) < cfg.bus_error_rate
+        )
+
+    def le_defects(self, page_no: int) -> int:
+        """Fabrication defects in this page's LE fabric (Poisson draw).
+
+        The mean is ``le_defect_density * fabric_area`` — the same
+        Poisson model :func:`repro.radram.yieldmodel.chip_yield` uses,
+        sampled per page by inverting the CDF at a deterministic
+        uniform.
+        """
+        mean = self.config.le_defect_density * self._fabric_area
+        if mean <= 0:
+            return 0
+        u = self._uniform(LE_DEFECT, page_no)
+        # Invert the Poisson CDF: smallest k with P[X <= k] > u.
+        term = math.exp(-mean)
+        cumulative = term
+        k = 0
+        while u >= cumulative and k < 1_000:
+            k += 1
+            term *= mean / k
+            cumulative += term
+        return k
+
+    # ------------------------------------------------------------------
+    # Scheduled faults
+
+    def scheduled(self, page_no: int, activation: int) -> Tuple[ScheduledFault, ...]:
+        """Explicitly scheduled dispatch-time faults for this activation."""
+        return self._at_dispatch.get((page_no, activation), ())
+
+    def scheduled_in_flight(self, page_no: int, activation: int) -> Tuple[ScheduledFault, ...]:
+        """Scheduled faults striking while this activation executes."""
+        return self._in_flight.get((page_no, activation), ())
+
+    def take_in_flight(self, page_no: int, activation: int) -> Tuple[ScheduledFault, ...]:
+        """Consume the in-flight faults for this activation (fire once).
+
+        The wait handler may be entered repeatedly for one activation
+        (e.g. after a replay); popping the entry guarantees each
+        scheduled in-flight fault strikes exactly once.
+        """
+        return self._in_flight.pop((page_no, activation), ())
+
+
+def expected_page_survival(
+    density: float,
+    spare_le_columns: int = 2,
+    pages_per_chip: int = 128,
+) -> float:
+    """Analytic fraction of pages whose fabric survives fabrication.
+
+    The static yield-model counterpart of the dynamic injector: a page
+    survives when its Poisson-distributed LE defects do not exceed its
+    spare columns.  ``python -m repro faults`` prints this next to the
+    measured degraded fraction so the two Section 3 views can be
+    compared directly.
+    """
+    from repro.radram.yieldmodel import _poisson_cdf
+
+    mean = density * _page_fabric_area_cm2(pages_per_chip)
+    if mean <= 0:
+        return 1.0
+    return _poisson_cdf(spare_le_columns, mean)

@@ -42,6 +42,8 @@ class FrameAllocator:
             chip: list(range(frames_per_chip)) for chip in range(n_chips)
         }
         self._owner: Dict[Frame, str] = {}
+        #: frames permanently removed from service by hard defects.
+        self._retired: Set[Frame] = set()
         self.n_chips = n_chips
         self.frames_per_chip = frames_per_chip
 
@@ -116,3 +118,47 @@ class FrameAllocator:
     def chips_spanned(self, group_id: str) -> int:
         """How many chips a group's frames touch (locality metric)."""
         return len({f.chip for f in self.frames_of(group_id)})
+
+    # ------------------------------------------------------------------
+    # Defect handling (fault tolerance)
+
+    @property
+    def retired_frames(self) -> Set[Frame]:
+        """Frames permanently taken out of service (a copy)."""
+        return set(self._retired)
+
+    def retire(self, frame: Frame) -> None:
+        """Permanently remove a defective frame from service.
+
+        The frame leaves its owner (if any) and never returns to the
+        free pool — a hard subarray failure is not repairable by
+        releasing.  Retiring a free frame removes it from the pool.
+        """
+        if frame in self._retired:
+            return
+        self._owner.pop(frame, None)
+        try:
+            self._free[frame.chip].remove(frame.index)
+        except (KeyError, ValueError):
+            pass  # was allocated, not free
+        self._retired.add(frame)
+
+    def migrate(self, frame: Frame, group_id: Optional[str] = None) -> Frame:
+        """Replace a defective frame: retire it, allocate a healthy one.
+
+        The replacement prefers the same chip (keeping the group's
+        co-location intact); when that chip has no free frames the
+        normal allocation policy picks another.  Raises
+        :class:`OutOfFramesError` when no healthy frame remains.
+        """
+        owner = self._owner.get(frame) if group_id is None else group_id
+        self.retire(frame)
+        if owner is None:
+            owner = f"migrated:{frame.chip}:{frame.index}"
+        if self._free.get(frame.chip):
+            replacement = Frame(frame.chip, self._free[frame.chip].pop(0))
+            self._owner[replacement] = owner
+            return replacement
+        if self.free_frames == 0:
+            raise OutOfFramesError("no healthy frames left to migrate onto")
+        return self.allocate(owner, 1)[0]

@@ -44,6 +44,18 @@ class SwapCosts:
         projected fast-reconfiguration regime; FPGA-era is worse)."""
         return self.active_fault_ns() / self.conventional_fault_ns()
 
+    def migration_ns(self, configured: bool = True) -> float:
+        """Memory-to-memory move of a page onto a healthy frame.
+
+        No disk is involved — the data crosses the memory system once —
+        but a *configured* Active Page must also reload its logic, the
+        same reconfiguration surcharge an active disk fault pays.
+        """
+        cost = self.transfer_ns_per_byte * self.page_bytes
+        if configured:
+            cost += self.reconfig_ns
+        return cost
+
 
 @dataclass
 class PageState:
@@ -79,6 +91,8 @@ class Pager:
         self.accesses = 0
         self.evictions = 0
         self.fault_ns = 0.0
+        self.migrations = 0
+        self.migration_ns = 0.0
 
     def _state(self, page_id: int) -> PageState:
         if page_id not in self._pages:
@@ -121,6 +135,25 @@ class Pager:
         if len(self._resident) >= self.n_frames:
             self._evict()
         self._resident.insert(0, page_id)
+        return cost
+
+    def migrate(self, page_id: int) -> float:
+        """Move a page to a healthy frame; returns the cost paid (ns).
+
+        Migration is the fault-tolerance remap path: the page's frame
+        went bad, so its data (and, for configured pages, its logic
+        configuration) moves memory-to-memory onto a spare frame.
+        Residency is preserved — the page was not evicted, it was
+        relocated — and it becomes most-recently-used: the migration
+        itself touched every byte.
+        """
+        state = self._state(page_id)
+        cost = self.costs.migration_ns(configured=state.configured)
+        self.migrations += 1
+        self.migration_ns += cost
+        if page_id in self._resident:
+            self._resident.remove(page_id)
+            self._resident.insert(0, page_id)
         return cost
 
     def _evict(self) -> None:

@@ -21,7 +21,9 @@ so the reference charges reconfiguration once per ``ap_bind`` per page.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
+from repro.faults.models import FaultConfig
 from repro.sim.config import KB
 from repro.sim.errors import ConfigError
 
@@ -57,10 +59,18 @@ class RADramConfig:
     pages_per_chip: int = 128
     #: extra latency when a hardware reference crosses chips.
     interchip_hop_ns: float = 120.0
+    #: fault injection and tolerance (None = a perfect, fault-free
+    #: machine — the default; timing is bit-identical to pre-fault
+    #: builds when this is None or disabled).
+    faults: Optional[FaultConfig] = None
 
     def with_hardware_comm(self, hop_ns: float = 40.0) -> "RADramConfig":
         """A config using the dedicated in-chip comm network."""
         return replace(self, comm_mechanism="hardware", hw_hop_ns=hop_ns)
+
+    def with_faults(self, faults: Optional[FaultConfig]) -> "RADramConfig":
+        """A config with fault injection enabled (or disabled: None)."""
+        return replace(self, faults=faults)
 
     def chip_of(self, page_no: int) -> int:
         """Which chip a global page number lives on."""

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Sequence
 from repro.core.errors import BindError
 from repro.core.functions import APFunction
 from repro.radram.config import RADramConfig
+from repro.sim.errors import FaultError
 
 
 class LogicBlock:
@@ -26,6 +27,9 @@ class LogicBlock:
         self.functions: Dict[str, APFunction] = {}
         self.configured_les: int = 0
         self.reconfigurations: int = 0
+        #: fabrication/runtime defects in the fabric, by LE column.
+        self.defective_columns: int = 0
+        self.spare_columns_used: int = 0
 
     def configure(self, functions: Sequence[APFunction]) -> float:
         """Load a function set; returns reconfiguration time in ns.
@@ -42,6 +46,28 @@ class LogicBlock:
         self.configured_les = total_les
         self.reconfigurations += 1
         return self.config.reconfig_ns_per_page
+
+    def remap_defects(self, defects: int, spare_columns: int) -> int:
+        """Absorb ``defects`` defective LE columns onto spare columns.
+
+        The uniform fabric makes any spare column a drop-in replacement
+        (the paper's Section 3 defect-tolerance argument), so repaired
+        defects leave the LE budget untouched.  Returns how many new
+        spares this call consumed; raises :class:`FaultError` once the
+        cumulative defects exceed ``spare_columns`` — the page's fabric
+        is then unusable and the caller must degrade or migrate.
+        """
+        if defects < 0:
+            raise ValueError("defect count cannot be negative")
+        self.defective_columns += defects
+        if self.defective_columns > spare_columns:
+            raise FaultError(
+                f"{self.defective_columns} defective LE columns exceed "
+                f"the {spare_columns} spare(s); fabric unusable"
+            )
+        consumed = self.defective_columns - self.spare_columns_used
+        self.spare_columns_used = self.defective_columns
+        return consumed
 
     @property
     def utilization(self) -> float:

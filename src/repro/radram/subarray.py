@@ -86,6 +86,8 @@ class Subarray:
         self.total_busy_ns: float = 0.0
         #: (start, end) of completed activations, for trace rendering.
         self.history: list = []
+        #: the most recently dispatched task, kept for fault replay.
+        self.last_task: Optional[PageTask] = None
 
     def start(self, task: PageTask, start_ns: float) -> PageExecution:
         """Begin executing ``task`` at ``start_ns``.
@@ -105,7 +107,26 @@ class Subarray:
             self.history.append((self.current.start_ns, self.current.completion_ns))
         self.current = PageExecution(task, start_ns, self.config.logic_cycle_ns)
         self.activations += 1
+        self.last_task = task
         return self.current
+
+    def restart(self, start_ns: float) -> PageExecution:
+        """Replay the in-flight activation from scratch at ``start_ns``.
+
+        Fault recovery path: the page migrated to a healthy frame and
+        the interrupted execution's partial work is lost — the
+        dispatcher re-runs the same task on the new frame.
+        """
+        if self.last_task is None:
+            raise RuntimeError(f"page {self.page_no} has no task to replay")
+        self.current = PageExecution(
+            self.last_task, start_ns, self.config.logic_cycle_ns
+        )
+        return self.current
+
+    def abort(self) -> None:
+        """Abandon the in-flight execution (the page degraded)."""
+        self.current = None
 
     def intervals(self) -> list:
         """All (start, end) activation intervals, including the last."""

@@ -21,12 +21,13 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
+from repro.faults.controller import FaultController
 from repro.radram.config import RADramConfig
 from repro.radram.dispatch import activation_ns
 from repro.radram.interpage import service_ns
 from repro.radram.subarray import PageExecution, Subarray
 from repro.sim import ops as O
-from repro.sim.errors import OperationError
+from repro.sim.errors import FaultError, OperationError
 from repro.sim.processor import MemorySystemBase, Processor
 from repro.trace import events as _trace
 from repro.trace.events import Event
@@ -50,6 +51,12 @@ class RADramMemorySystem(MemorySystemBase):
         self.interchip_requests: int = 0
         # Page intervals already flushed to a tracer (page_no -> count).
         self._trace_flushed: Dict[int, int] = {}
+        # Fault injection/tolerance (None on a perfect machine — every
+        # handler below guards on it, so the fault-free hot path pays
+        # one attribute test per activation and nothing per cycle).
+        self.faults: Optional[FaultController] = None
+        if self.config.faults is not None:
+            self.faults = FaultController(self.config.faults, self.config)
 
     # ------------------------------------------------------------------
     # Machine wiring
@@ -66,6 +73,9 @@ class RADramMemorySystem(MemorySystemBase):
         self.comm_requests = 0
         self.interchip_requests = 0
         self._trace_flushed.clear()
+        if self.config.faults is not None:
+            # Fresh controller: identical fault history every run.
+            self.faults = FaultController(self.config.faults, self.config)
 
     def subarray(self, page_no: int) -> Subarray:
         sub = self.subarrays.get(page_no)
@@ -89,7 +99,20 @@ class RADramMemorySystem(MemorySystemBase):
         )
         proc.stats.activations += 1
         proc.charge("activation_ns", cost)
-        self.machine.bus.transfer(4 * op.descriptor_words)
+        nbytes = 4 * op.descriptor_words
+        self.machine.bus.transfer(nbytes)
+        if self.faults is not None:
+            retry = self.faults.transfer_retry_ns(nbytes, self.machine.bus, proc.now)
+            if retry:
+                proc.charge("activation_ns", retry)
+            sub = self.subarray(op.page_no)
+            try:
+                healthy = self.faults.on_activate(op.page_no, sub.logic, proc)
+            except FaultError:
+                healthy = False
+            if not healthy:
+                self._run_degraded(op.page_no, op.task, proc)
+                return
         execution = self.subarray(op.page_no).start(op.task, proc.now)
         tr = _trace.TRACER
         if tr is not None:
@@ -141,10 +164,58 @@ class RADramMemorySystem(MemorySystemBase):
         else:
             heapq.heappush(self._blocked, (execution.block_time_ns, page_no))
 
+    def _run_degraded(self, page_no: int, task, proc: Processor) -> None:
+        """Execute the activation's work on the processor instead.
+
+        Graceful degradation: a page whose repair budget is exhausted
+        still holds data, so its computation falls back to the
+        processor at conventional speed — no page parallelism, no
+        overlap, which is exactly the slowdown the faults experiment
+        measures.  Functional copies still happen so results stay
+        correct.
+        """
+        proc.charge("compute_ns", self.machine.config.cpu.compute_ns(task.total_cycles))
+        if self.faults is not None:
+            self.faults.counters["degraded_activations"] += 1
+        for request in task.comm_requests:
+            if request.nbytes > 0 and request.src_vaddr != request.dst_vaddr:
+                self._functional_copy(request)
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.instant(f"page/{page_no}", "degraded", proc.now)
+
+    def _drop_blocked(self, page_no: int) -> None:
+        """Purge a page's stale entries from the blocked queue."""
+        kept = [(when, p) for when, p in self._blocked if p != page_no]
+        if len(kept) != len(self._blocked):
+            self._blocked = kept
+            heapq.heapify(self._blocked)
+
     def handle_wait(self, op: O.WaitPage, proc: Processor) -> None:
         sub = self.subarrays.get(op.page_no)
         if sub is None or sub.current is None:
             return  # nothing outstanding on this page
+        # In-flight faults strike while the activation runs in wall
+        # time; the lazily-advanced execution may already be "done"
+        # in simulated terms, but the processor only discovers the
+        # page's fate on arrival at the wait.
+        if self.faults is not None:
+            try:
+                replay = self.faults.on_wait(op.page_no, proc)
+            except FaultError:
+                # The in-flight fault degraded the page: abandon the
+                # execution and redo its work on the processor.
+                task = sub.last_task
+                sub.abort()
+                self._drop_blocked(op.page_no)
+                if task is not None:
+                    self._run_degraded(op.page_no, task, proc)
+                return
+            if replay:
+                self._drop_blocked(op.page_no)
+                execution = sub.restart(proc.now)
+                if execution.is_blocked:
+                    self._note_blocked(execution, op.page_no)
         execution = sub.current
         while not execution.is_done:
             if execution.is_blocked:
@@ -154,6 +225,8 @@ class RADramMemorySystem(MemorySystemBase):
             else:
                 break
         proc.stall_until(execution.completion_ns)
+        if self.faults is not None:
+            self.faults.on_complete(op.page_no)
 
     def handle_service(self, proc: Processor) -> None:
         self._service_pending(proc)
@@ -220,7 +293,14 @@ class RADramMemorySystem(MemorySystemBase):
                 )
                 tr.counter("radram", "comm_bytes", proc.now, self.comm_bytes)
             proc.charge("interrupt_ns", cost)
-            self.machine.bus.transfer(2 * request.nbytes)
+            service_bytes = 2 * request.nbytes
+            self.machine.bus.transfer(service_bytes)
+            if self.faults is not None:
+                retry = self.faults.transfer_retry_ns(
+                    service_bytes, self.machine.bus, proc.now
+                )
+                if retry:
+                    proc.charge("interrupt_ns", retry)
             if request.nbytes > 0 and request.src_vaddr != request.dst_vaddr:
                 self._functional_copy(request)
             execution.resume(proc.now)
@@ -297,3 +377,7 @@ class RADramMemorySystem(MemorySystemBase):
     @property
     def total_activations(self) -> int:
         return sum(s.activations for s in self.subarrays.values())
+
+    def fault_counters(self) -> Dict[str, float]:
+        """Fault/repair counters (empty on a fault-free machine)."""
+        return {} if self.faults is None else self.faults.counters_dict()

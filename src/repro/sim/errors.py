@@ -15,3 +15,16 @@ class AddressError(SimulationError):
 
 class OperationError(SimulationError):
     """An operation stream contained an op the memory system cannot run."""
+
+
+class FaultError(SimulationError):
+    """An injected hardware fault the tolerance mechanisms handled.
+
+    Raised by the fault subsystem when a fault exceeds a page's repair
+    budget; the RADram memory system catches it and degrades that page
+    to processor-only execution (graceful degradation).
+    """
+
+
+class UncorrectableFaultError(FaultError):
+    """A memory fault beyond ECC's correction capability."""

@@ -21,6 +21,8 @@ CHARGE_CATEGORIES = (
     "activation_ns",
     "wait_ns",
     "interrupt_ns",
+    "scrub_ns",
+    "migration_ns",
 )
 
 
@@ -34,6 +36,8 @@ class MachineStats:
     activation_ns: float = 0.0
     wait_ns: float = 0.0  # processor-memory non-overlap
     interrupt_ns: float = 0.0  # servicing inter-page requests
+    scrub_ns: float = 0.0  # ECC correction scrubs (fault tolerance)
+    migration_ns: float = 0.0  # defect-driven page migrations
     activations: int = 0
     waits: int = 0
     interrupts: int = 0
@@ -100,7 +104,14 @@ class MachineStats:
     @property
     def busy_ns(self) -> float:
         """Time the processor made forward progress."""
-        return self.compute_ns + self.mem_ns + self.activation_ns + self.interrupt_ns
+        return (
+            self.compute_ns
+            + self.mem_ns
+            + self.activation_ns
+            + self.interrupt_ns
+            + self.scrub_ns
+            + self.migration_ns
+        )
 
     @property
     def stall_fraction(self) -> float:
@@ -137,6 +148,8 @@ class MachineStats:
             "activation_ns": self.activation_ns,
             "wait_ns": self.wait_ns,
             "interrupt_ns": self.interrupt_ns,
+            "scrub_ns": self.scrub_ns,
+            "migration_ns": self.migration_ns,
             "stall_fraction": self.stall_fraction,
             "activations": float(self.activations),
             "interrupts": float(self.interrupts),

@@ -200,4 +200,9 @@ def collect_machine_metrics(machine, registry: Optional[MetricsRegistry] = None)
             memsys.page_busy_ns(page_no) for page_no in memsys.subarrays
         )
         rns.counter("page_busy_ns").set(busy)
+        fault_counters = memsys.fault_counters()
+        if fault_counters:
+            fns = registry.namespace("faults")
+            for name, value in fault_counters.items():
+                fns.counter(name).set(value)
     return registry

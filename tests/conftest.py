@@ -9,9 +9,46 @@ grid) simulate once.  Tests that need a cold or private cache pass an
 explicit ``HarnessSettings``/``cache_dir``.
 """
 
+import signal
+
 import pytest
 
 from repro.experiments import harness
+
+#: Per-test wall-clock deadline (seconds).  A safety net against hung
+#: tests (deadlocked pools, un-preempted sleeps) — generous enough that
+#: no legitimate test approaches it.  ``pytest-timeout`` is not a
+#: dependency, so the deadline is a plain SIGALRM; override per test
+#: with ``@pytest.mark.deadline(seconds)``.
+TEST_DEADLINE_S = 300
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "deadline(seconds): override the per-test SIGALRM deadline"
+    )
+
+
+@pytest.fixture(autouse=True)
+def _per_test_deadline(request):
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - POSIX only
+        yield
+        return
+    marker = request.node.get_closest_marker("deadline")
+    seconds = int(marker.args[0]) if marker else TEST_DEADLINE_S
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds}s deadline (see tests/conftest.py)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session", autouse=True)

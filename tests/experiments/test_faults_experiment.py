@@ -1,0 +1,91 @@
+"""Tests for the defect-density experiment (``python -m repro faults``)."""
+
+import pytest
+
+from repro.experiments import faults_density, harness
+from repro.experiments.harness import HarnessSettings, faults_task, run_sweep
+from repro.faults.models import FaultConfig, expected_page_survival
+from repro.radram.config import RADramConfig
+
+PAGE = 64 * 1024
+
+
+class TestFaultsTask:
+    def test_requires_a_fault_config(self):
+        with pytest.raises(ValueError, match="faults"):
+            faults_task("database", 2.0, radram_config=RADramConfig.reference())
+
+    def test_values_carry_fault_counters(self, tmp_path):
+        rc = RADramConfig.reference().with_faults(FaultConfig(bit_flip_rate=1.0))
+        task = faults_task("database", 2.0, radram_config=rc, page_bytes=PAGE)
+        outcome = run_sweep(
+            [task], settings=HarnessSettings(cache_dir=str(tmp_path / "c"))
+        )
+        values = outcome[0].values
+        assert values["speedup"] > 0
+        assert values["faults.bit_flips"] > 0
+        assert values["faults.pages_touched"] >= 1
+
+    def test_cache_roundtrip_preserves_fault_counters(self, tmp_path):
+        rc = RADramConfig.reference().with_faults(FaultConfig(bit_flip_rate=1.0))
+        task = faults_task("database", 2.0, radram_config=rc, page_bytes=PAGE)
+        settings = HarnessSettings(cache_dir=str(tmp_path / "c"))
+        cold = run_sweep([task], settings=settings)
+        warm = run_sweep([task], settings=settings)
+        assert warm.stats.hits == 1
+        assert warm[0].values == cold[0].values
+
+    def test_key_depends_on_the_fault_config(self):
+        rc_a = RADramConfig.reference().with_faults(FaultConfig(seed=1))
+        rc_b = RADramConfig.reference().with_faults(FaultConfig(seed=2))
+        a = faults_task("database", 2.0, radram_config=rc_a, page_bytes=PAGE)
+        b = faults_task("database", 2.0, radram_config=rc_b, page_bytes=PAGE)
+        assert a.key() != b.key()
+
+
+class TestFaultsDensityExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, tmp_path_factory):
+        import os
+
+        cache = tmp_path_factory.mktemp("faults-density-cache")
+        previous = os.environ.get(harness.CACHE_DIR_ENV)
+        os.environ[harness.CACHE_DIR_ENV] = str(cache)
+        try:
+            yield faults_density.run(
+                apps=["array-insert"],
+                densities=[0.0, 800.0],
+                page_bytes=PAGE,
+            )
+        finally:
+            if previous is None:
+                os.environ.pop(harness.CACHE_DIR_ENV, None)
+            else:
+                os.environ[harness.CACHE_DIR_ENV] = previous
+
+    def test_one_row_per_grid_point(self, result):
+        assert len(result.rows) == 2
+        assert [r["density_cm2"] for r in result.rows] == [0.0, 800.0]
+
+    def test_zero_density_degrades_nothing(self, result):
+        clean = result.rows[0]
+        assert clean["degraded_pages"] == 0
+        assert clean["surviving_frac"] == 1.0
+        assert clean["expected_frac"] == 1.0
+
+    def test_speedup_degrades_gracefully_with_density(self, result):
+        clean, dense = result.rows
+        assert dense["degraded_pages"] > 0
+        assert 0.0 < dense["speedup"] < clean["speedup"]
+        assert 0.0 <= dense["surviving_frac"] < 1.0
+
+    def test_expected_frac_matches_the_analytic_model(self, result):
+        for row in result.rows:
+            assert row["expected_frac"] == pytest.approx(
+                expected_page_survival(row["density_cm2"])
+            )
+
+    def test_render_produces_a_table(self, result):
+        text = result.render()
+        assert "faults-density" in text
+        assert "surviving_frac" in text

@@ -1,0 +1,317 @@
+"""Fault tolerance end to end: injected faults against a live machine.
+
+Direct op streams give exact control over which page is activated how
+often, so scheduled faults can target precise ``(page, activation)``
+coordinates; a few tests run whole applications through
+:func:`repro.experiments.runner.run_radram` to cover the integrated
+path (global page numbers, many pages, graceful completion).
+"""
+
+import pytest
+
+from repro.core.functions import PageTask
+from repro.faults.models import (
+    BIT_FLIP,
+    BUS_ERROR,
+    DOUBLE_BIT,
+    HARD_FAULT,
+    FaultConfig,
+    FaultInjector,
+    ScheduledFault,
+)
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+
+PAGE = 4096
+
+
+def make_machine(fault_cfg=None):
+    cfg = RADramConfig.reference().with_page_bytes(PAGE).with_faults(fault_cfg)
+    memsys = RADramMemorySystem(cfg)
+    return Machine(memory=PagedMemory(page_bytes=PAGE), memsys=memsys), memsys
+
+
+def run_page(fault_cfg, activations=1, cycles=1000.0, page_no=0):
+    """Activate+wait one page ``activations`` times under ``fault_cfg``."""
+    machine, memsys = make_machine(fault_cfg)
+    ops = []
+    for _ in range(activations):
+        ops += [O.Activate(page_no, 1, PageTask.simple(cycles)), O.WaitPage(page_no)]
+    stats = machine.run(iter(ops))
+    return stats, memsys
+
+
+class TestDisabledIsFree:
+    def test_no_faults_means_no_counters(self):
+        stats, memsys = run_page(None)
+        assert memsys.fault_counters() == {}
+
+    def test_disabled_config_is_bit_identical_to_none(self):
+        baseline, _ = run_page(None, activations=3)
+        disabled, memsys = run_page(FaultConfig(), activations=3)
+        assert disabled.as_dict() == baseline.as_dict()
+        # The controller exists but never fired.
+        counters = memsys.fault_counters()
+        assert all(v == 0.0 for k, v in counters.items() if k != "pages_touched")
+
+
+class TestECC:
+    def test_single_bit_flip_is_scrubbed(self):
+        cfg = FaultConfig(schedule=(ScheduledFault(1, 0, BIT_FLIP),))
+        stats, memsys = run_page(cfg)
+        counters = memsys.fault_counters()
+        assert counters["bit_flips"] == 1
+        assert counters["corrected"] == 1
+        assert counters["scrubs"] == 1
+        assert counters["degraded_pages"] == 0
+        assert stats.scrub_ns == cfg.scrub_ns
+
+    def test_scrub_latency_is_configurable(self):
+        cfg = FaultConfig(schedule=(ScheduledFault(1, 0, BIT_FLIP),), scrub_ns=5_000.0)
+        stats, _ = run_page(cfg)
+        assert stats.scrub_ns == 5_000.0
+
+    def test_bit_flip_without_ecc_degrades_the_page(self):
+        cfg = FaultConfig(schedule=(ScheduledFault(1, 0, BIT_FLIP),), ecc=False)
+        stats, memsys = run_page(cfg)
+        counters = memsys.fault_counters()
+        assert counters["uncorrectable"] == 1
+        assert counters["degraded_pages"] == 1
+        assert memsys.faults.is_degraded(0)
+        assert stats.scrub_ns == 0.0
+
+    def test_double_bit_defeats_ecc(self):
+        cfg = FaultConfig(schedule=(ScheduledFault(1, 0, DOUBLE_BIT),))
+        _, memsys = run_page(cfg)
+        counters = memsys.fault_counters()
+        assert counters["uncorrectable"] == 1
+        assert counters["degraded_pages"] == 1
+
+    def test_degraded_page_stays_on_the_processor(self):
+        cfg = FaultConfig(schedule=(ScheduledFault(1, 0, DOUBLE_BIT),))
+        stats, memsys = run_page(cfg, activations=3)
+        assert stats.waits == 0  # page logic never ran, nothing to wait on
+        assert memsys.fault_counters()["degraded_activations"] == 3
+        assert stats.compute_ns > 0  # the processor did the work instead
+
+
+class TestHardFaults:
+    def test_spare_row_absorbs_first_hard_fault(self):
+        cfg = FaultConfig(schedule=(ScheduledFault(1, 0, HARD_FAULT),), spare_rows=1)
+        stats, memsys = run_page(cfg)
+        counters = memsys.fault_counters()
+        assert counters["hard_faults"] == 1
+        assert counters["row_remaps"] == 1
+        assert counters["migrations"] == 0
+        assert stats.migration_ns == 0.0
+
+    def test_exhausted_spares_trigger_migration(self):
+        cfg = FaultConfig(
+            schedule=(
+                ScheduledFault(1, 0, HARD_FAULT),
+                ScheduledFault(1, 0, HARD_FAULT),
+            ),
+            spare_rows=1,
+            migration_limit=1,
+        )
+        stats, memsys = run_page(cfg)
+        counters = memsys.fault_counters()
+        assert counters["row_remaps"] == 1
+        assert counters["migrations"] == 1
+        assert counters["degraded_pages"] == 0
+        assert stats.migration_ns > 0.0
+
+    def test_exhausted_migration_budget_degrades(self):
+        cfg = FaultConfig(
+            schedule=(ScheduledFault(1, 0, HARD_FAULT),) * 2,
+            spare_rows=0,
+            migration_limit=1,
+        )
+        _, memsys = run_page(cfg)
+        counters = memsys.fault_counters()
+        assert counters["hard_faults"] == 2
+        assert counters["row_remaps"] == 0
+        assert counters["migrations"] == 1
+        assert counters["degraded_pages"] == 1
+
+    def test_migration_restores_spare_rows(self):
+        # fault 1 -> spare row; fault 2 -> migrate (fresh spares);
+        # fault 3 -> the *new* subarray's spare row absorbs it.
+        cfg = FaultConfig(
+            schedule=(
+                ScheduledFault(1, 0, HARD_FAULT),
+                ScheduledFault(1, 0, HARD_FAULT),
+                ScheduledFault(2, 0, HARD_FAULT),
+            ),
+            spare_rows=1,
+            migration_limit=1,
+        )
+        _, memsys = run_page(cfg, activations=2)
+        counters = memsys.fault_counters()
+        assert counters["row_remaps"] == 2
+        assert counters["migrations"] == 1
+        assert counters["degraded_pages"] == 0
+
+
+class TestInFlightFaults:
+    def test_in_flight_hard_fault_replays_the_activation(self):
+        cfg = FaultConfig(
+            schedule=(ScheduledFault(1, 0, HARD_FAULT, in_flight=True),),
+            spare_rows=2,  # spares cannot save an in-flight computation
+        )
+        stats, memsys = run_page(cfg, cycles=50_000.0)
+        counters = memsys.fault_counters()
+        assert counters["replays"] == 1
+        assert counters["migrations"] == 1
+        assert counters["row_remaps"] == 0
+        baseline, _ = run_page(None, cycles=50_000.0)
+        assert stats.total_ns > baseline.total_ns  # migrate + re-run
+
+    def test_in_flight_fault_fires_exactly_once(self):
+        cfg = FaultConfig(
+            schedule=(ScheduledFault(1, 0, HARD_FAULT, in_flight=True),),
+            migration_limit=2,
+        )
+        _, memsys = run_page(cfg, activations=3)
+        assert memsys.fault_counters()["replays"] == 1
+
+    def test_in_flight_fault_past_budget_degrades(self):
+        cfg = FaultConfig(
+            schedule=(ScheduledFault(1, 0, HARD_FAULT, in_flight=True),),
+            migration_limit=0,
+        )
+        stats, memsys = run_page(cfg, activations=2)
+        counters = memsys.fault_counters()
+        assert counters["degraded_pages"] == 1
+        # The interrupted activation was replayed on the processor.
+        assert counters["degraded_activations"] == 2
+
+
+class TestBusErrors:
+    def test_every_transfer_retries_at_rate_one(self):
+        cfg = FaultConfig(bus_error_rate=1.0)
+        stats, memsys = run_page(cfg, activations=2)
+        counters = memsys.fault_counters()
+        assert counters["bus_errors"] >= 2
+        assert counters["bus_retries"] == counters["bus_errors"]
+        baseline, _ = run_page(None, activations=2)
+        assert stats.activation_ns > baseline.activation_ns
+
+    def test_scheduled_bus_error_forces_one_retry(self):
+        cfg = FaultConfig(
+            schedule=(
+                ScheduledFault(1, 0, BUS_ERROR),
+                ScheduledFault(2, 0, BUS_ERROR),
+            )
+        )
+        _, memsys = run_page(cfg, activations=3)
+        assert memsys.fault_counters()["bus_errors"] == 2
+
+
+class TestLEDefects:
+    def test_catastrophic_density_degrades_at_first_touch(self):
+        cfg = FaultConfig(le_defect_density=1e9, spare_le_columns=2)
+        stats, memsys = run_page(cfg)
+        counters = memsys.fault_counters()
+        assert counters["le_defects"] > 2
+        assert counters["degraded_pages"] == 1
+        assert stats.waits == 0  # the page's logic never ran
+
+    def test_defect_draw_matches_the_standalone_injector(self):
+        cfg = FaultConfig(seed=11, le_defect_density=20_000.0, spare_le_columns=200)
+        _, memsys = run_page(cfg)
+        inj = FaultInjector(cfg, pages_per_chip=memsys.config.pages_per_chip)
+        predicted = inj.le_defects(0)
+        assert predicted > 0  # seed chosen so the draw is non-trivial
+        counters = memsys.fault_counters()
+        assert counters["le_defects"] == predicted
+        assert counters["le_columns_remapped"] == predicted
+        assert counters["degraded_pages"] == 0
+
+
+class TestCounters:
+    def test_counters_dict_is_complete_and_float(self):
+        from repro.faults.controller import COUNTER_NAMES
+
+        _, memsys = run_page(FaultConfig(bit_flip_rate=1.0))
+        counters = memsys.fault_counters()
+        for name in COUNTER_NAMES:
+            assert isinstance(counters[name], float)
+        assert counters["pages_touched"] == 1.0
+
+    def test_metrics_registry_gains_faults_namespace(self):
+        from repro.trace.metrics import collect_machine_metrics
+
+        machine, memsys = make_machine(FaultConfig(bit_flip_rate=1.0))
+        machine.run(iter([O.Activate(0, 1, PageTask.simple(100.0)), O.WaitPage(0)]))
+        flat = collect_machine_metrics(machine).as_dict()
+        assert flat["faults.bit_flips"] == 1.0
+        assert flat["faults.scrubs"] == 1.0
+
+    def test_no_faults_namespace_when_disabled(self):
+        from repro.trace.metrics import collect_machine_metrics
+
+        machine, _ = make_machine(None)
+        machine.run(iter([O.Activate(0, 1, PageTask.simple(100.0)), O.WaitPage(0)]))
+        flat = collect_machine_metrics(machine).as_dict()
+        assert not any(k.startswith("faults.") for k in flat)
+
+
+class TestTracing:
+    def test_fault_instants_reach_the_tracer(self):
+        from repro.trace import events as trace_events
+
+        cfg = FaultConfig(
+            schedule=(
+                ScheduledFault(1, 0, BIT_FLIP),
+                ScheduledFault(1, 0, HARD_FAULT),
+            )
+        )
+        with trace_events.tracing() as tracer:
+            run_page(cfg)
+        instants = [e.name for e in tracer.events() if e.track == "faults" and e.ph == "I"]
+        assert "bitflip" in instants
+        assert "scrub" in instants
+        assert "hard" in instants
+        assert "remap" in instants
+
+
+class TestWholeApplications:
+    """Integrated path: real workloads under fault injection."""
+
+    def test_rates_on_run_completes_and_counts(self):
+        from repro.apps.registry import get_app
+        from repro.experiments.runner import run_radram
+
+        cfg = RADramConfig.reference().with_faults(
+            FaultConfig(seed=0, bit_flip_rate=0.5, hard_fault_rate=0.2)
+        )
+        result = run_radram(get_app("array-insert"), 8, radram_config=cfg)
+        assert result.total_ns > 0
+        assert result.fault_counters["bit_flips"] > 0
+        assert result.fault_counters["pages_touched"] >= 6
+
+    def test_same_seed_is_bit_identical(self):
+        from repro.apps.registry import get_app
+        from repro.experiments.runner import run_radram
+
+        cfg = RADramConfig.reference().with_faults(
+            FaultConfig(seed=42, bit_flip_rate=0.4, hard_fault_rate=0.3)
+        )
+        a = run_radram(get_app("array-insert"), 8, radram_config=cfg)
+        b = run_radram(get_app("array-insert"), 8, radram_config=cfg)
+        assert a.total_ns == b.total_ns
+        assert a.fault_counters == b.fault_counters
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_reset_rebuilds_a_fresh_controller(self):
+        cfg = FaultConfig(schedule=(ScheduledFault(1, 0, DOUBLE_BIT),))
+        machine, memsys = make_machine(cfg)
+        machine.run(iter([O.Activate(0, 1, PageTask.simple(100.0)), O.WaitPage(0)]))
+        assert memsys.fault_counters()["degraded_pages"] == 1
+        memsys.reset()
+        assert memsys.fault_counters()["degraded_pages"] == 0
+        assert not memsys.faults.is_degraded(0)

@@ -1,0 +1,194 @@
+"""Tests for the deterministic fault models (repro.faults.models)."""
+
+import pytest
+
+from repro.faults.models import (
+    BIT_FLIP,
+    BUS_ERROR,
+    DOUBLE_BIT,
+    HARD_FAULT,
+    LE_DEFECT,
+    FaultConfig,
+    FaultInjector,
+    ScheduledFault,
+    expected_page_survival,
+)
+from repro.sim.errors import ConfigError
+
+
+class TestFaultConfig:
+    def test_defaults_are_disabled(self):
+        cfg = FaultConfig()
+        assert not cfg.enabled
+
+    def test_any_rate_or_schedule_enables(self):
+        assert FaultConfig(bit_flip_rate=0.1).enabled
+        assert FaultConfig(hard_fault_rate=0.1).enabled
+        assert FaultConfig(bus_error_rate=0.1).enabled
+        assert FaultConfig(le_defect_density=10.0).enabled
+        assert FaultConfig(
+            schedule=(ScheduledFault(1, 0, BIT_FLIP),)
+        ).enabled
+
+    @pytest.mark.parametrize(
+        "field", ["bit_flip_rate", "double_bit_rate", "hard_fault_rate", "bus_error_rate"]
+    )
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ConfigError):
+            FaultConfig(**{field: -0.1})
+        with pytest.raises(ConfigError):
+            FaultConfig(**{field: 1.5})
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(le_defect_density=-1.0)
+
+    def test_negative_scrub_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(scrub_ns=-1.0)
+
+    def test_budgets_must_be_nonnegative(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(spare_rows=-1)
+        with pytest.raises(ConfigError):
+            FaultConfig(migration_limit=-1)
+        with pytest.raises(ConfigError):
+            FaultConfig(n_chips=0)
+
+
+class TestScheduledFault:
+    def test_le_defects_cannot_be_scheduled(self):
+        with pytest.raises(ConfigError):
+            ScheduledFault(1, 0, LE_DEFECT)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            ScheduledFault(1, 0, "gamma-ray")
+
+    def test_activation_cycles_start_at_one(self):
+        with pytest.raises(ConfigError):
+            ScheduledFault(0, 0, BIT_FLIP)
+
+
+class TestDeterminism:
+    """Draws are pure functions of (seed, kind, coordinates)."""
+
+    def test_same_seed_same_history(self):
+        a = FaultInjector(FaultConfig(seed=7, bit_flip_rate=0.3, hard_fault_rate=0.2))
+        b = FaultInjector(FaultConfig(seed=7, bit_flip_rate=0.3, hard_fault_rate=0.2))
+        history_a = [(a.bit_flip(p, c), a.hard_fault(p, c)) for p in range(50) for c in range(1, 5)]
+        history_b = [(b.bit_flip(p, c), b.hard_fault(p, c)) for p in range(50) for c in range(1, 5)]
+        assert history_a == history_b
+
+    def test_draws_are_call_order_independent(self):
+        inj = FaultInjector(FaultConfig(seed=3, bit_flip_rate=0.5))
+        forward = [inj.bit_flip(p, 1) for p in range(20)]
+        backward = [inj.bit_flip(p, 1) for p in reversed(range(20))]
+        assert forward == list(reversed(backward))
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(FaultConfig(seed=0, bit_flip_rate=0.5))
+        b = FaultInjector(FaultConfig(seed=1, bit_flip_rate=0.5))
+        draws = lambda inj: [inj.bit_flip(p, 1) for p in range(200)]
+        assert draws(a) != draws(b)
+
+
+class TestRateDraws:
+    def test_zero_rates_never_fire(self):
+        inj = FaultInjector(FaultConfig())
+        for p in range(20):
+            assert inj.bit_flip(p, 1) is None
+            assert not inj.hard_fault(p, 1)
+            assert not inj.bus_error(p)
+            assert inj.le_defects(p) == 0
+
+    def test_rate_one_always_fires(self):
+        inj = FaultInjector(
+            FaultConfig(bit_flip_rate=1.0, hard_fault_rate=1.0, bus_error_rate=1.0)
+        )
+        for p in range(20):
+            assert inj.bit_flip(p, 1) == BIT_FLIP
+            assert inj.hard_fault(p, 1)
+            assert inj.bus_error(p)
+
+    def test_double_bit_takes_priority_in_stacked_draw(self):
+        # With double_bit_rate == 1.0 the [0, double) band covers all
+        # uniforms, so every flip is the uncorrectable kind.
+        inj = FaultInjector(FaultConfig(double_bit_rate=1.0))
+        assert inj.bit_flip(0, 1) == DOUBLE_BIT
+
+    def test_empirical_rate_tracks_configured_rate(self):
+        inj = FaultInjector(FaultConfig(bit_flip_rate=0.25))
+        n = 4000
+        hits = sum(inj.bit_flip(p, c) is not None for p in range(200) for c in range(1, 21))
+        assert 0.20 < hits / n < 0.30
+
+    def test_le_defect_mean_scales_with_density(self):
+        low = FaultInjector(FaultConfig(le_defect_density=100.0))
+        high = FaultInjector(FaultConfig(le_defect_density=10_000.0))
+        pages = range(200)
+        mean_low = sum(low.le_defects(p) for p in pages) / 200
+        mean_high = sum(high.le_defects(p) for p in pages) / 200
+        assert mean_high > mean_low * 10
+
+
+class TestSchedules:
+    def test_dispatch_schedule_hits_only_its_coordinates(self):
+        inj = FaultInjector(
+            FaultConfig(schedule=(ScheduledFault(2, 5, HARD_FAULT),))
+        )
+        assert inj.scheduled(5, 2)[0].kind == HARD_FAULT
+        assert inj.scheduled(5, 1) == ()
+        assert inj.scheduled(4, 2) == ()
+        assert inj.scheduled_in_flight(5, 2) == ()
+
+    def test_in_flight_schedule_is_separate(self):
+        inj = FaultInjector(
+            FaultConfig(schedule=(ScheduledFault(1, 3, HARD_FAULT, in_flight=True),))
+        )
+        assert inj.scheduled(3, 1) == ()
+        assert inj.scheduled_in_flight(3, 1)[0].in_flight
+
+    def test_take_in_flight_consumes_the_entry(self):
+        inj = FaultInjector(
+            FaultConfig(schedule=(ScheduledFault(1, 3, BIT_FLIP, in_flight=True),))
+        )
+        first = inj.take_in_flight(3, 1)
+        assert len(first) == 1
+        assert inj.take_in_flight(3, 1) == ()
+
+    def test_multiple_faults_stack_on_one_activation(self):
+        inj = FaultInjector(
+            FaultConfig(
+                schedule=(
+                    ScheduledFault(1, 0, HARD_FAULT),
+                    ScheduledFault(1, 0, HARD_FAULT),
+                    ScheduledFault(1, 0, BUS_ERROR),
+                )
+            )
+        )
+        assert len(inj.scheduled(0, 1)) == 3
+
+
+class TestExpectedSurvival:
+    def test_zero_density_survives_fully(self):
+        assert expected_page_survival(0.0) == 1.0
+
+    def test_monotone_decreasing_in_density(self):
+        survivals = [expected_page_survival(d) for d in (0.0, 100.0, 400.0, 800.0)]
+        assert survivals == sorted(survivals, reverse=True)
+        assert survivals[-1] < 0.2
+
+    def test_matches_the_yield_model_cdf(self):
+        from repro.radram.yieldmodel import CHIP_CLASSES, _poisson_cdf
+
+        density, spares, pages = 200.0, 2, 128
+        mean = density * CHIP_CLASSES["radram"].area_cm2 / pages
+        assert expected_page_survival(density, spares, pages) == pytest.approx(
+            _poisson_cdf(spares, mean)
+        )
+
+    def test_more_spares_survive_more(self):
+        assert expected_page_survival(400.0, spare_le_columns=4) > expected_page_survival(
+            400.0, spare_le_columns=1
+        )

@@ -1,0 +1,172 @@
+"""Fault-driven remap paths: frame retirement/migration and pager moves.
+
+Also holds the end-to-end determinism contract: one fault seed must
+produce bit-identical machine statistics across repeated runs *and*
+across harness parallelism (``--jobs 1`` vs a process pool).
+"""
+
+import pytest
+
+from repro.os.frames import Frame, FrameAllocator, OutOfFramesError
+from repro.os.paging import Pager, SwapCosts
+
+
+class TestRetire:
+    def test_retired_allocated_frame_leaves_its_owner(self):
+        alloc = FrameAllocator(n_chips=2, frames_per_chip=4)
+        frame = alloc.allocate("g", 1)[0]
+        alloc.retire(frame)
+        assert alloc.owner_of(frame) is None
+        assert frame in alloc.retired_frames
+        assert alloc.frames_of("g") == []
+
+    def test_retired_free_frame_leaves_the_pool(self):
+        alloc = FrameAllocator(n_chips=1, frames_per_chip=4)
+        before = alloc.free_frames
+        alloc.retire(Frame(0, 0))
+        assert alloc.free_frames == before - 1
+
+    def test_retire_is_idempotent(self):
+        alloc = FrameAllocator(n_chips=1, frames_per_chip=4)
+        alloc.retire(Frame(0, 0))
+        alloc.retire(Frame(0, 0))
+        assert alloc.free_frames == 3
+        assert len(alloc.retired_frames) == 1
+
+    def test_retired_frame_is_never_reallocated(self):
+        alloc = FrameAllocator(n_chips=1, frames_per_chip=2)
+        alloc.retire(Frame(0, 0))
+        got = alloc.allocate("g", 1)
+        assert got == [Frame(0, 1)]
+        with pytest.raises(OutOfFramesError):
+            alloc.allocate("g", 1)
+
+
+class TestMigrate:
+    def test_migration_prefers_the_same_chip(self):
+        alloc = FrameAllocator(n_chips=2, frames_per_chip=4)
+        frame = alloc.allocate("g", 1)[0]
+        replacement = alloc.migrate(frame)
+        assert replacement.chip == frame.chip
+        assert replacement != frame
+        assert alloc.owner_of(replacement) == "g"
+        assert frame in alloc.retired_frames
+
+    def test_migration_crosses_chips_when_home_is_full(self):
+        alloc = FrameAllocator(n_chips=2, frames_per_chip=1)
+        frame = alloc.allocate("g", 1)[0]
+        replacement = alloc.migrate(frame)
+        assert replacement.chip != frame.chip
+
+    def test_migration_with_no_frames_left_raises(self):
+        alloc = FrameAllocator(n_chips=1, frames_per_chip=1)
+        frame = alloc.allocate("g", 1)[0]
+        with pytest.raises(OutOfFramesError):
+            alloc.migrate(frame)
+
+    def test_migration_preserves_group_ownership(self):
+        alloc = FrameAllocator(n_chips=1, frames_per_chip=4)
+        frames = alloc.allocate("g", 2)
+        alloc.migrate(frames[0], "g")
+        assert len(alloc.frames_of("g")) == 2
+
+
+class TestPagerMigrate:
+    def test_migration_cost_for_configured_page_includes_reconfig(self):
+        costs = SwapCosts(page_bytes=1024, transfer_ns_per_byte=1.0, reconfig_ns=500.0)
+        pager = Pager(n_frames=4, costs=costs)
+        pager.bind(7)
+        pager.touch(7)
+        assert pager.migrate(7) == 1024.0 + 500.0
+        assert pager.migrations == 1
+        assert pager.migration_ns == 1524.0
+
+    def test_passive_page_migrates_without_reconfig(self):
+        costs = SwapCosts(page_bytes=1024, transfer_ns_per_byte=1.0, reconfig_ns=500.0)
+        pager = Pager(n_frames=4, costs=costs)
+        pager.touch(7)
+        assert pager.migrate(7) == 1024.0
+
+    def test_migration_pays_no_disk_latency(self):
+        costs = SwapCosts(disk_latency_ns=5e6, page_bytes=1024, transfer_ns_per_byte=1.0)
+        pager = Pager(n_frames=4, costs=costs)
+        pager.touch(7)
+        assert pager.migrate(7) < costs.conventional_fault_ns()
+
+    def test_migration_preserves_residency_as_mru(self):
+        pager = Pager(n_frames=2)
+        pager.touch(1)
+        pager.touch(2)  # LRU order now [2, 1]
+        pager.migrate(1)  # 1 becomes MRU, still resident
+        assert pager.resident == {1, 2}
+        pager.touch(3)  # evicts the LRU page: 2, not the migrated 1
+        assert 1 in pager.resident
+        assert 2 not in pager.resident
+
+    def test_migration_is_not_a_fault(self):
+        pager = Pager(n_frames=4)
+        pager.touch(7)
+        faults_before = pager.faults
+        pager.migrate(7)
+        assert pager.faults == faults_before
+
+
+class TestSeedDeterminism:
+    """Same fault seed => bit-identical stats, any execution layout."""
+
+    def fault_cfg(self, seed=42):
+        from repro.faults.models import FaultConfig
+
+        return FaultConfig(
+            seed=seed, bit_flip_rate=0.4, hard_fault_rate=0.3, le_defect_density=100.0
+        )
+
+    def test_repeated_runs_are_bit_identical(self):
+        from repro.apps.registry import get_app
+        from repro.experiments.runner import run_radram
+        from repro.radram.config import RADramConfig
+
+        cfg = RADramConfig.reference().with_faults(self.fault_cfg())
+        runs = [run_radram(get_app("array-insert"), 8, radram_config=cfg) for _ in range(2)]
+        assert runs[0].stats.as_dict() == runs[1].stats.as_dict()
+        assert runs[0].fault_counters == runs[1].fault_counters
+
+    def test_different_seeds_change_the_fault_history(self):
+        from repro.apps.registry import get_app
+        from repro.experiments.runner import run_radram
+        from repro.radram.config import RADramConfig
+
+        a = run_radram(
+            get_app("array-insert"),
+            8,
+            radram_config=RADramConfig.reference().with_faults(self.fault_cfg(seed=1)),
+        )
+        b = run_radram(
+            get_app("array-insert"),
+            8,
+            radram_config=RADramConfig.reference().with_faults(self.fault_cfg(seed=2)),
+        )
+        assert a.fault_counters != b.fault_counters
+
+    def test_pooled_and_serial_sweeps_are_bit_identical(self, tmp_path):
+        from repro.experiments.harness import HarnessSettings, faults_task, run_sweep
+        from repro.radram.config import RADramConfig
+
+        tasks = [
+            faults_task(
+                app,
+                4.0,
+                radram_config=RADramConfig.reference().with_faults(self.fault_cfg()),
+                page_bytes=64 * 1024,
+            )
+            for app in ("array-insert", "database")
+        ]
+        serial = run_sweep(
+            tasks, settings=HarnessSettings(jobs=1, use_cache=False)
+        )
+        pooled = run_sweep(
+            tasks, settings=HarnessSettings(jobs=2, use_cache=False)
+        )
+        for s, p in zip(serial, pooled):
+            assert s.values == p.values  # bit-for-bit, fault counters included
+            assert any(k.startswith("faults.") for k in s.values)
