@@ -5,6 +5,9 @@ Commands
 report       regenerate the paper's tables and figures
 fig3 ...     shorthand for one experiment (fig1/3/4/5/6/8/9, table2/3/4)
 app          run one application on both systems at a problem size
+check        run app(s) under the runtime sanitizer (race/coherence/
+             protocol/watchdog detectors); ``--strict`` aborts on the
+             first violation, exit code 2 when violations are found
 synth        print Table 3 (circuit synthesis)
 yield        print the Section 3 yield/cost comparison
 power        print the Section 3 port-width power study
@@ -68,6 +71,8 @@ def _report_argv(args: argparse.Namespace, only: Optional[List[str]]) -> List[st
         argv += ["--task-timeout", str(args.task_timeout)]
     if getattr(args, "retries", None) is not None:
         argv += ["--retries", str(args.retries)]
+    if getattr(args, "allow_failures", False):
+        argv.append("--allow-failures")
     return argv
 
 
@@ -189,11 +194,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments import simbench
 
     if args.update:
-        doc = simbench.refresh_baseline(note=args.note or "")
+        doc = simbench.refresh_baseline(note=args.note or "", trials=args.trials)
         current = doc["workloads"]
         print(f"baseline refreshed: {simbench.BASELINE_PATH}")
     else:
-        current = simbench.run_benchmarks()
+        current = simbench.run_benchmarks(trials=args.trials)
     print(
         f"{'workload':<26} {'lines':>8} {'vec ms':>9} "
         f"{'scalar ms':>10} {'ns/line':>8} {'ratio':>7}"
@@ -291,6 +296,24 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="extra attempts for crashed/hung/raising sweep tasks",
     )
+    parser.add_argument(
+        "--allow-failures",
+        action="store_true",
+        help="exit 0 even if sweep tasks failed (default: exit 1)",
+    )
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.runner import PAPER_SIX, check_apps
+
+    names = list(args.names)
+    if names == ["all"]:
+        names = sorted(ALL_APPS)
+    elif names == ["paper-six"]:
+        names = list(PAPER_SIX)
+    report = check_apps(names, n_pages=args.pages, strict=args.strict)
+    print(report.render())
+    return 0 if report.clean else 2
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -313,6 +336,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--update", action="store_true", help="rewrite the BENCH_sim.json baseline"
     )
     p_bench.add_argument("--note", metavar="TEXT", help="note stored with --update")
+    p_bench.add_argument(
+        "--trials",
+        type=int,
+        default=3,
+        metavar="N",
+        help="fresh-hierarchy runs per workload (min-of-N; raise on noisy hosts)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
 
     p_faults = sub.add_parser(
@@ -352,6 +382,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_app.add_argument("--pages", type=float, default=16.0)
     p_app.add_argument("--exact", action="store_true", help="no extrapolation")
     p_app.set_defaults(func=_cmd_app)
+
+    p_check = sub.add_parser(
+        "check", help="run app(s) under the runtime sanitizer"
+    )
+    p_check.add_argument(
+        "names",
+        nargs="+",
+        choices=sorted(ALL_APPS) + ["all", "paper-six"],
+        help="applications to check ('all', or 'paper-six' for the "
+        "six-app acceptance set)",
+    )
+    p_check.add_argument("--pages", type=float, default=8.0)
+    p_check.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on the first violation instead of counting",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_synth = sub.add_parser("synth", help="print Table 3")
     p_synth.set_defaults(func=_cmd_synth)

@@ -190,9 +190,13 @@ class ArrayInsertApp(_ArrayAppBase):
 
         for j in pages:
             yield O.BeginPhase(PHASE_ACTIVATION)
-            if j > first_page:
-                # Processor saves the boundary word of the previous page.
-                yield O.GatherRead([self._word_addr(w, j * wpp - 1)])
+            if j < pages[-1]:
+                # Processor saves this page's boundary word (the carry
+                # into page j+1) BEFORE activating the page: reading it
+                # after dispatch would race the in-flight shift.  Same
+                # address set and cost as reading page j-1's last word
+                # one iteration later, without the race.
+                yield O.GatherRead([self._word_addr(w, (j + 1) * wpp - 1)])
             start_local = pos - j * wpp if j == first_page else 0
             shifted = max(0, counts[j] - start_local - (1 if j == len(counts) - 1 else 0))
             task = PageTask.simple(shifted * SHIFT_CYCLES_PER_WORD)

@@ -160,9 +160,26 @@ class LCSApp(Application):
             for band, chunk in active:
                 yield O.BeginPhase(PHASE_ACTIVATION)
                 segments = []
+                # This activation touches its halo row and the chunk's
+                # cell block — declared so the sanitizer's race detector
+                # can prove the boundary copy below (which reads band-1
+                # while band-1 computes chunk+1) never overlaps an
+                # in-flight span.  The read occupies unit offsets
+                # [band_rows-1+chunk, band_rows+chunk) of band-1, the
+                # in-flight computed block [(chunk+1)*band_rows,
+                # (chunk+2)*band_rows): disjoint for all band_rows >= 1;
+                # the in-flight halo overlaps only when band_rows == 2,
+                # below any practical sweep size.
+                spans = [
+                    (
+                        w.page_base(band) + chunk * chunk_cells * _CELL,
+                        chunk_cells * _CELL,
+                    )
+                ]
                 if band > 0:
                     src = w.page_base(band - 1) + (band_rows - 1) * chunk_cols * _CELL
                     dst = w.page_base(band) + chunk * boundary_bytes
+                    spans.append((dst, boundary_bytes))
                     if hardware_comm:
                         # The page pulls its boundary over the in-chip
                         # network before computing.
@@ -177,12 +194,16 @@ class LCSApp(Application):
                             )
                         )
                     else:
-                        # Processor-mediated boundary copy.
+                        # Processor-mediated boundary copy; the halo
+                        # write must be flushed out of the caches before
+                        # dispatch or the page would compute on stale
+                        # DRAM (the paper's Section 4 coherence rule).
                         yield O.MemRead(src + chunk * boundary_bytes, boundary_bytes)
                         yield O.MemWrite(dst, boundary_bytes)
+                        yield O.FlushRange(dst, boundary_bytes)
                         yield O.Compute(20)
                 segments.append(Segment(chunk_cells * CYCLES_PER_CELL))
-                task = PageTask.of(segments)
+                task = PageTask.of(segments, working_spans=spans)
                 yield O.Activate(
                     w.page_base(band) // w.page_bytes, self.descriptor_words, task
                 )

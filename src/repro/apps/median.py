@@ -169,6 +169,11 @@ class MedianApp(Application):
                 )
                 yield O.Compute(4 * tile * width)
                 tile_start += tile
+            # The page is about to be activated on this data: flush the
+            # tile writes out of the caches so the page logic sees them
+            # in DRAM (Section 4 coherence; the dispatch-time dirty-line
+            # check in repro.check enforces exactly this).
+            yield O.FlushRange(w.page_base(j), band_rows * row_bytes)
 
     def _transform_out_stream(self, w: Workload) -> Iterator[O.Op]:
         """Banded results -> contiguous output image."""

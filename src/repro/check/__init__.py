@@ -1,0 +1,28 @@
+"""repro.check: runtime coherence/race/protocol sanitizer.
+
+See :mod:`repro.check.runtime` for the detectors and the
+zero-overhead-when-off ``CHECKER`` hook, and :mod:`repro.check.runner`
+for the ``python -m repro check`` entry point.
+"""
+
+from repro.check.runtime import (
+    CHECKER,
+    CheckError,
+    Checker,
+    Violation,
+    checking,
+    disable,
+    enable,
+    is_enabled,
+)
+
+__all__ = [
+    "CHECKER",
+    "CheckError",
+    "Checker",
+    "Violation",
+    "checking",
+    "disable",
+    "enable",
+    "is_enabled",
+]

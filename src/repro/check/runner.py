@@ -1,0 +1,148 @@
+"""Run applications under the sanitizer: the ``repro check`` backend.
+
+Each app runs twice — once on the conventional machine, once on the
+RADram machine — with a fresh :class:`repro.check.runtime.Checker`
+installed for each run.  In counting mode (the default) violations are
+collected and reported; in strict mode the first violation aborts the
+run with :class:`CheckError` and still produces a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.registry import get_app
+from repro.check.runtime import CheckError, Checker, checking
+from repro.experiments import runner as _runner
+from repro.sim.memory import DEFAULT_PAGE_BYTES
+
+#: The six paper applications the acceptance suite strict-checks
+#: (Table 2 / Figure 3 core set; one representative per family).
+PAPER_SIX = (
+    "array-insert",
+    "database",
+    "median-kernel",
+    "dynamic-prog",
+    "matrix-simplex",
+    "mpeg-mmx",
+)
+
+SYSTEMS = ("conventional", "radram")
+
+
+@dataclass
+class CheckRun:
+    """Sanitizer outcome for one (app, system) run."""
+
+    app: str
+    system: str
+    violations: list
+    counts: Dict[str, int]
+    dropped: int
+    error: Optional[str] = None  # CheckError message in strict mode
+
+    @property
+    def clean(self) -> bool:
+        return self.total == 0 and self.error is None
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+@dataclass
+class CheckReport:
+    """All runs for one ``repro check`` invocation."""
+
+    runs: List[CheckRun] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return all(r.clean for r in self.runs)
+
+    @property
+    def total(self) -> int:
+        return sum(r.total for r in self.runs)
+
+    def render(self) -> str:
+        lines = []
+        for r in self.runs:
+            status = "ok" if r.clean else f"{r.total} violation(s)"
+            lines.append(f"check {r.app} [{r.system}]: {status}")
+            for v in r.violations:
+                lines.append("  " + v.render())
+            if r.dropped:
+                lines.append(f"  ... {r.dropped} further violation(s) not stored")
+            if r.error is not None:
+                lines.append(f"  aborted (strict): {r.error}")
+        lines.append(
+            f"check summary: {len(self.runs)} run(s), "
+            f"{self.total} violation(s), "
+            + ("CLEAN" if self.clean else "VIOLATIONS FOUND")
+        )
+        return "\n".join(lines)
+
+
+def _snapshot(ck: Checker, app: str, system: str, error: Optional[str]) -> CheckRun:
+    return CheckRun(
+        app=app,
+        system=system,
+        violations=list(ck.violations),
+        counts=dict(ck.counts),
+        dropped=ck.dropped,
+        error=error,
+    )
+
+
+def check_app(
+    app_name: str,
+    n_pages: float = 8.0,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    strict: bool = False,
+    systems: Tuple[str, ...] = SYSTEMS,
+    seed: int = 0,
+) -> List[CheckRun]:
+    """Run ``app_name`` on each system with the sanitizer installed."""
+    app = get_app(app_name)
+    runs = []
+    for system in systems:
+        error = None
+        with checking(strict=strict, app=f"{app_name}/{system}") as ck:
+            try:
+                if system == "conventional":
+                    _runner.run_conventional(
+                        app, n_pages, page_bytes=page_bytes, seed=seed
+                    )
+                else:
+                    _runner.run_radram(
+                        app, n_pages, page_bytes=page_bytes, seed=seed
+                    )
+            except CheckError as exc:
+                error = str(exc)
+        runs.append(_snapshot(ck, app_name, system, error))
+    return runs
+
+
+def check_apps(
+    app_names,
+    n_pages: float = 8.0,
+    page_bytes: int = DEFAULT_PAGE_BYTES,
+    strict: bool = False,
+    systems: Tuple[str, ...] = SYSTEMS,
+    seed: int = 0,
+) -> CheckReport:
+    """Sanitize a list of apps; returns the combined report."""
+    report = CheckReport()
+    for name in app_names:
+        report.runs.extend(
+            check_app(
+                name,
+                n_pages=n_pages,
+                page_bytes=page_bytes,
+                strict=strict,
+                systems=systems,
+                seed=seed,
+            )
+        )
+    return report

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.check import runtime as _check
 from repro.core.errors import ActivationError, GroupError
 from repro.core.functions import APFunction
 from repro.core.page import ActivePage, PageGroup
@@ -112,7 +113,13 @@ class ActivePageSystem:
     def results(self, group_id: str, page_index: int, count: int) -> List[int]:
         """Read result words from a page's sync area."""
         page = self.group(group_id).page(page_index)
-        if page.sync.status != SyncState.DONE:
+        status = page.sync.status
+        if status != SyncState.DONE:
+            ck = _check.CHECKER
+            if ck is not None:
+                # Record the protocol violation (strict mode raises
+                # CheckError here) before the interface error.
+                ck.on_result_read(int(status), page.page_no)
             raise ActivationError(
                 f"page {page_index} of group {group_id!r} has no valid results"
             )

@@ -52,18 +52,39 @@ class Segment:
 
 @dataclass(frozen=True)
 class PageTask:
-    """The complete page-side execution of one activation."""
+    """The complete page-side execution of one activation.
+
+    ``working_spans`` optionally declares the absolute address ranges
+    (``(vaddr, nbytes)`` pairs) the page function may touch, for the
+    runtime sanitizer's race detector (:mod:`repro.check`).  An empty
+    tuple means "undeclared", which the sanitizer conservatively treats
+    as the activated page's entire data region.
+    """
 
     segments: Tuple[Segment, ...]
+    working_spans: Tuple[Tuple[int, int], ...] = ()
 
     @classmethod
-    def simple(cls, logic_cycles: float) -> "PageTask":
+    def simple(
+        cls,
+        logic_cycles: float,
+        working_spans: Sequence[Tuple[int, int]] = (),
+    ) -> "PageTask":
         """A task with no inter-page communication."""
-        return cls(segments=(Segment(logic_cycles),))
+        return cls(
+            segments=(Segment(logic_cycles),),
+            working_spans=tuple(working_spans),
+        )
 
     @classmethod
-    def of(cls, segments: Sequence[Segment]) -> "PageTask":
-        return cls(segments=tuple(segments))
+    def of(
+        cls,
+        segments: Sequence[Segment],
+        working_spans: Sequence[Tuple[int, int]] = (),
+    ) -> "PageTask":
+        return cls(
+            segments=tuple(segments), working_spans=tuple(working_spans)
+        )
 
     @property
     def total_cycles(self) -> float:

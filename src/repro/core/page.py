@@ -57,7 +57,7 @@ class ActivePage:
     def sync(self) -> SyncArea:
         """The page's synchronization variables."""
         words = self._raw[self.data_bytes :].view(np.uint32)
-        return SyncArea(words)
+        return SyncArea(words, owner=self.page_no)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ActivePage(page_no={self.page_no}, group={self.group.group_id!r})"

@@ -12,8 +12,11 @@ hardware — reads and writes suffice, and accesses are atomic.
 from __future__ import annotations
 
 import enum
+from typing import Optional
 
 import numpy as np
+
+from repro.check import runtime as _check
 
 
 class SyncState(enum.IntEnum):
@@ -39,12 +42,14 @@ SYNC_WORDS = RESULTS_FIRST_WORD + N_RESULT_WORDS
 class SyncArea:
     """Typed accessor over a page's synchronization words."""
 
-    def __init__(self, words: np.ndarray) -> None:
+    def __init__(self, words: np.ndarray, owner: Optional[int] = None) -> None:
         if len(words) < SYNC_WORDS:
             raise ValueError(
                 f"sync area needs {SYNC_WORDS} words, got {len(words)}"
             )
         self._words = words
+        #: Owning page number, for sanitizer violation context.
+        self.owner = owner
 
     @property
     def status(self) -> SyncState:
@@ -52,6 +57,11 @@ class SyncArea:
 
     @status.setter
     def status(self, value: SyncState) -> None:
+        ck = _check.CHECKER
+        if ck is not None:
+            ck.on_sync_transition(
+                int(self._words[STATUS_WORD]), int(value), self.owner
+            )
         self._words[STATUS_WORD] = int(value)
 
     @property
@@ -78,4 +88,7 @@ class SyncArea:
             self._words[RESULTS_FIRST_WORD + i] = np.uint32(v & 0xFFFFFFFF)
 
     def read_results(self, count: int) -> "list[int]":
+        ck = _check.CHECKER
+        if ck is not None:
+            ck.on_result_read(int(self._words[STATUS_WORD]), self.owner)
         return [int(self._words[RESULTS_FIRST_WORD + i]) for i in range(count)]

@@ -617,6 +617,18 @@ class SweepOutcome:
 #: Stats of the most recent sweep (introspection for tests/CLI).
 last_sweep_stats: Optional[SweepStats] = None
 
+#: Failed tasks accumulated across *all* sweeps since the last
+#: :func:`reset_failed_tasks` — a report runs many sweeps and
+#: ``last_sweep_stats`` only remembers the final one, so the CLI exit
+#: code reads this cumulative counter instead.
+total_failed_tasks: int = 0
+
+
+def reset_failed_tasks() -> None:
+    """Zero the cumulative failed-task counter (start of a report)."""
+    global total_failed_tasks
+    total_failed_tasks = 0
+
 
 def run_sweep(
     tasks: Sequence[SweepTask],
@@ -628,7 +640,7 @@ def run_sweep(
     ``tasks[i]``.  Duplicate tasks are simulated once and fanned back
     out to every position that requested them.
     """
-    global last_sweep_stats
+    global last_sweep_stats, total_failed_tasks
     settings = settings if settings is not None else current_settings()
     cache = ResultCache(settings.resolve_cache_dir()) if settings.use_cache else None
     stats = SweepStats(tasks=len(tasks))
@@ -672,6 +684,7 @@ def run_sweep(
 
     assert all(r is not None for r in results)
     last_sweep_stats = stats
+    total_failed_tasks += stats.failed
     return SweepOutcome(results=results, stats=stats, settings=settings)  # type: ignore[arg-type]
 
 

@@ -111,6 +111,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="run sweeps under the event tracer and cache trace.* digests",
     )
+    parser.add_argument(
+        "--allow-failures",
+        action="store_true",
+        help="exit 0 even if sweep tasks failed (default: exit 1)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -122,6 +127,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         retries=args.retries,
     )
     t0 = time.time()
+    harness.reset_failed_tasks()
     results = run_all(quick=args.quick, only=args.only)
     if args.extensions:
         from repro.experiments.extensions import run_all_extensions
@@ -139,7 +145,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             (out / f"{result.experiment_id}.csv").write_text(result.to_csv())
             (out / f"{result.experiment_id}.json").write_text(result.to_json())
         print(f"[wrote {2 * len(results)} files to {out}]")
+    failed = harness.total_failed_tasks
+    if failed:
+        # A partial sweep renders plausible-looking tables; make the
+        # failure impossible to miss and reflect it in the exit code.
+        print(
+            f"[WARNING: {failed} sweep task(s) FAILED; "
+            f"affected experiments carry 'harness: ... FAILED' notes]"
+        )
     print(f"[report complete in {time.time() - t0:.1f}s]")
+    if failed and not args.allow_failures:
+        return 1
     return 0
 
 

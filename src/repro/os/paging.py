@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.check import runtime as _check
+
 
 @dataclass(frozen=True)
 class SwapCosts:
@@ -108,10 +110,18 @@ class Pager:
 
     def begin_computation(self, page_id: int) -> None:
         self.touch(page_id)
-        self._state(page_id).computing = True
+        state = self._state(page_id)
+        ck = _check.CHECKER
+        if ck is not None:
+            ck.on_begin_computation(page_id, state.computing)
+        state.computing = True
 
     def end_computation(self, page_id: int) -> None:
-        self._state(page_id).computing = False
+        state = self._state(page_id)
+        ck = _check.CHECKER
+        if ck is not None:
+            ck.on_end_computation(page_id, state.computing)
+        state.computing = False
 
     # ------------------------------------------------------------------
     # The reference string
@@ -169,7 +179,7 @@ class Pager:
             for page_id in candidates:
                 if not self._pages[page_id].computing:
                     return page_id
-            raise RuntimeError("every resident page is computing")
+            raise self._victim_exhaustion()
         # Active-aware: passive pages first (cheap to refault), then
         # configured ones; computing pages never.
         for page_id in candidates:
@@ -179,7 +189,20 @@ class Pager:
         for page_id in candidates:
             if not self._pages[page_id].computing:
                 return page_id
-        raise RuntimeError("every resident page is computing")
+        raise self._victim_exhaustion()
+
+    def _victim_exhaustion(self) -> RuntimeError:
+        """No evictable frame: every resident page is mid-computation."""
+        computing = sorted(p for p in self._resident if self._pages[p].computing)
+        ck = _check.CHECKER
+        if ck is not None:
+            ck.on_victim_exhaustion(self.n_frames, computing)
+        return RuntimeError(
+            f"cannot evict: all {self.n_frames} resident frames hold "
+            f"computing pages (policy={self.policy!r}, "
+            f"computing={computing[:8]}"
+            + ("...)" if len(computing) > 8 else ")")
+        )
 
     # ------------------------------------------------------------------
 

@@ -21,8 +21,17 @@ from repro.trace import events as _trace
 
 
 def descriptor_bytes(descriptor_words: int) -> int:
-    """Bytes written by an activation of ``descriptor_words`` words."""
-    return 4 * max(0, descriptor_words)
+    """Bytes written by an activation of ``descriptor_words`` words.
+
+    Raises :class:`ValueError` on negative word counts — a negative
+    descriptor is always a caller bug, and silently clamping it would
+    let a mis-sized activation dispatch for free.
+    """
+    if descriptor_words < 0:
+        raise ValueError(
+            f"descriptor_words must be >= 0, got {descriptor_words}"
+        )
+    return 4 * descriptor_words
 
 
 def activation_ns(
@@ -39,8 +48,11 @@ def activation_ns(
     with a clock pass the processor time; otherwise the tracer's clock
     hint is used).
     """
+    # descriptor_bytes validates (raising on negative counts) — no
+    # second clamp here, the two must agree on the byte footprint.
+    nbytes = descriptor_bytes(descriptor_words)
     per_word = dram.miss_latency_ns + bus.transfer_ns(4)
-    cost = radram.activation_base_ns + max(0, descriptor_words) * per_word
+    cost = radram.activation_base_ns + (nbytes // 4) * per_word
     tr = _trace.TRACER
     if tr is not None:
         tr.instant(

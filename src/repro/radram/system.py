@@ -26,6 +26,7 @@ from repro.radram.config import RADramConfig
 from repro.radram.dispatch import activation_ns
 from repro.radram.interpage import service_ns
 from repro.radram.subarray import PageExecution, Subarray
+from repro.check import runtime as _check
 from repro.sim import ops as O
 from repro.sim.errors import FaultError, OperationError
 from repro.sim.processor import MemorySystemBase, Processor
@@ -180,6 +181,11 @@ class RADramMemorySystem(MemorySystemBase):
         for request in task.comm_requests:
             if request.nbytes > 0 and request.src_vaddr != request.dst_vaddr:
                 self._functional_copy(request)
+        ck = _check.CHECKER
+        if ck is not None:
+            # The degraded run completed synchronously: release the
+            # page's working spans for the race detector.
+            ck.on_degraded(page_no, proc)
         tr = _trace.TRACER
         if tr is not None:
             tr.instant(f"page/{page_no}", "degraded", proc.now)
@@ -212,15 +218,21 @@ class RADramMemorySystem(MemorySystemBase):
                     self._run_degraded(op.page_no, task, proc)
                 return
             if replay:
+                ck = _check.CHECKER
+                if ck is not None:
+                    ck.on_replay(op.page_no, proc)
                 self._drop_blocked(op.page_no)
                 execution = sub.restart(proc.now)
                 if execution.is_blocked:
                     self._note_blocked(execution, op.page_no)
         execution = sub.current
+        ck = _check.CHECKER
         while not execution.is_done:
             if execution.is_blocked:
                 # Wait for the interrupt, then service everything pending.
                 proc.stall_until(execution.block_time_ns)
+                if ck is not None:
+                    ck.on_wait_iteration(op.page_no, proc)
                 self._service_pending(proc, force_page=op.page_no)
             else:
                 break

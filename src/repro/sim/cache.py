@@ -93,6 +93,7 @@ import numpy as np
 
 from repro.sim.config import CacheConfig
 from repro.sim.dram import DRAM
+from repro.check import runtime as _check
 from repro.trace import events as _trace
 
 #: Batch op kinds: demand read, demand write, posted victim install.
@@ -324,6 +325,12 @@ class Cache:
         n = addrs.shape[0]
         if n == 0:
             return 0.0
+        # Sanitizer guard: like tracing below, one module load + None
+        # test per *batch* — the stale-sync detector resolves its
+        # watches against the batch before residency changes.
+        ck = _check.CHECKER
+        if ck is not None:
+            ck.on_cache_batch(self, addrs, write)
         # Tracing guard: one module load + None test per *batch*, never
         # per line — the disabled cost on this hot path is what the
         # benchmarks/test_sim_hotpath.py 5% overhead gate enforces.
@@ -964,6 +971,56 @@ class Cache:
         if self._scalar_sets is not None:
             return t in self._scalar_sets[s]
         return bool((self._tag[s] == t).any())
+
+    def dirty_lines_in(self, lo_line: int, hi_line: int) -> List[int]:
+        """Dirty resident lines in ``[lo_line, hi_line]`` (no state change).
+
+        Used by the sanitizer's dispatch-time coherence check; sorted
+        ascending so reports are deterministic.
+        """
+        n_sets = self._n_sets
+        out: List[int] = []
+        if self._scalar_sets is not None:
+            for s, od in enumerate(self._scalar_sets):
+                for t, d in od.items():
+                    if d:
+                        line = t * n_sets + s
+                        if lo_line <= line <= hi_line:
+                            out.append(line)
+            out.sort()
+            return out
+        mask = self._dirty & (self._tag != -1)
+        if not mask.any():
+            return out
+        rows, ways = np.nonzero(mask)
+        lines = self._tag[rows, ways] * n_sets + rows
+        keep = (lines >= lo_line) & (lines <= hi_line)
+        return sorted(int(x) for x in lines[keep])
+
+    def flush_range(self, lo_line: int, hi_line: int) -> float:
+        """Write back and drop all lines in ``[lo_line, hi_line]``.
+
+        Dirty lines are posted to the level below (counted in this
+        level's ``writebacks``) and their posted cost returned; clean
+        lines are silently invalidated.  The flush cascades down the
+        hierarchy, this level first, so L1 victims land in L2 before
+        L2's own sweep.  Cold path: always runs in the scalar regime.
+        """
+        self._ensure_lists()
+        n_sets = self._n_sets
+        total = 0.0
+        for s, od in enumerate(self._scalar_sets):
+            doomed = [
+                t for t in od if lo_line <= t * n_sets + s <= hi_line
+            ]
+            for t in doomed:
+                dirty = od.pop(t)
+                if dirty:
+                    self.stats.writebacks += 1
+                    total += self._writeback(t * n_sets + s)
+        if self.next_level is not None:
+            total += self.next_level.flush_range(lo_line, hi_line)
+        return total
 
     def lru_contents(self, set_idx: int) -> List[Tuple[int, bool]]:
         """``[(line_addr, dirty), ...]`` of one set, MRU first."""

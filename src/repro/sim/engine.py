@@ -13,6 +13,7 @@ import heapq
 from typing import Callable, List, Optional, Tuple
 
 from repro.sim.errors import SimulationError
+from repro.check import runtime as _check
 from repro.trace import events as _trace
 
 Callback = Callable[[], None]
@@ -51,6 +52,9 @@ class Engine:
             return False
         when, seq, callback = heapq.heappop(self._queue)
         self.now = when
+        ck = _check.CHECKER
+        if ck is not None:
+            ck.on_engine_event(when)
         tr = _trace.TRACER
         if tr is not None:
             tr.now = when

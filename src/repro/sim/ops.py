@@ -85,6 +85,20 @@ class ScatterWrite:
     elem_bytes: int = 4
 
 
+@dataclass(frozen=True)
+class FlushRange:
+    """Write back (and drop) cached lines covering ``[addr, addr+nbytes)``.
+
+    Models the explicit flush the paper's coherence discussion (Section
+    4) requires before dispatching a page whose data the processor has
+    written through the cache: dirty lines are written back to memory
+    (charged as memory time), clean copies are invalidated.
+    """
+
+    addr: int
+    nbytes: int
+
+
 # ----------------------------------------------------------------------
 # Active-Page operations (handled by the memory system)
 
@@ -146,6 +160,7 @@ Op = Union[
     StridedWrite,
     GatherRead,
     ScatterWrite,
+    FlushRange,
     Activate,
     WaitPage,
     ServicePending,

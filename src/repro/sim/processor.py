@@ -27,6 +27,7 @@ from repro.sim.config import MachineConfig
 from repro.sim.errors import OperationError
 from repro.sim import ops as O
 from repro.sim.stats import MachineStats
+from repro.check import runtime as _check
 from repro.trace import events as _trace
 
 
@@ -114,6 +115,9 @@ class Processor:
 
     def step(self, op: O.Op) -> None:
         """Execute a single operation (SMP co-simulation entry point)."""
+        ck = _check.CHECKER
+        if ck is not None:
+            ck.on_op(op, self)
         line = self.l1d.config.line_bytes
         if isinstance(op, O.Compute):
             self.charge("compute_ns", self.config.cpu.compute_ns(op.ops))
@@ -139,6 +143,11 @@ class Processor:
         elif isinstance(op, O.ScatterWrite):
             lines = O.lines_for_gather(op.addrs, op.elem_bytes, line)
             self.charge("mem_ns", self.l1d.access_lines(lines, write=True))
+        elif isinstance(op, O.FlushRange):
+            if op.nbytes > 0:
+                lo_line = op.addr // line
+                hi_line = (op.addr + op.nbytes - 1) // line
+                self.charge("mem_ns", self.l1d.flush_range(lo_line, hi_line))
         elif isinstance(op, O.Activate):
             self.memsys.handle_activate(op, self)
         elif isinstance(op, O.WaitPage):

@@ -23,10 +23,11 @@ deterministic and globally time-ordered.  Two SMP-specific operations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.check import runtime as _check
 from repro.sim import ops as O
 from repro.sim.bus import Bus
 from repro.sim.cache import Cache, build_hierarchy
@@ -91,6 +92,9 @@ class SMPMachine:
             self.processors.append(Processor(self.config, l1d, self.memsys))
         #: last AtomicRMW result per CPU index.
         self.rmw_results: Dict[int, int] = {}
+        #: last AtomicRMW issued per CPU: ``cpu -> (vaddr, kind)`` —
+        #: the sync address a deadlocked waiter most recently spun on.
+        self._last_sync: Dict[int, Tuple[int, str]] = {}
 
     @property
     def n_cpus(self) -> int:
@@ -123,7 +127,11 @@ class SMPMachine:
             ready = runnable()
             if not ready:
                 if any(it is not None for it in iterators):
-                    raise OperationError("deadlock: every live processor waits")
+                    message = self._deadlock_diagnosis(iterators, at_barrier)
+                    ck = _check.CHECKER
+                    if ck is not None:
+                        ck.on_smp_deadlock(message, self.makespan_ns)
+                    raise OperationError(message)
                 break
             cpu = min(ready, key=lambda i: self.processors[i].now)
             proc = self.processors[cpu]
@@ -153,6 +161,41 @@ class SMPMachine:
 
     # ------------------------------------------------------------------
 
+    def _deadlock_diagnosis(
+        self,
+        iterators: List[Optional[Iterator[O.Op]]],
+        at_barrier: Dict[int, Dict[int, bool]],
+    ) -> str:
+        """Name every waiter: who blocks where, on what, since when.
+
+        Only barriers can park a processor, so a global deadlock means
+        every live CPU sits at some barrier whose membership will never
+        complete (typically because a missing member's stream already
+        ended, or two groups wait at different barriers).
+        """
+        lines = ["deadlock: every live processor waits"]
+        all_cpus = set(range(self.n_cpus))
+        for barrier_id, members in sorted(at_barrier.items()):
+            missing = sorted(all_cpus - set(members))
+            finished = [i for i in missing if iterators[i] is None]
+            for cpu in sorted(members):
+                proc = self.processors[cpu]
+                last = self._last_sync.get(cpu)
+                spin = (
+                    f", last sync access {last[1]} @ 0x{last[0]:x}"
+                    if last is not None
+                    else ""
+                )
+                lines.append(
+                    f"  cpu {cpu}: blocked at Barrier({barrier_id}) "
+                    f"since {proc.now:.1f} ns{spin}"
+                )
+            detail = f"    barrier {barrier_id} still missing cpus {missing}"
+            if finished:
+                detail += f" (cpus {finished} already finished their streams)"
+            lines.append(detail)
+        return "\n".join(lines)
+
     def _atomic_rmw(self, cpu: int, op: AtomicRMW) -> None:
         proc = self.processors[cpu]
         # Uncached read + write round trip, serialized by global-time
@@ -171,6 +214,7 @@ class SMPMachine:
             raise OperationError(f"unknown atomic kind {op.kind!r}")
         self.memory.write(op.vaddr, np.array([new], dtype=np.uint32).view(np.uint8))
         self.rmw_results[cpu] = old
+        self._last_sync[cpu] = (op.vaddr, op.kind)
 
     @property
     def makespan_ns(self) -> float:

@@ -1,0 +1,46 @@
+"""Acceptance: the paper's six applications are sanitizer-clean.
+
+Every (app, system) pair runs under the *strict* checker — any race,
+coherence hazard, protocol misstep, or watchdog trip aborts the run.
+This is the suite the CI ``sanitizer`` job mirrors at full scale via
+``python -m repro check paper-six --strict``.
+"""
+
+import pytest
+
+from repro.check import runtime
+from repro.check.runner import PAPER_SIX, check_app, check_apps
+
+PAGE = 64 * 1024
+
+
+@pytest.mark.parametrize("app_name", PAPER_SIX)
+def test_paper_app_is_sanitizer_clean(app_name):
+    runs = check_app(app_name, n_pages=4.0, page_bytes=PAGE, strict=True)
+    assert [r.system for r in runs] == ["conventional", "radram"]
+    for run in runs:
+        assert run.error is None, f"{app_name}/{run.system}: {run.error}"
+        assert run.clean, f"{app_name}/{run.system}: {run.counts}"
+
+
+def test_checker_is_off_again_after_checked_runs():
+    check_app("array-insert", n_pages=2.0, page_bytes=PAGE)
+    assert runtime.CHECKER is None
+
+
+def test_report_renders_one_line_per_run():
+    report = check_apps(["database"], n_pages=2.0, page_bytes=PAGE, strict=True)
+    assert report.clean
+    text = report.render()
+    assert "check database [conventional]: ok" in text
+    assert "check database [radram]: ok" in text
+    assert text.strip().endswith("CLEAN")
+
+
+def test_total_and_clean_aggregate_across_runs():
+    report = check_apps(
+        ["median-kernel", "median-total"], n_pages=2.0, page_bytes=PAGE
+    )
+    assert len(report.runs) == 4
+    assert report.total == 0
+    assert report.clean

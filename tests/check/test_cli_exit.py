@@ -1,0 +1,102 @@
+"""Exit codes: ``repro check`` and failed-sweep reporting in ``repro report``."""
+
+import pytest
+
+import repro.check.runner as runner_mod
+from repro.__main__ import main as repro_main
+from repro.check.runner import CheckReport, CheckRun
+from repro.experiments import harness, report
+from repro.experiments.harness import HarnessSettings, run_sweep, speedup_task
+from repro.faults import chaos
+
+PAGE = 64 * 1024
+
+
+class TestCheckVerb:
+    def test_clean_app_exits_zero(self, capsys):
+        assert repro_main(["check", "database", "--pages", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "check database [conventional]: ok" in out
+        assert "check database [radram]: ok" in out
+        assert "CLEAN" in out
+
+    def test_violations_exit_two(self, capsys, monkeypatch):
+        dirty = CheckReport(
+            runs=[
+                CheckRun(
+                    app="database",
+                    system="radram",
+                    violations=[],
+                    counts={"race": 2},
+                    dropped=0,
+                )
+            ]
+        )
+        monkeypatch.setattr(runner_mod, "check_apps", lambda *a, **kw: dirty)
+        assert repro_main(["check", "database"]) == 2
+        assert "VIOLATIONS FOUND" in capsys.readouterr().out
+
+    def test_unknown_app_is_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            repro_main(["check", "no-such-app"])
+
+
+class TestReportExitCode:
+    def test_failed_tasks_fail_the_report(self, capsys, monkeypatch):
+        def fake_run_all(quick=False, only=None):
+            harness.total_failed_tasks += 2
+            return []
+
+        monkeypatch.setattr(report, "run_all", fake_run_all)
+        assert report.main([]) == 1
+        assert "2 sweep task(s) FAILED" in capsys.readouterr().out
+
+    def test_allow_failures_opts_out(self, monkeypatch):
+        def fake_run_all(quick=False, only=None):
+            harness.total_failed_tasks += 1
+            return []
+
+        monkeypatch.setattr(report, "run_all", fake_run_all)
+        assert report.main(["--allow-failures"]) == 0
+
+    def test_clean_report_exits_zero_and_resets_stale_counts(self, monkeypatch):
+        # Leftover state from an earlier in-process sweep must not
+        # fail an unrelated report run.
+        monkeypatch.setattr(harness, "total_failed_tasks", 7)
+        monkeypatch.setattr(report, "run_all", lambda quick=False, only=None: [])
+        assert report.main([]) == 0
+
+
+class TestFailedTaskAccounting:
+    @pytest.fixture
+    def chaos_spec(self, tmp_path, monkeypatch):
+        def arm(rules):
+            spec_path = str(tmp_path / "chaos.json")
+            chaos.write_spec(spec_path, str(tmp_path / "chaos-state"), rules)
+            monkeypatch.setenv(chaos.CHAOS_ENV, spec_path)
+
+        yield arm
+        monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+
+    def settings_for(self, tmp_path):
+        return HarnessSettings(
+            cache_dir=str(tmp_path / "cache"), retries=0, retry_backoff_s=0.01
+        )
+
+    def test_failures_accumulate_across_sweeps(self, tmp_path, chaos_spec):
+        chaos_spec([{"match": "database", "mode": "raise", "times": 99}])
+        harness.reset_failed_tasks()
+        task = speedup_task("database", 2.0, page_bytes=PAGE)
+        run_sweep([task], settings=self.settings_for(tmp_path))
+        assert harness.total_failed_tasks == 1
+        run_sweep([task], settings=self.settings_for(tmp_path))
+        assert harness.total_failed_tasks == 2
+        harness.reset_failed_tasks()
+        assert harness.total_failed_tasks == 0
+
+    def test_successful_sweep_adds_nothing(self, tmp_path):
+        harness.reset_failed_tasks()
+        task = speedup_task("database", 2.0, page_bytes=PAGE)
+        outcome = run_sweep([task], settings=self.settings_for(tmp_path))
+        assert outcome.complete
+        assert harness.total_failed_tasks == 0

@@ -1,0 +1,34 @@
+"""Descriptor-size validation in the dispatch cost model."""
+
+import pytest
+
+from repro.radram.config import RADramConfig
+from repro.radram.dispatch import activation_ns, descriptor_bytes
+from repro.sim.config import BusConfig, DRAMConfig
+
+
+def dispatch_cost(words):
+    return activation_ns(words, RADramConfig.reference(), DRAMConfig(), BusConfig())
+
+
+class TestDescriptorValidation:
+    def test_negative_word_count_raises(self):
+        with pytest.raises(ValueError, match="descriptor_words must be >= 0, got -1"):
+            descriptor_bytes(-1)
+
+    def test_activation_ns_propagates_the_validation(self):
+        # Previously a negative count was silently clamped to a free
+        # dispatch; now both entry points agree it is a caller bug.
+        with pytest.raises(ValueError, match="got -3"):
+            dispatch_cost(-3)
+
+    def test_zero_words_is_a_valid_bare_dispatch(self):
+        assert descriptor_bytes(0) == 0
+        assert dispatch_cost(0) == RADramConfig.reference().activation_base_ns
+
+    def test_positive_counts_scale_linearly(self):
+        assert descriptor_bytes(5) == 20
+        base = dispatch_cost(0)
+        per_word = dispatch_cost(1) - base
+        assert per_word > 0.0
+        assert dispatch_cost(8) == pytest.approx(base + 8 * per_word)

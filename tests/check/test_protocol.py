@@ -1,0 +1,136 @@
+"""Sync-state machine and pager lifecycle checks."""
+
+import numpy as np
+import pytest
+
+from repro.check import runtime
+from repro.check.runtime import CheckError, checking
+from repro.core.sync import SYNC_WORDS, SyncArea, SyncState
+from repro.os.paging import Pager
+
+
+def make_sync(owner=7):
+    return SyncArea(np.zeros(SYNC_WORDS, dtype=np.uint32), owner=owner)
+
+
+class TestSyncTransitions:
+    def test_full_legal_lifecycle_is_clean(self):
+        sync = make_sync()
+        with checking() as ck:
+            for state in (
+                SyncState.ARMED,
+                SyncState.RUNNING,
+                SyncState.BLOCKED,
+                SyncState.RUNNING,
+                SyncState.DONE,
+                SyncState.ARMED,  # re-arm after DONE: legal
+                SyncState.RUNNING,
+                SyncState.DONE,
+                SyncState.IDLE,  # any state may reset
+            ):
+                sync.status = state
+        assert ck.total == 0
+
+    def test_skipping_armed_is_invalid(self):
+        sync = make_sync()
+        with checking() as ck:
+            sync.status = SyncState.RUNNING  # IDLE -> RUNNING
+        assert ck.counts[runtime.PROTOCOL] == 1
+        assert "IDLE -> RUNNING" in ck.violations[0].message
+        assert ck.violations[0].page == 7
+
+    def test_done_cannot_jump_back_to_running(self):
+        sync = make_sync()
+        with checking() as ck:
+            sync.status = SyncState.ARMED
+            sync.status = SyncState.RUNNING
+            sync.status = SyncState.DONE
+            sync.status = SyncState.RUNNING
+        assert ck.counts[runtime.PROTOCOL] == 1
+        assert "DONE -> RUNNING" in ck.violations[0].message
+
+    def test_rearming_an_armed_page_is_double_activation(self):
+        sync = make_sync()
+        with checking() as ck:
+            sync.status = SyncState.ARMED
+            sync.status = SyncState.ARMED
+        assert ck.counts[runtime.PROTOCOL] == 1
+        assert "double activation" in ck.violations[0].message
+
+    def test_other_same_state_writes_are_idempotent(self):
+        sync = make_sync()
+        with checking() as ck:
+            sync.status = SyncState.IDLE
+            sync.status = SyncState.ARMED
+            sync.status = SyncState.RUNNING
+            sync.status = SyncState.RUNNING  # page heartbeat: fine
+        assert ck.total == 0
+
+    def test_strict_mode_raises(self):
+        sync = make_sync()
+        with pytest.raises(CheckError, match="invalid SyncState"):
+            with checking(strict=True):
+                sync.status = SyncState.BLOCKED
+
+
+class TestResultReads:
+    def test_read_before_done_flagged(self):
+        sync = make_sync(owner=3)
+        sync.status = SyncState.ARMED
+        with checking() as ck:
+            sync.read_results(1)
+        assert ck.counts[runtime.PROTOCOL] == 1
+        assert "ARMED, not DONE" in ck.violations[0].message
+        assert ck.violations[0].page == 3
+
+    def test_read_after_done_is_clean(self):
+        sync = make_sync()
+        sync.status = SyncState.ARMED
+        sync.status = SyncState.RUNNING
+        sync.status = SyncState.DONE
+        sync.write_results([42])
+        with checking() as ck:
+            assert sync.read_results(1) == [42]
+        assert ck.total == 0
+
+
+class TestPagerLifecycle:
+    def test_balanced_computation_is_clean(self):
+        pager = Pager(n_frames=2)
+        with checking() as ck:
+            pager.begin_computation(1)
+            pager.end_computation(1)
+        assert ck.total == 0
+
+    def test_double_begin_flagged(self):
+        pager = Pager(n_frames=2)
+        with checking() as ck:
+            pager.begin_computation(1)
+            pager.begin_computation(1)
+        assert ck.counts[runtime.PROTOCOL] == 1
+        assert "already" in ck.violations[0].message
+
+    def test_end_without_begin_flagged(self):
+        pager = Pager(n_frames=2)
+        with checking() as ck:
+            pager.end_computation(9)
+        assert ck.counts[runtime.PROTOCOL] == 1
+        assert "no computation" in ck.violations[0].message
+
+    def test_victim_exhaustion_is_watchdog_diagnosed(self):
+        pager = Pager(n_frames=1)
+        with checking() as ck:
+            pager.begin_computation(1)
+            with pytest.raises(RuntimeError) as excinfo:
+                pager.touch(2)
+        # The error itself names the policy and the stuck pages even
+        # with the checker off; with it on, the watchdog counts too.
+        assert "cannot evict" in str(excinfo.value)
+        assert "1 resident frames" in str(excinfo.value)
+        assert ck.counts[runtime.WATCHDOG] == 1
+
+    def test_victim_exhaustion_message_without_checker(self):
+        pager = Pager(n_frames=1)
+        pager.begin_computation(1)
+        with pytest.raises(RuntimeError, match="computing"):
+            pager.touch(2)

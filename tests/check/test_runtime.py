@@ -1,0 +1,97 @@
+"""Unit tests for the sanitizer core: hook lifecycle and bookkeeping."""
+
+import pytest
+
+import repro.core.page as core_page
+from repro.check import runtime
+from repro.check.runtime import CheckError, Checker, Violation, checking
+
+
+class TestZeroOverheadContract:
+    def test_checker_is_none_by_default(self):
+        # The whole zero-overhead-when-off story rests on this: every
+        # instrumented hot path sees None and falls through.
+        assert runtime.CHECKER is None
+        assert not runtime.is_enabled()
+
+    def test_enable_disable_roundtrip(self):
+        ck = runtime.enable()
+        try:
+            assert runtime.CHECKER is ck
+            assert runtime.is_enabled()
+        finally:
+            previous = runtime.disable()
+        assert previous is ck
+        assert runtime.CHECKER is None
+
+    def test_checking_restores_prior_state(self):
+        with checking() as outer:
+            assert runtime.CHECKER is outer
+            with checking() as inner:
+                assert runtime.CHECKER is inner
+            assert runtime.CHECKER is outer
+        assert runtime.CHECKER is None
+
+    def test_checking_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with checking():
+                raise RuntimeError("boom")
+        assert runtime.CHECKER is None
+
+    def test_sync_bytes_matches_core_page(self):
+        # runtime duplicates the constant to break an import cycle;
+        # the two definitions must never drift apart.
+        assert runtime.SYNC_BYTES == core_page.SYNC_BYTES
+
+
+class TestRecording:
+    def test_counts_are_per_detector(self):
+        ck = Checker()
+        ck._violate(runtime.RACE, "a")
+        ck._violate(runtime.RACE, "b")
+        ck._violate(runtime.PROTOCOL, "c")
+        assert ck.counts[runtime.RACE] == 2
+        assert ck.counts[runtime.PROTOCOL] == 1
+        assert ck.counts[runtime.COHERENCE] == 0
+        assert ck.total == 3
+
+    def test_strict_raises_on_first_violation(self):
+        ck = Checker(strict=True)
+        with pytest.raises(CheckError, match="stale"):
+            ck._violate(runtime.COHERENCE, "stale line")
+
+    def test_storage_is_bounded_but_counting_is_not(self):
+        ck = Checker(max_violations=3)
+        for i in range(10):
+            ck._violate(runtime.RACE, f"v{i}")
+        assert len(ck.violations) == 3
+        assert ck.dropped == 7
+        assert ck.counts[runtime.RACE] == 10
+        assert "7 further violation(s)" in ck.report()
+
+    def test_violation_render_carries_context(self):
+        v = Violation(
+            runtime.RACE,
+            "overlap",
+            page=3,
+            addr_lo=0x1000,
+            addr_hi=0x1040,
+            time_ns=12.5,
+            op="MemWrite",
+            app="lcs/radram",
+        )
+        text = v.render()
+        assert "[race]" in text
+        assert "page=3" in text
+        assert "addr=0x1000..0x1040" in text
+        assert "op=MemWrite" in text
+        assert "app=lcs/radram" in text
+        assert "t=12.5ns" in text
+
+    def test_report_summarizes_all_detectors(self):
+        ck = Checker()
+        ck._violate(runtime.WATCHDOG, "stuck")
+        report = ck.report()
+        assert "watchdog=1" in report
+        assert "(total 1)" in report
+        assert "stuck" in report

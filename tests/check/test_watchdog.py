@@ -1,0 +1,135 @@
+"""Deadlock/livelock watchdog: frozen clocks must be diagnosed."""
+
+import pytest
+
+from repro.check import runtime
+from repro.check.runtime import CheckError, checking
+from repro.core.functions import CommRequest, PageTask, Segment
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.engine import Engine
+from repro.sim.errors import OperationError
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+from repro.sim.smp import AtomicRMW, Barrier, SMPMachine
+
+PAGE = 4096
+
+
+class TestEngineLivelock:
+    def _storm(self, engine):
+        def callback():
+            engine.schedule_at(engine.now, callback)
+
+        engine.schedule_at(0.0, callback)
+
+    def test_frozen_clock_event_storm_flagged(self):
+        engine = Engine()
+        self._storm(engine)
+        with checking(livelock_limit=100) as ck:
+            for _ in range(150):
+                engine.step()
+        assert ck.counts[runtime.WATCHDOG] == 1
+        assert "no time advance" in ck.violations[0].message
+
+    def test_strict_mode_breaks_the_storm(self):
+        engine = Engine()
+        self._storm(engine)
+        with pytest.raises(CheckError, match="livelock"):
+            with checking(strict=True, livelock_limit=100):
+                for _ in range(150):
+                    engine.step()
+
+    def test_advancing_clock_is_clean(self):
+        engine = Engine()
+        for k in range(200):
+            engine.schedule_at(float(k), lambda: None)
+        with checking(livelock_limit=100) as ck:
+            engine.run_until_idle()
+        assert ck.total == 0
+
+
+class TestWaitSpin:
+    def test_unserviced_blocked_page_trips_the_watchdog(self, monkeypatch):
+        # A page blocks on a processor-mediated CommRequest; with the
+        # service path stubbed out, WaitPage would poll forever at a
+        # frozen clock.  The watchdog turns that hang into a diagnosis.
+        monkeypatch.setattr(
+            RADramMemorySystem,
+            "_service_pending",
+            lambda self, proc, force_page=None: None,
+        )
+        cfg = RADramConfig.reference().with_page_bytes(PAGE)
+        machine = Machine(
+            memory=PagedMemory(page_bytes=PAGE), memsys=RADramMemorySystem(cfg)
+        )
+        task = PageTask.of(
+            [
+                Segment(100.0, CommRequest(nbytes=64, src_vaddr=PAGE, dst_vaddr=0)),
+                Segment(100.0),
+            ]
+        )
+        with pytest.raises(CheckError, match="without the clock advancing"):
+            with checking(strict=True, wait_spin_limit=50):
+                machine.run(iter([O.Activate(0, 1, task), O.WaitPage(0)]))
+
+    def test_serviced_comm_request_is_clean(self):
+        cfg = RADramConfig.reference().with_page_bytes(PAGE)
+        machine = Machine(
+            memory=PagedMemory(page_bytes=PAGE), memsys=RADramMemorySystem(cfg)
+        )
+        task = PageTask.of(
+            [
+                Segment(100.0, CommRequest(nbytes=64, src_vaddr=PAGE, dst_vaddr=0)),
+                Segment(100.0),
+            ]
+        )
+        with checking(strict=True, wait_spin_limit=50) as ck:
+            machine.run(iter([O.Activate(0, 1, task), O.WaitPage(0)]))
+        assert ck.total == 0
+
+
+class TestSMPDeadlock:
+    def make_smp(self, n_cpus=2):
+        return SMPMachine(n_cpus, memory=PagedMemory(page_bytes=PAGE))
+
+    def test_diagnosis_names_waiters_and_missing_cpus(self):
+        smp = self.make_smp(2)
+        lock = smp.memory.alloc_pages(1, name="lock").base
+        streams = [
+            [AtomicRMW(vaddr=lock, kind="tas"), Barrier(1)],
+            [O.Compute(10)],
+        ]
+        with checking() as ck:
+            with pytest.raises(OperationError) as excinfo:
+                smp.run(streams)
+        message = str(excinfo.value)
+        assert "deadlock: every live processor waits" in message
+        assert "cpu 0: blocked at Barrier(1)" in message
+        assert f"last sync access tas @ 0x{lock:x}" in message
+        assert "barrier 1 still missing cpus [1]" in message
+        assert "cpus [1] already finished their streams" in message
+        # The watchdog records the same diagnosis as a violation.
+        assert ck.counts[runtime.WATCHDOG] == 1
+        assert ck.violations[0].op == "SMPMachine.run"
+
+    def test_diagnosis_is_always_on_even_without_checker(self):
+        assert runtime.CHECKER is None
+        smp = self.make_smp(2)
+        with pytest.raises(OperationError, match=r"still missing cpus \[1\]"):
+            smp.run([[Barrier(1)], [O.Compute(10)]])
+
+    def test_split_barrier_groups_both_reported(self):
+        smp = self.make_smp(2)
+        with pytest.raises(OperationError) as excinfo:
+            smp.run([[Barrier(1)], [Barrier(2)]])
+        message = str(excinfo.value)
+        assert "Barrier(1)" in message
+        assert "Barrier(2)" in message
+
+    def test_completing_barrier_stays_silent(self):
+        smp = self.make_smp(2)
+        with checking() as ck:
+            smp.run([[Barrier(1)], [O.Compute(10), Barrier(1)]])
+        assert ck.total == 0
