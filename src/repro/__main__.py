@@ -13,6 +13,10 @@ yield        print the Section 3 yield/cost comparison
 power        print the Section 3 port-width power study
 trace        run an app (or fig6) under the event tracer: Gantt chart,
              ``--out`` Perfetto trace_event JSON, ``--csv`` flat CSV
+fuzz         seeded, time-boxed fuzzing of generated workloads under
+             three oracles (sanitizer, model divergence, conventional/
+             RADram equivalence); failing cases are shrunk to JSON
+             reproducers, ``--replay FILE`` re-runs one
 cache        inspect or clear the sweep result cache
 bench        run the cache hot-path microbenchmarks (``--update`` to
              refresh the committed ``BENCH_sim.json`` baseline)
@@ -174,6 +178,44 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         trace_export.write_csv(args.csv, events)
         print(f"trace: wrote CSV to {args.csv}")
     return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.apps.registry import FUZZ_APPS
+    from repro.workloads import replay_case, run_fuzz
+
+    if args.replay:
+        results = replay_case(args.replay, tolerance_scale=args.tolerance_scale)
+        for o in results:
+            status = "ok" if o.ok else "FAIL"
+            print(f"replay {o.oracle}: {status} ({o.detail})")
+        # Exit 2 when the case still reproduces — scripts can tell
+        # "fixed" (0) from "still failing" (2) apart.
+        return 2 if any(not o.ok for o in results) else 0
+
+    time_box = args.time_box
+    max_cases = args.max_cases
+    if args.smoke:
+        # CI smoke: bounded candidates AND a hard time box, whichever
+        # bites first, so the job stays well under its 90 s budget.
+        time_box = min(time_box, 45.0) if time_box else 45.0
+        if max_cases is None:
+            max_cases = 120
+    elif time_box is None:
+        time_box = 60.0
+
+    apps = args.apps or list(FUZZ_APPS)
+    report = run_fuzz(
+        seed=args.seed,
+        time_box_s=time_box,
+        max_cases=max_cases,
+        apps=apps,
+        tolerance_scale=args.tolerance_scale,
+        out_dir=args.out,
+        log=print,
+    )
+    print(report.render())
+    return 1 if report.findings else 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -372,6 +414,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_faults.add_argument("--trace-pages", type=float, default=8.0)
     _add_sweep_flags(p_faults)
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="fuzz generated workloads under three oracles"
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0, help="fuzz seed")
+    p_fuzz.add_argument(
+        "--time-box",
+        type=float,
+        default=None,
+        metavar="S",
+        help="stop after S seconds (default 60; smoke caps at 45)",
+    )
+    p_fuzz.add_argument(
+        "--max-cases",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N candidates (makes runs seed-deterministic)",
+    )
+    p_fuzz.add_argument(
+        "--apps",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="generators to fuzz (default: the FUZZ_APPS set)",
+    )
+    p_fuzz.add_argument(
+        "--tolerance-scale",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="scale every generator's model tolerance (CI uses 1.0)",
+    )
+    p_fuzz.add_argument(
+        "--out",
+        metavar="DIR",
+        default="fuzz-findings",
+        help="directory for shrunk counterexample JSON case files",
+    )
+    p_fuzz.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke profile: <=45s, <=120 candidates",
+    )
+    p_fuzz.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="re-run one written case file (exit 2 if it reproduces)",
+    )
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the sweep cache")
     p_cache.add_argument("--clear", action="store_true")

@@ -22,7 +22,7 @@ equivalence checks compare logical array contents, not raw addresses.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Mapping, Optional
 
 import numpy as np
 
@@ -67,6 +67,7 @@ class _ArrayAppBase(Application):
         functional: bool = True,
         memory: Optional[PagedMemory] = None,
         seed: int = 0,
+        params: Optional[Mapping[str, float]] = None,
     ) -> Workload:
         w = Workload(
             n_pages=n_pages,
@@ -76,10 +77,21 @@ class _ArrayAppBase(Application):
         )
         wpp = words_per_page(page_bytes)
         total = max(8, int(round(n_pages * wpp)))
+        # Axes: ``position`` is the insert/delete point as a fraction
+        # of the array (how many pages shift); ``key_density`` the
+        # planted-key fraction (the find/count selectivity).
+        position = self._param(params, "position", 1.0 / 3.0)
+        key_density = self._param(params, "key_density", 1.0 / 97.0)
+        if not 0.0 <= position <= 1.0:
+            raise ValueError("position must be in [0, 1]")
+        if not 0.0 <= key_density <= 1.0:
+            raise ValueError("key_density must be in [0, 1]")
         w.data["wpp"] = wpp
         w.data["total_words"] = total
-        w.data["position"] = total // 3
+        # Clamp so insert/delete always have at least one word to move.
+        w.data["position"] = min(total - 2, int(position * total)) if params else total // 3
         w.data["key"] = 0x5A5A5A5A
+        w.data["params"] = dict(params) if params else {}
         if functional:
             if memory is None:
                 memory = PagedMemory(page_bytes=page_bytes)
@@ -87,8 +99,12 @@ class _ArrayAppBase(Application):
             w.region = memory.alloc_pages(w.whole_pages, name=self.name)
             rng = np.random.default_rng(seed)
             values = rng.integers(0, 1 << 20, total, dtype=np.uint32)
-            # Plant some copies of the key so find counts > 0.
-            planted = rng.choice(total, size=max(1, total // 97), replace=False)
+            # Plant copies of the key at the axis density (legacy ~1%).
+            if params is not None and "key_density" in params:
+                n_planted = int(round(total * key_density))
+            else:
+                n_planted = max(1, total // 97)
+            planted = rng.choice(total, size=n_planted, replace=False)
             values[planted] = w.data["key"]
             start = 0
             for chunk in self._page_slices(w):

@@ -28,7 +28,7 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Mapping, Optional
 
 import numpy as np
 
@@ -125,8 +125,25 @@ class Application(abc.ABC):
         functional: bool = True,
         memory: Optional[PagedMemory] = None,
         seed: int = 0,
+        params: Optional[Mapping[str, float]] = None,
     ) -> Workload:
-        """Synthesize a problem of ``n_pages`` Active Pages."""
+        """Synthesize a problem of ``n_pages`` Active Pages.
+
+        ``params`` carries the values of the application's workload
+        axes (see :mod:`repro.workloads`); ``None`` and an empty
+        mapping both mean "the historical fixed dataset".  Unknown
+        keys are ignored, so one parameter dictionary can drive an
+        app family.
+        """
+
+    @staticmethod
+    def _param(
+        params: Optional[Mapping[str, float]], name: str, default: float
+    ) -> float:
+        """One axis value with its legacy default."""
+        if params is None:
+            return default
+        return float(params.get(name, default))
 
     # ------------------------------------------------------------------
     # Operation streams

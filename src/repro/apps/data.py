@@ -6,12 +6,18 @@ filtering, protein sequences, Harwell-Boeing-like finite-element
 sparse data, simplex tableaus with register-allocation shape, and
 MPEG P/B-frame correction blocks.  All generators are deterministic in
 their ``seed``.
+
+Every generator exposes the axes the parametric workload framework
+(:mod:`repro.workloads`) sweeps — query selectivity, image noise,
+sequence similarity, sparsity, density skew, value amplitude — as
+optional keyword parameters whose defaults reproduce the historical
+fixed datasets bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -44,12 +50,26 @@ def _random_name(rng: np.random.Generator, max_len: int) -> bytes:
     return name.encode("ascii")[:max_len]
 
 
-def address_book(n_records: int, seed: int = 0) -> np.ndarray:
+#: Query name planted by ``address_book``'s selectivity axis.  Upper
+#: case, so it can never collide with a syllable-generated name.
+PLANTED_LASTNAME = b"QUERYTARGET"
+
+
+def address_book(
+    n_records: int, seed: int = 0, selectivity: Optional[float] = None
+) -> np.ndarray:
     """A synthetic address database as raw record bytes.
 
     Returns shape ``(n_records, RECORD_BYTES)`` uint8.  Names repeat
     (the syllable space is small), so exact-match queries find several
     records — matching the paper's count-of-exact-matches benchmark.
+
+    With ``selectivity`` set, ``round(selectivity * n_records)``
+    records additionally get :data:`PLANTED_LASTNAME` as their last
+    name, making the match count of a planted-name query an exact,
+    monotone function of the axis (the workload framework's query-
+    selectivity axis).  ``None`` preserves the legacy dataset
+    bit-for-bit.
     """
     rng = np.random.default_rng(seed)
     records = np.zeros((n_records, RECORD_BYTES), dtype=np.uint8)
@@ -61,6 +81,17 @@ def address_book(n_records: int, seed: int = 0) -> np.ndarray:
         off, length = RECORD_LAYOUT["zip"]
         zipcode = f"{rng.integers(10000, 99999)}".encode()
         records[i, off : off + len(zipcode)] = np.frombuffer(zipcode, dtype=np.uint8)
+    if selectivity is not None:
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError("selectivity must be in [0, 1]")
+        n_planted = int(round(selectivity * n_records))
+        planted = rng.choice(n_records, size=n_planted, replace=False)
+        off, length = RECORD_LAYOUT["lastname"]
+        records[planted, off : off + length] = 0
+        name = PLANTED_LASTNAME[:length]
+        records[np.ix_(planted, range(off, off + len(name)))] = np.frombuffer(
+            name, dtype=np.uint8
+        )
     return records
 
 
@@ -74,19 +105,47 @@ def field_bytes(record: np.ndarray, fld: str) -> bytes:
 # Images (Section 5.1, "Image Processing")
 
 
-def noisy_image(height: int, width: int, seed: int = 0) -> np.ndarray:
+def noisy_image(
+    height: int, width: int, seed: int = 0, noise: float = 0.05
+) -> np.ndarray:
     """A smooth gradient with salt-and-pepper noise, uint16.
 
     Median filtering should remove most of the impulsive noise — the
-    examples use this to show the filter doing real work.
+    examples use this to show the filter doing real work.  ``noise``
+    is the impulse fraction (the workload framework's image-entropy
+    axis): 0 gives the clean gradient, 1 pure impulse noise.
     """
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError("noise fraction must be in [0, 1]")
     rng = np.random.default_rng(seed)
     y = np.linspace(0, 4 * np.pi, height)[:, None]
     x = np.linspace(0, 4 * np.pi, width)[None, :]
     base = (2000 + 1500 * (np.sin(x) + np.cos(y))).astype(np.uint16)
-    noise_mask = rng.random((height, width)) < 0.05
-    noise = rng.integers(0, 4096, (height, width), dtype=np.uint16)
-    return np.where(noise_mask, noise, base).astype(np.uint16)
+    noise_mask = rng.random((height, width)) < noise
+    noise_vals = rng.integers(0, 4096, (height, width), dtype=np.uint16)
+    return np.where(noise_mask, noise_vals, base).astype(np.uint16)
+
+
+def apply_byte_mutations(arr: np.ndarray, n_flips: int, seed: int = 0) -> np.ndarray:
+    """XOR ``n_flips`` random bytes of ``arr`` (returns a mutated copy).
+
+    Byte-level input fuzzing for the imaging/MPEG applications: the
+    mutation positions and values are deterministic in ``seed``, so a
+    fuzz counterexample replays exactly.  ``n_flips`` of 0 returns an
+    unmutated copy.
+    """
+    if n_flips < 0:
+        raise ValueError("n_flips cannot be negative")
+    out = np.array(arr, copy=True)
+    if n_flips == 0 or out.nbytes == 0:
+        return out
+    rng = np.random.default_rng(seed)
+    flat = out.reshape(-1).view(np.uint8)
+    positions = rng.integers(0, flat.size, n_flips)
+    values = rng.integers(1, 256, n_flips, dtype=np.uint8)  # never a no-op XOR 0
+    for pos, val in zip(positions, values):
+        flat[pos] ^= val
+    return out
 
 
 def median3x3_reference(image: np.ndarray) -> np.ndarray:
@@ -199,18 +258,26 @@ SIMPLEX_NNZ = 606
 SIMPLEX_INDEX_RANGE = 6330
 
 
-def simplex_pairs(n_pairs: int, seed: int = 0, nnz: int = SIMPLEX_NNZ) -> List[SparseVectorPair]:
+def simplex_pairs(
+    n_pairs: int,
+    seed: int = 0,
+    nnz: int = SIMPLEX_NNZ,
+    index_range: int = SIMPLEX_INDEX_RANGE,
+) -> List[SparseVectorPair]:
     """Register-allocation simplex tableaus: uniform row density.
 
     Constant nnz per vector — the data-independence that makes
     matrix-simplex correlate well with the constant-time model.
     Expected matches per pair: nnz^2 / index_range (~64 at defaults).
+    ``nnz / index_range`` is the workload framework's sparsity axis:
+    0 nonzeros is a fully sparse row, ``nnz == index_range`` fully
+    dense.
     """
     rng = np.random.default_rng(seed)
     pairs = []
     for _ in range(n_pairs):
-        idx_a, val_a = _sparse_vector(rng, nnz, SIMPLEX_INDEX_RANGE)
-        idx_b, val_b = _sparse_vector(rng, nnz, SIMPLEX_INDEX_RANGE)
+        idx_a, val_a = _sparse_vector(rng, nnz, index_range)
+        idx_b, val_b = _sparse_vector(rng, nnz, index_range)
         pairs.append(SparseVectorPair(idx_a, val_a, idx_b, val_b))
     return pairs
 
@@ -219,8 +286,18 @@ def simplex_pairs(n_pairs: int, seed: int = 0, nnz: int = SIMPLEX_NNZ) -> List[S
 BOEING_MEAN_NNZ = 480
 
 
+#: Legacy interface-to-interior density ratio (2.3 / 0.26).
+BOEING_LEGACY_SKEW = 2.3 / 0.26
+#: Mean scale factor the legacy constants produce; skewed variants
+#: preserve it so ``skew`` changes the spread, not the total work.
+_BOEING_MEAN_SCALE = (2.3 + 4 * 0.26) / 5
+
+
 def boeing_pairs(
-    n_pairs: int, seed: int = 0, mean_nnz: int = BOEING_MEAN_NNZ
+    n_pairs: int,
+    seed: int = 0,
+    mean_nnz: int = BOEING_MEAN_NNZ,
+    skew: Optional[float] = None,
 ) -> List[SparseVectorPair]:
     """Harwell-Boeing-like finite-element rows: banded, varied density.
 
@@ -230,14 +307,26 @@ def boeing_pairs(
     element meshes couple boundary-node rows to many elements), an
     order of magnitude denser than the interior rows; both vectors of
     a pair share a band, so matches are frequent (~density/3).
+
+    ``skew`` is the interface-to-interior density ratio (the workload
+    framework's skew axis): 1 gives uniform rows, larger values an
+    ever-more-extreme split at a constant mean density.  ``None``
+    preserves the legacy dataset (ratio ≈ 8.85) bit-for-bit.
     """
     rng = np.random.default_rng(seed)
+    if skew is None:
+        interior_scale, interface_scale = 0.26, 2.3
+    else:
+        if skew < 1.0:
+            raise ValueError("skew must be >= 1 (interface / interior ratio)")
+        interior_scale = 5 * _BOEING_MEAN_SCALE / (skew + 4)
+        interface_scale = interior_scale * skew
     pairs = []
     for i in range(n_pairs):
         interface_row = i % 5 == 0
-        scale = 2.3 if interface_row else 0.26
+        scale = interface_scale if interface_row else interior_scale
         density = int(
-            mean_nnz * (0.15 + scale) + rng.integers(0, mean_nnz // 6)
+            mean_nnz * (0.15 + scale) + rng.integers(0, max(1, mean_nnz // 6))
         )
         band_width = 3 * density
         center = int(rng.integers(0, 8192))
@@ -262,15 +351,29 @@ def boeing_pairs(
 # MPEG frames (Section 5.2, "MMX Primitives")
 
 
-def mpeg_blocks(n_blocks: int, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+def mpeg_blocks(
+    n_blocks: int, seed: int = 0, amplitude: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray]:
     """P/B-frame data and motion-correction matrices, 8x8 int16 blocks.
 
     Returns ``(frames, corrections)`` of shape ``(n_blocks, 64)``.
     Values sit near the int16 saturation boundary often enough that
     saturating adds (paddsw) behave differently from wrapping adds —
     tests rely on this to catch wrong MMX semantics.
+
+    ``amplitude`` scales both value ranges (the workload framework's
+    signal-amplitude axis): below ~0.55 sums can no longer saturate,
+    above 1.0 saturation dominates.  1.0 is the legacy dataset.
     """
+    if amplitude < 0.0:
+        raise ValueError("amplitude cannot be negative")
     rng = np.random.default_rng(seed)
-    frames = rng.integers(-28000, 28000, (n_blocks, 64), dtype=np.int16)
-    corrections = rng.integers(-12000, 12000, (n_blocks, 64), dtype=np.int16)
+    frame_amp = min(32767, int(round(28000 * amplitude)))
+    corr_amp = min(32767, int(round(12000 * amplitude)))
+    frames = rng.integers(
+        -frame_amp, max(1, frame_amp), (n_blocks, 64), dtype=np.int16
+    )
+    corrections = rng.integers(
+        -corr_amp, max(1, corr_amp), (n_blocks, 64), dtype=np.int16
+    )
     return frames, corrections

@@ -16,7 +16,7 @@ The benchmark counts exact matches on the last-name field:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Mapping, Optional
 
 import numpy as np
 
@@ -27,7 +27,12 @@ from repro.apps.base import (
     Table4Row,
     Workload,
 )
-from repro.apps.data import RECORD_BYTES, RECORD_LAYOUT, address_book
+from repro.apps.data import (
+    PLANTED_LASTNAME,
+    RECORD_BYTES,
+    RECORD_LAYOUT,
+    address_book,
+)
 from repro.core.functions import PageTask
 from repro.core.page import SYNC_BYTES
 from repro.sim import ops as O
@@ -75,6 +80,7 @@ class DatabaseApp(Application):
         functional: bool = True,
         memory: Optional[PagedMemory] = None,
         seed: int = 0,
+        params: Optional[Mapping[str, float]] = None,
     ) -> Workload:
         w = Workload(
             n_pages=n_pages, page_bytes=page_bytes, functional=functional, memory=memory
@@ -84,18 +90,37 @@ class DatabaseApp(Application):
             raise ValueError(
                 f"page of {page_bytes} bytes cannot hold a {RECORD_BYTES}-byte record"
             )
-        n_records = max(4, int(round(n_pages * rpp)))
+        # Axes: ``records`` overrides the page-derived record count
+        # (down to a single-record database); ``selectivity`` plants an
+        # exact fraction of query-matching records.
+        records_override = int(self._param(params, "records", 0))
+        selectivity = (
+            None if params is None or "selectivity" not in params
+            else float(params["selectivity"])
+        )
+        if records_override > 0:
+            n_records = records_override
+        else:
+            n_records = max(4, int(round(n_pages * rpp)))
         w.data["rpp"] = rpp
         w.data["n_records"] = n_records
+        w.data["params"] = dict(params) if params else {}
         if functional:
             if memory is None:
                 memory = PagedMemory(page_bytes=page_bytes)
                 w.memory = memory
             w.region = memory.alloc_pages(w.whole_pages, name=self.name)
-            records = address_book(n_records, seed=seed)
-            # Query: the last name of a mid-database record (so the
-            # count is at least 1, usually several — names repeat).
-            query = records[n_records // 2, self._field_off : self._field_off + self._field_len].copy()
+            records = address_book(n_records, seed=seed, selectivity=selectivity)
+            if selectivity is not None:
+                # Query the planted name: the match count is exactly
+                # round(selectivity * n_records), monotone in the axis.
+                query = np.zeros(self._field_len, dtype=np.uint8)
+                name = PLANTED_LASTNAME[: self._field_len]
+                query[: len(name)] = np.frombuffer(name, dtype=np.uint8)
+            else:
+                # Query: the last name of a mid-database record (so the
+                # count is at least 1, usually several — names repeat).
+                query = records[n_records // 2, self._field_off : self._field_off + self._field_len].copy()
             w.data["records"] = records
             w.data["query"] = query
             start = 0

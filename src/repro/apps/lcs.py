@@ -19,7 +19,7 @@ Table 2.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -69,6 +69,7 @@ class LCSApp(Application):
         functional: bool = True,
         memory: Optional[PagedMemory] = None,
         seed: int = 0,
+        params: Optional[Mapping[str, float]] = None,
     ) -> Workload:
         w = Workload(
             n_pages=n_pages, page_bytes=page_bytes, functional=functional, memory=memory
@@ -76,16 +77,23 @@ class LCSApp(Application):
         cpp = cells_per_page(page_bytes)
         n = max(8, int(round(np.sqrt(n_pages * cpp))))
         bands = w.whole_pages
+        # Axis: ``similarity`` in [0, 1] is the sequence-similarity
+        # axis — 1 gives identical sequences, the legacy default 0.85
+        # the homolog-like 15% mutation rate.
+        similarity = self._param(params, "similarity", 0.85)
+        if not 0.0 <= similarity <= 1.0:
+            raise ValueError("similarity must be in [0, 1]")
         w.data["n"] = n
         w.data["bands"] = bands
         w.data["band_rows"] = -(-n // bands)
         w.data["chunk_cols"] = -(-n // bands)
+        w.data["params"] = dict(params) if params else {}
         if functional:
             if memory is None:
                 memory = PagedMemory(page_bytes=page_bytes)
                 w.memory = memory
             w.region = memory.alloc_pages(w.whole_pages, name=self.name)
-            a, b = related_sequences(n, seed=seed)
+            a, b = related_sequences(n, mutation_rate=1.0 - similarity, seed=seed)
             w.data["seq_a"] = a
             w.data["seq_b"] = b
         return w

@@ -24,7 +24,7 @@ the paper's 0.830 correlation outlier).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Mapping, Optional
 
 import numpy as np
 
@@ -71,10 +71,20 @@ class _MatrixAppBase(Application):
     processor_computation = "Floating point multiplies"
     active_page_computation = "Index comparison and gather/scatter of data"
 
-    def _make_pairs(self, n_pairs: int, seed: int) -> List[SparseVectorPair]:
+    def _make_pairs(
+        self,
+        n_pairs: int,
+        seed: int,
+        params: Optional[Mapping[str, float]] = None,
+    ) -> List[SparseVectorPair]:
         raise NotImplementedError
 
-    def _expected_sizes(self, n_pairs: int, seed: int) -> List[dict]:
+    def _expected_sizes(
+        self,
+        n_pairs: int,
+        seed: int,
+        params: Optional[Mapping[str, float]] = None,
+    ) -> List[dict]:
         """Per-pair (nnz_a, nnz_b, matches) without building arrays.
 
         Timing-only workloads need deterministic sizes; building the
@@ -87,7 +97,7 @@ class _MatrixAppBase(Application):
                 "nb": len(p.idx_b),
                 "m": len(p.matches()),
             }
-            for p in self._make_pairs(n_pairs, seed)
+            for p in self._make_pairs(n_pairs, seed, params)
         ]
 
     def workload(
@@ -97,12 +107,14 @@ class _MatrixAppBase(Application):
         functional: bool = True,
         memory: Optional[PagedMemory] = None,
         seed: int = 0,
+        params: Optional[Mapping[str, float]] = None,
     ) -> Workload:
         w = Workload(
             n_pages=n_pages, page_bytes=page_bytes, functional=functional, memory=memory
         )
         n_pairs = w.whole_pages
-        pairs = self._make_pairs(n_pairs, seed)
+        pairs = self._make_pairs(n_pairs, seed, params)
+        w.data["params"] = dict(params) if params else {}
         if n_pages < 1.0:
             # Sub-page problem: one pair scaled down proportionally.
             p = pairs[0]
@@ -196,8 +208,20 @@ class MatrixSimplexApp(_MatrixAppBase):
     descriptor_words = 29
     paper_table4 = Table4Row(2.033, 4.418, 13.422, 8, 0.968)
 
-    def _make_pairs(self, n_pairs: int, seed: int) -> List[SparseVectorPair]:
-        return simplex_pairs(n_pairs, seed=seed)
+    def _make_pairs(
+        self,
+        n_pairs: int,
+        seed: int,
+        params: Optional[Mapping[str, float]] = None,
+    ) -> List[SparseVectorPair]:
+        # Axis: ``density`` = nnz / index range (sparsity axis); 0 is a
+        # fully sparse row, 1 fully dense.  Legacy operating point
+        # 606/6330 ≈ 0.0957.
+        density = self._param(params, "density", SIMPLEX_NNZ / SIMPLEX_INDEX_RANGE)
+        if not 0.0 <= density <= 1.0:
+            raise ValueError("density must be in [0, 1]")
+        nnz = int(round(density * SIMPLEX_INDEX_RANGE))
+        return simplex_pairs(n_pairs, seed=seed, nnz=nnz)
 
 
 class MatrixBoeingApp(_MatrixAppBase):
@@ -207,5 +231,21 @@ class MatrixBoeingApp(_MatrixAppBase):
     descriptor_words = 24
     paper_table4 = Table4Row(1.722, 11.486, 12.814, 9, 0.830)
 
-    def _make_pairs(self, n_pairs: int, seed: int) -> List[SparseVectorPair]:
-        return boeing_pairs(n_pairs, seed=seed)
+    def _make_pairs(
+        self,
+        n_pairs: int,
+        seed: int,
+        params: Optional[Mapping[str, float]] = None,
+    ) -> List[SparseVectorPair]:
+        # Axes: ``skew`` is the interface/interior density ratio (None
+        # preserves the legacy ≈8.85); ``density`` scales the mean row
+        # density (0 fully sparse, 1 legacy, >1 denser).
+        skew = (
+            None if params is None or "skew" not in params
+            else float(params["skew"])
+        )
+        density = self._param(params, "density", 1.0)
+        if density < 0.0:
+            raise ValueError("density scale cannot be negative")
+        mean_nnz = int(round(density * BOEING_MEAN_NNZ))
+        return boeing_pairs(n_pairs, seed=seed, mean_nnz=mean_nnz, skew=skew)

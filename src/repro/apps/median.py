@@ -18,7 +18,7 @@ above, one below) so the kernel never leaves its page:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.apps.base import (
     Table4Row,
     Workload,
 )
-from repro.apps.data import median3x3_reference, noisy_image
+from repro.apps.data import apply_byte_mutations, median3x3_reference, noisy_image
 from repro.core.functions import PageTask
 from repro.core.page import SYNC_BYTES
 from repro.sim import ops as O
@@ -79,22 +79,32 @@ class MedianApp(Application):
         functional: bool = True,
         memory: Optional[PagedMemory] = None,
         seed: int = 0,
+        params: Optional[Mapping[str, float]] = None,
     ) -> Workload:
         w = Workload(
             n_pages=n_pages, page_bytes=page_bytes, functional=functional, memory=memory
         )
         width, rows_per_page = band_geometry(page_bytes)
         height = max(4, int(round(n_pages * rows_per_page)))
+        # Axes: ``noise`` is the salt-and-pepper impulse fraction (the
+        # image-entropy axis); ``byte_flips`` applies that many seeded
+        # byte-level mutations to the generated image (fuzzing).
+        noise = self._param(params, "noise", 0.05)
+        byte_flips = int(self._param(params, "byte_flips", 0))
         w.data["width"] = width
         w.data["rows_per_page"] = rows_per_page
         w.data["height"] = height
+        w.data["params"] = dict(params) if params else {}
         if functional:
             if memory is None:
                 memory = PagedMemory(page_bytes=page_bytes)
                 w.memory = memory
             # Pages for the banded layout plus a contiguous image copy.
             w.region = memory.alloc_pages(w.whole_pages, name=self.name)
-            w.data["image"] = noisy_image(height, width, seed=seed)
+            image = noisy_image(height, width, seed=seed, noise=noise)
+            if byte_flips:
+                image = apply_byte_mutations(image, byte_flips, seed=seed)
+            w.data["image"] = image
         return w
 
     # ------------------------------------------------------------------

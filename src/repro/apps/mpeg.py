@@ -17,7 +17,7 @@ instruction corrects the whole frame half in place.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Mapping, Optional
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.apps.base import (
     Table4Row,
     Workload,
 )
-from repro.apps.data import mpeg_blocks
+from repro.apps.data import apply_byte_mutations, mpeg_blocks
 from repro.core.page import SYNC_BYTES
 from repro.radram.mmx import (
     conventional_instruction_count,
@@ -68,21 +68,33 @@ class MpegMMXApp(Application):
         functional: bool = True,
         memory: Optional[PagedMemory] = None,
         seed: int = 0,
+        params: Optional[Mapping[str, float]] = None,
     ) -> Workload:
         w = Workload(
             n_pages=n_pages, page_bytes=page_bytes, functional=functional, memory=memory
         )
         fbp = frame_bytes_per_page(page_bytes)
         total_frame_bytes = max(128, int(round(n_pages * fbp)) & ~0x7F)
+        # Axes: ``amplitude`` scales the int16 value ranges (how often
+        # saturating adds actually saturate); ``byte_flips`` applies
+        # seeded byte-level mutations to both operand blocks (fuzzing).
+        amplitude = self._param(params, "amplitude", 1.0)
+        byte_flips = int(self._param(params, "byte_flips", 0))
         w.data["fbp"] = fbp
         w.data["frame_bytes"] = total_frame_bytes
+        w.data["params"] = dict(params) if params else {}
         if functional:
             if memory is None:
                 memory = PagedMemory(page_bytes=page_bytes)
                 w.memory = memory
             w.region = memory.alloc_pages(w.whole_pages, name=self.name)
             n_blocks = total_frame_bytes // 128  # 8x8 int16 blocks
-            frames, corrections = mpeg_blocks(n_blocks, seed=seed)
+            frames, corrections = mpeg_blocks(n_blocks, seed=seed, amplitude=amplitude)
+            if byte_flips:
+                frames = apply_byte_mutations(frames, byte_flips, seed=seed)
+                corrections = apply_byte_mutations(
+                    corrections, byte_flips, seed=seed + 1
+                )
             w.data["frames"] = frames.reshape(-1)
             w.data["corrections"] = corrections.reshape(-1)
         return w

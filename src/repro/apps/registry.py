@@ -46,6 +46,21 @@ FIG3_APPS: List[str] = [
     "mpeg-mmx",
 ]
 
+#: One representative application per workload family, in the order
+#: the parametric generator framework (repro.workloads) covers them:
+#: database, median, LCS, the two matrix datasets, array, and MPEG.
+#: ``repro fuzz`` draws its candidates from these by default.
+FUZZ_APPS: List[str] = [
+    "database",
+    "median-kernel",
+    "dynamic-prog",
+    "matrix-simplex",
+    "matrix-boeing",
+    "array-insert",
+    "array-find",
+    "mpeg-mmx",
+]
+
 #: Applications with a Table 4 row, in the paper's row order.
 TABLE4_APPS: List[str] = [
     "array-insert",

@@ -10,7 +10,7 @@ run with :class:`CheckError` and still produces a report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.apps.registry import get_app
 from repro.check.runtime import CheckError, Checker, checking
@@ -102,6 +102,7 @@ def check_app(
     strict: bool = False,
     systems: Tuple[str, ...] = SYSTEMS,
     seed: int = 0,
+    params: Optional[Mapping[str, float]] = None,
 ) -> List[CheckRun]:
     """Run ``app_name`` on each system with the sanitizer installed."""
     app = get_app(app_name)
@@ -112,11 +113,11 @@ def check_app(
             try:
                 if system == "conventional":
                     _runner.run_conventional(
-                        app, n_pages, page_bytes=page_bytes, seed=seed
+                        app, n_pages, page_bytes=page_bytes, seed=seed, params=params
                     )
                 else:
                     _runner.run_radram(
-                        app, n_pages, page_bytes=page_bytes, seed=seed
+                        app, n_pages, page_bytes=page_bytes, seed=seed, params=params
                     )
             except CheckError as exc:
                 error = str(exc)
@@ -131,6 +132,7 @@ def check_apps(
     strict: bool = False,
     systems: Tuple[str, ...] = SYSTEMS,
     seed: int = 0,
+    params: Optional[Mapping[str, float]] = None,
 ) -> CheckReport:
     """Sanitize a list of apps; returns the combined report."""
     report = CheckReport()
@@ -143,6 +145,7 @@ def check_apps(
                 strict=strict,
                 systems=systems,
                 seed=seed,
+                params=params,
             )
         )
     return report

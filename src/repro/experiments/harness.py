@@ -51,7 +51,7 @@ import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro._version import __version__
 from repro.apps.base import PHASE_ACTIVATION, PHASE_POST
@@ -60,7 +60,7 @@ from repro.sim.config import MachineConfig
 from repro.sim.memory import DEFAULT_PAGE_BYTES
 
 #: Bump when the meaning of cached values changes (invalidates entries).
-CACHE_SCHEMA = 2  # bumped: vectorized hierarchy + writeback-install fix
+CACHE_SCHEMA = 3  # bumped: workload params + generator tag join the key
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -81,6 +81,10 @@ _MODES = (MODE_SPEEDUP, MODE_CONSTANTS, MODE_FAULTS)
 # Tasks
 
 
+#: Accepted forms of ``SweepTask.workload_params`` before normalization.
+ParamsLike = Union[Mapping[str, float], Sequence[Tuple[str, float]], None]
+
+
 @dataclass(frozen=True)
 class SweepTask:
     """One pure, hashable sweep point.
@@ -89,6 +93,14 @@ class SweepTask:
     reference configuration (kept as ``None`` — not expanded — so the
     common case hashes compactly and reference-default drift is caught
     by the ``repro.__version__`` component of the key).
+
+    ``workload_params`` carries the generator axis values of a
+    parametric workload (:mod:`repro.workloads`) as a sorted tuple of
+    ``(axis, value)`` pairs (mappings are normalized); ``generator``
+    is the producing generator's version tag (``"database/v1"``).
+    Both are part of :meth:`key`, so a cached result from the fixed
+    datasets (``None``) can never be served for a generated workload,
+    nor across generator versions.
     """
 
     app_name: str
@@ -99,12 +111,30 @@ class SweepTask:
     cap_pages: Optional[float] = None
     machine_config: Optional[MachineConfig] = None
     radram_config: Optional[RADramConfig] = None
+    workload_params: ParamsLike = None
+    generator: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ValueError(f"unknown sweep mode {self.mode!r}")
         if self.n_pages <= 0:
             raise ValueError("n_pages must be positive")
+        if self.workload_params is not None:
+            items = (
+                self.workload_params.items()
+                if isinstance(self.workload_params, Mapping)
+                else self.workload_params
+            )
+            normalized = tuple(
+                sorted((str(k), float(v)) for k, v in items)
+            )
+            object.__setattr__(self, "workload_params", normalized)
+
+    def params_dict(self) -> Optional[Dict[str, float]]:
+        """The workload axis values as a mapping (None = fixed data)."""
+        if self.workload_params is None:
+            return None
+        return dict(self.workload_params)
 
     def canonical(self) -> Dict[str, object]:
         """JSON-ready encoding; equal tasks encode identically."""
@@ -134,6 +164,8 @@ def speedup_task(
     cap_pages: object = _DEFAULT_CAP,
     machine_config: Optional[MachineConfig] = None,
     radram_config: Optional[RADramConfig] = None,
+    params: ParamsLike = None,
+    generator: Optional[str] = None,
 ) -> SweepTask:
     """A conventional-vs-RADram measurement at one problem size."""
     from repro.experiments.runner import DEFAULT_CAP_PAGES
@@ -149,6 +181,8 @@ def speedup_task(
         cap_pages=cap_pages,
         machine_config=machine_config,
         radram_config=radram_config,
+        workload_params=params,
+        generator=generator,
     )
 
 
@@ -188,6 +222,8 @@ def constants_task(
     n_pages: float,
     page_bytes: int = DEFAULT_PAGE_BYTES,
     seed: int = 0,
+    params: ParamsLike = None,
+    generator: Optional[str] = None,
 ) -> SweepTask:
     """A Table 4 calibration run (T_A/T_P/T_C; conventional un-capped)."""
     return SweepTask(
@@ -197,6 +233,8 @@ def constants_task(
         page_bytes=page_bytes,
         seed=seed,
         cap_pages=None,
+        workload_params=params,
+        generator=generator,
     )
 
 
@@ -257,6 +295,7 @@ def execute_task(task: SweepTask, trace_summary: bool = False) -> Dict[str, floa
     chaos.maybe_injure(task.key(), task.app_name)
     _seed_rngs(task)
     app = get_app(task.app_name)
+    params = task.params_dict()
     if task.mode == MODE_FAULTS:
         conv = run_conventional(
             app,
@@ -265,6 +304,7 @@ def execute_task(task: SweepTask, trace_summary: bool = False) -> Dict[str, floa
             machine_config=task.machine_config,
             seed=task.seed,
             cap_pages=task.cap_pages,
+            params=params,
         )
         rad = run_radram(
             app,
@@ -273,6 +313,7 @@ def execute_task(task: SweepTask, trace_summary: bool = False) -> Dict[str, floa
             machine_config=task.machine_config,
             radram_config=task.radram_config,
             seed=task.seed,
+            params=params,
         )
         values = {
             "conventional_ns": conv.total_ns,
@@ -293,6 +334,7 @@ def execute_task(task: SweepTask, trace_summary: bool = False) -> Dict[str, floa
             radram_config=task.radram_config,
             seed=task.seed,
             cap_pages=task.cap_pages,
+            params=params,
         )
         return {
             "conventional_ns": point.conventional_ns,
@@ -308,6 +350,7 @@ def execute_task(task: SweepTask, trace_summary: bool = False) -> Dict[str, floa
         machine_config=task.machine_config,
         radram_config=task.radram_config,
         seed=task.seed,
+        params=params,
     )
     conv = run_conventional(
         app,
@@ -316,6 +359,7 @@ def execute_task(task: SweepTask, trace_summary: bool = False) -> Dict[str, floa
         machine_config=task.machine_config,
         seed=task.seed,
         cap_pages=task.cap_pages,
+        params=params,
     )
     activations = max(1, rad.stats.activations)
     return {

@@ -13,7 +13,7 @@ are not linear.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.apps.base import Application, Workload
 from repro.radram.config import RADramConfig
@@ -39,6 +39,11 @@ class RunResult:
     workload: Workload
     scaled_from_pages: Optional[float] = None  # set when extrapolated
     mean_page_busy_ns: float = 0.0  # RADram only: measured T_C
+    #: RADram only: per-subarray busy times in page order — the
+    #: data-dependent T_C vector the Figure 7 model accepts directly
+    #: (the fuzzer's model oracle uses it when one activation maps to
+    #: one page).
+    page_busy_ns: Tuple[float, ...] = ()
     #: fault/repair counters (empty unless fault injection was on).
     fault_counters: Dict[str, float] = field(default_factory=dict)
 
@@ -83,6 +88,7 @@ def run_conventional(
     functional: bool = False,
     seed: int = 0,
     cap_pages: Optional[float] = DEFAULT_CAP_PAGES,
+    params: Optional[Mapping[str, float]] = None,
 ) -> RunResult:
     """Run the baseline version of ``app`` at ``n_pages``."""
     simulate_pages = n_pages
@@ -99,11 +105,16 @@ def run_conventional(
     machine = Machine(config=machine_config, memory=PagedMemory(page_bytes=page_bytes))
     if functional:
         w = getattr(app, "conventional_workload", app.workload)(
-            simulate_pages, page_bytes, functional=True, memory=machine.memory, seed=seed
+            simulate_pages,
+            page_bytes,
+            functional=True,
+            memory=machine.memory,
+            seed=seed,
+            params=params,
         )
     else:
         w = getattr(app, "conventional_workload", app.workload)(
-            simulate_pages, page_bytes, functional=False, seed=seed
+            simulate_pages, page_bytes, functional=False, seed=seed, params=params
         )
     stats = machine.run(app.conventional_stream(w))
     total = stats.total_ns
@@ -128,6 +139,7 @@ def run_radram(
     radram_config: Optional[RADramConfig] = None,
     functional: bool = False,
     seed: int = 0,
+    params: Optional[Mapping[str, float]] = None,
 ) -> RunResult:
     """Run the Active-Page version of ``app`` at ``n_pages``."""
     rconfig = radram_config or RADramConfig.reference()
@@ -141,16 +153,24 @@ def run_radram(
     )
     if functional:
         w = app.workload(
-            n_pages, page_bytes, functional=True, memory=machine.memory, seed=seed
+            n_pages,
+            page_bytes,
+            functional=True,
+            memory=machine.memory,
+            seed=seed,
+            params=params,
         )
     else:
-        w = app.workload(n_pages, page_bytes, functional=False, seed=seed)
+        w = app.workload(n_pages, page_bytes, functional=False, seed=seed, params=params)
     # Applications may adapt their partitioning to the technology
     # (e.g. LCS uses in-page references when hardware comm exists).
     w.data["radram_config"] = rconfig
     stats = machine.run(app.radram_stream(w))
     activations = memsys.total_activations
-    busy = sum(memsys.page_busy_ns(p) for p in memsys.subarrays)
+    per_page = tuple(
+        memsys.page_busy_ns(p) for p in sorted(memsys.subarrays)
+    )
+    busy = sum(per_page)
     return RunResult(
         app_name=app.name,
         system="radram",
@@ -159,6 +179,7 @@ def run_radram(
         stats=stats,
         workload=w,
         mean_page_busy_ns=busy / activations if activations else 0.0,
+        page_busy_ns=per_page,
         fault_counters=memsys.fault_counters(),
     )
 
@@ -171,6 +192,7 @@ def measure_speedup(
     radram_config: Optional[RADramConfig] = None,
     seed: int = 0,
     cap_pages: Optional[float] = DEFAULT_CAP_PAGES,
+    params: Optional[Mapping[str, float]] = None,
 ) -> SpeedupPoint:
     """Conventional vs RADram at one problem size (timing mode)."""
     conv = run_conventional(
@@ -180,6 +202,7 @@ def measure_speedup(
         machine_config=machine_config,
         seed=seed,
         cap_pages=cap_pages,
+        params=params,
     )
     rad = run_radram(
         app,
@@ -188,6 +211,7 @@ def measure_speedup(
         machine_config=machine_config,
         radram_config=radram_config,
         seed=seed,
+        params=params,
     )
     return SpeedupPoint(
         app_name=app.name,

@@ -1,0 +1,290 @@
+"""Concrete generators for the eight fuzzed paper applications.
+
+One generator per :data:`repro.apps.registry.FUZZ_APPS` entry.  Each
+declares its app-specific axes, a documented model-divergence
+tolerance (calibrated in ``docs/workloads.md``), and an
+:meth:`~repro.workloads.base.Generator.observe` computing cheap
+dataset statistics the monotonicity property suite probes.
+
+Tolerances are per-application.  The fuzz oracle feeds the Figure 7
+model the run's measured per-page T_C vector, so even data-dependent
+(matrix-boeing) and pipeline-partitioned (array-insert) kernels track
+it within a couple of percent; only the wavefront dynamic-prog kernel
+— many activations per page, processor-side backtracking — sits
+structurally outside the model, and its tolerance documents that
+divergence rather than hiding it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.apps import data
+from repro.apps.database import records_per_page
+from repro.apps.median import band_geometry
+from repro.radram.mmx import mmx_op
+from repro.sim.memory import DEFAULT_PAGE_BYTES
+from repro.workloads.base import Axis, Generator, register
+
+_PADDSW = mmx_op("paddsw")
+
+
+class DatabaseGenerator(Generator):
+    """Address-database query: record count and query selectivity."""
+
+    app_name = "database"
+    version = 1
+    axes = (
+        Axis("records", 0, 2048, 0, integer=True,
+             description="record count override (0 = derive from pages)"),
+        Axis("selectivity", 0.0, 1.0, 0.02,
+             description="fraction of records matching the planted query"),
+    )
+    model_tolerance = 0.02
+    monotone = (("selectivity", "matches", +1),)
+
+    def _n_records(
+        self, params: Mapping[str, float], page_bytes: int
+    ) -> int:
+        records = int(params.get("records", 0))
+        if records > 0:
+            return records
+        rpp = records_per_page(page_bytes)
+        return max(4, int(round(params["pages"] * rpp)))
+
+    def observe(
+        self,
+        params: Mapping[str, float],
+        seed: int = 0,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> Dict[str, float]:
+        p = self.clamp(params)
+        n = self._n_records(p, page_bytes)
+        book = data.address_book(n, seed=seed, selectivity=p["selectivity"])
+        off, length = data.RECORD_LAYOUT["lastname"]
+        name = data.PLANTED_LASTNAME[:length]
+        query = np.zeros(length, dtype=np.uint8)
+        query[: len(name)] = np.frombuffer(name, dtype=np.uint8)
+        matches = np.all(book[:, off : off + length] == query, axis=1).sum()
+        return {"records": float(n), "matches": float(matches)}
+
+
+class MedianGenerator(Generator):
+    """Median filter: impulse-noise fraction and byte-level mutation."""
+
+    app_name = "median-kernel"
+    version = 1
+    axes = (
+        Axis("noise", 0.0, 1.0, 0.05,
+             description="salt-and-pepper impulse fraction (image entropy)"),
+        Axis("byte_flips", 0, 64, 0, integer=True,
+             description="seeded byte-level mutations applied to the image"),
+    )
+    model_tolerance = 0.02
+    monotone = (("noise", "impulses", +1),)
+
+    def observe(
+        self,
+        params: Mapping[str, float],
+        seed: int = 0,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> Dict[str, float]:
+        p = self.clamp(params)
+        width, rows_per_page = band_geometry(page_bytes)
+        height = max(4, int(round(p["pages"] * rows_per_page)))
+        clean = data.noisy_image(height, width, seed=seed, noise=0.0)
+        image = data.noisy_image(height, width, seed=seed, noise=p["noise"])
+        if p["byte_flips"]:
+            image = data.apply_byte_mutations(
+                image, int(p["byte_flips"]), seed=seed
+            )
+        return {
+            "pixels": float(image.size),
+            "impulses": float(np.count_nonzero(image != clean)),
+        }
+
+
+class LCSGenerator(Generator):
+    """LCS / dynamic programming: sequence similarity."""
+
+    app_name = "dynamic-prog"
+    version = 1
+    axes = (
+        Axis("similarity", 0.0, 1.0, 0.85,
+             description="1 - mutation rate between the two sequences"),
+    )
+    # The wavefront activation pattern plus processor-side backtracking
+    # sit structurally outside the constant-times model: measured
+    # divergence is 68-83% across the axis range (docs/workloads.md).
+    model_tolerance = 0.95
+    monotone = (("similarity", "lcs_fraction", +1),)
+
+    def observe(
+        self,
+        params: Mapping[str, float],
+        seed: int = 0,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> Dict[str, float]:
+        p = self.clamp(params)
+        length = 256  # fixed probe size: cheap, yet similarity-sensitive
+        a, b = data.related_sequences(
+            length, mutation_rate=1.0 - p["similarity"], seed=seed
+        )
+        lcs = data.lcs_reference(a, b)
+        return {"lcs": float(lcs), "lcs_fraction": lcs / float(length)}
+
+
+class SimplexGenerator(Generator):
+    """Simplex sparse multiply: uniform row density (sparsity axis)."""
+
+    app_name = "matrix-simplex"
+    version = 1
+    axes = (
+        Axis("density", 0.0, 1.0, data.SIMPLEX_NNZ / data.SIMPLEX_INDEX_RANGE,
+             description="row density: nnz / index range (0 empty, 1 dense)"),
+    )
+    # Near-zero densities leave so little work per page that fixed
+    # scheduling costs dominate the tiny measured time: allow 6%.
+    model_tolerance = 0.06
+    monotone = (("density", "nnz", +1),)
+
+    def observe(
+        self,
+        params: Mapping[str, float],
+        seed: int = 0,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> Dict[str, float]:
+        p = self.clamp(params)
+        nnz = int(round(p["density"] * data.SIMPLEX_INDEX_RANGE))
+        pairs = data.simplex_pairs(8, seed=seed, nnz=nnz)
+        total = sum(pair.nnz for pair in pairs)
+        matches = sum(len(pair.matches()) for pair in pairs)
+        return {"nnz": float(total), "matches": float(matches)}
+
+
+class BoeingGenerator(Generator):
+    """Boeing sparse multiply: mean density scale and row-density skew."""
+
+    app_name = "matrix-boeing"
+    version = 1
+    axes = (
+        Axis("density", 0.0, 2.0, 1.0,
+             description="mean-nnz scale (1.0 = the legacy 480)"),
+        Axis("skew", 1.0, 20.0, data.BOEING_LEGACY_SKEW,
+             description="interface/interior row-density ratio"),
+    )
+    # The per-page T_C vector absorbs the row-density variation that
+    # sinks this dataset's Table 4 correlation; residual divergence is
+    # activation-order mismatch, observed < 1% across the axis box.
+    model_tolerance = 0.05
+    monotone = (("density", "nnz", +1), ("skew", "row_spread", +1))
+
+    def observe(
+        self,
+        params: Mapping[str, float],
+        seed: int = 0,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> Dict[str, float]:
+        p = self.clamp(params)
+        mean_nnz = int(round(p["density"] * data.BOEING_MEAN_NNZ))
+        pairs = data.boeing_pairs(10, seed=seed, mean_nnz=mean_nnz, skew=p["skew"])
+        rows = [len(pair.idx_a) for pair in pairs]
+        return {
+            "nnz": float(sum(pair.nnz for pair in pairs)),
+            "row_spread": float(max(rows) - min(rows)),
+        }
+
+
+class _ArrayGenerator(Generator):
+    """Shared axes of the array primitives."""
+
+    version = 1
+    axes = (
+        Axis("position", 0.0, 1.0, 1.0 / 3.0,
+             description="insert/delete point as a fraction of the array"),
+        Axis("key_density", 0.0, 1.0, 1.0 / 97.0,
+             description="planted-key fraction (find/count selectivity)"),
+    )
+
+    def observe(
+        self,
+        params: Mapping[str, float],
+        seed: int = 0,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> Dict[str, float]:
+        from repro.apps.array import words_per_page
+
+        p = self.clamp(params)
+        total = max(8, int(round(p["pages"] * words_per_page(page_bytes))))
+        position = min(total - 2, int(p["position"] * total))
+        return {
+            "planted": float(int(round(total * p["key_density"]))),
+            "words_shifted": float(total - position),
+        }
+
+
+class ArrayInsertGenerator(_ArrayGenerator):
+    app_name = "array-insert"
+    # The cross-page ripple shows up in the per-page busy times, so
+    # the vector model tracks it; observed divergence < 1% at all K.
+    model_tolerance = 0.05
+    monotone = (("position", "words_shifted", -1), ("key_density", "planted", +1))
+
+
+class ArrayFindGenerator(_ArrayGenerator):
+    app_name = "array-find"
+    model_tolerance = 0.02
+    monotone = (("key_density", "planted", +1),)
+
+
+class MpegGenerator(Generator):
+    """MPEG MMX motion correction: amplitude and byte-level mutation."""
+
+    app_name = "mpeg-mmx"
+    version = 1
+    axes = (
+        Axis("amplitude", 0.0, 2.0, 1.0,
+             description="int16 value-range scale (saturation frequency)"),
+        Axis("byte_flips", 0, 64, 0, integer=True,
+             description="seeded byte-level mutations of both operands"),
+    )
+    model_tolerance = 0.02
+    monotone = (("amplitude", "saturations", +1),)
+
+    def observe(
+        self,
+        params: Mapping[str, float],
+        seed: int = 0,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ) -> Dict[str, float]:
+        p = self.clamp(params)
+        frames, corrections = data.mpeg_blocks(
+            64, seed=seed, amplitude=p["amplitude"]
+        )
+        if p["byte_flips"]:
+            frames = data.apply_byte_mutations(
+                frames, int(p["byte_flips"]), seed=seed
+            )
+            corrections = data.apply_byte_mutations(
+                corrections, int(p["byte_flips"]), seed=seed + 1
+            )
+        summed = _PADDSW.apply(frames.reshape(-1), corrections.reshape(-1))
+        wide = frames.astype(np.int32).reshape(-1) + corrections.astype(
+            np.int32
+        ).reshape(-1)
+        return {"saturations": float(np.count_nonzero(summed != wide))}
+
+
+for _gen in (
+    DatabaseGenerator(),
+    MedianGenerator(),
+    LCSGenerator(),
+    SimplexGenerator(),
+    BoeingGenerator(),
+    ArrayInsertGenerator(),
+    ArrayFindGenerator(),
+    MpegGenerator(),
+):
+    register(_gen)

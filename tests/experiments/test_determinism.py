@@ -23,6 +23,15 @@ TASKS = [
     speedup_task("database", 2.0, page_bytes=PAGE),
     speedup_task("array-insert", 2.0, page_bytes=PAGE),
     constants_task("database", 2.0, page_bytes=PAGE),
+    # A parametric (generated) workload: determinism must also hold
+    # when workload params ride along in the task.
+    speedup_task(
+        "database",
+        2.0,
+        page_bytes=PAGE,
+        params={"selectivity": 0.4},
+        generator="database/v1",
+    ),
 ]
 
 

@@ -35,8 +35,17 @@ class TestPmaddwd:
     @settings(max_examples=50, deadline=None)
     def test_matches_int32_reference(self, a, b):
         out = mmx_op("pmaddwd").apply(a, b)
-        ref = (a.astype(np.int64) * b.astype(np.int64)).reshape(-1, 2).sum(axis=1)
+        wide = (a.astype(np.int64) * b.astype(np.int64)).reshape(-1, 2).sum(axis=1)
+        # The sum of two int16 products exceeds int32 only when both are
+        # (-32768)^2; the architectural result wraps to 0x80000000.
+        ref = (wide & 0xFFFFFFFF).astype(np.uint32).astype(np.int32)
         assert np.array_equal(out, ref)
+
+    def test_all_min_words_wrap_to_int32_min(self):
+        """(-32768)*(-32768)*2 = 2^31: pmaddwd's one overflow case wraps."""
+        a = np.full(8, -32768, dtype=np.int16)
+        out = mmx_op("pmaddwd").apply(a, a)
+        assert list(out) == [np.iinfo(np.int32).min] * 4
 
 
 class TestPack:

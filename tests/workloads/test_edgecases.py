@@ -1,0 +1,92 @@
+"""Edge-of-the-box workloads must be strict-clean on both systems.
+
+The generator axes deliberately reach degenerate datasets — empty
+sparse rows, a single-record database, extreme density skew, a pure-
+noise image, zero-amplitude frames.  Each must run under the strict
+runtime sanitizer without violations on both memory systems, and both
+versions must still agree functionally.
+"""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.check.runner import check_app
+from repro.experiments.runner import run_conventional, run_radram
+from repro.workloads import FUZZ_PAGE_BYTES, get_generator
+
+PAGE = FUZZ_PAGE_BYTES
+
+EDGE_CASES = [
+    ("database", {"pages": 0.5, "records": 1, "selectivity": 1.0},
+     "single-record database, every record matching"),
+    ("database", {"pages": 2.0, "records": 0, "selectivity": 0.0},
+     "zero planted matches"),
+    ("matrix-simplex", {"pages": 2.0, "density": 0.0},
+     "fully sparse: zero-length rows"),
+    ("matrix-simplex", {"pages": 1.0, "density": 1.0},
+     "fully dense rows"),
+    ("matrix-boeing", {"pages": 2.0, "density": 0.0, "skew": 1.0},
+     "empty Boeing rows"),
+    ("matrix-boeing", {"pages": 2.0, "density": 2.0, "skew": 20.0},
+     "extreme interface/interior skew at max density"),
+    ("median-kernel", {"pages": 0.5, "noise": 1.0, "byte_flips": 64},
+     "pure impulse noise plus byte mutations"),
+    ("median-kernel", {"pages": 0.5, "noise": 0.0, "byte_flips": 0},
+     "noise-free gradient"),
+    ("dynamic-prog", {"pages": 0.5, "similarity": 0.0},
+     "unrelated sequences"),
+    ("dynamic-prog", {"pages": 0.5, "similarity": 1.0},
+     "identical sequences"),
+    ("array-insert", {"pages": 0.5, "position": 0.0, "key_density": 0.0},
+     "insert at the head, no planted keys"),
+    ("array-insert", {"pages": 0.5, "position": 1.0, "key_density": 1.0},
+     "insert at the tail, every word a key"),
+    ("array-find", {"pages": 0.5, "position": 0.5, "key_density": 0.0},
+     "find with zero occurrences"),
+    ("mpeg-mmx", {"pages": 0.5, "amplitude": 0.0, "byte_flips": 0},
+     "all-zero frames (zero-length value range)"),
+    ("mpeg-mmx", {"pages": 0.5, "amplitude": 2.0, "byte_flips": 64},
+     "saturation-dominated frames plus byte mutations"),
+]
+
+
+@pytest.mark.parametrize(
+    "name,params,label",
+    EDGE_CASES,
+    ids=[f"{n}-{lbl.split(',')[0].replace(' ', '-')}" for n, _, lbl in EDGE_CASES],
+)
+def test_edge_case_strict_clean_on_both_systems(name, params, label):
+    gen = get_generator(name)
+    n_pages, wparams = gen.split(params)
+    runs = check_app(
+        name,
+        n_pages=n_pages,
+        page_bytes=PAGE,
+        strict=True,
+        seed=3,
+        params=wparams,
+    )
+    assert len(runs) == 2
+    for run in runs:
+        assert run.clean, (
+            f"{name} [{run.system}] ({label}): {run.counts}, {run.error}"
+        )
+
+
+@pytest.mark.parametrize(
+    "name,params,label",
+    EDGE_CASES,
+    ids=[f"{n}-{lbl.split(',')[0].replace(' ', '-')}" for n, _, lbl in EDGE_CASES],
+)
+def test_edge_case_systems_agree(name, params, label):
+    gen = get_generator(name)
+    n_pages, wparams = gen.split(params)
+    app = get_app(name)
+    conv = run_conventional(
+        app, n_pages, page_bytes=PAGE, functional=True, seed=3,
+        cap_pages=None, params=wparams,
+    )
+    rad = run_radram(
+        app, n_pages, page_bytes=PAGE, functional=True, seed=3, params=wparams
+    )
+    app.check_equivalence(conv.workload, rad.workload)

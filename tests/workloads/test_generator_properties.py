@@ -1,0 +1,163 @@
+"""Property suite for the parametric workload generators.
+
+Three guarantees, per generator:
+
+* **Bit-identity** — the same ``(seed, params)`` produces the same
+  dataset on every call, and in a pool worker process (the harness
+  farms generated tasks out to workers, so cross-process drift would
+  silently split sweeps).
+* **Seed sensitivity** — distinct seeds produce distinct datasets.
+* **Monotone axes** — each declared axis moves its observable in the
+  documented direction (the axes are *meaningful*, not decorative).
+"""
+
+import hashlib
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.data import SparseVectorPair
+from repro.apps.registry import get_app
+from repro.workloads import FUZZ_PAGE_BYTES, GENERATORS, get_generator
+
+GEN_NAMES = sorted(GENERATORS)
+
+
+def dataset_digest(name: str, params, seed: int) -> str:
+    """SHA-256 over every array/bytes datum of the generated workload."""
+    gen = get_generator(name)
+    n_pages, wparams = gen.split(params)
+    app = get_app(gen.app_name)
+    w = app.workload(
+        n_pages, FUZZ_PAGE_BYTES, functional=True, seed=seed, params=wparams
+    )
+    h = hashlib.sha256()
+
+    def feed(value):
+        if isinstance(value, np.ndarray):
+            h.update(value.tobytes())
+        elif isinstance(value, (bytes, bytearray)):
+            h.update(bytes(value))
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                feed(item)
+        elif isinstance(value, SparseVectorPair):
+            for arr in (value.idx_a, value.val_a, value.idx_b, value.val_b):
+                h.update(arr.tobytes())
+        elif isinstance(value, (int, float, str)):
+            h.update(repr(value).encode())
+
+    for key in sorted(w.data):
+        h.update(key.encode())
+        feed(w.data[key])
+    return h.hexdigest()
+
+
+def _axis_point(gen, draws):
+    """A parameter point from hypothesis unit-interval draws."""
+    params = {}
+    for ax, u in zip(gen.all_axes(), draws):
+        params[ax.name] = ax.clamp(ax.lo + u * (ax.hi - ax.lo))
+    return gen.clamp(params)
+
+
+@pytest.mark.parametrize("name", GEN_NAMES)
+@given(
+    draws=st.lists(
+        st.floats(0.0, 1.0, allow_nan=False), min_size=4, max_size=4
+    ),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=10, deadline=None)
+def test_same_seed_and_params_bit_identical(name, draws, seed):
+    gen = get_generator(name)
+    params = _axis_point(gen, draws)
+    assert dataset_digest(name, params, seed) == dataset_digest(
+        name, params, seed
+    )
+
+
+@pytest.mark.parametrize("name", GEN_NAMES)
+def test_pool_worker_matches_in_process(name):
+    gen = get_generator(name)
+    params = gen.default_params()
+    local = dataset_digest(name, params, seed=123)
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        remote = pool.submit(dataset_digest, name, params, 123).result()
+    assert local == remote
+
+
+@pytest.mark.parametrize("name", GEN_NAMES)
+def test_distinct_seeds_differ(name):
+    gen = get_generator(name)
+    params = gen.default_params()
+    assert dataset_digest(name, params, 0) != dataset_digest(name, params, 1)
+
+
+@pytest.mark.parametrize("name", GEN_NAMES)
+def test_declared_axes_are_monotone(name):
+    """Axis lo -> hi moves the observable in the declared direction,
+    strictly across the endpoints and weakly through the midpoint."""
+    gen = get_generator(name)
+    assert gen.monotone, f"{name}: no monotone declarations"
+    for axis_name, observable, direction in gen.monotone:
+        ax = gen.axis(axis_name)
+        values = []
+        for setting in (ax.lo, (ax.lo + ax.hi) / 2.0, ax.hi):
+            params = gen.default_params()
+            params[axis_name] = ax.clamp(setting)
+            obs = gen.observe(params, seed=9, page_bytes=FUZZ_PAGE_BYTES)
+            values.append(direction * obs[observable])
+        assert values[0] <= values[1] <= values[2], (
+            f"{name}.{axis_name} -> {observable}: {values} not monotone"
+        )
+        assert values[0] < values[2], (
+            f"{name}.{axis_name} -> {observable}: endpoints equal ({values})"
+        )
+
+
+@pytest.mark.parametrize("name", GEN_NAMES)
+@given(
+    draws=st.lists(
+        st.floats(-2.0, 3.0, allow_nan=False), min_size=4, max_size=4
+    )
+)
+@settings(max_examples=20, deadline=None)
+def test_clamp_is_idempotent_and_in_range(name, draws):
+    gen = get_generator(name)
+    wild = {
+        ax.name: ax.lo + u * (ax.hi - ax.lo)
+        for ax, u in zip(gen.all_axes(), draws)
+    }
+    clamped = gen.clamp(wild)
+    assert gen.clamp(clamped) == clamped
+    for ax in gen.all_axes():
+        assert ax.lo <= clamped[ax.name] <= ax.hi
+        if ax.integer:
+            assert clamped[ax.name] == round(clamped[ax.name])
+
+
+@pytest.mark.parametrize("name", GEN_NAMES)
+def test_sampling_and_mutation_stay_in_range(name):
+    gen = get_generator(name)
+    rng = random.Random(4)
+    point = gen.default_params()
+    for _ in range(50):
+        point = gen.mutate(point, rng) if rng.random() < 0.5 else gen.sample(rng)
+        assert gen.clamp(point) == point
+
+
+@pytest.mark.parametrize("name", GEN_NAMES)
+def test_task_carries_params_and_generator_tag(name):
+    gen = get_generator(name)
+    params = gen.default_params()
+    task = gen.task(params, seed=3, page_bytes=FUZZ_PAGE_BYTES)
+    assert task.generator == gen.tag
+    n_pages, wparams = gen.split(params)
+    assert task.n_pages == n_pages
+    assert task.params_dict() == wparams
+    assert "pages" not in dict(task.workload_params)

@@ -1,0 +1,57 @@
+"""Differential oracle regression: simulation vs the Figure 7 model.
+
+Generated workloads must stay within each generator's documented
+tolerance of the analytic model (``docs/workloads.md``), and generated
+tasks must execute bit-identically whether the sweep runs serially or
+across pool workers — the fuzzer's verdicts would otherwise depend on
+``--jobs``.
+"""
+
+import pytest
+
+from repro.experiments.harness import HarnessSettings, run_sweep
+from repro.workloads import FUZZ_PAGE_BYTES, FuzzCase, get_generator, run_case
+
+#: Six applications x two generated parameter points (the default
+#: operating point and one deliberately off-center point).
+POINTS = [
+    ("database", {"pages": 3.0, "records": 0, "selectivity": 0.3}),
+    ("median-kernel", {"pages": 2.5, "noise": 0.4, "byte_flips": 8}),
+    ("dynamic-prog", {"pages": 1.5, "similarity": 0.5}),
+    ("matrix-simplex", {"pages": 4.0, "density": 0.5}),
+    ("array-insert", {"pages": 2.0, "position": 0.8, "key_density": 0.2}),
+    ("mpeg-mmx", {"pages": 3.5, "amplitude": 1.7, "byte_flips": 16}),
+]
+SIX_APPS = [name for name, _ in POINTS]
+
+
+@pytest.mark.parametrize("name", SIX_APPS)
+@pytest.mark.parametrize("which", ["default", "offcenter"])
+def test_measured_within_documented_tolerance(name, which):
+    gen = get_generator(name)
+    params = (
+        gen.default_params()
+        if which == "default"
+        else gen.clamp(dict(POINTS[SIX_APPS.index(name)][1]))
+    )
+    case = FuzzCase(generator=name, params=params, seed=11)
+    results = {o.oracle: o for o in run_case(case)}
+    model = results["model"]
+    assert model.ok, f"{name} at {params}: {model.detail}"
+    assert model.metric <= gen.model_tolerance
+    # The differential run also has to be functionally sound.
+    assert results["equivalence"].ok, results["equivalence"].detail
+    assert results["checker"].ok, results["checker"].detail
+
+
+def test_generated_tasks_jobs1_vs_jobs2_bit_identical():
+    tasks = [
+        get_generator(name).task(
+            gen_params, seed=5, page_bytes=FUZZ_PAGE_BYTES
+        )
+        for name, gen_params in POINTS[:4]
+    ]
+    serial = run_sweep(tasks, settings=HarnessSettings(jobs=1, use_cache=False))
+    pooled = run_sweep(tasks, settings=HarnessSettings(jobs=2, use_cache=False))
+    for a, b in zip(serial, pooled):
+        assert a.values == b.values  # bit-identical floats
