@@ -90,6 +90,39 @@ class TestHotpathRegressionGate:
             )
 
 
+class TestBatchedExecutionGate:
+    """The fused op-stream executor must keep beating the scalar oracle.
+
+    Gated on the paired ``batch_speedup_ratio`` (scalar
+    ``batching_enabled=False`` time over batched time, identical op
+    stream, same process): host noise cancels, so a fall below the
+    baseline band means the executor itself regressed.
+    """
+
+    @pytest.mark.parametrize("name", sorted(simbench.BATCH_WORKLOADS))
+    def test_no_batching_regression(self, name, baseline):
+        if "batch_workloads" not in baseline:
+            pytest.skip("baseline predates batch_workloads; refresh bench")
+        failures = simbench.check_batching_regressions(
+            {name: simbench.run_batch_workload(name)},
+            {"batch_workloads": {name: baseline["batch_workloads"][name]}},
+        )
+        for trials in (7, 9):
+            if not failures:
+                break
+            time.sleep(5.0)
+            failures = simbench.check_batching_regressions(
+                {name: simbench.run_batch_workload(name, trials=trials)},
+                {"batch_workloads": {name: baseline["batch_workloads"][name]}},
+            )
+        assert not failures, failures
+
+    def test_batched_executor_beats_scalar(self):
+        """Sanity floor: batching must win on the fused workloads."""
+        row = simbench.run_batch_workload("processor_step_100k")
+        assert row["batch_speedup_ratio"] >= 1.1, row
+
+
 class TestTracingOverheadGate:
     """repro.trace must cost nothing when off (≤5% ratio budget)."""
 

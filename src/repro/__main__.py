@@ -233,14 +233,37 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import cProfile
+    import io
+    import pstats
+
     from repro.experiments import simbench
+
+    profiler = None
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
 
     if args.update:
         doc = simbench.refresh_baseline(note=args.note or "", trials=args.trials)
         current = doc["workloads"]
+        batch = doc["batch_workloads"]
+        dispatch = doc[simbench.FAULTS_GATE_KEY]
         print(f"baseline refreshed: {simbench.BASELINE_PATH}")
     else:
         current = simbench.run_benchmarks(trials=args.trials)
+        batch = simbench.run_batch_benchmarks(trials=args.trials)
+        dispatch = simbench.run_dispatch_workload(trials=max(5, args.trials))
+
+    if profiler is not None:
+        profiler.disable()
+        digest = io.StringIO()
+        stats = pstats.Stats(profiler, stream=digest)
+        stats.sort_stats("cumulative").print_stats(25)
+        with open(args.profile_out, "w") as fh:
+            fh.write(digest.getvalue())
+        print(f"profile: top-25 cumulative digest written to {args.profile_out}")
+
     print(
         f"{'workload':<26} {'lines':>8} {'vec ms':>9} "
         f"{'scalar ms':>10} {'ns/line':>8} {'ratio':>7}"
@@ -251,6 +274,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{row['scalar_ref_ms']:>10.1f} {row['vectorized_ns_per_line']:>8.1f} "
             f"{row['speedup_ratio']:>6.2f}x"
         )
+    print(
+        f"\n{'batched executor':<26} {'ops':>8} {'batch ms':>9} "
+        f"{'scalar ms':>10} {'ratio':>7}"
+    )
+    for name, row in sorted(batch.items()):
+        print(
+            f"{name:<26} {row['ops']:>8} {row['batched_ms']:>9.1f} "
+            f"{row['scalar_ms']:>10.1f} {row['batch_speedup_ratio']:>6.2f}x"
+        )
+    print(
+        f"\ndispatch: {dispatch['dispatch_ms']:.1f} ms "
+        f"(faults-disabled {dispatch['faults_disabled_overhead']:.2f}x, "
+        f"checker {dispatch['checker_overhead']:.2f}x)"
+    )
+
+    record = simbench.history_record(
+        current, batch, dispatch, args.trials,
+        note=args.note, profiled=args.profile,
+    )
+    simbench.append_history(record)
+    print(f"history: appended run to {simbench.HISTORY_PATH}")
+
     if args.update:
         return 0
     try:
@@ -259,6 +304,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("no BENCH_sim.json baseline; run `python -m repro bench --update`")
         return 1
     failures = simbench.check_regressions(current, baseline)
+    failures.update(simbench.check_batching_regressions(batch, baseline))
     for name, why in sorted(failures.items()):
         print(f"REGRESSION {name}: {why}")
     return 1 if failures else 0
@@ -384,6 +430,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=3,
         metavar="N",
         help="fresh-hierarchy runs per workload (min-of-N; raise on noisy hosts)",
+    )
+    p_bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the benchmark run; writes a cProfile top-25 "
+        "cumulative digest",
+    )
+    p_bench.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        default="bench_profile.txt",
+        help="digest path for --profile (default: bench_profile.txt)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

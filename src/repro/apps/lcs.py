@@ -133,10 +133,12 @@ class LCSApp(Application):
         steps = 2 * n
         # The path walks up/left one cell at a time: one random-ish
         # table read per step.
-        path = [
-            w.base + (n - 1 - k // 2) * row_bytes + (n - 1 - (k + 1) // 2) * _CELL
-            for k in range(steps)
-        ]
+        k = np.arange(steps, dtype=np.int64)
+        path = (
+            w.base
+            + (n - 1 - k // 2) * row_bytes
+            + (n - 1 - (k + 1) // 2) * _CELL
+        )
         chunk = 1 << 12
         for i in range(0, steps, chunk):
             yield O.GatherRead(path[i : i + chunk], elem_bytes=_CELL)

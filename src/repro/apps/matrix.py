@@ -168,12 +168,9 @@ class _MatrixAppBase(Application):
                 # fresh lines.
                 step_a = max(1, na // m)
                 step_b = max(1, nb // m)
-                yield O.GatherRead(
-                    [val_a + (k * step_a) * _VAL for k in range(m)], elem_bytes=_VAL
-                )
-                yield O.GatherRead(
-                    [val_b + (k * step_b) * _VAL for k in range(m)], elem_bytes=_VAL
-                )
+                ks = np.arange(m, dtype=np.int64)
+                yield O.GatherRead(val_a + ks * (step_a * _VAL), elem_bytes=_VAL)
+                yield O.GatherRead(val_b + ks * (step_b * _VAL), elem_bytes=_VAL)
                 yield O.Compute(CONV_OPS_PER_MATCH * m)
                 yield O.MemWrite(out, m * _VAL)
 

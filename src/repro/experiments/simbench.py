@@ -87,7 +87,16 @@ CHECK_ENABLED_CEILING = 20.0
 #: The checker gate anchors on the same dispatch benchmark entry.
 CHECK_GATE_KEY = FAULTS_GATE_KEY
 
+#: A batched-execution workload's paired speedup ratio (scalar
+#: ``batching_enabled=False`` time over batched time, same process,
+#: fresh machines) may fall at most this far below baseline.  Both
+#: regimes run the identical op stream back to back, so host noise
+#: cancels and the ratio is a property of the code.
+BATCHING_TOLERANCE = 0.30
+
 BASELINE_PATH = pathlib.Path(__file__).resolve().parents[3] / "BENCH_sim.json"
+
+HISTORY_PATH = pathlib.Path(__file__).resolve().parents[3] / "BENCH_history.jsonl"
 
 LINE = 32
 
@@ -151,18 +160,25 @@ def run_workload(name: str, trials: int = 3) -> Dict[str, float]:
 
     Each engine gets ``trials`` fresh-hierarchy runs and the fastest
     counts: short workloads are jittery and the *minimum* is the
-    stable, noise-resistant estimator for a regression gate.
+    stable, noise-resistant estimator for a regression gate.  The
+    per-trial *medians* ride along for ``BENCH_history.jsonl``, which
+    tracks trends rather than gating.
     """
+    import statistics
+
     factory = WORKLOADS[name]
     streams, write, repeats = factory()
     n_lines = sum(len(s) for s in streams) * repeats
 
-    t_vec = t_ref = float("inf")
+    vec_times = []
+    ref_times = []
     for _ in range(trials):
         vec = _reference_hierarchy(build_hierarchy)
-        t_vec = min(t_vec, _time_workload(vec, streams, write, repeats))
+        vec_times.append(_time_workload(vec, streams, write, repeats))
         ref = _reference_hierarchy(build_scalar_hierarchy)
-        t_ref = min(t_ref, _time_workload(ref, streams, write, repeats))
+        ref_times.append(_time_workload(ref, streams, write, repeats))
+    t_vec = min(vec_times)
+    t_ref = min(ref_times)
 
     # Equal work is a correctness smoke check, not just timing hygiene.
     assert (vec.stats.hits, vec.stats.misses, vec.stats.writebacks) == (
@@ -175,6 +191,8 @@ def run_workload(name: str, trials: int = 3) -> Dict[str, float]:
         "lines": n_lines,
         "vectorized_ms": round(t_vec * 1e3, 3),
         "scalar_ref_ms": round(t_ref * 1e3, 3),
+        "vectorized_ms_median": round(statistics.median(vec_times) * 1e3, 3),
+        "scalar_ref_ms_median": round(statistics.median(ref_times) * 1e3, 3),
         "vectorized_ns_per_line": round(t_vec / n_lines * 1e9, 1),
         "speedup_ratio": round(t_ref / t_vec, 2),
     }
@@ -254,10 +272,15 @@ def _dispatch_ops(n_pages: int = 64, rounds: int = 32):
     from repro.core.functions import PageTask
     from repro.sim import ops as O
 
+    # One immutable task descriptor shared by every activation: the
+    # benchmark gates the *dispatch* path, and re-constructing 2048
+    # identical frozen dataclasses was pure generator noise in the
+    # timed region.
+    task = PageTask.simple(1_000.0)
     ops = []
     for _ in range(rounds):
         for p in range(n_pages):
-            ops.append(O.Activate(p, 1, PageTask.simple(1_000.0)))
+            ops.append(O.Activate(p, 1, task))
         for p in range(n_pages):
             ops.append(O.WaitPage(p))
     return ops
@@ -266,14 +289,19 @@ def _dispatch_ops(n_pages: int = 64, rounds: int = 32):
 def run_dispatch_workload(trials: int = 5) -> Dict[str, float]:
     """The fault-path dispatch benchmark (:data:`FAULTS_GATE_KEY`).
 
-    Times 2048 activate/wait pairs through ``RADramMemorySystem`` three
+    Times 2048 activate/wait pairs through ``RADramMemorySystem`` four
     ways: faults absent (``faults=None``, the default every experiment
-    runs with), a present-but-disabled :class:`FaultConfig` (controller
-    live, zero rates), and the frozen scalar cache engine as a same-host
-    yardstick.  ``faults_disabled_overhead`` (disabled-config time over
+    runs with — this leg runs the batched executor and is the headline
+    ``dispatch_ms``), the same fault-free machine with batching forced
+    off (the scalar pairing leg — a present fault config or live
+    checker forces the scalar regime, so overhead ratios must pair
+    against scalar, not batched, time), a present-but-disabled
+    :class:`FaultConfig` (controller live, zero rates), and the frozen
+    scalar cache engine as a same-host yardstick.
+    ``faults_disabled_overhead`` (disabled-config time over scalar
     faults-absent time) is the gated number — both sides run the same
-    workload in the same call, so host noise cancels and a 5% drift
-    either way is code, not jitter.  ``dispatch_ratio`` (yardstick /
+    workload in the same regime in the same call, so host noise
+    cancels and a 5% drift either way is code, not jitter.  ``dispatch_ratio`` (yardstick /
     faults-absent time) is the sanitizer's disabled-path gate number
     (see :data:`CHECK_OVERHEAD_TOLERANCE`): the scalar yardstick
     carries no checker hooks, so a fall means the instrumented
@@ -281,7 +309,9 @@ def run_dispatch_workload(trials: int = 5) -> Dict[str, float]:
 
     A fourth leg runs the same workload with a live counting
     :class:`repro.check.runtime.Checker`; ``checker_overhead`` — the
-    *median across trials* of the per-trial checked/checker-off ratio
+    *median across trials* of the per-trial checked/scalar ratio
+    (a live checker forces the scalar regime, so scalar is the fair
+    denominator)
     (adjacent runs share the host's load burst, so the paired median
     shrugs it off) — reports the enabled-mode cost, sanity-bounded by
     :data:`CHECK_ENABLED_CEILING` rather than band-gated.
@@ -292,7 +322,7 @@ def run_dispatch_workload(trials: int = 5) -> Dict[str, float]:
     from repro.faults.models import FaultConfig
 
     streams, write, repeats = _warm_retouch()
-    t_none = t_disabled = t_checked = t_yard = float("inf")
+    t_none = t_scalar = t_disabled = t_checked = t_yard = float("inf")
     checked_ratios = []
     for _ in range(trials):
         machine = _dispatch_machine(None)
@@ -300,6 +330,17 @@ def run_dispatch_workload(trials: int = 5) -> Dict[str, float]:
         machine.run(iter(_dispatch_ops()))
         trial_none = time.perf_counter() - t0
         t_none = min(t_none, trial_none)
+
+        # A present FaultConfig (and a live checker) force the scalar
+        # regime, so the overhead ratios pair against a scalar
+        # faults-absent leg — otherwise they would measure the batched
+        # executor's speedup, not the fault/checker machinery.
+        machine = _dispatch_machine(None)
+        machine.processor.batching_enabled = False
+        t0 = time.perf_counter()
+        machine.run(iter(_dispatch_ops()))
+        trial_scalar = time.perf_counter() - t0
+        t_scalar = min(t_scalar, trial_scalar)
 
         machine = _dispatch_machine(FaultConfig())
         t0 = time.perf_counter()
@@ -312,7 +353,7 @@ def run_dispatch_workload(trials: int = 5) -> Dict[str, float]:
             machine.run(iter(_dispatch_ops()))
             trial_checked = time.perf_counter() - t0
         t_checked = min(t_checked, trial_checked)
-        checked_ratios.append(trial_checked / trial_none)
+        checked_ratios.append(trial_checked / trial_scalar)
 
         yard = _reference_hierarchy(build_scalar_hierarchy)
         t_yard = min(t_yard, _time_workload(yard, streams, write, repeats))
@@ -320,11 +361,12 @@ def run_dispatch_workload(trials: int = 5) -> Dict[str, float]:
     return {
         "activations": 2048,
         "dispatch_ms": round(t_none * 1e3, 3),
+        "scalar_dispatch_ms": round(t_scalar * 1e3, 3),
         "faults_disabled_ms": round(t_disabled * 1e3, 3),
         "checked_ms": round(t_checked * 1e3, 3),
         "yardstick_ms": round(t_yard * 1e3, 3),
         "dispatch_ratio": round(t_yard / t_none, 3),
-        "faults_disabled_overhead": round(t_disabled / t_none, 2),
+        "faults_disabled_overhead": round(t_disabled / t_scalar, 2),
         "checker_overhead": round(statistics.median(checked_ratios), 2),
     }
 
@@ -442,6 +484,207 @@ def run_checked_dispatch_workload() -> Dict[str, float]:
     }
 
 
+# ----------------------------------------------------------------------
+# Batched-execution workloads: the fused segment executor vs the
+# retained scalar oracle (``Processor.batching_enabled = False``).
+
+
+def _processor_step_ops(blocks: int = 12_500):
+    """A 100k-op straight-line conventional stream.
+
+    Eight ops per block — reads, compute, writes over a rolling window
+    — with no sync points, so the batched executor fuses the whole
+    stream into maximal segments while the scalar oracle replays it op
+    by op.
+    """
+    from repro.sim import ops as O
+
+    ops = []
+    span = 256 * KB
+    for i in range(blocks):
+        base = (i * 192) % span
+        ops.append(O.MemRead(base, 128))
+        ops.append(O.Compute(40.0))
+        ops.append(O.MemRead(base + 4 * KB, 64))
+        ops.append(O.Compute(25.0))
+        ops.append(O.MemWrite(base + 8 * KB, 128))
+        ops.append(O.StridedRead(base, count=4, stride_bytes=LINE, elem_bytes=4))
+        ops.append(O.Compute(10.0))
+        ops.append(O.MemWrite(base + 12 * KB, 64))
+    return ops
+
+
+def _conventional_machine():
+    from repro.sim.machine import Machine
+    from repro.sim.memory import PagedMemory
+
+    return Machine(memory=PagedMemory())
+
+
+def _run_processor_step(batching: bool) -> float:
+    machine = _conventional_machine()
+    machine.processor.batching_enabled = batching
+    ops = _processor_step_ops()
+    t0 = time.perf_counter()
+    machine.run(iter(ops))
+    return time.perf_counter() - t0
+
+
+def _run_dispatch_batch(batching: bool) -> float:
+    machine = _dispatch_machine(None)
+    machine.processor.batching_enabled = batching
+    ops = _dispatch_ops()
+    t0 = time.perf_counter()
+    machine.run(iter(ops))
+    return time.perf_counter() - t0
+
+
+#: name -> (runner taking ``batching: bool``, op count for context).
+BATCH_WORKLOADS: Dict[str, Tuple[Callable[[bool], float], int]] = {
+    "processor_step_100k": (_run_processor_step, 100_000),
+    "dispatch_batch_2k": (_run_dispatch_batch, 4096),
+}
+
+
+def run_batch_workload(name: str, trials: int = 3) -> Dict[str, float]:
+    """One batched-vs-scalar paired measurement.
+
+    Both regimes execute the identical op stream on fresh machines in
+    the same call; the gated ``batch_speedup_ratio`` is scalar time
+    over batched time, so host noise cancels.
+    """
+    import statistics
+
+    runner, n_ops = BATCH_WORKLOADS[name]
+    batched_times = []
+    scalar_times = []
+    for _ in range(trials):
+        batched_times.append(runner(True))
+        scalar_times.append(runner(False))
+    t_batched = min(batched_times)
+    t_scalar = min(scalar_times)
+    return {
+        "ops": n_ops,
+        "batched_ms": round(t_batched * 1e3, 3),
+        "scalar_ms": round(t_scalar * 1e3, 3),
+        "batched_ms_median": round(statistics.median(batched_times) * 1e3, 3),
+        "scalar_ms_median": round(statistics.median(scalar_times) * 1e3, 3),
+        "batch_speedup_ratio": round(t_scalar / t_batched, 2),
+    }
+
+
+def run_batch_benchmarks(trials: int = 3) -> Dict[str, Dict[str, float]]:
+    """All batched-execution workloads; keyed by workload name."""
+    return {
+        name: run_batch_workload(name, trials=trials)
+        for name in sorted(BATCH_WORKLOADS)
+    }
+
+
+def check_batching_regressions(
+    current: Dict[str, Dict[str, float]], baseline: dict
+) -> Dict[str, str]:
+    """The paired batched-vs-scalar gate over ``batch_workloads``."""
+    failures = {}
+    base_block = baseline.get("batch_workloads")
+    if base_block is None:
+        return {
+            "batch_workloads": (
+                "batched baseline missing; refresh with `python -m repro bench"
+                " --update`"
+            )
+        }
+    for name, base in base_block.items():
+        cur = current.get(name)
+        if cur is None:
+            failures[name] = "workload missing from current run"
+            continue
+        floor = base["batch_speedup_ratio"] * (1.0 - BATCHING_TOLERANCE)
+        if cur["batch_speedup_ratio"] < floor:
+            failures[name] = (
+                f"batched speedup {cur['batch_speedup_ratio']:.2f}x fell "
+                f"below {floor:.2f}x (baseline "
+                f"{base['batch_speedup_ratio']:.2f}x - "
+                f"{BATCHING_TOLERANCE:.0%} tolerance)"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Append-only run history (``BENCH_history.jsonl``)
+
+
+def history_record(
+    workloads: Dict[str, Dict[str, float]],
+    batch: Dict[str, Dict[str, float]],
+    dispatch: Dict[str, float],
+    trials: int,
+    note: str = "",
+    profiled: bool = False,
+) -> dict:
+    """One ``BENCH_history.jsonl`` line: host + rev + per-workload medians.
+
+    ``profiled`` marks runs taken under cProfile — their absolute
+    timings are inflated severalfold, so statistical consumers must be
+    able to exclude them.
+    """
+    import datetime
+    import platform
+    import subprocess
+
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BASELINE_PATH.parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        rev = None
+    return {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "note": note or None,
+        "profiled": profiled,
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "git_rev": rev,
+        "trials": trials,
+        "workloads": {
+            name: {
+                "vectorized_ms_median": row.get("vectorized_ms_median"),
+                "scalar_ref_ms_median": row.get("scalar_ref_ms_median"),
+                "speedup_ratio": row.get("speedup_ratio"),
+            }
+            for name, row in sorted(workloads.items())
+        },
+        "batch_workloads": {
+            name: {
+                "batched_ms_median": row.get("batched_ms_median"),
+                "scalar_ms_median": row.get("scalar_ms_median"),
+                "batch_speedup_ratio": row.get("batch_speedup_ratio"),
+            }
+            for name, row in sorted(batch.items())
+        },
+        "dispatch": {
+            "dispatch_ms": dispatch.get("dispatch_ms"),
+            "dispatch_ratio": dispatch.get("dispatch_ratio"),
+            "faults_disabled_overhead": dispatch.get("faults_disabled_overhead"),
+            "checker_overhead": dispatch.get("checker_overhead"),
+        },
+    }
+
+
+def append_history(record: dict, path: pathlib.Path = HISTORY_PATH) -> None:
+    """Append one run record to the append-only history file."""
+    with open(path, "a") as fh:
+        json.dump(record, fh, sort_keys=False)
+        fh.write("\n")
+
+
 def run_traced_workload(
     name: str = "cold_read_scan_4mb", capacity: int = 100_000
 ) -> Dict[str, float]:
@@ -478,10 +721,14 @@ def refresh_baseline(note: str = "", trials: int = 3) -> dict:
             "Cache-hierarchy hot-path perf baseline. The regression gate "
             "is 'speedup_ratio' (vectorized engine vs scalar reference, "
             "same host): machine-independent. Absolute ms are context "
-            "only. Refresh with: python -m repro bench"
+            "only. 'batch_workloads' gates the fused op-stream executor "
+            "against the retained scalar oracle the same way "
+            "('batch_speedup_ratio'). Refresh with: python -m repro bench"
         ),
         "regression_tolerance": REGRESSION_TOLERANCE,
+        "batching_tolerance": BATCHING_TOLERANCE,
         "workloads": current,
+        "batch_workloads": run_batch_benchmarks(trials=trials),
         FAULTS_GATE_KEY: run_dispatch_workload(trials=max(5, trials)),
     }
     if note:
@@ -489,7 +736,7 @@ def refresh_baseline(note: str = "", trials: int = 3) -> dict:
     # Keep historical context blocks if present.
     try:
         old = load_baseline()
-        for key in ("seed_before", "report_quick"):
+        for key in ("seed_before", "pre_batching", "report_quick"):
             if key in old:
                 doc[key] = old[key]
     except (OSError, json.JSONDecodeError):

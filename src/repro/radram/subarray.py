@@ -23,16 +23,33 @@ from repro.radram.config import RADramConfig
 from repro.radram.logic import LogicBlock
 
 
+#: Shared terminal state for executions with no segments left.  Only
+#: ever read (``_advance``/``is_done`` test truthiness and never pop
+#: from an empty deque), so one instance serves every execution.
+_NO_SEGMENTS: Deque[Tuple[float, Optional[CommRequest]]] = deque()
+
+
 class PageExecution:
     """The timeline of one activation on one page's logic."""
 
+    __slots__ = ("_segments", "start_ns", "t_ns", "blocked_on", "busy_ns")
+
     def __init__(self, task: PageTask, start_ns: float, logic_cycle_ns: float) -> None:
-        self._segments: Deque[Tuple[float, Optional[CommRequest]]] = deque(
-            (seg.logic_cycles * logic_cycle_ns, seg.comm) for seg in task.segments
-        )
         self.start_ns = start_ns
-        self.t_ns = start_ns
         self.blocked_on: Optional[CommRequest] = None
+        segments = task.segments
+        if len(segments) == 1 and segments[0].comm is None:
+            # Straight-line task (the overwhelmingly common shape):
+            # the whole timeline is known at dispatch, no deque needed.
+            duration = segments[0].logic_cycles * logic_cycle_ns
+            self._segments = _NO_SEGMENTS
+            self.t_ns = start_ns + duration
+            self.busy_ns = duration
+            return
+        self._segments: Deque[Tuple[float, Optional[CommRequest]]] = deque(
+            (seg.logic_cycles * logic_cycle_ns, seg.comm) for seg in segments
+        )
+        self.t_ns = start_ns
         self.busy_ns = 0.0
         self._advance()
 
@@ -88,6 +105,9 @@ class Subarray:
         self.history: list = []
         #: the most recently dispatched task, kept for fault replay.
         self.last_task: Optional[PageTask] = None
+        # logic_cycle_ns is a derived property; resolve it once per
+        # subarray rather than once per activation.
+        self._cycle_ns = config.logic_cycle_ns
 
     def start(self, task: PageTask, start_ns: float) -> PageExecution:
         """Begin executing ``task`` at ``start_ns``.
@@ -96,19 +116,24 @@ class Subarray:
         that is still executing at ``start_ns`` is an application error
         (the sync protocol requires waiting for DONE first).
         """
-        if self.current is not None and (
-            not self.current.is_done or self.current.completion_ns > start_ns
-        ):
-            raise RuntimeError(
-                f"page {self.page_no} activated while still running"
-            )
-        if self.current is not None:
-            self.total_busy_ns += self.current.busy_ns
-            self.history.append((self.current.start_ns, self.current.completion_ns))
-        self.current = PageExecution(task, start_ns, self.config.logic_cycle_ns)
+        current = self.current
+        if current is not None:
+            # Inline ``not is_done or completion_ns > start_ns`` — this
+            # runs once per activation on the dispatch hot path.
+            if (
+                current.blocked_on is not None
+                or current._segments
+                or current.t_ns > start_ns
+            ):
+                raise RuntimeError(
+                    f"page {self.page_no} activated while still running"
+                )
+            self.total_busy_ns += current.busy_ns
+            self.history.append((current.start_ns, current.t_ns))
+        self.current = current = PageExecution(task, start_ns, self._cycle_ns)
         self.activations += 1
         self.last_task = task
-        return self.current
+        return current
 
     def restart(self, start_ns: float) -> PageExecution:
         """Replay the in-flight activation from scratch at ``start_ns``.
@@ -119,9 +144,7 @@ class Subarray:
         """
         if self.last_task is None:
             raise RuntimeError(f"page {self.page_no} has no task to replay")
-        self.current = PageExecution(
-            self.last_task, start_ns, self.config.logic_cycle_ns
-        )
+        self.current = PageExecution(self.last_task, start_ns, self._cycle_ns)
         return self.current
 
     def abort(self) -> None:

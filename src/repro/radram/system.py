@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.faults.controller import FaultController
 from repro.radram.config import RADramConfig
-from repro.radram.dispatch import activation_ns
+from repro.radram.dispatch import activation_ns, descriptor_bytes
 from repro.radram.interpage import service_ns
 from repro.radram.subarray import PageExecution, Subarray
 from repro.check import runtime as _check
@@ -40,6 +40,27 @@ class RADramMemorySystem(MemorySystemBase):
     # Blocked inter-page references are serviced at instruction
     # granularity, so the processor must poll between ops.
     needs_poll = True
+
+    @property
+    def supports_batching(self) -> bool:
+        """Fused-segment execution is exact only without fault hooks.
+
+        Fault injection interposes per-activation and per-wait
+        callbacks (plus degraded replays) that the batch handlers do
+        not replicate — with a controller attached the processor keeps
+        the scalar oracle loop.
+        """
+        return self.faults is None
+
+    def has_pending_service(self) -> bool:
+        """While no page is queued for service, ``poll`` is a no-op.
+
+        This is the invariant the batched executor relies on to skip
+        per-op polls inside a straight-line segment: ``_blocked`` only
+        ever grows inside the Activate/WaitPage/ServicePending
+        handlers, which are segment boundaries.
+        """
+        return bool(self._blocked)
 
     def __init__(self, config: Optional[RADramConfig] = None) -> None:
         self.config = config or RADramConfig.reference()
@@ -125,6 +146,143 @@ class RADramMemorySystem(MemorySystemBase):
             )
         if execution.is_blocked:
             self._note_blocked(execution, op.page_no)
+
+    def handle_activate_batch(self, ops, proc: Processor) -> int:
+        """Dispatch a run of Activates (+ phase markers) without the
+        per-op interpreter overhead.
+
+        Only called by the batched executor, which guarantees tracer,
+        sanitizer and faults are all off — so the per-activation work
+        reduces to the dispatch-cost formula, the stats/clock charges
+        and the subarray start.  The cost expression reuses the exact
+        integer/float operation order of
+        :func:`repro.radram.dispatch.activation_ns`, so charges are
+        bit-identical to the scalar path.  Stops (returning the count
+        consumed) as soon as an activation blocks on a
+        processor-mediated reference, handing control back to the
+        scalar loop.
+        """
+        mconfig = self.machine.config
+        per_word = mconfig.dram.miss_latency_ns + mconfig.bus.transfer_ns(4)
+        base = self.config.activation_base_ns
+        bus = self.machine.bus
+        config = self.config
+        subarrays = self.subarrays
+        stats = proc.stats
+        sd = stats.__dict__
+        stack = stats._phase_stack
+        phase_ns = stats.phase_ns
+        blocked = self._blocked
+        Activate = O.Activate
+        BeginPhase = O.BeginPhase
+        # Streams overwhelmingly reuse one descriptor size: memoize the
+        # (nbytes, cost, bus duration) triple for the last size seen.
+        memo_words = None
+        nbytes = 0
+        cost = 0.0
+        bus_ns = 0.0
+        transfer_ns = self.machine.config.bus.transfer_ns
+        consumed = 0
+        for op in ops:
+            cls = op.__class__
+            if cls is Activate:
+                if op.task is None:
+                    raise OperationError("Activate op carries no page task")
+                words = op.descriptor_words
+                if words != memo_words:
+                    nbytes = descriptor_bytes(words)  # validates >= 0
+                    cost = base + (nbytes // 4) * per_word
+                    if cost < 0:
+                        raise OperationError("cannot charge negative time")
+                    bus_ns = transfer_ns(nbytes) if nbytes > 0 else 0.0
+                    memo_words = words
+                stats.activations += 1
+                proc.now = now = proc.now + cost
+                sd["activation_ns"] += cost
+                if stack:
+                    p = stack[-1]
+                    phase_ns[p] = phase_ns.get(p, 0.0) + cost
+                if nbytes > 0:
+                    # Inline Bus.transfer (tracer is off by precondition);
+                    # the busy accumulation stays sequential, so counters
+                    # match the scalar path bit-for-bit.
+                    bus.bytes_transferred += nbytes
+                    bus.busy_ns += bus_ns
+                    bus.transfers += 1
+                sub = subarrays.get(op.page_no)
+                if sub is None:
+                    sub = Subarray(op.page_no, config)
+                    subarrays[op.page_no] = sub
+                execution = sub.start(op.task, now)
+                consumed += 1
+                if execution.blocked_on is not None:
+                    self._note_blocked(execution, op.page_no)
+                    if blocked:
+                        return consumed
+                continue
+            if cls is BeginPhase:
+                stats.begin_phase(op.name)
+            else:
+                stats.end_phase(op.name)
+            consumed += 1
+        return consumed
+
+    def handle_wait_batch(self, ops, proc: Processor) -> int:
+        """Retire a run of WaitPage ops (+ phase markers).
+
+        Fault-free precondition as for :meth:`handle_activate_batch`.
+        A page that ran to completion unblocked — the common case —
+        needs only the completion-time stall; anything blocked goes
+        through :meth:`handle_wait`, and the batch stops once service
+        work is left pending.
+        """
+        subarrays = self.subarrays
+        stats = proc.stats
+        sd = stats.__dict__
+        stack = stats._phase_stack
+        phase_ns = stats.phase_ns
+        phase_wait_ns = stats.phase_wait_ns
+        blocked = self._blocked
+        WaitPage = O.WaitPage
+        consumed = 0
+        for op in ops:
+            cls = op.__class__
+            if cls is WaitPage:
+                sub = subarrays.get(op.page_no)
+                consumed += 1
+                if sub is None or sub.current is None:
+                    continue  # nothing outstanding on this page
+                execution = sub.current
+                if execution.blocked_on is None and not execution._segments:
+                    # Inline stall_until(completion_ns): one wait
+                    # charge, with its phase attribution.
+                    when = execution.t_ns
+                    now = proc.now
+                    if when > now:
+                        stats.waits += 1
+                        delta = when - now
+                        # charge() folds as ``start + ns`` — and
+                        # ``now + (when - now) != when`` in floats, so
+                        # assigning ``when`` directly drifts by an ulp.
+                        proc.now = now + delta
+                        sd["wait_ns"] += delta
+                        if stack:
+                            p = stack[-1]
+                            phase_ns[p] = phase_ns.get(p, 0.0) + delta
+                            phase_wait_ns[p] = (
+                                phase_wait_ns.get(p, 0.0) + delta
+                            )
+                else:
+                    self.handle_wait(op, proc)
+                    if blocked:
+                        return consumed
+                continue
+            if cls is O.BeginPhase:
+                stats.begin_phase(op.name)
+            else:
+                stats.end_phase(op.name)
+            consumed += 1
+        return consumed
 
     def _note_blocked(self, execution, page_no: int) -> None:
         """Route a blocked page to its comm mechanism.

@@ -355,6 +355,32 @@ class Cache:
             self._trace_batch(tr, n, write, total, h0, m0, w0)
         return total
 
+    def access_lines_batch(
+        self,
+        line_arrays: List[Union[range, np.ndarray, Iterable[int]]],
+        write_flags: List[bool],
+    ) -> np.ndarray:
+        """Resolve several ops' line sequences in one fused pass.
+
+        Returns the **per-line** latency array in global order; the
+        caller folds each op's slice left-to-right, which reproduces
+        separate :meth:`access_lines` totals bit-identically (the
+        scalar accumulation and ``cumsum`` share the same association
+        order).  Instrumentation hooks (tracer / sanitizer batch
+        events) are *not* consulted — the batched executor only calls
+        this while both are disabled; instrumented runs take the
+        scalar oracle path instead.
+        """
+        parts = [_as_line_array(a) for a in line_arrays]
+        addrs = np.concatenate(parts)
+        kinds = np.repeat(
+            np.array(
+                [(_WRITE if w else _READ) for w in write_flags], dtype=np.int8
+            ),
+            [p.shape[0] for p in parts],
+        )
+        return self._process(addrs, kinds)
+
     def _trace_batch(
         self, tr, n: int, write: bool, total: float, h0: int, m0: int, w0: int
     ) -> None:
@@ -1004,20 +1030,89 @@ class Cache:
         level's ``writebacks``) and their posted cost returned; clean
         lines are silently invalidated.  The flush cascades down the
         hierarchy, this level first, so L1 victims land in L2 before
-        L2's own sweep.  Cold path: always runs in the scalar regime.
+        L2's own sweep.
+
+        Runs in whichever regime the level is currently in (flushing
+        is frequent on app streams, so forcing a regime conversion per
+        flush would thrash): the dict walk skips empty sets, the
+        matrix path discovers doomed ways with one vectorized mask.
+        Writebacks are posted in set-ascending, LRU-first order in
+        both — the order the scalar reference model uses.
         """
-        self._ensure_lists()
         n_sets = self._n_sets
         total = 0.0
-        for s, od in enumerate(self._scalar_sets):
-            doomed = [
-                t for t in od if lo_line <= t * n_sets + s <= hi_line
-            ]
-            for t in doomed:
-                dirty = od.pop(t)
-                if dirty:
-                    self.stats.writebacks += 1
-                    total += self._writeback(t * n_sets + s)
+        stats = self.stats
+        writeback = self._writeback
+        sets = self._scalar_sets
+        span = hi_line - lo_line + 1
+        if sets is not None:
+            if span < n_sets:
+                # Narrow range (the common shape: one page's worth of
+                # lines): enumerate candidate lines instead of walking
+                # every set.  Each line maps to exactly one (set, tag)
+                # slot, so membership is one dict probe.
+                hits: dict = {}
+                for line in range(lo_line, hi_line + 1):
+                    s = line % n_sets
+                    od = sets[s]
+                    if od and (line // n_sets) in od:
+                        hits.setdefault(s, []).append(line // n_sets)
+                for s in sorted(hits):
+                    od = sets[s]
+                    want = hits[s]
+                    if len(want) > 1:
+                        # Restore the LRU-first within-set order the
+                        # full walk produces.
+                        wset = set(want)
+                        want = [t for t in od if t in wset]
+                    for t in want:
+                        if od.pop(t):
+                            stats.writebacks += 1
+                            total += writeback(t * n_sets + s)
+            else:
+                for s, od in enumerate(sets):
+                    if not od:
+                        continue
+                    doomed = [
+                        t for t in od if lo_line <= t * n_sets + s <= hi_line
+                    ]
+                    for t in doomed:
+                        if od.pop(t):
+                            stats.writebacks += 1
+                            total += writeback(t * n_sets + s)
+        else:
+            tagm = self._tag
+            if span < n_sets:
+                # Narrow range: compare only the candidate lines'
+                # (set, tag) slots, not the whole tag matrix.
+                cand = np.arange(lo_line, hi_line + 1, dtype=np.int64)
+                s_idx = cand % n_sets
+                hitm = tagm[s_idx] == (cand // n_sets)[:, None]
+                cr, ways = np.nonzero(hitm)
+                rows = s_idx[cr]
+                doomed_lines = cand[cr]
+            else:
+                lines = tagm * n_sets + np.arange(n_sets, dtype=np.int64)[:, None]
+                doomed_mask = (
+                    (tagm != -1) & (lines >= lo_line) & (lines <= hi_line)
+                )
+                rows, ways = np.nonzero(doomed_mask)
+                doomed_lines = lines[rows, ways]
+            if rows.size:
+                # (set, stamp) order == the dict regime's LRU-first walk.
+                order = np.lexsort((self._stamp[rows, ways], rows))
+                rows = rows[order]
+                ways = ways[order]
+                dirty = self._dirty[rows, ways]
+                if dirty.any():
+                    wb_lines = doomed_lines[order][dirty]
+                    for ln in wb_lines.tolist():
+                        stats.writebacks += 1
+                        total += writeback(ln)
+                tagm[rows, ways] = -1
+                self._dirty[rows, ways] = False
+                self._stamp[rows, ways] = 0
+                self._occ -= np.bincount(rows, minlength=n_sets)
         if self.next_level is not None:
             total += self.next_level.flush_range(lo_line, hi_line)
         return total
@@ -1086,12 +1181,21 @@ def _as_line_array(lines: Union[range, np.ndarray, Iterable[int]]) -> np.ndarray
 
 def _all_distinct(addrs: np.ndarray) -> bool:
     """True if no line address repeats in the batch."""
-    if addrs.shape[0] < 2:
+    n = addrs.shape[0]
+    if n < 2:
         return True
     d = np.diff(addrs)
     if (d > 0).all() or (d < 0).all():
         return True
-    return np.unique(addrs).shape[0] == addrs.shape[0]
+    lo = int(addrs.min())
+    span = int(addrs.max()) - lo + 1
+    if span <= 8 * n:
+        # Dense address range: one boolean scatter counts distinct
+        # values in O(n + span), far cheaper than a sort or hash.
+        flags = np.zeros(span, dtype=bool)
+        flags[addrs - lo] = True
+        return int(flags.sum()) == n
+    return bool((np.diff(np.sort(addrs)) != 0).all())
 
 
 def _last_occurrence_positions(flat: np.ndarray) -> np.ndarray:

@@ -48,14 +48,17 @@ class Engine:
 
     def step(self) -> bool:
         """Run the next event.  Returns False if the queue was empty."""
+        return self._step(_check.CHECKER, _trace.TRACER)
+
+    def _step(self, ck, tr) -> bool:
+        """One event, with the instrumentation guards hoisted to
+        arguments (the drain loops bind them once, not per event)."""
         if not self._queue:
             return False
         when, seq, callback = heapq.heappop(self._queue)
         self.now = when
-        ck = _check.CHECKER
         if ck is not None:
             ck.on_engine_event(when)
-        tr = _trace.TRACER
         if tr is not None:
             tr.now = when
             tr.instant("engine", "dispatch", when, seq=seq, queued=len(self._queue))
@@ -72,16 +75,20 @@ class Engine:
         one.  On return the clock is at ``deadline`` (or later, if it
         already was) and no event at or before ``deadline`` remains.
         """
-        while True:
-            when = self.peek_time()
-            if when is None or when > deadline:
-                break
-            self.step()
+        ck = _check.CHECKER
+        tr = _trace.TRACER
+        queue = self._queue
+        step = self._step
+        while queue and queue[0][0] <= deadline:
+            step(ck, tr)
         self.now = max(self.now, deadline)
 
     def run_until_idle(self) -> None:
         """Run all pending events."""
-        while self.step():
+        ck = _check.CHECKER
+        tr = _trace.TRACER
+        step = self._step
+        while step(ck, tr):
             pass
 
     def advance(self, delay: float) -> float:

@@ -16,11 +16,37 @@ advancing its clock ``now`` (nanoseconds):
 Between operations the memory system is polled so pages blocked on
 inter-page references get serviced at instruction granularity, matching
 the paper's processor-mediated communication.
+
+Execution regimes
+-----------------
+``run`` picks one of two regimes per stream:
+
+* the **scalar oracle** — :meth:`Processor.step` per op (plus a poll
+  for polling systems), exactly the historical loop; and
+* the **batched executor** — straight-line segments between sync
+  points (``Activate``/``WaitPage``/``ServicePending``/``FlushRange``)
+  are buffered, their memory footprints expanded once and resolved by
+  the cache in a single wide batch, and the per-op clock/stats charges
+  replayed sequentially from the per-line latencies.  The fold order
+  matches the scalar loop exactly, so ``MachineStats`` is
+  bit-identical, not merely close (the differential suite in
+  ``tests/sim/test_batched_exec.py`` enforces this).
+
+The batched regime is only entered when the tracer and the sanitizer
+are both disabled and the memory system opts in via
+``supports_batching`` (RADram opts out while fault injection is
+active); otherwise the scalar oracle runs with identical semantics.
+Polls are skipped inside a segment only while the memory system
+reports no pending service work — while the blocked-page queue is
+empty, ``poll`` is by construction a no-op, so skipping it cannot
+change behaviour.  As soon as a sync op leaves service pending, the
+executor drops to the scalar per-op loop (with polls) until the queue
+drains.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional
 
 from repro.sim.cache import Cache
 from repro.sim.config import MachineConfig
@@ -29,6 +55,19 @@ from repro.sim import ops as O
 from repro.sim.stats import MachineStats
 from repro.check import runtime as _check
 from repro.trace import events as _trace
+
+#: Stream-exhausted marker for the batched executor (never a valid op).
+_SENTINEL = object()
+
+#: Segment-entry tags for the batched executor.
+_ENT_COMPUTE = 0
+_ENT_MEM = 1
+_ENT_BEGIN = 2
+_ENT_END = 3
+
+#: Flush a fused segment when its footprint reaches this many lines —
+#: bounds buffering memory; flushing mid-segment is always safe.
+_SEGMENT_MAX_LINES = 1 << 17
 
 
 class MemorySystemBase:
@@ -39,6 +78,11 @@ class MemorySystemBase:
     #: call per op; RADram keeps instruction-granularity polling.
     needs_poll: bool = False
 
+    #: Whether the batched executor may fuse straight-line segments
+    #: for this system.  Default False: an unknown subclass keeps the
+    #: exact scalar per-op loop, including its per-op polls.
+    supports_batching: bool = False
+
     def on_run_begin(self, proc: "Processor") -> None:
         """Called once before an op stream starts."""
 
@@ -48,6 +92,15 @@ class MemorySystemBase:
     def poll(self, proc: "Processor") -> None:
         """Called between ops; service anything pending."""
 
+    def has_pending_service(self) -> bool:
+        """Whether :meth:`poll` could do work right now.
+
+        The batched executor skips per-op polls only while this is
+        False.  The conservative default (always True) keeps any
+        polling system that does not override it on the scalar loop.
+        """
+        return True
+
     def handle_activate(self, op: O.Activate, proc: "Processor") -> None:
         raise OperationError("this memory system does not support Active Pages")
 
@@ -56,6 +109,50 @@ class MemorySystemBase:
 
     def handle_service(self, proc: "Processor") -> None:
         """Explicit ServicePending op; default is a no-op."""
+
+    # ------------------------------------------------------------------
+    # Batched-executor hooks.  Only invoked with tracer and sanitizer
+    # disabled; ``ops`` is a run of Activate/WaitPage ops with phase
+    # markers interleaved, to be applied strictly in order.  Both
+    # return the number of ops consumed — a handler stops early (and
+    # the executor finishes the rest through the scalar path) as soon
+    # as one leaves service work pending.
+
+    def handle_activate_batch(self, ops: List[O.Op], proc: "Processor") -> int:
+        stats = proc.stats
+        consumed = 0
+        for op in ops:
+            cls = op.__class__
+            if cls is O.BeginPhase:
+                stats.begin_phase(op.name)
+            elif cls is O.EndPhase:
+                stats.end_phase(op.name)
+            else:
+                self.handle_activate(op, proc)
+                consumed += 1
+                if self.needs_poll and self.has_pending_service():
+                    return consumed
+                continue
+            consumed += 1
+        return consumed
+
+    def handle_wait_batch(self, ops: List[O.Op], proc: "Processor") -> int:
+        stats = proc.stats
+        consumed = 0
+        for op in ops:
+            cls = op.__class__
+            if cls is O.BeginPhase:
+                stats.begin_phase(op.name)
+            elif cls is O.EndPhase:
+                stats.end_phase(op.name)
+            else:
+                self.handle_wait(op, proc)
+                consumed += 1
+                if self.needs_poll and self.has_pending_service():
+                    return consumed
+                continue
+            consumed += 1
+        return consumed
 
 
 class Processor:
@@ -72,6 +169,14 @@ class Processor:
         self.memsys = memsys
         self.now: float = 0.0
         self.stats = MachineStats()
+        #: Tracer bound for the current run()/step() dynamic extent.
+        #: ``charge`` reads this instead of the module attribute — one
+        #: global lookup per run instead of one per charge.
+        self._tr = _trace.TRACER
+        #: Escape hatch: pin the scalar oracle loop even when the
+        #: memory system supports batching (differential tests and the
+        #: paired-ratio benchmarks flip this).
+        self.batching_enabled: bool = True
 
     # ------------------------------------------------------------------
     # Time charging helpers (used by the memory system too)
@@ -83,7 +188,7 @@ class Processor:
         start = self.now
         self.now = start + ns
         self.stats.charge(category, ns)
-        tr = _trace.TRACER
+        tr = self._tr
         if tr is not None:
             tr.now = self.now
             if ns > 0:
@@ -101,21 +206,40 @@ class Processor:
 
     def run(self, stream: Iterable[O.Op]) -> MachineStats:
         """Execute an op stream to completion; returns the stats."""
-        self.memsys.on_run_begin(self)
-        if self.memsys.needs_poll:
+        memsys = self.memsys
+        memsys.on_run_begin(self)
+        ck = _check.CHECKER
+        self._tr = tr = _trace.TRACER
+        if (
+            ck is None
+            and tr is None
+            and self.batching_enabled
+            and memsys.supports_batching
+            and not (memsys.needs_poll and memsys.has_pending_service())
+        ):
+            self._run_batched(stream)
+        elif memsys.needs_poll:
+            step = self._step
+            poll = memsys.poll
             for op in stream:
-                self.step(op)
-                self.memsys.poll(self)
+                step(op, ck, tr)
+                poll(self)
         else:
+            step = self._step
             for op in stream:
-                self.step(op)
-        self.memsys.on_run_end(self)
+                step(op, ck, tr)
+        memsys.on_run_end(self)
         self.stats.total_ns = self.now
         return self.stats
 
     def step(self, op: O.Op) -> None:
         """Execute a single operation (SMP co-simulation entry point)."""
-        ck = _check.CHECKER
+        self._tr = tr = _trace.TRACER
+        self._step(op, _check.CHECKER, tr)
+
+    def _step(self, op: O.Op, ck, tr) -> None:
+        """Scalar oracle: one op, with the instrumentation guards
+        hoisted to arguments (bound once per run by the caller)."""
         if ck is not None:
             ck.on_op(op, self)
         line = self.l1d.config.line_bytes
@@ -156,13 +280,229 @@ class Processor:
             self.memsys.handle_service(self)
         elif isinstance(op, O.BeginPhase):
             self.stats.begin_phase(op.name)
-            tr = _trace.TRACER
             if tr is not None:
                 tr.begin("cpu.phase", op.name, self.now)
         elif isinstance(op, O.EndPhase):
             self.stats.end_phase(op.name)
-            tr = _trace.TRACER
             if tr is not None:
                 tr.end("cpu.phase", op.name, self.now)
         else:
             raise OperationError(f"unknown operation {op!r}")
+
+    # ------------------------------------------------------------------
+    # Batched executor
+
+    def _run_batched(self, stream: Iterable[O.Op]) -> None:
+        """Fused-segment regime (bit-identical to the scalar loop).
+
+        Straight-line ops accumulate into a segment: Compute charges
+        are precomputed, memory ops expand their line footprints once.
+        ``_flush_segment`` resolves the footprint in one wide cache
+        batch and replays the per-op charges sequentially.  Sync ops
+        flush the segment and go through the same memory-system
+        handlers the scalar loop uses; runs of Activate/WaitPage ops
+        (with interleaved phase markers) are forwarded to the batch
+        handlers.  While a sync op leaves service pending, ops run
+        through the scalar oracle with per-op polls — exactly the
+        historical loop.
+        """
+        memsys = self.memsys
+        needs_poll = memsys.needs_poll
+        poll = memsys.poll
+        pending = memsys.has_pending_service
+        step = self._step
+        l1d = self.l1d
+        line = l1d.config.line_bytes
+        compute_ns = self.config.cpu.compute_ns
+        lines_for_block = O.lines_for_block
+        lines_for_stride = O.lines_for_stride
+        lines_for_gather = O.lines_for_gather
+        Compute = O.Compute
+        MemRead = O.MemRead
+        MemWrite = O.MemWrite
+        StridedRead = O.StridedRead
+        StridedWrite = O.StridedWrite
+        GatherRead = O.GatherRead
+        ScatterWrite = O.ScatterWrite
+        FlushRange = O.FlushRange
+        Activate = O.Activate
+        WaitPage = O.WaitPage
+        ServicePending = O.ServicePending
+        BeginPhase = O.BeginPhase
+        EndPhase = O.EndPhase
+
+        tags: list = []  # _ENT_* codes
+        vals: list = []  # ns / mem index / phase name, per entry
+        arrays: list = []  # line arrays of the segment's memory ops
+        writes: list = []  # per-array write flag
+        n_lines = 0
+        flush = self._flush_segment
+
+        it = iter(stream)
+        op = next(it, _SENTINEL)
+        while op is not _SENTINEL:
+            t = op.__class__
+            if t is Compute:
+                ns = compute_ns(op.ops)
+                if ns < 0:
+                    # The scalar charge() raises here, after applying
+                    # every earlier op — replicate exactly.
+                    flush(tags, vals, arrays, writes, n_lines)
+                    raise OperationError("cannot charge negative time")
+                tags.append(_ENT_COMPUTE)
+                vals.append(ns)
+                op = next(it, _SENTINEL)
+                continue
+            w = True
+            if t is MemRead:
+                arr = lines_for_block(op.addr, op.nbytes, line)
+                w = False
+            elif t is MemWrite:
+                arr = lines_for_block(op.addr, op.nbytes, line)
+            elif t is StridedRead:
+                arr = lines_for_stride(
+                    op.addr, op.count, op.stride_bytes, op.elem_bytes, line
+                )
+                w = False
+            elif t is StridedWrite:
+                arr = lines_for_stride(
+                    op.addr, op.count, op.stride_bytes, op.elem_bytes, line
+                )
+            elif t is GatherRead:
+                arr = lines_for_gather(op.addrs, op.elem_bytes, line)
+                w = False
+            elif t is ScatterWrite:
+                arr = lines_for_gather(op.addrs, op.elem_bytes, line)
+            elif t is BeginPhase:
+                tags.append(_ENT_BEGIN)
+                vals.append(op.name)
+                op = next(it, _SENTINEL)
+                continue
+            elif t is EndPhase:
+                tags.append(_ENT_END)
+                vals.append(op.name)
+                op = next(it, _SENTINEL)
+                continue
+            else:
+                # Sync point: flush the fused segment, then run the op
+                # through the scalar handlers.
+                if tags:
+                    flush(tags, vals, arrays, writes, n_lines)
+                    tags = []
+                    vals = []
+                    arrays = []
+                    writes = []
+                    n_lines = 0
+                if t is Activate or t is WaitPage:
+                    run_ops = [op]
+                    gather = Activate if t is Activate else WaitPage
+                    op = next(it, _SENTINEL)
+                    cls = op.__class__
+                    while cls is gather or cls is BeginPhase or cls is EndPhase:
+                        run_ops.append(op)
+                        op = next(it, _SENTINEL)
+                        cls = op.__class__
+                    if t is Activate:
+                        done = memsys.handle_activate_batch(run_ops, self)
+                    else:
+                        done = memsys.handle_wait_batch(run_ops, self)
+                    # Pending service stopped the batch: finish the
+                    # rest of the run on the scalar loop.
+                    while done < len(run_ops):
+                        step(run_ops[done], None, None)
+                        poll(self)
+                        done += 1
+                elif t is FlushRange:
+                    if op.nbytes > 0:
+                        lo_line = op.addr // line
+                        hi_line = (op.addr + op.nbytes - 1) // line
+                        self.charge("mem_ns", l1d.flush_range(lo_line, hi_line))
+                    op = next(it, _SENTINEL)
+                elif t is ServicePending:
+                    memsys.handle_service(self)
+                    op = next(it, _SENTINEL)
+                else:
+                    step(op, None, None)  # unknown op: raises, like scalar
+                    op = next(it, _SENTINEL)
+                if needs_poll:
+                    # One poll per op, like the scalar loop; polls in
+                    # excess of that are provably no-ops (the queue
+                    # head cannot have become due without the clock
+                    # moving).  Stay scalar while service is pending.
+                    poll(self)
+                    while op is not _SENTINEL and pending():
+                        step(op, None, None)
+                        poll(self)
+                        op = next(it, _SENTINEL)
+                continue
+            # Common memory-op tail: empty footprints charge exactly
+            # 0.0 in the scalar loop, so dropping them is identical.
+            m = len(arr)
+            if m:
+                tags.append(_ENT_MEM)
+                vals.append(len(arrays))
+                arrays.append(arr)
+                writes.append(w)
+                n_lines += m
+                if n_lines >= _SEGMENT_MAX_LINES:
+                    flush(tags, vals, arrays, writes, n_lines)
+                    tags = []
+                    vals = []
+                    arrays = []
+                    writes = []
+                    n_lines = 0
+            op = next(it, _SENTINEL)
+        if tags:
+            flush(tags, vals, arrays, writes, n_lines)
+
+    def _flush_segment(
+        self, tags: list, vals: list, arrays: list, writes: list, n_lines: int
+    ) -> None:
+        """Resolve one fused segment and replay its charges in order.
+
+        Memory latencies come from one wide cache batch; each op's
+        total is folded left-to-right over its slice of the per-line
+        latency array — the same association order as the scalar
+        loop's per-op accumulation, hence bit-identical.  Clock and
+        stats updates are then applied sequentially per entry (float
+        addition is not associative, so they cannot be collapsed).
+        """
+        if not tags:
+            return
+        l1d = self.l1d
+        if len(arrays) > 1 and n_lines > l1d._SMALL_BATCH:
+            lat = l1d.access_lines_batch(arrays, writes).tolist()
+            mem_totals = []
+            pos = 0
+            for arr in arrays:
+                end = pos + len(arr)
+                mem_totals.append(sum(lat[pos:end]))
+                pos = end
+        else:
+            access = l1d.access_lines
+            mem_totals = [access(arr, w) for arr, w in zip(arrays, writes)]
+        stats = self.stats
+        d = stats.__dict__
+        stack = stats._phase_stack
+        phase_ns = stats.phase_ns
+        begin_phase = stats.begin_phase
+        end_phase = stats.end_phase
+        get = phase_ns.get
+        now = self.now
+        for tag, val in zip(tags, vals):
+            if tag == _ENT_COMPUTE:
+                d["compute_ns"] += val
+            elif tag == _ENT_MEM:
+                val = mem_totals[val]
+                d["mem_ns"] += val
+            elif tag == _ENT_BEGIN:
+                begin_phase(val)
+                continue
+            else:
+                end_phase(val)
+                continue
+            now += val
+            if stack:
+                p = stack[-1]
+                phase_ns[p] = get(p, 0.0) + val
+        self.now = now

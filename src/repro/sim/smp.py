@@ -38,6 +38,7 @@ from repro.sim.machine import ConventionalMemorySystem
 from repro.sim.memory import PagedMemory
 from repro.sim.processor import MemorySystemBase, Processor
 from repro.sim.stats import MachineStats
+from repro.trace import events as _trace
 
 
 @dataclass(frozen=True)
@@ -121,8 +122,14 @@ class SMPMachine:
         def _waiting(cpu: int) -> bool:
             return any(cpu in members for members in at_barrier.values())
 
+        # Instrumentation guards bound once per co-simulation (the
+        # contexts that set them wrap the whole run); each processor's
+        # tracer binding serves its charge() calls too.
+        ck = _check.CHECKER
+        tr = _trace.TRACER
         for proc in self.processors:
             self.memsys.on_run_begin(proc)
+            proc._tr = tr
         while True:
             ready = runnable()
             if not ready:
@@ -151,7 +158,7 @@ class SMPMachine:
             elif isinstance(op, AtomicRMW):
                 self._atomic_rmw(cpu, op)
             else:
-                proc.step(op)
+                proc._step(op, ck, tr)
             if self.memsys.needs_poll:
                 self.memsys.poll(proc)
         for proc in self.processors:

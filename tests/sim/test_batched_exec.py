@@ -1,0 +1,411 @@
+"""Differential suite: the batched executor vs the scalar oracle.
+
+The batched regime in :mod:`repro.sim.processor` must be **bit
+identical** to the retained scalar per-op loop — same
+``MachineStats.as_dict`` (floats compared exactly, not approximately),
+same per-phase accounting, same final functional memory image.  Every
+test here runs the same op stream twice on fresh machines, once per
+regime (``Processor.batching_enabled`` flips the escape hatch), and
+diffs the snapshots.
+
+Hypothesis generates the streams: straight-line segments of
+compute/memory ops interleaved with Activate/WaitPage sync points,
+phase markers, inter-page communication (which parks pages on the
+blocked queue and forces the executor's scalar fallback mid-run), and
+explicit ServicePending polls.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.functions import CommRequest, PageTask, Segment
+from repro.radram.config import RADramConfig
+from repro.radram.system import RADramMemorySystem
+from repro.sim import ops as O
+from repro.sim.machine import Machine
+from repro.sim.memory import PagedMemory
+
+KB = 1024
+PAGE_BYTES = 4 * KB
+N_PAGES = 6
+#: All generated addresses stay inside this span of the data region.
+DATA_SPAN = N_PAGES * PAGE_BYTES - 512
+
+
+def _radram_machine():
+    cfg = RADramConfig.reference().with_page_bytes(PAGE_BYTES)
+    machine = Machine(
+        memory=PagedMemory(page_bytes=PAGE_BYTES),
+        memsys=RADramMemorySystem(cfg),
+    )
+    region = machine.memory.alloc_pages(N_PAGES, name="data")
+    # A recognizable pattern so functional copies show up in the image.
+    region.buffer[:] = (np.arange(region.buffer.shape[0]) % 251).astype(np.uint8)
+    return machine, region
+
+
+def _conventional_machine():
+    machine = Machine(memory=PagedMemory(page_bytes=PAGE_BYTES))
+    region = machine.memory.alloc_pages(N_PAGES, name="data")
+    return machine, region
+
+
+def _snapshot(machine, stats):
+    return {
+        "stats": stats.as_dict(),
+        "phase_ns": dict(stats.phase_ns),
+        "total_ns": stats.total_ns,
+        "now": machine.processor.now,
+        "image": {
+            base: region.buffer.tobytes()
+            for base, region in machine.memory._regions.items()
+        },
+    }
+
+
+def _run_both(ops, machine_factory):
+    """Run ``ops`` under each regime on fresh machines; return snapshots."""
+    snaps = []
+    for batching in (True, False):
+        machine, _ = machine_factory()
+        machine.processor.batching_enabled = batching
+        stats = machine.run(iter(ops))
+        snaps.append(_snapshot(machine, stats))
+    return snaps
+
+
+def _assert_identical(batched, scalar):
+    # Dict equality compares floats bitwise-for-equality: any fold-order
+    # drift in the batched executor shows up here.
+    assert batched["stats"] == scalar["stats"]
+    assert sorted(batched["phase_ns"]) == sorted(scalar["phase_ns"])
+    assert batched["phase_ns"] == scalar["phase_ns"]
+    assert batched["total_ns"] == scalar["total_ns"]
+    assert batched["now"] == scalar["now"]
+    assert batched["image"] == scalar["image"]
+
+
+# ----------------------------------------------------------------------
+# Stream strategies
+
+
+_addrs = st.integers(min_value=0, max_value=DATA_SPAN)
+
+
+@st.composite
+def _straightline(draw, min_size=0, max_size=12):
+    """A run of non-sync ops (compute + memory + balanced phases)."""
+    base = 0x100000  # matches PagedMemory's first allocation base
+    ops = []
+    n = draw(st.integers(min_size, max_size))
+    in_phase = None
+    for _ in range(n):
+        kind = draw(st.integers(0, 7))
+        addr = base + draw(_addrs)
+        if kind == 0:
+            ops.append(O.Compute(draw(st.integers(1, 2000))))
+        elif kind == 1:
+            ops.append(O.MemRead(addr, draw(st.integers(1, 300))))
+        elif kind == 2:
+            ops.append(O.MemWrite(addr, draw(st.integers(1, 300))))
+        elif kind == 3:
+            ops.append(
+                O.StridedRead(
+                    addr,
+                    count=draw(st.integers(1, 12)),
+                    stride_bytes=draw(st.integers(4, 160)),
+                    elem_bytes=draw(st.sampled_from([1, 4, 8])),
+                )
+            )
+        elif kind == 4:
+            ops.append(
+                O.StridedWrite(
+                    addr,
+                    count=draw(st.integers(1, 12)),
+                    stride_bytes=draw(st.integers(4, 160)),
+                    elem_bytes=draw(st.sampled_from([1, 4, 8])),
+                )
+            )
+        elif kind == 5:
+            k = draw(st.integers(1, 10))
+            gathered = [base + draw(_addrs) for _ in range(k)]
+            cls = O.GatherRead if draw(st.booleans()) else O.ScatterWrite
+            ops.append(cls(gathered, elem_bytes=draw(st.sampled_from([4, 8]))))
+        elif kind == 6:
+            ops.append(O.FlushRange(addr, draw(st.integers(1, 2 * KB))))
+        else:
+            if in_phase is None:
+                in_phase = draw(st.sampled_from(["alpha", "beta", "gamma"]))
+                ops.append(O.BeginPhase(in_phase))
+            else:
+                ops.append(O.EndPhase(in_phase))
+                in_phase = None
+    if in_phase is not None:
+        ops.append(O.EndPhase(in_phase))
+    return ops
+
+
+@st.composite
+def _page_task(draw, with_comm):
+    cycles = draw(st.floats(10.0, 3000.0))
+    if not with_comm:
+        return PageTask.simple(cycles)
+    base = 0x100000
+    src = base + draw(_addrs)
+    dst = base + draw(_addrs)
+    return PageTask.of(
+        [
+            Segment(
+                cycles,
+                CommRequest(
+                    nbytes=draw(st.integers(1, 128)),
+                    src_vaddr=src,
+                    dst_vaddr=dst,
+                ),
+            ),
+            Segment(draw(st.floats(5.0, 500.0))),
+        ]
+    )
+
+
+@st.composite
+def radram_streams(draw):
+    """Rounds of straight-line work + activate/wait sync bursts."""
+    region_first_page = 0x100000 // PAGE_BYTES
+    ops = []
+    rounds = draw(st.integers(1, 3))
+    for _ in range(rounds):
+        ops += draw(_straightline())
+        pages = draw(
+            st.lists(
+                st.integers(0, N_PAGES - 1),
+                unique=True,
+                min_size=1,
+                max_size=N_PAGES,
+            )
+        )
+        with_comm = draw(st.booleans())
+        phase_burst = draw(st.booleans())
+        if phase_burst:
+            ops.append(O.BeginPhase("activation"))
+        for p in pages:
+            task = draw(_page_task(with_comm and draw(st.booleans())))
+            ops.append(
+                O.Activate(region_first_page + p, draw(st.integers(1, 8)), task)
+            )
+        if phase_burst:
+            ops.append(O.EndPhase("activation"))
+        if draw(st.booleans()):
+            ops.append(O.ServicePending())
+        ops += draw(_straightline(max_size=6))
+        if phase_burst:
+            ops.append(O.BeginPhase("post"))
+        for p in pages:
+            ops.append(O.WaitPage(region_first_page + p))
+        if phase_burst:
+            ops.append(O.EndPhase("post"))
+    ops += draw(_straightline(max_size=6))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Differential properties
+
+
+_DIFF_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestBatchedMatchesScalar:
+    @_DIFF_SETTINGS
+    @given(ops=radram_streams())
+    def test_radram_streams_bit_identical(self, ops):
+        batched, scalar = _run_both(ops, _radram_machine)
+        _assert_identical(batched, scalar)
+
+    @_DIFF_SETTINGS
+    @given(ops=_straightline(min_size=1, max_size=40))
+    def test_conventional_straightline_bit_identical(self, ops):
+        batched, scalar = _run_both(ops, _conventional_machine)
+        _assert_identical(batched, scalar)
+
+    @_DIFF_SETTINGS
+    @given(ops=radram_streams())
+    def test_batched_regime_actually_engages(self, ops):
+        """Guard against a vacuous pass: the gate must pick the batched
+        path for the default machine and the scalar loop for the
+        pinned one."""
+        from repro.sim.processor import Processor
+
+        calls = []
+        orig = Processor._run_batched
+
+        def spy(self, stream):
+            calls.append(True)
+            return orig(self, stream)
+
+        Processor._run_batched = spy
+        try:
+            machine, _ = _radram_machine()
+            machine.run(iter(list(ops)))
+            assert calls, "batched executor never engaged"
+            calls.clear()
+            machine, _ = _radram_machine()
+            machine.processor.batching_enabled = False
+            machine.run(iter(list(ops)))
+            assert not calls, "escape hatch did not pin the scalar loop"
+        finally:
+            Processor._run_batched = orig
+
+
+class TestRegimeFlip:
+    """Streams engineered to bounce between batched and scalar."""
+
+    def _comm_task(self):
+        base = 0x100000
+        return PageTask.of(
+            [
+                Segment(50.0, CommRequest(nbytes=64, src_vaddr=base, dst_vaddr=base + 8 * KB)),
+                Segment(25.0),
+            ]
+        )
+
+    def test_blocked_pages_force_scalar_fallback_and_recover(self):
+        """Comm tasks park pages on the blocked queue: the executor
+        must drop to the per-op scalar loop while service is pending,
+        then resume fusing — with identical accounting throughout."""
+        first = 0x100000 // PAGE_BYTES
+        ops = []
+        for r in range(4):
+            for p in range(3):
+                ops.append(O.Activate(first + p, 2, self._comm_task()))
+            # Straight-line work while pages sit blocked: the batched
+            # regime may not skip the polls that service them.
+            for i in range(20):
+                ops.append(O.MemRead(0x100000 + (i * 192) % DATA_SPAN, 128))
+                ops.append(O.Compute(64))
+            for p in range(3):
+                ops.append(O.WaitPage(first + p))
+        batched, scalar = _run_both(ops, _radram_machine)
+        _assert_identical(batched, scalar)
+        assert batched["stats"]["interrupts"] > 0
+
+    @_DIFF_SETTINGS
+    @given(flips=st.lists(st.booleans(), min_size=2, max_size=5))
+    def test_mid_sequence_regime_flips(self, flips):
+        """Alternate regimes across successive runs of one machine:
+        cache and page state carried between runs must not diverge."""
+        first = 0x100000 // PAGE_BYTES
+
+        def chunk(i):
+            ops = [O.MemWrite(0x100000 + (i * 640) % DATA_SPAN, 256)]
+            ops.append(O.Activate(first + (i % N_PAGES), 1, PageTask.simple(100.0)))
+            ops.append(O.Compute(32))
+            ops.append(O.WaitPage(first + (i % N_PAGES)))
+            return ops
+
+        machines = [_radram_machine()[0], _radram_machine()[0]]
+        machines[1].processor.batching_enabled = False
+        flipper = machines[0].processor
+        for i, flip in enumerate(flips):
+            flipper.batching_enabled = flip
+            for m in machines:
+                m.run(iter(chunk(i)))
+        a = _snapshot(machines[0], machines[0].processor.stats)
+        b = _snapshot(machines[1], machines[1].processor.stats)
+        _assert_identical(a, b)
+
+
+class TestInstrumentedFallback:
+    """Tracer or sanitizer enabled => the scalar oracle must run."""
+
+    def _ops(self):
+        first = 0x100000 // PAGE_BYTES
+        ops = [O.MemRead(0x100000, 512), O.Compute(100)]
+        ops.append(O.Activate(first, 2, PageTask.simple(200.0)))
+        ops.append(O.WaitPage(first))
+        return ops
+
+    def test_traced_run_uses_scalar_loop(self):
+        from repro.sim.processor import Processor
+        from repro.trace import events as trace_events
+
+        calls = []
+        orig = Processor._run_batched
+        Processor._run_batched = lambda self, stream: calls.append(True) or orig(
+            self, stream
+        )
+        try:
+            machine, _ = _radram_machine()
+            with trace_events.tracing():
+                machine.run(iter(self._ops()))
+            assert not calls, "batched executor ran under a live tracer"
+        finally:
+            Processor._run_batched = orig
+
+    def test_checked_run_uses_scalar_loop(self):
+        from repro.check import runtime as check_runtime
+        from repro.sim.processor import Processor
+
+        calls = []
+        orig = Processor._run_batched
+        Processor._run_batched = lambda self, stream: calls.append(True) or orig(
+            self, stream
+        )
+        try:
+            machine, _ = _radram_machine()
+            with check_runtime.checking():
+                machine.run(iter(self._ops()))
+            assert not calls, "batched executor ran under a live checker"
+        finally:
+            Processor._run_batched = orig
+
+    def test_traced_and_plain_runs_agree(self):
+        """The instrumented scalar fallback still produces the same
+        numbers as the batched run (tracing only observes)."""
+        from repro.trace import events as trace_events
+
+        machine, _ = _radram_machine()
+        stats = machine.run(iter(self._ops()))
+        plain = _snapshot(machine, stats)
+
+        machine, _ = _radram_machine()
+        with trace_events.tracing():
+            stats = machine.run(iter(self._ops()))
+        traced = _snapshot(machine, stats)
+        _assert_identical(traced, plain)
+
+
+class TestPaperApps:
+    """The six paper applications, both memory systems, bit-identical."""
+
+    @pytest.mark.parametrize("system", ["conventional", "radram"])
+    def test_apps_bit_identical(self, system):
+        from repro.apps import ALL_APPS
+        from repro.experiments.runner import run_conventional, run_radram
+        from repro.sim import processor as processor_mod
+
+        runner = run_conventional if system == "conventional" else run_radram
+        orig_init = processor_mod.Processor.__init__
+        for name in sorted(ALL_APPS):
+            app = ALL_APPS[name]
+            res_batched = runner(app, n_pages=2, seed=3)
+
+            def scalar_init(self, *a, **kw):
+                orig_init(self, *a, **kw)
+                self.batching_enabled = False
+
+            processor_mod.Processor.__init__ = scalar_init
+            try:
+                res_scalar = runner(app, n_pages=2, seed=3)
+            finally:
+                processor_mod.Processor.__init__ = orig_init
+
+            assert res_batched.stats.as_dict() == res_scalar.stats.as_dict(), name
+            assert res_batched.stats.phase_ns == res_scalar.stats.phase_ns, name
+            assert res_batched.total_ns == res_scalar.total_ns, name
