@@ -17,7 +17,14 @@ fuzz         seeded, time-boxed fuzzing of generated workloads under
              three oracles (sanitizer, model divergence, conventional/
              RADram equivalence); failing cases are shrunk to JSON
              reproducers, ``--replay FILE`` re-runs one
-cache        inspect or clear the sweep result cache
+cache        inspect, summarize (``stats``), age-prune (``prune --days``)
+             or clear the sweep result cache
+serve        long-running simulation service: HTTP/JSON-lines front-end
+             with per-tenant fair queuing, single-flight coalescing of
+             identical in-flight work, bounded backpressure and
+             ``/metrics`` / ``/cache/stats`` endpoints
+submit       thin streaming client for ``serve`` (experiments, single
+             tasks, fuzz runs, server introspection)
 bench        run the cache hot-path microbenchmarks (``--update`` to
              refresh the committed ``BENCH_sim.json`` baseline)
 faults       defect-density-vs-speedup sweep under fault injection;
@@ -219,17 +226,55 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
+    import datetime
+
     cache = harness.ResultCache(harness.current_settings().resolve_cache_dir())
-    entries = cache.entries()
-    if args.clear:
+    action = "clear" if args.clear else args.action
+    if action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached sweep results from {cache.root}")
         return 0
+    if action == "prune":
+        removed = cache.prune(args.days)
+        print(
+            f"pruned {removed} entries older than {args.days:g} days "
+            f"from {cache.root}"
+        )
+        return 0
+    if action == "stats":
+        stats = cache.stats()
+        print(f"cache dir: {stats['dir']}")
+        print(f"entries:   {stats['entries']}")
+        print(f"size:      {stats['total_bytes'] / 1024:.1f} KiB")
+        for schema, count in sorted(stats["by_schema"].items()):
+            print(f"schema {schema}:  {count}")
+        if stats["entries"]:
+            fmt = "%Y-%m-%d %H:%M:%S"
+            oldest = datetime.datetime.fromtimestamp(stats["oldest_mtime"])
+            newest = datetime.datetime.fromtimestamp(stats["newest_mtime"])
+            print(f"oldest:    {oldest.strftime(fmt)}")
+            print(f"newest:    {newest.strftime(fmt)}")
+        return 0
+    entries = cache.entries()
     total_bytes = sum(p.stat().st_size for p in entries)
     print(f"cache dir: {cache.root}")
     print(f"entries:   {len(entries)}")
     print(f"size:      {total_bytes / 1024:.1f} KiB")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import server as serve_mod
+
+    return asyncio.run(serve_mod.amain(serve_mod.build_config(args)))
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import client as client_mod
+
+    return client_mod.main(args.rest)
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -523,9 +568,43 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_fuzz.set_defaults(func=_cmd_fuzz)
 
-    p_cache = sub.add_parser("cache", help="inspect or clear the sweep cache")
-    p_cache.add_argument("--clear", action="store_true")
+    p_cache = sub.add_parser(
+        "cache", help="inspect, summarize, prune or clear the sweep cache"
+    )
+    p_cache.add_argument(
+        "action",
+        nargs="?",
+        default="info",
+        choices=("info", "stats", "prune", "clear"),
+        help="info (default): dir/entry/size summary; stats: adds schema "
+        "breakdown and entry age range; prune: drop entries older than "
+        "--days; clear: drop everything",
+    )
+    p_cache.add_argument(
+        "--days",
+        type=float,
+        default=30.0,
+        metavar="N",
+        help="age threshold for prune (default 30)",
+    )
+    p_cache.add_argument("--clear", action="store_true", help=argparse.SUPPRESS)
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the long-running simulation service"
+    )
+    from repro.serve.server import add_serve_arguments
+
+    add_serve_arguments(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit work to a running serve instance and stream events",
+        add_help=False,
+    )
+    p_submit.add_argument("rest", nargs=argparse.REMAINDER)
+    p_submit.set_defaults(func=_cmd_submit)
 
     p_app = sub.add_parser("app", help="run one application")
     p_app.add_argument("name", choices=sorted(ALL_APPS))

@@ -28,6 +28,18 @@ execution as a small batch system instead:
     the failures itemized in ``SweepOutcome.notes()``.  Completed
     tasks are memoized in an on-disk cache.
 
+    The execution core (cache lookup, duplicate folding, pool fan-out,
+    retry/timeout machinery) lives in
+    :class:`repro.serve.scheduler.TaskScheduler`; ``run_sweep`` wraps
+    it with the process-wide settings and counters.  The ``repro
+    serve`` server drives the identical scheduler, so service and CLI
+    share one execution policy.  Three context-local scopes let a
+    caller (a server worker thread, a test) adjust one sweep without
+    touching the process-global settings: :func:`settings_scope`,
+    :func:`coalesce_scope` (install a
+    :class:`~repro.serve.scheduler.SingleFlight` table) and
+    :func:`progress_scope` (observe per-task completions).
+
 ``ResultCache``
     A content-addressed JSON store under ``.repro_cache/`` (or
     ``$REPRO_CACHE_DIR``).  Keys are SHA-256 hashes over the canonical
@@ -43,15 +55,28 @@ regression tooling can strip the volatile lines).
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro._version import __version__
 from repro.apps.base import PHASE_ACTIVATION, PHASE_POST
@@ -451,6 +476,30 @@ class ResultCache:
             return None
         return TaskResult(task=task, values=values, wall_s=wall_s, cached=True)
 
+    def _claim_tmp(self, path: Path) -> Tuple[int, Path]:
+        """Open a tmp file next to ``path`` that no other writer holds.
+
+        Names combine pid and a process-local counter and are opened
+        ``O_EXCL``, so two stores of the *same key* — concurrent
+        threads of one server, or independent CLI processes (even
+        across pid reuse) — can never share a tmp file and truncate
+        each other mid-write.  Tmp names keep the ``.tmp.*`` suffix
+        form, invisible to :meth:`entries`' ``*.json`` glob.
+        """
+        flags = os.O_WRONLY | os.O_CREAT | os.O_EXCL
+        while True:
+            tmp = path.with_suffix(
+                f".tmp.{os.getpid()}.{next(self._tmp_counter)}"
+            )
+            try:
+                return os.open(tmp, flags, 0o644), tmp
+            except FileExistsError:
+                continue  # stale leftover from a killed writer: pick another
+
+    #: Process-local uniquifier for tmp names (shared by all instances;
+    #: combined with the pid it makes every claimed tmp name unique).
+    _tmp_counter = itertools.count()
+
     def store(self, result: TaskResult) -> None:
         """Persist one result atomically and durably.
 
@@ -458,8 +507,11 @@ class ResultCache:
         (never matched by :meth:`entries`' ``*.json`` glob), fsynced,
         then :func:`os.replace`\\ d over the final name — a reader
         either sees no entry or a complete one, never a torn write,
-        even when the writer is killed mid-store.  Failed tasks are
-        never stored.
+        even when the writer is killed mid-store.  Concurrency safety:
+        every writer claims its *own* ``O_EXCL`` tmp name
+        (:meth:`_claim_tmp`), so racing stores of one key each rename a
+        complete payload — last writer wins, bit-identical content
+        either way.  Failed tasks are never stored.
         """
         if result.error is not None:
             return
@@ -475,8 +527,8 @@ class ResultCache:
         }
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with open(tmp, "w") as fh:
+            fd, tmp = self._claim_tmp(path)
+            with os.fdopen(fd, "w") as fh:
                 fh.write(json.dumps(payload, sort_keys=True, indent=1))
                 fh.flush()
                 os.fsync(fh.fileno())
@@ -510,6 +562,70 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        """Cache introspection: entry count, bytes, schema mix, age.
+
+        Shared by ``python -m repro cache stats`` and the server's
+        ``GET /cache/stats`` endpoint.  Schemas are read from each
+        entry's payload (``"corrupt"`` buckets unreadable files);
+        timestamps are entry mtimes in epoch seconds.
+        """
+        entries = self.entries()
+        total_bytes = 0
+        by_schema: Dict[str, int] = {}
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for path in entries:
+            try:
+                st = path.stat()
+                payload = json.loads(path.read_text())
+                schema = str(payload.get("schema", "unknown"))
+            except (OSError, ValueError):
+                schema = "corrupt"
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+            total_bytes += st.st_size
+            by_schema[schema] = by_schema.get(schema, 0) + 1
+            oldest = st.st_mtime if oldest is None else min(oldest, st.st_mtime)
+            newest = st.st_mtime if newest is None else max(newest, st.st_mtime)
+        return {
+            "dir": str(self.root),
+            "entries": len(entries),
+            "total_bytes": total_bytes,
+            "by_schema": dict(sorted(by_schema.items())),
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def prune(self, days: float) -> int:
+        """Remove entries older than ``days`` (by mtime); returns count.
+
+        Leftover ``*.tmp.*`` files from killed writers past the cutoff
+        are swept as well (they never count toward the return value —
+        they were never entries).
+        """
+        if days < 0:
+            raise ValueError("days cannot be negative")
+        cutoff = time.time() - days * 86400.0
+        removed = 0
+        for path in self.entries():
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        if self.root.is_dir():
+            for tmp in self.root.glob("*/*.tmp.*"):
+                try:
+                    if tmp.stat().st_mtime <= cutoff:
+                        tmp.unlink()
+                except OSError:
+                    pass
         return removed
 
 
@@ -577,9 +693,76 @@ def configure(
     return _settings
 
 
+#: Context-local override of the process-wide settings.  Each thread
+#: (and asyncio task) starts from an empty context, so a server worker
+#: scoping its own settings never races another worker or the CLI.
+_settings_override: "contextvars.ContextVar[Optional[HarnessSettings]]" = (
+    contextvars.ContextVar("repro_harness_settings", default=None)
+)
+
+#: Context-local coalescing executor for distinct uncached tasks
+#: (``(tasks, scheduler) -> List[TaskResult]``; see
+#: :class:`repro.serve.scheduler.SingleFlight`).
+_unique_executor: "contextvars.ContextVar[Optional[Callable]]" = (
+    contextvars.ContextVar("repro_harness_unique_executor", default=None)
+)
+
+#: Context-local per-task progress observer (``(TaskResult) -> None``).
+_progress_callback: "contextvars.ContextVar[Optional[Callable]]" = (
+    contextvars.ContextVar("repro_harness_progress", default=None)
+)
+
+
 def current_settings() -> HarnessSettings:
-    """A copy of the process-wide settings."""
-    return dataclasses.replace(_settings)
+    """A copy of the effective settings (context override or globals)."""
+    override = _settings_override.get()
+    return dataclasses.replace(override if override is not None else _settings)
+
+
+@contextlib.contextmanager
+def settings_scope(settings: HarnessSettings):
+    """Pin :func:`current_settings` to ``settings`` within this context.
+
+    Context-local (per thread / asyncio task): the server uses it to
+    give each job its own execution policy without mutating the
+    process-wide CLI settings.
+    """
+    token = _settings_override.set(settings)
+    try:
+        yield settings
+    finally:
+        _settings_override.reset(token)
+
+
+@contextlib.contextmanager
+def coalesce_scope(executor: Callable):
+    """Route this context's sweeps through a coalescing executor.
+
+    ``executor`` receives ``(distinct_uncached_tasks, scheduler)`` and
+    returns their results in order — typically a shared
+    :class:`repro.serve.scheduler.SingleFlight` so identical in-flight
+    work across concurrent sweeps executes exactly once.
+    """
+    token = _unique_executor.set(executor)
+    try:
+        yield executor
+    finally:
+        _unique_executor.reset(token)
+
+
+@contextlib.contextmanager
+def progress_scope(callback: Callable):
+    """Observe every finished task of this context's sweeps.
+
+    ``callback(result: TaskResult)`` fires once per task position
+    resolved (cache hits included).  Exceptions it raises are swallowed
+    — observers must never fail a sweep.
+    """
+    token = _progress_callback.set(callback)
+    try:
+        yield callback
+    finally:
+        _progress_callback.reset(token)
 
 
 def reset_settings() -> None:
@@ -683,220 +866,25 @@ def run_sweep(
     Results are returned positionally: ``outcome[i]`` corresponds to
     ``tasks[i]``.  Duplicate tasks are simulated once and fanned back
     out to every position that requested them.
+
+    This is a thin wrapper over
+    :class:`repro.serve.scheduler.TaskScheduler` — it resolves the
+    effective settings/cache and the context-local coalescing and
+    progress hooks, delegates, and maintains the process-wide
+    ``last_sweep_stats`` / ``total_failed_tasks`` counters.
     """
+    from repro.serve.scheduler import TaskScheduler
+
     global last_sweep_stats, total_failed_tasks
     settings = settings if settings is not None else current_settings()
     cache = ResultCache(settings.resolve_cache_dir()) if settings.use_cache else None
-    stats = SweepStats(tasks=len(tasks))
-
-    results: List[Optional[TaskResult]] = [None] * len(tasks)
-    pending: Dict[SweepTask, List[int]] = {}
-    for i, task in enumerate(tasks):
-        if task in pending:  # duplicate of an already-pending task
-            pending[task].append(i)
-            continue
-        hit = cache.load(task) if cache is not None else None
-        if hit is not None and settings.trace_summary and not any(
-            k.startswith(TRACE_KEY_PREFIX) for k in hit.values
-        ):
-            # Cached before trace summaries were requested: recompute so
-            # the entry gains its trace.* digest.
-            hit = None
-        if hit is not None:
-            stats.hits += 1
-            results[i] = hit
-        else:
-            pending[task] = [i]
-
-    unique = list(pending)
-    stats.unique = len(unique) + stats.hits
-    stats.misses = len(unique)
-    if unique:
-        if settings.jobs > 1 and len(unique) > 1:
-            computed = _run_pooled(unique, settings)
-        else:
-            computed = [_execute_with_retry(task, settings) for task in unique]
-        for task, result in zip(unique, computed):
-            stats.sim_wall_s += result.wall_s
-            stats.retried += result.attempts - 1
-            if result.error is not None:
-                stats.failed += 1
-            if cache is not None:
-                cache.store(result)  # no-op for failed results
-            for i in pending[task]:
-                results[i] = result
-
-    assert all(r is not None for r in results)
-    last_sweep_stats = stats
-    total_failed_tasks += stats.failed
-    return SweepOutcome(results=results, stats=stats, settings=settings)  # type: ignore[arg-type]
-
-
-def _backoff_sleep(settings: HarnessSettings, round_index: int) -> None:
-    """Exponential backoff between retry rounds (base * 2^round)."""
-    delay = settings.retry_backoff_s * (2**round_index)
-    if delay > 0:
-        time.sleep(min(delay, 30.0))
-
-
-def _execute_with_retry(task: SweepTask, settings: HarnessSettings) -> TaskResult:
-    """In-process execution with bounded retry on raising tasks.
-
-    Serial execution cannot preempt a hung or crashed *process* (the
-    task runs in this one); those failure modes are covered by the
-    pooled path.  What it can survive is a task that raises.
-    """
-    last_error = "unknown"
-    for attempt in range(settings.retries + 1):
-        if attempt:
-            _backoff_sleep(settings, attempt - 1)
-        try:
-            result = _timed_execute(task, trace_summary=settings.trace_summary)
-            result.attempts = attempt + 1
-            return result
-        except KeyboardInterrupt:
-            raise
-        except Exception as exc:  # noqa: BLE001 - captured per task
-            last_error = f"{type(exc).__name__}: {exc}"
-    return TaskResult(
-        task=task,
-        values={},
-        wall_s=0.0,
-        attempts=settings.retries + 1,
-        error=last_error,
+    scheduler = TaskScheduler(
+        settings,
+        cache=cache,
+        unique_executor=_unique_executor.get(),
+        on_task_done=_progress_callback.get(),
     )
-
-
-def _terminate_workers(executor) -> None:
-    """Forcefully end a pool's worker processes (hung-worker cleanup).
-
-    ``ProcessPoolExecutor`` has no public kill switch; terminating the
-    worker ``Process`` objects directly is the only way to reclaim a
-    worker stuck in an unbounded simulation without blocking interpreter
-    shutdown on its (non-daemon) process join.
-    """
-    processes = getattr(executor, "_processes", None) or {}
-    for proc in list(processes.values()):
-        try:
-            proc.terminate()
-        except Exception:  # noqa: BLE001 - best-effort cleanup
-            pass
-
-
-def _run_pooled(tasks: List[SweepTask], settings: HarnessSettings) -> List[TaskResult]:
-    """Fan distinct tasks out across worker processes, in input order.
-
-    Resilience contract (exercised by the chaos tests):
-
-    * a task that **raises** is captured as that task's failure, not a
-      sweep abort;
-    * a **killed** worker (OOM, segfault, chaos ``crash``) breaks the
-      pool — every task still in flight is retried; because which task
-      killed the pool is unknowable from the outside, later rounds run
-      each task in its *own* single-worker pool, so a persistent
-      crasher exhausts only its own attempt budget and innocent
-      bystanders complete;
-    * a **hung** worker trips ``task_timeout_s``; the stuck process is
-      terminated and the task retried;
-    * retry rounds back off exponentially and give up after
-      ``settings.retries`` extra attempts, recording the last error.
-    """
-    import functools
-    from concurrent.futures import ProcessPoolExecutor
-    from concurrent.futures import TimeoutError as FutureTimeoutError
-    from concurrent.futures.process import BrokenProcessPool
-
-    entry = functools.partial(_pool_entry, trace_summary=settings.trace_summary)
-    results: Dict[int, TaskResult] = {}
-    attempts: Dict[int, int] = {i: 0 for i in range(len(tasks))}
-    last_error: Dict[int, str] = {}
-    remaining = list(range(len(tasks)))
-    isolate = False  # after a pool break: one single-worker pool per task
-
-    round_index = 0
-    while remaining:
-        if round_index:
-            _backoff_sleep(settings, round_index - 1)
-        retry: List[int] = []
-        broke = False
-        if isolate:
-            # Crash attribution: each task gets a private pool (still at
-            # most ``jobs`` worker processes alive at once).
-            batches = [
-                remaining[k : k + settings.jobs]
-                for k in range(0, len(remaining), settings.jobs)
-            ]
-        else:
-            batches = [remaining]
-        for batch in batches:
-            if isolate:
-                executors = {
-                    i: ProcessPoolExecutor(max_workers=1) for i in batch
-                }
-            else:
-                shared = ProcessPoolExecutor(
-                    max_workers=min(settings.jobs, len(batch))
-                )
-                executors = {i: shared for i in batch}
-            futures = {i: executors[i].submit(entry, tasks[i]) for i in batch}
-            hung = set()
-            for i in batch:
-                attempts[i] += 1
-                try:
-                    values, wall_s = futures[i].result(
-                        timeout=settings.task_timeout_s
-                    )
-                except FutureTimeoutError:
-                    futures[i].cancel()
-                    hung.add(executors[i])
-                    last_error[i] = (
-                        f"timed out after {settings.task_timeout_s:g}s"
-                    )
-                    retry.append(i)
-                except BrokenProcessPool:
-                    # A worker died (crash/kill/OOM); every future on
-                    # its pool is lost and must be retried.
-                    broke = True
-                    last_error[i] = "worker process died (broken pool)"
-                    retry.append(i)
-                except KeyboardInterrupt:
-                    for ex in set(executors.values()):
-                        _terminate_workers(ex)
-                        ex.shutdown(wait=False, cancel_futures=True)
-                    raise
-                except Exception as exc:  # noqa: BLE001 - captured per task
-                    last_error[i] = f"{type(exc).__name__}: {exc}"
-                    retry.append(i)
-                else:
-                    results[i] = TaskResult(
-                        task=tasks[i],
-                        values=values,
-                        wall_s=wall_s,
-                        attempts=attempts[i],
-                    )
-            for ex in set(executors.values()):
-                if ex in hung:
-                    # A hung worker never returns; joining it would hang
-                    # the sweep (and interpreter exit) right behind it.
-                    _terminate_workers(ex)
-                    ex.shutdown(wait=False, cancel_futures=True)
-                else:
-                    ex.shutdown(wait=True, cancel_futures=True)
-        if broke:
-            isolate = True
-
-        remaining = []
-        for i in retry:
-            if attempts[i] > settings.retries:
-                results[i] = TaskResult(
-                    task=tasks[i],
-                    values={},
-                    wall_s=0.0,
-                    attempts=attempts[i],
-                    error=last_error.get(i, "unknown"),
-                )
-            else:
-                remaining.append(i)
-        round_index += 1
-
-    return [results[i] for i in range(len(tasks))]
+    outcome = scheduler.run_sweep(tasks)
+    last_sweep_stats = outcome.stats
+    total_failed_tasks += outcome.stats.failed
+    return outcome

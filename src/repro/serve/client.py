@@ -1,0 +1,260 @@
+"""Thin streaming client for the sweep server: ``python -m repro submit``.
+
+Speaks the same minimal HTTP the server does, over a plain blocking
+socket — usable from scripts, the CLI, and the CI smoke without any
+HTTP library.  ``stream_submit`` yields decoded events as the server
+emits them; ``get_json`` fetches the one-shot endpoints
+(``/metrics``, ``/cache/stats``, ``/healthz``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+from typing import Dict, Iterator, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+DEFAULT_BASE_URL = "http://127.0.0.1:8927"
+
+#: CLI exit codes.
+EXIT_OK = 0
+EXIT_FAILED = 1  # job finished with ok=false, or server-side error
+EXIT_CONNECT = 7  # could not reach / talk to the server
+
+
+class ServerError(Exception):
+    """A non-200 response from the server."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+def _split_base_url(base_url: str) -> Tuple[str, int]:
+    parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+    if not parts.hostname:
+        raise ValueError(f"invalid base URL {base_url!r}")
+    return parts.hostname, parts.port or 80
+
+
+def _request(
+    base_url: str,
+    method: str,
+    path: str,
+    body: Optional[bytes] = None,
+    accept: Optional[str] = None,
+    timeout: Optional[float] = 300.0,
+) -> Tuple[int, Dict[str, str], "socket.SocketIO"]:
+    """Send one request; return ``(status, headers, response-file)``."""
+    host, port = _split_base_url(base_url)
+    sock = socket.create_connection((host, port), timeout=timeout)
+    head = [f"{method} {path} HTTP/1.1", f"Host: {host}:{port}"]
+    if accept:
+        head.append(f"Accept: {accept}")
+    if body is not None:
+        head.append("Content-Type: application/json")
+        head.append(f"Content-Length: {len(body)}")
+    head.append("Connection: close")
+    sock.sendall("\r\n".join(head).encode() + b"\r\n\r\n" + (body or b""))
+    fh = sock.makefile("rb")
+    sock.close()  # the makefile keeps the connection alive
+
+    status_line = fh.readline().decode("latin-1").strip()
+    parts = status_line.split(None, 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        fh.close()
+        raise ConnectionError(f"malformed status line: {status_line!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = fh.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, fh
+
+
+def get_json(base_url: str, path: str, timeout: Optional[float] = 30.0) -> object:
+    """GET one of the JSON endpoints and decode the body."""
+    status, headers, fh = _request(base_url, "GET", path, timeout=timeout)
+    with fh:
+        length = int(headers.get("content-length", "0") or "0")
+        raw = fh.read(length) if length else fh.read()
+    payload = json.loads(raw.decode("utf-8")) if raw else None
+    if status != 200:
+        raise ServerError(status, payload)
+    return payload
+
+
+def stream_submit(
+    base_url: str,
+    request: Dict[str, object],
+    sse: bool = False,
+    timeout: Optional[float] = None,
+) -> Iterator[Dict[str, object]]:
+    """POST a submit request and yield each event until ``done``.
+
+    Raises :class:`ServerError` on rejection (400/429/503) and
+    ``ConnectionError``/``OSError`` when the server is unreachable.
+    """
+    body = json.dumps(request, sort_keys=True).encode("utf-8")
+    status, _headers, fh = _request(
+        base_url,
+        "POST",
+        "/submit",
+        body=body,
+        accept="text/event-stream" if sse else "application/x-ndjson",
+        timeout=timeout,
+    )
+    with fh:
+        if status != 200:
+            raw = fh.read()
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                payload = raw.decode("utf-8", "replace")
+            raise ServerError(status, payload)
+        for line in fh:
+            text = line.decode("utf-8").strip()
+            if not text:
+                continue
+            if sse:
+                if not text.startswith("data:"):
+                    continue
+                text = text[len("data:"):].strip()
+            yield json.loads(text)
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def _build_request(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.serve.protocol import canonical_experiment
+
+    if args.target == "app":
+        request: Dict[str, object] = {
+            "kind": "app",
+            "app": args.app,
+            "mode": args.mode,
+            "pages": args.pages,
+            "seed": args.seed,
+        }
+        if args.exact:
+            request["exact"] = True
+    elif args.target == "fuzz":
+        request = {
+            "kind": "fuzz",
+            "seed": args.seed,
+            "max_cases": args.max_cases,
+        }
+    else:
+        request = {
+            "kind": "experiment",
+            "name": canonical_experiment(args.target),
+            "quick": bool(args.quick),
+        }
+    request["tenant"] = args.tenant
+    return request
+
+
+def _print_event(event: Dict[str, object], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(event, sort_keys=True), flush=True)
+        return
+    kind = event.get("event")
+    if kind == "accepted":
+        suffix = " (coalesced onto an in-flight job)" if event.get("coalesced") else ""
+        print(f"accepted: job {event.get('job')}{suffix}", flush=True)
+    elif kind == "queued":
+        print(f"queued (depth {event.get('queue_depth')})", flush=True)
+    elif kind == "started":
+        print("started", flush=True)
+    elif kind == "progress":
+        state = "cache" if event.get("cached") else ("ok" if event.get("ok") else "FAIL")
+        print(
+            f"  [{event.get('completed')}] {event.get('task')} {state}",
+            flush=True,
+        )
+    elif kind == "log":
+        print(f"  {event.get('line')}", flush=True)
+    elif kind == "result":
+        rendered = event.get("rendered")
+        if rendered:
+            print(rendered, flush=True)
+        else:
+            print(
+                f"result {event.get('task')}: "
+                f"{event.get('error') or event.get('values')}",
+                flush=True,
+            )
+    elif kind == "sweep":
+        print(
+            f"sweep: {event.get('tasks')} tasks, {event.get('hits')} cache hits, "
+            f"{event.get('failed')} failed",
+            flush=True,
+        )
+    elif kind == "error":
+        print(f"error: {event.get('error')}", file=sys.stderr, flush=True)
+    elif kind == "done":
+        print(
+            f"done: ok={event.get('ok')} wall={event.get('wall_s')}s",
+            flush=True,
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description=(
+            "Submit work to a running sweep server and stream its events. "
+            "TARGET is an experiment name (figure-3 / fig3 / table-4), "
+            "'app' for a single task, 'fuzz' for a bounded fuzz run, or "
+            "'metrics' / 'cache-stats' / 'health' to query the server."
+        ),
+    )
+    parser.add_argument("target", metavar="TARGET")
+    parser.add_argument("--base-url", default=DEFAULT_BASE_URL)
+    parser.add_argument("--tenant", default="default")
+    parser.add_argument("--quick", action="store_true", help="reduced sweeps")
+    parser.add_argument("--app", help="app name (TARGET=app)")
+    parser.add_argument("--pages", type=float, default=8.0)
+    parser.add_argument("--mode", choices=("speedup", "constants"), default="speedup")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--exact", action="store_true", help="no page cap (TARGET=app)")
+    parser.add_argument("--max-cases", type=int, default=50, help="TARGET=fuzz")
+    parser.add_argument("--sse", action="store_true", help="request text/event-stream")
+    parser.add_argument("--json", action="store_true", help="print raw event JSON")
+    args = parser.parse_args(argv)
+
+    queries = {"metrics": "/metrics", "cache-stats": "/cache/stats", "health": "/healthz"}
+    try:
+        if args.target in queries:
+            print(json.dumps(get_json(args.base_url, queries[args.target]), indent=2))
+            return EXIT_OK
+        if args.target == "app" and not args.app:
+            parser.error("TARGET=app requires --app NAME")
+        request = _build_request(args)
+        ok = False
+        for event in stream_submit(args.base_url, request, sse=args.sse):
+            _print_event(event, args.json)
+            if event.get("event") == "done":
+                ok = bool(event.get("ok"))
+        return EXIT_OK if ok else EXIT_FAILED
+    except ServerError as exc:
+        print(f"submit: rejected: {exc}", file=sys.stderr)
+        return EXIT_FAILED
+    except (ConnectionError, socket.timeout, OSError) as exc:
+        print(
+            f"submit: cannot reach server at {args.base_url}: {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_CONNECT
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,696 @@
+"""The asyncio sweep server: ``python -m repro serve``.
+
+Architecture (one process, three layers):
+
+* **Front-end** — ``asyncio.start_server`` accepts connections and
+  parses the minimal HTTP of :mod:`repro.serve.protocol`.  A ``POST
+  /submit`` becomes a :class:`Job`; identical in-flight requests
+  (same :meth:`~repro.serve.protocol.SubmitRequest.coalesce_key`)
+  attach to the existing job instead of creating a new one —
+  **request-level single-flight** — and every subscriber replays the
+  job's buffered events before tailing live ones.
+* **Scheduler** — admitted jobs enter per-tenant FIFOs drained by a
+  :class:`FairQueue` (stride scheduling: tenants advance a virtual
+  clock by ``1/weight`` per dispatched job, so a weight-2 tenant gets
+  twice the throughput under contention).  Backpressure is bounded:
+  when ``max_queue`` jobs are already waiting, new work is rejected
+  with HTTP 429.  At most ``concurrency`` jobs execute at once, each
+  on a worker thread.
+* **Execution** — a job thread scopes its own
+  :class:`~repro.experiments.harness.HarnessSettings` and runs the
+  ordinary harness path; distinct uncached tasks flow through the
+  shared :class:`~repro.serve.scheduler.SingleFlight` table —
+  **task-level single-flight** — then across the existing process pool
+  (``jobs`` workers per sweep) with the PR 4 timeout/retry/isolation
+  machinery, memoizing into ``.repro_cache/`` as usual.
+
+``serve.*`` counters (requests, rejections, both coalescing levels,
+queue depth, per-tenant wait times) live in a
+:class:`~repro.trace.metrics.MetricsRegistry` exposed at ``GET
+/metrics``.  SIGTERM/SIGINT starts a graceful drain: new submits get
+503, queued and running jobs complete, streams finish, then the
+process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import functools
+import json
+import os
+import signal
+import tempfile
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.experiments import harness
+from repro.serve import protocol
+from repro.serve.scheduler import SingleFlight
+from repro.trace.metrics import MetricsRegistry
+
+#: Default TCP port (unassigned range; "AP" on a phone keypad is 27).
+DEFAULT_PORT = 8927
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``python -m repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    #: worker processes per sweep (the harness pool, as on the CLI).
+    jobs: int = 1
+    #: jobs executing at once (worker threads; the process-pool total
+    #: is bounded by ``concurrency * jobs``).
+    concurrency: int = 2
+    #: queued-job bound; submits beyond it are rejected with 429.
+    max_queue: int = 64
+    #: per-tenant scheduling weights (unlisted tenants get 1.0).
+    tenant_weights: Dict[str, float] = field(default_factory=dict)
+    task_timeout_s: Optional[float] = None
+    retries: int = 2
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+
+    def job_settings(self) -> harness.HarnessSettings:
+        """The harness policy each job thread scopes in."""
+        return harness.HarnessSettings(
+            jobs=self.jobs,
+            use_cache=self.use_cache,
+            cache_dir=self.cache_dir,
+            task_timeout_s=self.task_timeout_s,
+            retries=self.retries,
+        )
+
+
+class FairQueue:
+    """Weighted fair queuing over per-tenant FIFOs (stride scheduling).
+
+    Each tenant lane carries a virtual time; :meth:`pop` always drains
+    the lane with the smallest ``(vtime, tenant)`` and advances it by
+    ``1 / weight``, so relative throughput under contention is
+    proportional to weight.  A lane going idle is clamped forward to
+    the global virtual clock on its next push — returning tenants
+    cannot claim credit for the time they were absent.
+
+    Deterministic and synchronous; the server only touches it from the
+    event-loop thread.
+    """
+
+    def __init__(
+        self,
+        weights: Optional[Dict[str, float]] = None,
+        default_weight: float = 1.0,
+    ) -> None:
+        self._weights = dict(weights or {})
+        self._default = default_weight
+        self._queues: Dict[str, Deque[object]] = {}
+        self._vtimes: Dict[str, float] = {}
+        self._vclock = 0.0
+
+    def weight(self, tenant: str) -> float:
+        w = self._weights.get(tenant, self._default)
+        return w if w > 0 else self._default
+
+    def push(self, tenant: str, item: object) -> None:
+        lane = self._queues.get(tenant)
+        if lane is None:
+            lane = self._queues[tenant] = deque()
+        if not lane:
+            self._vtimes[tenant] = max(
+                self._vtimes.get(tenant, 0.0), self._vclock
+            )
+        lane.append(item)
+
+    def pop(self) -> Optional[object]:
+        candidates = [
+            (self._vtimes[tenant], tenant)
+            for tenant, lane in self._queues.items()
+            if lane
+        ]
+        if not candidates:
+            return None
+        _, tenant = min(candidates)
+        item = self._queues[tenant].popleft()
+        self._vclock = self._vtimes[tenant]
+        self._vtimes[tenant] += 1.0 / self.weight(tenant)
+        return item
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._queues.values())
+
+    def depth(self, tenant: str) -> int:
+        lane = self._queues.get(tenant)
+        return len(lane) if lane else 0
+
+
+class Job:
+    """One admitted unit of work plus its broadcast event buffer.
+
+    Events are appended (from any thread) via :meth:`publish`; each
+    subscriber's :meth:`stream` replays the buffer from the start and
+    then tails live events, so a coalesced client joining mid-run sees
+    the identical sequence the first client saw.
+    """
+
+    def __init__(
+        self, key: str, request: protocol.SubmitRequest, loop: asyncio.AbstractEventLoop
+    ) -> None:
+        self.key = key
+        self.request = request
+        self.loop = loop
+        self.events: List[Dict[str, object]] = []
+        self.done = False
+        self.ok: Optional[bool] = None
+        self.enqueued_at = time.monotonic()
+        self.started_at: Optional[float] = None
+        self.subscribers = 1
+        self._update = asyncio.Event()
+
+    def publish(self, event: Dict[str, object], done: bool = False) -> None:
+        """Append one event (thread-safe; marks the job done if asked)."""
+
+        def _apply() -> None:
+            self.events.append(event)
+            if done:
+                self.done = True
+            self._update.set()
+
+        self.loop.call_soon_threadsafe(_apply)
+
+    async def stream(self):
+        """Yield every event from the beginning until the job is done."""
+        index = 0
+        while True:
+            self._update.clear()
+            while index < len(self.events):
+                yield self.events[index]
+                index += 1
+            if self.done:
+                return
+            await self._update.wait()
+
+
+class SweepServer:
+    """The long-running multi-tenant simulation service."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.registry = MetricsRegistry()
+        self.serve_ns = self.registry.namespace("serve")
+        self.singleflight = SingleFlight(
+            metrics=self.registry.namespace("serve.tasks")
+        )
+        self.queue = FairQueue(config.tenant_weights)
+        self.jobs_by_key: Dict[str, Job] = {}
+        self.active = 0
+        self.draining = False
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(1, config.concurrency),
+            thread_name_prefix="repro-serve",
+        )
+        self.wait_hist = self.registry.histogram(
+            "serve.wait_ms", [1.0, 10.0, 100.0, 1000.0, 10000.0]
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher: Optional[asyncio.Future] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._drained: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> List[Tuple[str, int]]:
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port
+        )
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        return self.addresses()
+
+    def addresses(self) -> List[Tuple[str, int]]:
+        assert self._server is not None
+        return [s.getsockname()[:2] for s in self._server.sockets]
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent; signal-handler safe)."""
+        if self.draining:
+            return
+        self.draining = True
+        if self._wake is not None:
+            self._wake.set()
+
+    async def wait_drained(self) -> None:
+        assert self._drained is not None
+        await self._drained.wait()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Streams tail their jobs; drained jobs are done, so give the
+        # writers one scheduling round to flush and close.
+        await asyncio.sleep(0.05)
+        self.executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Dispatch (event-loop thread only)
+
+    async def _dispatch_loop(self) -> None:
+        assert self._wake is not None and self._drained is not None
+        while True:
+            self._wake.clear()
+            while self.active < max(1, self.config.concurrency):
+                job = self.queue.pop()
+                if job is None:
+                    break
+                self._start_job(job)
+            if self.draining and not len(self.queue) and self.active == 0:
+                self._drained.set()
+                return
+            await self._wake.wait()
+
+    def _start_job(self, job: Job) -> None:
+        assert self._loop is not None
+        self.active += 1
+        job.started_at = time.monotonic()
+        wait_ms = (job.started_at - job.enqueued_at) * 1e3
+        self.wait_hist.observe(wait_ms)
+        tenant = job.request.tenant
+        self.serve_ns.counter(f"tenant.{tenant}.wait_ms_total").add(wait_ms)
+        future = self._loop.run_in_executor(
+            self.executor, self._run_job_sync, job
+        )
+        future.add_done_callback(functools.partial(self._job_finished, job))
+
+    def _job_finished(self, job: Job, future: asyncio.Future) -> None:
+        # Runs on the loop thread (run_in_executor future callbacks do).
+        self.active -= 1
+        self.jobs_by_key.pop(job.key, None)
+        exc = future.exception()
+        if exc is not None and not job.done:
+            # Defensive: _run_job_sync publishes its own error events;
+            # anything escaping it must still unblock subscribers.
+            job.publish(
+                {"event": "error", "error": f"{type(exc).__name__}: {exc}"}
+            )
+            job.publish({"event": "done", "ok": False}, done=True)
+            self.serve_ns.counter("jobs_failed").add()
+        assert self._wake is not None
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    # Job execution (worker threads)
+
+    def _run_job_sync(self, job: Job) -> None:
+        t0 = time.perf_counter()
+        request = job.request
+        job.publish(
+            {"event": "started", "job": job.key[:16], "kind": request.kind}
+        )
+        completed = {"n": 0}
+
+        def on_task(result) -> None:
+            completed["n"] += 1
+            job.publish(
+                {
+                    "event": "progress",
+                    "completed": completed["n"],
+                    "task": f"{result.task.app_name}@{result.task.n_pages:g}",
+                    "mode": result.task.mode,
+                    "cached": result.cached,
+                    "ok": result.ok,
+                }
+            )
+
+        ok = False
+        try:
+            with harness.settings_scope(self.config.job_settings()), \
+                    harness.coalesce_scope(self.singleflight), \
+                    harness.progress_scope(on_task):
+                ok = self._execute_request(request, job)
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            job.publish(
+                {"event": "error", "error": f"{type(exc).__name__}: {exc}"}
+            )
+            self.serve_ns.counter("jobs_failed").add()
+        job.publish(
+            {
+                "event": "done",
+                "ok": ok,
+                "wall_s": round(time.perf_counter() - t0, 6),
+                "tasks_completed": completed["n"],
+            },
+            done=True,
+        )
+
+    def _execute_request(self, request: protocol.SubmitRequest, job: Job) -> bool:
+        if request.kind in ("app", "tasks"):
+            tasks = protocol.build_tasks(request)
+            outcome = harness.run_sweep(tasks)
+            for task, result in zip(tasks, outcome):
+                job.publish(
+                    {
+                        "event": "result",
+                        "task": f"{task.app_name}@{task.n_pages:g}",
+                        "mode": task.mode,
+                        "values": result.values,
+                        "cached": result.cached,
+                        "error": result.error,
+                    }
+                )
+            job.publish(
+                {
+                    "event": "sweep",
+                    "tasks": outcome.stats.tasks,
+                    "hits": outcome.stats.hits,
+                    "misses": outcome.stats.misses,
+                    "retried": outcome.stats.retried,
+                    "failed": outcome.stats.failed,
+                }
+            )
+            return outcome.complete
+
+        if request.kind == "experiment":
+            from repro.experiments import report as report_mod
+
+            name = str(request.spec["name"])
+            runner = report_mod.EXPERIMENTS[name]
+            if request.spec.get("quick") and name in report_mod.QUICK_OVERRIDES:
+                runner = report_mod.QUICK_OVERRIDES[name]
+            result = runner()
+            job.publish(
+                {
+                    "event": "result",
+                    "experiment": name,
+                    "title": result.title,
+                    "columns": result.columns,
+                    "rows": result.rows,
+                    "notes": result.notes,
+                    "rendered": result.render(),
+                }
+            )
+            return True
+
+        # fuzz — bounded, seeded; deterministic via max_cases.
+        from repro.workloads import run_fuzz
+
+        out_dir = os.path.join(
+            tempfile.gettempdir(), f"repro-serve-fuzz-{job.key[:12]}"
+        )
+        report = run_fuzz(
+            seed=int(request.spec["seed"]),
+            time_box_s=1e9,  # max_cases is the bound; keep the run deterministic
+            max_cases=int(request.spec["max_cases"]),
+            apps=request.spec.get("apps"),
+            tolerance_scale=float(request.spec["tolerance_scale"]),
+            out_dir=out_dir,
+            log=lambda msg: job.publish({"event": "log", "line": str(msg)}),
+        )
+        job.publish(
+            {
+                "event": "result",
+                "findings": len(report.findings),
+                "rendered": report.render(),
+                "out_dir": out_dir,
+            }
+        )
+        return not report.findings
+
+    # ------------------------------------------------------------------
+    # HTTP handling (event-loop thread)
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target, headers, body = await protocol.read_request(reader)
+            except protocol.ProtocolError as exc:
+                writer.write(protocol.json_response(400, {"error": str(exc)}))
+                await writer.drain()
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            await self._route(method, target, headers, body, writer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client hung up mid-stream; the job keeps running
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        path = target.split("?", 1)[0]
+        if method == "POST" and path == "/submit":
+            await self._handle_submit(headers, body, writer)
+            return
+        if method != "GET":
+            writer.write(
+                protocol.json_response(405, {"error": f"{method} unsupported"})
+            )
+        elif path == "/healthz":
+            writer.write(
+                protocol.json_response(
+                    200,
+                    {
+                        "ok": True,
+                        "draining": self.draining,
+                        "active_jobs": self.active,
+                        "queued_jobs": len(self.queue),
+                    },
+                )
+            )
+        elif path == "/metrics":
+            writer.write(protocol.json_response(200, self.metrics_snapshot()))
+        elif path == "/cache/stats":
+            cache = harness.ResultCache(
+                self.config.job_settings().resolve_cache_dir()
+            )
+            writer.write(protocol.json_response(200, cache.stats()))
+        elif path == "/":
+            writer.write(
+                protocol.json_response(
+                    200,
+                    {
+                        "service": "repro sweep server",
+                        "endpoints": [
+                            "POST /submit",
+                            "GET /metrics",
+                            "GET /cache/stats",
+                            "GET /healthz",
+                        ],
+                        "kinds": list(protocol.VALID_KINDS),
+                    },
+                )
+            )
+        else:
+            writer.write(protocol.json_response(404, {"error": f"no route {path}"}))
+        await writer.drain()
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """The registry with the point-in-time gauges refreshed."""
+        self.serve_ns.counter("queue_depth").set(float(len(self.queue)))
+        self.serve_ns.counter("active_jobs").set(float(self.active))
+        self.serve_ns.counter("inflight_tasks").set(
+            float(len(self.singleflight.inflight_keys()))
+        )
+        return self.registry.as_dict()
+
+    async def _handle_submit(
+        self, headers: Dict[str, str], body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = protocol.parse_submit(json.loads(body.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError) as exc:
+            writer.write(
+                protocol.json_response(400, {"error": f"invalid JSON body: {exc}"})
+            )
+            await writer.drain()
+            return
+        except protocol.ProtocolError as exc:
+            writer.write(protocol.json_response(400, {"error": str(exc)}))
+            await writer.drain()
+            return
+
+        self.serve_ns.counter("requests_total").add()
+        self.serve_ns.counter(f"tenant.{request.tenant}.requests").add()
+
+        if self.draining:
+            writer.write(
+                protocol.json_response(
+                    503,
+                    {"error": "server is draining; not accepting new work"},
+                    ("Retry-After: 5",),
+                )
+            )
+            await writer.drain()
+            return
+
+        key = request.coalesce_key()
+        job = self.jobs_by_key.get(key)
+        coalesced = job is not None
+        if job is None:
+            if len(self.queue) >= self.config.max_queue:
+                self.serve_ns.counter("rejected_total").add()
+                writer.write(
+                    protocol.json_response(
+                        429,
+                        {
+                            "error": "queue full",
+                            "max_queue": self.config.max_queue,
+                        },
+                        ("Retry-After: 1",),
+                    )
+                )
+                await writer.drain()
+                return
+            assert self._loop is not None and self._wake is not None
+            job = Job(key, request, self._loop)
+            self.jobs_by_key[key] = job
+            self.queue.push(request.tenant, job)
+            self.serve_ns.counter("jobs_total").add()
+            job.publish(
+                {
+                    "event": "queued",
+                    "job": key[:16],
+                    "tenant": request.tenant,
+                    "queue_depth": len(self.queue),
+                }
+            )
+            self._wake.set()
+        else:
+            job.subscribers += 1
+            self.serve_ns.counter("coalesce_hits").add()
+
+        sse = "text/event-stream" in headers.get("accept", "")
+        writer.write(protocol.stream_head(sse))
+        writer.write(
+            protocol.encode_event(
+                {
+                    "event": "accepted",
+                    "job": key[:16],
+                    "kind": request.kind,
+                    "tenant": request.tenant,
+                    "coalesced": coalesced,
+                },
+                sse,
+            )
+        )
+        await writer.drain()
+        async for event in job.stream():
+            writer.write(protocol.encode_event(event, sse))
+            await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Entry point
+
+
+async def amain(config: ServeConfig) -> int:
+    server = SweepServer(config)
+    await server.start()
+    host, port = server.addresses()[0]
+    print(
+        f"serve: listening on http://{host}:{port} "
+        f"(concurrency={config.concurrency}, jobs={config.jobs}, "
+        f"max-queue={config.max_queue})",
+        flush=True,
+    )
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, server.request_shutdown)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    await server.wait_drained()
+    await server.close()
+    print("serve: queue drained, shutting down", flush=True)
+    return 0
+
+
+def _parse_weights(pairs: List[str]) -> Dict[str, float]:
+    weights: Dict[str, float] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        try:
+            weight = float(value)
+        except ValueError:
+            weight = 0.0
+        if not sep or not name or weight <= 0:
+            raise SystemExit(
+                f"--tenant-weight expects NAME=WEIGHT with WEIGHT > 0, got {pair!r}"
+            )
+        weights[name] = weight
+    return weights
+
+
+def build_config(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        concurrency=args.concurrency,
+        max_queue=args.max_queue,
+        tenant_weights=_parse_weights(args.tenant_weight or []),
+        task_timeout_s=args.task_timeout,
+        retries=args.retries if args.retries is not None else 2,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per sweep (the harness pool)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=2, metavar="N",
+        help="jobs executing at once (worker threads)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="queued-job bound; beyond it submits get HTTP 429",
+    )
+    parser.add_argument(
+        "--tenant-weight", action="append", metavar="NAME=W",
+        help="fair-queuing weight for a tenant (repeatable; default 1)",
+    )
+    parser.add_argument("--task-timeout", type=float, default=None, metavar="S")
+    parser.add_argument("--retries", type=int, default=None, metavar="N")
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description=__doc__
+    )
+    add_serve_arguments(parser)
+    args = parser.parse_args(argv)
+    return asyncio.run(amain(build_config(args)))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

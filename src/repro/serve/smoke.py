@@ -1,0 +1,170 @@
+"""End-to-end serve smoke: ``python -m repro.serve.smoke``.
+
+Boots a real server subprocess on an ephemeral port with a fresh
+cache directory, has three concurrent clients submit the *same*
+uncached figure request, and asserts the single-flight contract:
+
+* exactly one underlying job ran (``serve.jobs_total == 1``);
+* the other two clients coalesced (``serve.coalesce_hits == 2``);
+* all three streamed the identical result;
+* SIGTERM drains the queue and exits 0.
+
+Exit status 0 on success; any broken invariant raises and exits
+non-zero.  Used by the ``serve-smoke`` CI job and runnable locally.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.serve import client
+
+#: The shared request — a quick figure, identical across clients so
+#: the server must coalesce it.
+FIGURE_REQUEST = {"kind": "experiment", "name": "figure-3", "quick": True}
+
+BOOT_TIMEOUT_S = 30.0
+STREAM_TIMEOUT_S = 300.0
+
+
+def start_server(cache_dir: str) -> "subprocess.Popen[str]":
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--jobs", "1"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def wait_for_listen(proc: "subprocess.Popen[str]") -> str:
+    """Read stdout until the listening line; return the base URL."""
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"server exited before listening (rc={proc.poll()})"
+            )
+        sys.stdout.write(f"[server] {line}")
+        if line.startswith("serve: listening on "):
+            return line.split("on ", 1)[1].split()[0]
+    raise AssertionError("server did not print its listening line in time")
+
+
+def drain_server_output(proc: "subprocess.Popen[str]") -> List[str]:
+    assert proc.stdout is not None
+    lines = proc.stdout.read().splitlines()
+    for line in lines:
+        sys.stdout.write(f"[server] {line}\n")
+    return lines
+
+
+def submit_and_collect(
+    base_url: str, out: Dict[int, List[Dict[str, object]]], index: int
+) -> None:
+    events = list(
+        client.stream_submit(
+            base_url,
+            dict(FIGURE_REQUEST, tenant=f"tenant-{index}"),
+            timeout=STREAM_TIMEOUT_S,
+        )
+    )
+    out[index] = events
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as cache_dir:
+        proc = start_server(cache_dir)
+        try:
+            base_url = wait_for_listen(proc)
+
+            # --- three concurrent clients, one shared request -------
+            results: Dict[int, List[Dict[str, object]]] = {}
+            threads = [
+                threading.Thread(
+                    target=submit_and_collect, args=(base_url, results, i)
+                )
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(STREAM_TIMEOUT_S)
+            assert len(results) == 3, f"only {len(results)}/3 clients finished"
+
+            # --- every client streamed to a successful 'done' -------
+            for i, events in sorted(results.items()):
+                kinds = [e.get("event") for e in events]
+                assert kinds[0] == "accepted", f"client {i}: {kinds[:3]}"
+                done = events[-1]
+                assert done.get("event") == "done" and done.get("ok") is True, (
+                    f"client {i} did not finish ok: {done}"
+                )
+
+            # --- identical results across all three -----------------
+            def result_events(events: List[Dict[str, object]]) -> List[str]:
+                return [
+                    json.dumps(e, sort_keys=True)
+                    for e in events
+                    if e.get("event") == "result"
+                ]
+
+            reference = result_events(results[0])
+            assert reference, "no result events streamed"
+            for i in (1, 2):
+                assert result_events(results[i]) == reference, (
+                    f"client {i} streamed different results"
+                )
+            coalesced = [
+                bool(events[0].get("coalesced")) for _, events in sorted(results.items())
+            ]
+            assert sorted(coalesced) == [False, True, True], (
+                f"expected exactly one non-coalesced accept, got {coalesced}"
+            )
+
+            # --- exactly one underlying computation -----------------
+            metrics = client.get_json(base_url, "/metrics")
+            assert metrics["serve.jobs_total"] == 1, metrics
+            assert metrics["serve.coalesce_hits"] == 2, metrics
+            assert metrics["serve.requests_total"] == 3, metrics
+
+            # --- cache introspection over HTTP ----------------------
+            cache_stats = client.get_json(base_url, "/cache/stats")
+            assert cache_stats["entries"] > 0, cache_stats
+            print(
+                f"smoke: cache has {cache_stats['entries']} entries "
+                f"after the shared run"
+            )
+
+            # --- graceful SIGTERM drain -----------------------------
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=60)
+            lines = drain_server_output(proc)
+            assert rc == 0, f"server exited {rc} on SIGTERM"
+            assert any("queue drained" in line for line in lines), (
+                "server did not report a drained queue"
+            )
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        print("smoke: single-flight serve smoke passed")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

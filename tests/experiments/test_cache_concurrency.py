@@ -1,0 +1,196 @@
+"""Concurrent ResultCache.store safety (the O_EXCL tmp-name fix).
+
+Before the fix, every store of a key used the *same* ``.tmp.<pid>``
+sibling name, so two threads of one process (exactly the serve server's
+worker situation) could truncate each other's half-written payload and
+rename garbage into the cache.  These tests pin the new contract:
+every concurrent writer claims a distinct ``O_EXCL`` tmp file, the
+final entry is always one complete payload, and no tmp litter is left
+behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.experiments import harness
+
+
+def _result(value: float) -> harness.TaskResult:
+    task = harness.speedup_task("array-insert", 2.0)
+    return harness.TaskResult(
+        task=task, values={"speedup": value}, wall_s=0.01
+    )
+
+
+class TestConcurrentStore:
+    def test_many_threads_same_key_leave_one_valid_entry(self, tmp_path):
+        cache = harness.ResultCache(tmp_path)
+        n = 16
+        barrier = threading.Barrier(n)
+        errors = []
+
+        def store(i: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(20):
+                    cache.store(_result(float(i)))
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=store, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+
+        entries = cache.entries()
+        assert len(entries) == 1
+        # Whoever won, the entry is one complete, valid payload.
+        payload = json.loads(entries[0].read_text())
+        assert payload["values"]["speedup"] in {float(i) for i in range(n)}
+        loaded = cache.load(harness.speedup_task("array-insert", 2.0))
+        assert loaded is not None and loaded.cached
+
+    def test_concurrent_writers_never_share_a_tmp_name(
+        self, tmp_path, monkeypatch
+    ):
+        cache = harness.ResultCache(tmp_path)
+        seen = []
+        lock = threading.Lock()
+        real_replace = os.replace
+
+        def recording_replace(src, dst):
+            with lock:
+                seen.append(str(src))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", recording_replace)
+        n = 8
+        barrier = threading.Barrier(n)
+        threads = [
+            threading.Thread(
+                target=lambda i=i: (
+                    barrier.wait(timeout=30),
+                    cache.store(_result(float(i))),
+                )
+            )
+            for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert len(seen) == n
+        assert len(set(seen)) == n, f"tmp names collided: {seen}"
+
+    def test_claim_tmp_skips_existing_names(self, tmp_path, monkeypatch):
+        import itertools
+
+        cache = harness.ResultCache(tmp_path)
+        target = tmp_path / "ab" / "abcdef.json"
+        target.parent.mkdir(parents=True)
+        # Restart the process-local counter and squat on its first name:
+        # a leftover from a killed writer (or a pid-reuse collision) must
+        # be skipped, never truncated.
+        monkeypatch.setattr(
+            harness.ResultCache, "_tmp_counter", itertools.count()
+        )
+        squatted = target.with_suffix(f".tmp.{os.getpid()}.0")
+        squatted.write_text("do not truncate me")
+        fd, tmp = cache._claim_tmp(target)
+        try:
+            assert tmp != squatted
+            assert tmp.name.endswith(".1")
+            assert squatted.read_text() == "do not truncate me"
+        finally:
+            os.close(fd)
+
+    def test_no_tmp_litter_after_stores(self, tmp_path):
+        cache = harness.ResultCache(tmp_path)
+        for i in range(5):
+            cache.store(_result(float(i)))
+        litter = list(tmp_path.glob("*/*.tmp.*"))
+        assert litter == []
+
+    def test_failed_results_are_never_stored(self, tmp_path):
+        cache = harness.ResultCache(tmp_path)
+        bad = _result(1.0)
+        bad.error = "it broke"
+        cache.store(bad)
+        assert cache.entries() == []
+
+
+class TestStatsAndPrune:
+    def test_stats_counts_entries_and_schemas(self, tmp_path):
+        cache = harness.ResultCache(tmp_path)
+        stats = cache.stats()
+        assert stats["entries"] == 0 and stats["total_bytes"] == 0
+        assert stats["oldest_mtime"] is None
+
+        cache.store(_result(1.0))
+        other = harness.TaskResult(
+            task=harness.speedup_task("array-find", 2.0),
+            values={"speedup": 2.0},
+            wall_s=0.01,
+        )
+        cache.store(other)
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["total_bytes"] > 0
+        assert stats["by_schema"] == {str(harness.CACHE_SCHEMA): 2}
+        assert stats["oldest_mtime"] <= stats["newest_mtime"]
+
+    def test_stats_buckets_corrupt_entries(self, tmp_path):
+        cache = harness.ResultCache(tmp_path)
+        cache.store(_result(1.0))
+        entry = cache.entries()[0]
+        bad = entry.parent / "deadbeef.json"
+        bad.write_text("{ not json")
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["by_schema"]["corrupt"] == 1
+
+    def test_prune_by_age(self, tmp_path):
+        cache = harness.ResultCache(tmp_path)
+        cache.store(_result(1.0))
+        entry = cache.entries()[0]
+        # Nothing is old enough yet.
+        assert cache.prune(days=1.0) == 0
+        assert cache.entries()
+        # Age the entry two days into the past; prune catches it.
+        old = os.path.getmtime(entry) - 2 * 86400
+        os.utime(entry, (old, old))
+        assert cache.prune(days=1.0) == 1
+        assert cache.entries() == []
+
+    def test_prune_sweeps_stale_tmp_litter(self, tmp_path):
+        cache = harness.ResultCache(tmp_path)
+        cache.store(_result(1.0))
+        litter = cache.entries()[0].parent / "feedface.tmp.12345.0"
+        litter.write_text("half a payload")
+        old = os.path.getmtime(litter) - 2 * 86400
+        os.utime(litter, (old, old))
+        removed = cache.prune(days=1.0)
+        assert removed == 0  # litter never counts as an entry
+        assert not litter.exists()
+        assert len(cache.entries()) == 1  # the fresh entry survives
+
+    def test_prune_rejects_negative_days(self, tmp_path):
+        cache = harness.ResultCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.prune(days=-1.0)
+
+    def test_prune_zero_days_clears_everything(self, tmp_path):
+        cache = harness.ResultCache(tmp_path)
+        cache.store(_result(1.0))
+        entry = cache.entries()[0]
+        old = os.path.getmtime(entry) - 10
+        os.utime(entry, (old, old))
+        assert cache.prune(days=0.0) == 1
+        assert cache.entries() == []

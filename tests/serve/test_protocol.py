@@ -1,0 +1,213 @@
+"""Wire-format unit tests: parsing, validation, coalesce keys, framing."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments import harness
+from repro.serve import protocol
+
+
+def _parse(payload):
+    return protocol.parse_submit(payload)
+
+
+class TestParseSubmit:
+    def test_app_request_normalizes(self):
+        request = _parse(
+            {"kind": "app", "app": "array-insert", "pages": 4, "tenant": "t1"}
+        )
+        assert request.kind == "app" and request.tenant == "t1"
+        assert request.spec["app"] == "array-insert"
+        assert request.spec["pages"] == 4.0
+        assert request.spec["mode"] == "speedup"
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(protocol.ProtocolError, match="kind"):
+            _parse({"kind": "nonsense"})
+
+    def test_rejects_non_object_body(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON object"):
+            _parse([1, 2, 3])
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown app"):
+            _parse({"kind": "app", "app": "no-such-app"})
+
+    def test_rejects_bad_mode_and_pages(self):
+        with pytest.raises(protocol.ProtocolError, match="mode"):
+            _parse({"kind": "app", "app": "array-insert", "mode": "turbo"})
+        with pytest.raises(protocol.ProtocolError, match="positive"):
+            _parse({"kind": "app", "app": "array-insert", "pages": -2})
+
+    def test_rejects_bad_tenant(self):
+        with pytest.raises(protocol.ProtocolError, match="tenant"):
+            _parse({"kind": "app", "app": "array-insert", "tenant": ""})
+        with pytest.raises(protocol.ProtocolError, match="tenant"):
+            _parse({"kind": "app", "app": "array-insert", "tenant": "x" * 65})
+
+    def test_tasks_request_bounds(self):
+        with pytest.raises(protocol.ProtocolError, match="non-empty"):
+            _parse({"kind": "tasks", "tasks": []})
+        too_many = [{"app": "array-insert"}] * (
+            protocol.MAX_TASKS_PER_REQUEST + 1
+        )
+        with pytest.raises(protocol.ProtocolError, match="too many tasks"):
+            _parse({"kind": "tasks", "tasks": too_many})
+
+    def test_tasks_error_names_offending_index(self):
+        with pytest.raises(protocol.ProtocolError, match=r"tasks\[1\]"):
+            _parse(
+                {
+                    "kind": "tasks",
+                    "tasks": [{"app": "array-insert"}, {"app": "bogus"}],
+                }
+            )
+
+    def test_experiment_aliases(self):
+        assert _parse({"kind": "experiment", "name": "fig3"}).spec["name"] == (
+            "figure-3"
+        )
+        assert _parse({"kind": "experiment", "name": "table4"}).spec[
+            "name"
+        ] == "table-4"
+        assert _parse({"kind": "experiment", "name": "figure-3"}).spec[
+            "name"
+        ] == "figure-3"
+        with pytest.raises(protocol.ProtocolError, match="unknown experiment"):
+            _parse({"kind": "experiment", "name": "figure-99"})
+
+    def test_fuzz_requires_bounded_cases(self):
+        with pytest.raises(protocol.ProtocolError, match="max_cases"):
+            _parse({"kind": "fuzz"})
+        with pytest.raises(protocol.ProtocolError, match="max_cases"):
+            _parse({"kind": "fuzz", "max_cases": 0})
+        with pytest.raises(protocol.ProtocolError, match="max_cases"):
+            _parse({"kind": "fuzz", "max_cases": protocol.MAX_FUZZ_CASES + 1})
+        request = _parse({"kind": "fuzz", "max_cases": 10, "seed": 3})
+        assert request.spec == {
+            "seed": 3,
+            "max_cases": 10,
+            "tolerance_scale": 1.0,
+        }
+
+    def test_fuzz_rejects_unknown_apps(self):
+        with pytest.raises(protocol.ProtocolError, match="fuzz apps"):
+            _parse({"kind": "fuzz", "max_cases": 5, "apps": ["bogus"]})
+
+
+class TestCoalesceKey:
+    def test_tenant_independent(self):
+        a = _parse({"kind": "app", "app": "array-insert", "tenant": "alice"})
+        b = _parse({"kind": "app", "app": "array-insert", "tenant": "bob"})
+        assert a.coalesce_key() == b.coalesce_key()
+
+    def test_spec_sensitive(self):
+        a = _parse({"kind": "app", "app": "array-insert", "pages": 4})
+        b = _parse({"kind": "app", "app": "array-insert", "pages": 8})
+        assert a.coalesce_key() != b.coalesce_key()
+
+    def test_kind_sensitive(self):
+        a = _parse({"kind": "experiment", "name": "fig3"})
+        b = _parse({"kind": "experiment", "name": "fig3", "quick": True})
+        assert a.coalesce_key() != b.coalesce_key()
+
+    def test_default_fields_do_not_change_the_key(self):
+        explicit = _parse(
+            {"kind": "app", "app": "array-insert", "mode": "speedup",
+             "pages": 8.0, "seed": 0}
+        )
+        implicit = _parse({"kind": "app", "app": "array-insert"})
+        assert explicit.coalesce_key() == implicit.coalesce_key()
+
+
+class TestBuildTasks:
+    def test_app_roundtrip(self):
+        request = _parse(
+            {"kind": "app", "app": "array-insert", "pages": 4, "seed": 7}
+        )
+        (task,) = protocol.build_tasks(request)
+        assert task == harness.speedup_task("array-insert", 4.0, seed=7)
+
+    def test_constants_mode(self):
+        request = _parse(
+            {"kind": "app", "app": "array-insert", "mode": "constants"}
+        )
+        (task,) = protocol.build_tasks(request)
+        assert task.mode == "constants"
+
+    def test_tasks_order_preserved(self):
+        request = _parse(
+            {
+                "kind": "tasks",
+                "tasks": [
+                    {"app": "array-find", "pages": 2},
+                    {"app": "array-insert", "pages": 4},
+                ],
+            }
+        )
+        tasks = protocol.build_tasks(request)
+        assert [t.app_name for t in tasks] == ["array-find", "array-insert"]
+
+
+class TestHttpPlumbing:
+    def _read(self, raw: bytes, **kwargs):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            return await protocol.read_request(reader, **kwargs)
+
+        return asyncio.run(go())
+
+    def test_parses_post_with_body(self):
+        body = b'{"kind": "app"}'
+        raw = (
+            b"POST /submit HTTP/1.1\r\n"
+            b"Host: x\r\nContent-Length: %d\r\n"
+            b"Accept: text/event-stream\r\n\r\n" % len(body)
+        ) + body
+        method, target, headers, got = self._read(raw)
+        assert method == "POST" and target == "/submit"
+        assert headers["accept"] == "text/event-stream"
+        assert got == body
+
+    def test_parses_get_without_body(self):
+        method, target, headers, body = self._read(
+            b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        assert method == "GET" and target == "/metrics" and body == b""
+
+    def test_rejects_malformed_request_line(self):
+        with pytest.raises(protocol.ProtocolError, match="request line"):
+            self._read(b"NOT-HTTP\r\n\r\n")
+
+    def test_rejects_oversized_body(self):
+        with pytest.raises(protocol.ProtocolError, match="too large"):
+            self._read(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100,
+                max_body=10,
+            )
+
+    def test_immediate_eof_is_connection_reset(self):
+        with pytest.raises(ConnectionResetError):
+            self._read(b"")
+
+    def test_json_response_framing(self):
+        raw = protocol.json_response(429, {"error": "queue full"})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 429 Too Many Requests"
+        assert f"Content-Length: {len(body)}" in lines
+        assert json.loads(body) == {"error": "queue full"}
+
+    def test_event_framing(self):
+        event = {"event": "done", "ok": True}
+        ndjson = protocol.encode_event(event)
+        assert ndjson.endswith(b"\n") and json.loads(ndjson) == event
+        sse = protocol.encode_event(event, sse=True)
+        assert sse.startswith(b"data: ") and sse.endswith(b"\n\n")
+        assert json.loads(sse[len(b"data: "):]) == event

@@ -1,0 +1,194 @@
+"""SingleFlight: one computation per key, many waiters, exact counters."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.experiments import harness
+from repro.serve.scheduler import SingleFlight
+from repro.trace.metrics import MetricsRegistry
+
+
+def _task(pages: float = 4.0) -> harness.SweepTask:
+    return harness.speedup_task("array-insert", pages)
+
+
+class StubScheduler:
+    """Counts execute_distinct calls; optionally blocks until released."""
+
+    def __init__(self, gate: threading.Event = None, fail: bool = False):
+        self.calls = []
+        self.gate = gate
+        self.fail = fail
+        self._lock = threading.Lock()
+
+    def execute_distinct(self, tasks):
+        with self._lock:
+            self.calls.append(list(tasks))
+        if self.gate is not None:
+            assert self.gate.wait(timeout=30)
+        if self.fail:
+            raise RuntimeError("computation exploded")
+        return [
+            harness.TaskResult(task=t, values={"v": t.n_pages}, wall_s=0.01)
+            for t in tasks
+        ]
+
+
+def _registry():
+    registry = MetricsRegistry()
+    return registry, registry.namespace("tasks")
+
+
+class TestSingleFlight:
+    def test_single_caller_computes(self):
+        registry, ns = _registry()
+        flight = SingleFlight(metrics=ns)
+        scheduler = StubScheduler()
+        results = flight([_task()], scheduler)
+        assert len(results) == 1 and results[0].values == {"v": 4.0}
+        assert len(scheduler.calls) == 1
+        assert registry.as_dict()["tasks.computed"] == 1
+        assert flight.inflight_keys() == []
+
+    def test_concurrent_same_key_computes_once(self):
+        registry, ns = _registry()
+        flight = SingleFlight(metrics=ns)
+        release = threading.Event()
+        scheduler = StubScheduler(gate=release)
+        results = {}
+
+        def worker(i):
+            results[i] = flight([_task()], scheduler)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        # Every thread has either claimed the flight or registered as a
+        # waiter once the counters sum to 4 (counted under the lock).
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            m = registry.as_dict()
+            if m.get("tasks.computed", 0) + m.get("tasks.coalesce_hits", 0) == 4:
+                break
+            time.sleep(0.005)
+        release.set()
+        for t in threads:
+            t.join(timeout=30)
+
+        assert len(scheduler.calls) == 1, "exactly one underlying computation"
+        metrics = registry.as_dict()
+        assert metrics["tasks.computed"] == 1
+        assert metrics["tasks.coalesce_hits"] == 3
+        values = [results[i][0].values for i in range(4)]
+        assert values == [{"v": 4.0}] * 4
+        shared = results[0][0]
+        assert all(results[i][0] is shared for i in range(4))
+        assert flight.inflight_keys() == []
+
+    def test_distinct_keys_do_not_coalesce(self):
+        registry, ns = _registry()
+        flight = SingleFlight(metrics=ns)
+        scheduler = StubScheduler()
+        results = flight([_task(2.0), _task(8.0)], scheduler)
+        assert [r.values for r in results] == [{"v": 2.0}, {"v": 8.0}]
+        assert registry.as_dict()["tasks.computed"] == 2
+        assert registry.as_dict().get("tasks.coalesce_hits", 0) == 0
+
+    def test_failed_computation_still_wakes_waiters(self):
+        registry, ns = _registry()
+        flight = SingleFlight(metrics=ns)
+        release = threading.Event()
+        owner = StubScheduler(gate=release, fail=True)
+        waiter_scheduler = StubScheduler()
+        owner_error = []
+        waiter_result = []
+
+        def run_owner():
+            try:
+                flight([_task()], owner)
+            except RuntimeError as exc:
+                owner_error.append(exc)
+
+        def run_waiter():
+            waiter_result.extend(flight([_task()], waiter_scheduler))
+
+        t_owner = threading.Thread(target=run_owner)
+        t_owner.start()
+        deadline = time.monotonic() + 30
+        while not owner.calls and time.monotonic() < deadline:
+            time.sleep(0.005)
+        t_waiter = threading.Thread(target=run_waiter)
+        t_waiter.start()
+        # Wait until the waiter registered (coalesce hit) or, having
+        # arrived after unpublish, started its own computation.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            hits = registry.as_dict().get("tasks.coalesce_hits", 0)
+            if hits or waiter_scheduler.calls:
+                break
+            time.sleep(0.005)
+        release.set()
+        t_owner.join(timeout=30)
+        t_waiter.join(timeout=30)
+
+        assert owner_error, "the owning sweep sees its own exception"
+        assert len(waiter_result) == 1
+        result = waiter_result[0]
+        # The waiter either coalesced onto the aborted flight (error
+        # result) or arrived after unpublish and computed for itself.
+        if waiter_scheduler.calls:
+            assert result.ok
+        else:
+            assert result.error == "computation aborted before completing"
+        assert flight.inflight_keys() == []
+
+    def test_wait_timeout_produces_error_result(self):
+        flight = SingleFlight(wait_timeout_s=0.05)
+        release = threading.Event()
+        owner = StubScheduler(gate=release)
+
+        t_owner = threading.Thread(target=lambda: flight([_task()], owner))
+        t_owner.start()
+        deadline = time.monotonic() + 30
+        while not owner.calls and time.monotonic() < deadline:
+            time.sleep(0.005)
+
+        waiter = StubScheduler()
+        results = flight([_task()], waiter)
+        assert results[0].error is not None
+        assert "timed out waiting" in results[0].error
+        release.set()
+        t_owner.join(timeout=30)
+
+    def test_mixed_fresh_and_waiting_keys(self):
+        """One call can own some keys while waiting on others."""
+        flight = SingleFlight()
+        release = threading.Event()
+        owner = StubScheduler(gate=release)
+
+        t_owner = threading.Thread(target=lambda: flight([_task(2.0)], owner))
+        t_owner.start()
+        deadline = time.monotonic() + 30
+        while not owner.calls and time.monotonic() < deadline:
+            time.sleep(0.005)
+
+        mixed_results = []
+        mixed = StubScheduler()
+
+        def run_mixed():
+            mixed_results.extend(flight([_task(2.0), _task(8.0)], mixed))
+
+        t_mixed = threading.Thread(target=run_mixed)
+        t_mixed.start()
+        deadline = time.monotonic() + 30
+        while not mixed.calls and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert mixed.calls == [[_task(8.0)]]  # only the un-owned key
+        release.set()
+        t_owner.join(timeout=30)
+        t_mixed.join(timeout=30)
+        assert [r.values for r in mixed_results] == [{"v": 2.0}, {"v": 8.0}]

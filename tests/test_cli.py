@@ -147,3 +147,56 @@ class TestSweepCLI:
         capsys.readouterr()
         assert main(["cache"]) == 0
         assert "entries:   0" in capsys.readouterr().out
+
+    def test_cache_stats_action(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["fig8", "--quick"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "entries:   0" not in out
+        assert "schema 3:" in out
+        assert "oldest:" in out and "newest:" in out
+
+    def test_cache_clear_action(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["fig8", "--quick"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache"]) == 0
+        assert "entries:   0" in capsys.readouterr().out
+
+    def test_cache_prune_action(self, capsys, monkeypatch, tmp_path):
+        import os
+
+        from repro.experiments import harness
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["fig8", "--quick"]) == 0
+        capsys.readouterr()
+        # Fresh entries survive a prune...
+        assert main(["cache", "prune", "--days", "7"]) == 0
+        assert "pruned 0 entries" in capsys.readouterr().out
+        # ...but aged ones are dropped.
+        cache = harness.ResultCache(tmp_path / "cache")
+        for entry in cache.entries():
+            old = os.path.getmtime(entry) - 8 * 86400
+            os.utime(entry, (old, old))
+        assert main(["cache", "prune", "--days", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out and "pruned 0 entries" not in out
+        assert main(["cache"]) == 0
+        assert "entries:   0" in capsys.readouterr().out
+
+    def test_submit_without_server_exits_seven(self, capsys):
+        from repro.serve.client import EXIT_CONNECT
+
+        # Port 9 (discard) is never a sweep server; connection fails fast.
+        assert (
+            main(
+                ["submit", "health", "--base-url", "http://127.0.0.1:9"]
+            )
+            == EXIT_CONNECT
+        )
+        assert "cannot reach server" in capsys.readouterr().err
