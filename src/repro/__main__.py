@@ -240,6 +240,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"pruned {removed} entries older than {args.days:g} days "
             f"from {cache.root}"
         )
+        jp = cache.last_journal_prune
+        if jp.get("journals") or jp.get("tmp"):
+            print(
+                f"pruned {jp['journals']} completed job journal(s) and "
+                f"{jp['tmp']} orphaned journal tmp file(s)"
+            )
         return 0
     if action == "stats":
         stats = cache.stats()
@@ -248,6 +254,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"size:      {stats['total_bytes'] / 1024:.1f} KiB")
         for schema, count in sorted(stats["by_schema"].items()):
             print(f"schema {schema}:  {count}")
+        jobs = stats["jobs"]
+        print(
+            f"journals:  {jobs['journals']} "
+            f"({jobs['completed']} completed, "
+            f"{jobs['recoverable']} recoverable, "
+            f"{jobs['journal_bytes'] / 1024:.1f} KiB)"
+        )
         if stats["entries"]:
             fmt = "%Y-%m-%d %H:%M:%S"
             oldest = datetime.datetime.fromtimestamp(stats["oldest_mtime"])
@@ -450,6 +463,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "submit":
+        # Dispatch straight to the client's own parser: its remainder
+        # may legitimately *start* with an option (``submit --resume
+        # JOB``), which argparse.REMAINDER refuses to capture
+        # (bpo-17050).
+        from repro.serve import client as client_mod
+
+        return client_mod.main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 

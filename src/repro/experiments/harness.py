@@ -451,6 +451,7 @@ class ResultCache:
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
+        self.last_journal_prune = {"journals": 0, "tmp": 0}
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -553,6 +554,17 @@ class ResultCache:
             return []
         return sorted(self.root.glob("*/*.json"))
 
+    def journal_store(self):
+        """The serve job-journal store sharing this cache root.
+
+        Job journals (:mod:`repro.serve.journal`) live under
+        ``<cache>/jobs/`` so the cache CLI and ``/cache/stats`` cover
+        the serve layer's durable state too.
+        """
+        from repro.serve.journal import JournalStore
+
+        return JournalStore(self.root / "jobs")
+
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
@@ -599,14 +611,22 @@ class ResultCache:
             "by_schema": dict(sorted(by_schema.items())),
             "oldest_mtime": oldest,
             "newest_mtime": newest,
+            "jobs": self.journal_store().stats(),
         }
+
+    #: Journal counts removed by the most recent :meth:`prune` call
+    #: (``{"journals": n, "tmp": n}``) — surfaced by the cache CLI.
+    last_journal_prune: Dict[str, int]
 
     def prune(self, days: float) -> int:
         """Remove entries older than ``days`` (by mtime); returns count.
 
         Leftover ``*.tmp.*`` files from killed writers past the cutoff
         are swept as well (they never count toward the return value —
-        they were never entries).
+        they were never entries), and so are *completed* job journals
+        and orphaned journal tmp litter under ``<cache>/jobs/``
+        (counts in :attr:`last_journal_prune`; incomplete journals are
+        recoverable work and are never pruned).
         """
         if days < 0:
             raise ValueError("days cannot be negative")
@@ -626,6 +646,7 @@ class ResultCache:
                         tmp.unlink()
                 except OSError:
                     pass
+        self.last_journal_prune = self.journal_store().prune(days)
         return removed
 
 

@@ -30,6 +30,19 @@ Activation is environmental so injected failures reach pool workers
   once succeeds on retry, which is exactly the scenario the harness
   must survive.
 
+Two further modes target the **serve layer** rather than pool workers
+(:func:`maybe_injure_serve`, called by the server at its event publish
+and stream-emit sites; ``match`` is checked against the site label —
+``serve.publish:<event>`` / ``serve.emit:<event>`` — and the job id):
+
+* ``kill`` — ``SIGKILL`` the server process itself, *between* stream
+  events (after the event was journaled, before subscribers saw it):
+  the crash the job journal and startup recovery must survive.
+* ``drop`` — abruptly sever one streaming response
+  (``ConnectionResetError`` at the emit site) while the job keeps
+  running: the disconnect the client's reconnect-and-resume machinery
+  must survive.
+
 Nothing here runs unless ``REPRO_CHAOS`` is set: the import is cheap
 and :func:`maybe_injure` is a single ``os.environ.get`` when idle.
 """
@@ -38,13 +51,20 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: Environment variable naming the chaos spec file.
 CHAOS_ENV = "REPRO_CHAOS"
 
-CHAOS_MODES = ("crash", "hang", "raise")
+#: Worker-injury modes (fired by :func:`maybe_injure` inside tasks).
+TASK_CHAOS_MODES = ("crash", "hang", "raise")
+
+#: Serve-layer modes (fired by :func:`maybe_injure_serve` in the server).
+SERVE_CHAOS_MODES = ("kill", "drop")
+
+CHAOS_MODES = TASK_CHAOS_MODES + SERVE_CHAOS_MODES
 
 #: Exit code used by crash-mode injuries (recognizable in waitpid).
 CRASH_EXIT_CODE = 113
@@ -111,6 +131,9 @@ def maybe_injure(task_key: str, app_name: str) -> None:
     if not state_dir:
         return
     for index, rule in enumerate(spec.get("rules", [])):
+        mode = rule.get("mode")
+        if mode not in TASK_CHAOS_MODES:
+            continue  # serve-layer rules never fire inside tasks
         match = str(rule.get("match", ""))
         if not match:
             continue
@@ -119,7 +142,6 @@ def maybe_injure(task_key: str, app_name: str) -> None:
         times = int(rule.get("times", 1))
         if not _claim(state_dir, index, times):
             continue
-        mode = rule.get("mode")
         if mode == "crash":
             # Simulate a killed/OOMed worker: no exception, no cleanup.
             os._exit(CRASH_EXIT_CODE)
@@ -129,3 +151,45 @@ def maybe_injure(task_key: str, app_name: str) -> None:
             raise ChaosError(
                 f"chaos rule {index} ({match!r}) injured task {task_key[:12]}"
             )
+
+
+def maybe_injure_serve(
+    site: str,
+    detail: str = "",
+    modes: Tuple[str, ...] = SERVE_CHAOS_MODES,
+) -> None:
+    """Injure the serve process at an event publish/emit site.
+
+    ``site`` is a label like ``serve.publish:progress`` or
+    ``serve.emit:result``; a rule fires when its ``match`` is a
+    substring of ``site`` or of ``detail`` (the job id).  ``modes``
+    restricts which rule kinds may fire at this call site — the
+    publish path only allows ``kill`` (a ``drop`` there would be a job
+    failure, not a severed connection).
+
+    No-op (one env lookup) unless ``REPRO_CHAOS`` is set.
+    """
+    spec = _load_spec()
+    if spec is None:
+        return
+    state_dir = str(spec.get("state_dir", ""))
+    if not state_dir:
+        return
+    for index, rule in enumerate(spec.get("rules", [])):
+        mode = rule.get("mode")
+        if mode not in SERVE_CHAOS_MODES or mode not in modes:
+            continue
+        match = str(rule.get("match", ""))
+        if not match:
+            continue
+        if match not in site and (not detail or match not in detail):
+            continue
+        if not _claim(state_dir, index, int(rule.get("times", 1))):
+            continue
+        if mode == "kill":
+            # The real thing: no drain, no cleanup, no atexit — the
+            # journal on disk is all that survives.
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise ConnectionResetError(
+            f"chaos rule {index} ({match!r}) dropped the stream at {site}"
+        )

@@ -5,6 +5,15 @@ socket — usable from scripts, the CLI, and the CI smoke without any
 HTTP library.  ``stream_submit`` yields decoded events as the server
 emits them; ``get_json`` fetches the one-shot endpoints
 (``/metrics``, ``/cache/stats``, ``/healthz``).
+
+:func:`stream_submit_resilient` is the durable wrapper the CLI uses:
+it tracks the job id and the last ``seq`` it saw, and on a dropped
+connection reconnects with exponential backoff and a ``resume``
+request (``after_seq`` = last seen), deduplicating by ``seq`` so the
+caller observes each event exactly once even across reconnects.  429
+and 503 rejections are retried after the server's ``Retry-After``
+within a bounded busy budget; exhausting it raises :class:`BusyError`
+(CLI exit code ``EXIT_BUSY``).
 """
 
 from __future__ import annotations
@@ -13,7 +22,8 @@ import argparse
 import json
 import socket
 import sys
-from typing import Dict, Iterator, List, Optional, Tuple
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from urllib.parse import urlsplit
 
 DEFAULT_BASE_URL = "http://127.0.0.1:8927"
@@ -22,15 +32,41 @@ DEFAULT_BASE_URL = "http://127.0.0.1:8927"
 EXIT_OK = 0
 EXIT_FAILED = 1  # job finished with ok=false, or server-side error
 EXIT_CONNECT = 7  # could not reach / talk to the server
+EXIT_BUSY = 8  # server kept answering 429/503 past the retry budget
 
 
 class ServerError(Exception):
     """A non-200 response from the server."""
 
-    def __init__(self, status: int, payload: object) -> None:
+    def __init__(
+        self,
+        status: int,
+        payload: object,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         super().__init__(f"HTTP {status}: {payload}")
         self.status = status
         self.payload = payload
+        self.headers = dict(headers or {})
+
+    def retry_after(self, default: float = 1.0) -> float:
+        """The server's ``Retry-After`` delay in seconds (>= 0)."""
+        try:
+            value = float(self.headers.get("retry-after", default))
+        except (TypeError, ValueError):
+            return default
+        return max(0.0, value)
+
+
+class BusyError(Exception):
+    """429/503 retries exhausted the busy budget; give up distinctly."""
+
+    def __init__(self, last: ServerError, spent_s: float) -> None:
+        super().__init__(
+            f"server still busy after {spent_s:.1f}s of Retry-After waits: {last}"
+        )
+        self.last = last
+        self.spent_s = spent_s
 
 
 def _split_base_url(base_url: str) -> Tuple[str, int]:
@@ -86,7 +122,7 @@ def get_json(base_url: str, path: str, timeout: Optional[float] = 30.0) -> objec
         raw = fh.read(length) if length else fh.read()
     payload = json.loads(raw.decode("utf-8")) if raw else None
     if status != 200:
-        raise ServerError(status, payload)
+        raise ServerError(status, payload, headers)
     return payload
 
 
@@ -102,7 +138,7 @@ def stream_submit(
     ``ConnectionError``/``OSError`` when the server is unreachable.
     """
     body = json.dumps(request, sort_keys=True).encode("utf-8")
-    status, _headers, fh = _request(
+    status, headers, fh = _request(
         base_url,
         "POST",
         "/submit",
@@ -117,7 +153,7 @@ def stream_submit(
                 payload = json.loads(raw.decode("utf-8"))
             except (ValueError, UnicodeDecodeError):
                 payload = raw.decode("utf-8", "replace")
-            raise ServerError(status, payload)
+            raise ServerError(status, payload, headers)
         for line in fh:
             text = line.decode("utf-8").strip()
             if not text:
@@ -127,6 +163,91 @@ def stream_submit(
                     continue
                 text = text[len("data:"):].strip()
             yield json.loads(text)
+
+
+def stream_submit_resilient(
+    base_url: str,
+    request: Dict[str, object],
+    sse: bool = False,
+    timeout: Optional[float] = None,
+    reconnects: int = 5,
+    backoff_s: float = 0.25,
+    backoff_cap_s: float = 8.0,
+    retry_budget_s: float = 60.0,
+    sleep: Callable[[float], None] = time.sleep,
+    transport: Optional[Callable[..., Iterator[Dict[str, object]]]] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Iterator[Dict[str, object]]:
+    """Stream a submit to completion across disconnects and busy spells.
+
+    Yields each event exactly once (deduplicated by ``seq``).  On a
+    dropped connection the stream is re-established with a ``resume``
+    request carrying the last seen ``seq``, after an exponential
+    backoff (``backoff_s * 2**(attempt-1)``, capped at
+    ``backoff_cap_s``); more than ``reconnects`` consecutive failed
+    attempts re-raises the connection error.  429/503 rejections sleep
+    the server's ``Retry-After`` and retry until ``retry_budget_s``
+    cumulative waiting is exhausted, then raise :class:`BusyError`.
+
+    ``sleep`` and ``transport`` are injection seams (tests substitute
+    a fake clock and a scripted stream); ``transport`` defaults to
+    :func:`stream_submit` and is called as
+    ``transport(base_url, request, sse=..., timeout=...)``.
+    """
+    send = transport if transport is not None else stream_submit
+    notify = log if log is not None else (lambda _msg: None)
+    job_id: Optional[str] = None
+    if request.get("kind") == "resume" and isinstance(request.get("job"), str):
+        job_id = str(request["job"])
+    last_seq = int(request.get("after_seq", 0) or 0)  # type: ignore[call-overload]
+    attempt = 0
+    busy_spent = 0.0
+
+    while True:
+        if job_id is None:
+            current: Dict[str, object] = dict(request)
+        else:
+            current = {"kind": "resume", "job": job_id, "after_seq": last_seq}
+            if "tenant" in request:
+                current["tenant"] = request["tenant"]
+        try:
+            for event in send(base_url, current, sse=sse, timeout=timeout):
+                seq = event.get("seq")
+                if isinstance(seq, int) and not isinstance(seq, bool):
+                    if seq <= last_seq:
+                        continue  # replayed duplicate from a reconnect
+                    last_seq = seq
+                if event.get("event") == "accepted" and isinstance(
+                    event.get("job"), str
+                ):
+                    job_id = str(event["job"])
+                attempt = 0  # data flowed; reset the backoff ladder
+                yield event
+                if event.get("event") == "done":
+                    return
+            # Stream closed without a done event: a graceful-looking
+            # disconnect is still a disconnect.
+            raise ConnectionError("stream ended before the job finished")
+        except ServerError as exc:
+            if exc.status not in (429, 503):
+                raise
+            delay = exc.retry_after()
+            if busy_spent + delay > retry_budget_s:
+                raise BusyError(exc, busy_spent) from exc
+            notify(f"server busy (HTTP {exc.status}); retrying in {delay:g}s")
+            sleep(delay)
+            busy_spent += delay
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            attempt += 1
+            if attempt > reconnects:
+                raise
+            delay = min(backoff_s * (2 ** (attempt - 1)), backoff_cap_s)
+            notify(
+                f"connection lost ({exc}); reconnect {attempt}/{reconnects} "
+                f"in {delay:g}s"
+                + (f" (resume after seq {last_seq})" if job_id else "")
+            )
+            sleep(delay)
 
 
 # ----------------------------------------------------------------------
@@ -167,11 +288,20 @@ def _print_event(event: Dict[str, object], as_json: bool) -> None:
         print(json.dumps(event, sort_keys=True), flush=True)
         return
     kind = event.get("event")
+    if kind == "heartbeat":
+        return  # liveness chatter; visible only with --json
     if kind == "accepted":
-        suffix = " (coalesced onto an in-flight job)" if event.get("coalesced") else ""
+        if event.get("resumed"):
+            suffix = f" (resumed after seq {event.get('after_seq')})"
+        elif event.get("coalesced"):
+            suffix = " (coalesced onto an in-flight job)"
+        else:
+            suffix = ""
         print(f"accepted: job {event.get('job')}{suffix}", flush=True)
     elif kind == "queued":
         print(f"queued (depth {event.get('queue_depth')})", flush=True)
+    elif kind == "recovered":
+        print("recovered from journal (re-running after a server restart)", flush=True)
     elif kind == "started":
         print("started", flush=True)
     elif kind == "progress":
@@ -213,11 +343,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         description=(
             "Submit work to a running sweep server and stream its events. "
             "TARGET is an experiment name (figure-3 / fig3 / table-4), "
-            "'app' for a single task, 'fuzz' for a bounded fuzz run, or "
-            "'metrics' / 'cache-stats' / 'health' to query the server."
+            "'app' for a single task, 'fuzz' for a bounded fuzz run, "
+            "'job:<id>' for one job's status, or 'metrics' / "
+            "'cache-stats' / 'health' to query the server.  With "
+            "--resume JOB, TARGET may be omitted."
         ),
     )
-    parser.add_argument("target", metavar="TARGET")
+    parser.add_argument("target", nargs="?", default=None, metavar="TARGET")
     parser.add_argument("--base-url", default=DEFAULT_BASE_URL)
     parser.add_argument("--tenant", default="default")
     parser.add_argument("--quick", action="store_true", help="reduced sweeps")
@@ -229,22 +361,58 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-cases", type=int, default=50, help="TARGET=fuzz")
     parser.add_argument("--sse", action="store_true", help="request text/event-stream")
     parser.add_argument("--json", action="store_true", help="print raw event JSON")
+    parser.add_argument(
+        "--resume", metavar="JOB", default=None,
+        help="re-attach to a job id instead of submitting new work",
+    )
+    parser.add_argument(
+        "--reconnects", type=int, default=5, metavar="N",
+        help="reconnect-and-resume attempts after a dropped stream",
+    )
+    parser.add_argument(
+        "--retry-budget", type=float, default=60.0, metavar="S",
+        help="total Retry-After waiting tolerated on 429/503",
+    )
     args = parser.parse_args(argv)
 
     queries = {"metrics": "/metrics", "cache-stats": "/cache/stats", "health": "/healthz"}
+    if args.target is None and not args.resume:
+        parser.error("TARGET is required unless --resume JOB is given")
     try:
         if args.target in queries:
             print(json.dumps(get_json(args.base_url, queries[args.target]), indent=2))
             return EXIT_OK
-        if args.target == "app" and not args.app:
-            parser.error("TARGET=app requires --app NAME")
-        request = _build_request(args)
+        if args.target and args.target.startswith("job:"):
+            status = get_json(args.base_url, f"/jobs/{args.target[len('job:'):]}")
+            print(json.dumps(status, indent=2))
+            return EXIT_OK
+        if args.resume:
+            request: Dict[str, object] = {
+                "kind": "resume",
+                "job": args.resume,
+                "after_seq": 0,
+                "tenant": args.tenant,
+            }
+        else:
+            if args.target == "app" and not args.app:
+                parser.error("TARGET=app requires --app NAME")
+            request = _build_request(args)
         ok = False
-        for event in stream_submit(args.base_url, request, sse=args.sse):
+        for event in stream_submit_resilient(
+            args.base_url,
+            request,
+            sse=args.sse,
+            reconnects=args.reconnects,
+            retry_budget_s=args.retry_budget,
+            log=lambda msg: print(f"submit: {msg}", file=sys.stderr, flush=True),
+        ):
             _print_event(event, args.json)
             if event.get("event") == "done":
                 ok = bool(event.get("ok"))
         return EXIT_OK if ok else EXIT_FAILED
+    except BusyError as exc:
+        print(f"submit: giving up: {exc}", file=sys.stderr)
+        return EXIT_BUSY
     except ServerError as exc:
         print(f"submit: rejected: {exc}", file=sys.stderr)
         return EXIT_FAILED

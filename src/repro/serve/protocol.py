@@ -28,11 +28,26 @@ Request kinds (the ``"kind"`` field of the submit body):
 ``fuzz``
     A bounded, seeded fuzzing run (``max_cases`` required so the run is
     deterministic and therefore coalescable).
+``resume``
+    Re-attach to an existing job by its durable ``job`` id, replaying
+    journaled events with sequence numbers greater than the
+    client-supplied ``after_seq`` and then tailing live events.  A
+    resume creates no work: it streams a finished job's journal from
+    disk, or subscribes to the live job.
 
 Every request normalizes to a :class:`SubmitRequest` whose
 :meth:`~SubmitRequest.coalesce_key` hashes the canonical payload
 *minus the tenant* — two tenants asking for the same work coalesce
 onto one job.
+
+Every streamed event carries the job's durable ``job`` id and — for
+journaled events — a monotonically increasing ``seq`` (1, 2, …), the
+coordinate a client resumes from and deduplicates replays by.
+Per-subscriber events (``accepted``, ``heartbeat``) carry ``seq`` only
+informationally (the latest journaled value, on heartbeats) and are
+never journaled.  Idle streams receive periodic ``heartbeat`` events
+so clients (and intermediaries) can tell a slow job from a dead
+connection.
 """
 
 from __future__ import annotations
@@ -63,7 +78,7 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
-VALID_KINDS = ("app", "tasks", "experiment", "fuzz")
+VALID_KINDS = ("app", "tasks", "experiment", "fuzz", "resume")
 VALID_MODES = ("speedup", "constants")
 
 
@@ -276,6 +291,20 @@ def parse_submit(payload: object) -> SubmitRequest:
             "name": canonical_experiment(payload.get("name", "")),
             "quick": bool(payload.get("quick", False)),
         }
+    elif kind == "resume":
+        from repro.serve.journal import valid_job_id
+
+        job = payload.get("job")
+        if not isinstance(job, str) or not valid_job_id(job):
+            raise ProtocolError(
+                "resume requests need a 'job' id (as issued in the "
+                "'accepted' event)"
+            )
+        after_seq = payload.get("after_seq", 0)
+        if not isinstance(after_seq, int) or isinstance(after_seq, bool) \
+                or after_seq < 0:
+            raise ProtocolError("after_seq must be a non-negative integer")
+        spec = {"job": job, "after_seq": after_seq}
     else:  # fuzz
         max_cases = payload.get("max_cases")
         if not isinstance(max_cases, int) or not 1 <= max_cases <= MAX_FUZZ_CASES:

@@ -1,0 +1,215 @@
+"""Serve crash-recovery smoke: ``python -m repro.serve.resilience_smoke``.
+
+The end-to-end proof of the PR 9 durability invariant, against real
+processes and a real ``SIGKILL``:
+
+1. boot a server subprocess with a chaos rule that SIGKILLs it at its
+   first ``progress`` publish (after the event is journaled, before
+   any subscriber sees it);
+2. a resilient client submits an uncached app sweep and — mid-stream —
+   loses the server to the kill;
+3. the server is restarted **on the same port**; it recovers the
+   incomplete journal and re-enqueues the job while the client's
+   reconnect backoff is still ticking;
+4. the client resumes with ``after_seq`` and streams to ``done``:
+   every seq exactly once, gapless from 1, result values identical to
+   an uninterrupted run of the same request.
+
+On failure the journal directory is copied to
+``./serve-resilience-journal`` so CI can upload it as an artifact.
+Exit status 0 on success.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.faults import chaos
+from repro.serve import client
+from repro.serve.journal import JournalStore, job_summary
+from repro.serve.smoke import BOOT_TIMEOUT_S, wait_for_listen
+
+APP_REQUEST = {"kind": "app", "app": "array-insert", "pages": 2.0, "tenant": "smoke"}
+STREAM_TIMEOUT_S = 300.0
+ARTIFACT_DIR = "serve-resilience-journal"
+
+
+def start_server(cache_dir: str, port: int, chaos_spec: Optional[str]) -> "subprocess.Popen[str]":
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    if chaos_spec:
+        env[chaos.CHAOS_ENV] = chaos_spec
+    else:
+        env.pop(chaos.CHAOS_ENV, None)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--port", str(port), "--jobs", "1"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def pump_output(proc: "subprocess.Popen[str]", lines: List[str]) -> threading.Thread:
+    """Drain a server's stdout in the background (pipes must not fill)."""
+
+    def run() -> None:
+        assert proc.stdout is not None
+        for line in proc.stdout:
+            lines.append(line.rstrip("\n"))
+            sys.stdout.write(f"[server] {line}")
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread
+
+
+def result_digest(events: List[Dict[str, object]]) -> str:
+    """Digest of the semantic result payload, ignoring volatile fields.
+
+    ``seq``/``job`` differ across jobs and ``cached`` flips once the
+    result cache is warm; the *values* must be bit-identical.
+    """
+    keep = [
+        {k: e.get(k) for k in ("task", "mode", "values", "error")}
+        for e in events
+        if e.get("event") == "result"
+    ]
+    blob = json.dumps(keep, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="repro-serve-resilience-")
+    cache_dir = os.path.join(tmp, "cache")
+    chaos_spec = os.path.join(tmp, "chaos.json")
+    chaos.write_spec(
+        chaos_spec,
+        os.path.join(tmp, "chaos-state"),
+        [{"match": "serve.publish:progress", "mode": "kill", "times": 1}],
+    )
+    survivors: List["subprocess.Popen[str]"] = []
+    try:
+        # --- server A: armed to SIGKILL itself mid-stream ------------
+        proc_a = start_server(cache_dir, 0, chaos_spec)
+        survivors.append(proc_a)
+        base_url = wait_for_listen(proc_a)
+        port = int(base_url.rsplit(":", 1)[1])
+        lines_a: List[str] = []
+        pump_output(proc_a, lines_a)
+
+        # --- resilient client: submits, survives the kill -------------
+        out: Dict[str, object] = {}
+
+        def run_client() -> None:
+            try:
+                out["events"] = list(
+                    client.stream_submit_resilient(
+                        base_url,
+                        dict(APP_REQUEST),
+                        reconnects=12,
+                        backoff_s=0.5,
+                        timeout=STREAM_TIMEOUT_S,
+                        log=lambda msg: print(f"[client] {msg}", flush=True),
+                    )
+                )
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                out["error"] = exc
+
+        worker = threading.Thread(target=run_client, daemon=True)
+        worker.start()
+
+        # --- the chaos rule fires: server A dies by SIGKILL -----------
+        rc_a = proc_a.wait(timeout=BOOT_TIMEOUT_S + STREAM_TIMEOUT_S)
+        assert rc_a == -signal.SIGKILL, (
+            f"server A exited {rc_a}, expected SIGKILL ({-signal.SIGKILL})"
+        )
+        print(f"smoke: server A killed by chaos (rc={rc_a})", flush=True)
+        store = JournalStore(os.path.join(cache_dir, "jobs"))
+        job_ids = store.job_ids()
+        assert len(job_ids) == 1, f"expected one journal, found {job_ids}"
+        assert not job_summary(store.read(job_ids[0]))["done"], (
+            "the killed job's journal must be incomplete"
+        )
+
+        # --- server B: same port, same cache; recovers the journal ----
+        # The chaos rule's claim markers persisted, so it cannot re-fire.
+        proc_b = start_server(cache_dir, port, chaos_spec)
+        survivors.append(proc_b)
+        wait_for_listen(proc_b)
+        lines_b: List[str] = []
+        pump_output(proc_b, lines_b)
+
+        worker.join(timeout=STREAM_TIMEOUT_S)
+        assert not worker.is_alive(), "client did not finish in time"
+        if "error" in out:
+            raise AssertionError(f"client failed: {out['error']!r}")
+        events = out["events"]  # type: ignore[assignment]
+
+        # --- the stitched stream is complete, ordered, successful -----
+        kinds = [e.get("event") for e in events]
+        assert kinds[-1] == "done" and events[-1].get("ok") is True, events[-1]
+        assert kinds.count("accepted") >= 2, "client never resumed"
+        assert any(e.get("resumed") for e in events), "no resumed accept"
+        assert "recovered" in kinds, "journal recovery event missing"
+        seqs = [e["seq"] for e in events if "seq" in e]
+        assert seqs == list(range(1, len(seqs) + 1)), (
+            f"seqs not gapless/duplicate-free: {seqs}"
+        )
+        summary = job_summary(store.read(job_ids[0]))
+        assert summary["done"] and summary["ok"], summary
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and not any(
+            "recovered 1 journaled job" in line for line in lines_b
+        ):
+            time.sleep(0.05)
+        assert any("recovered 1 journaled job" in line for line in lines_b), (
+            f"server B never reported recovery: {lines_b}"
+        )
+
+        # --- identical results to an uninterrupted run -----------------
+        clean = list(
+            client.stream_submit(base_url, dict(APP_REQUEST), timeout=STREAM_TIMEOUT_S)
+        )
+        assert clean[-1].get("ok") is True, clean[-1]
+        assert result_digest(events) == result_digest(clean), (
+            "resumed results differ from a clean run"
+        )
+        print("smoke: resumed digest == clean digest", flush=True)
+
+        # --- graceful SIGTERM drain of the survivor --------------------
+        proc_b.send_signal(signal.SIGTERM)
+        rc_b = proc_b.wait(timeout=60)
+        assert rc_b == 0, f"server B exited {rc_b} on SIGTERM"
+
+        print("smoke: serve resilience smoke passed", flush=True)
+        return 0
+    except BaseException:
+        jobs_dir = os.path.join(cache_dir, "jobs")
+        if os.path.isdir(jobs_dir):
+            shutil.rmtree(ARTIFACT_DIR, ignore_errors=True)
+            shutil.copytree(jobs_dir, ARTIFACT_DIR)
+            print(f"smoke: journal dir preserved at ./{ARTIFACT_DIR}", flush=True)
+        raise
+    finally:
+        for proc in survivors:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

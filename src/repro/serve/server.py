@@ -30,6 +30,20 @@ queue depth, per-tenant wait times) live in a
 /metrics``.  SIGTERM/SIGINT starts a graceful drain: new submits get
 503, queued and running jobs complete, streams finish, then the
 process exits 0.
+
+**Durability** (PR 9): every admitted job gets a durable id and an
+append-only, fsynced journal (:mod:`repro.serve.journal`) under
+``<cache>/jobs/`` recording its request envelope and every stream
+event — *journal-before-emit*, so nothing a client saw can be lost.
+On startup the journal directory is scanned and every job that never
+reached ``done`` is re-enqueued (cheap: the content-addressed cache
+and single-flight coalescing absorb already-finished work).  Clients
+re-attach with a ``resume`` request (``job`` + ``after_seq``): the
+journaled tail is replayed, then the stream tails live events.  Idle
+streams carry periodic ``heartbeat`` events, and a subscriber that
+stops reading for ``subscriber_stall_s`` is disconnected instead of
+wedging the fan-out.  ``GET /jobs/<id>`` reports any job's status —
+live or from its journal.
 """
 
 from __future__ import annotations
@@ -41,19 +55,28 @@ import json
 import os
 import signal
 import tempfile
+import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.experiments import harness
+from repro.faults import chaos
+from repro.serve import journal as journal_mod
 from repro.serve import protocol
+from repro.serve.journal import JournalError, JournalStore
 from repro.serve.scheduler import SingleFlight
 from repro.trace.metrics import MetricsRegistry
 
 #: Default TCP port (unassigned range; "AP" on a phone keypad is 27).
 DEFAULT_PORT = 8927
+
+#: Completed jobs kept addressable in memory for status/resume before
+#: falling back to their on-disk journals.
+FINISHED_JOBS_RETAINED = 256
 
 
 @dataclass
@@ -75,6 +98,14 @@ class ServeConfig:
     retries: int = 2
     use_cache: bool = True
     cache_dir: Optional[str] = None
+    #: seconds of stream silence before a ``heartbeat`` event; <= 0
+    #: disables heartbeats.
+    heartbeat_s: float = 10.0
+    #: seconds a subscriber may stall (unread backpressure) before the
+    #: server disconnects it rather than wedge the fan-out.
+    subscriber_stall_s: float = 30.0
+    #: write-ahead job journals under ``<cache>/jobs/``.
+    use_journal: bool = True
 
     def job_settings(self) -> harness.HarnessSettings:
         """The harness policy each job thread scopes in."""
@@ -85,6 +116,10 @@ class ServeConfig:
             task_timeout_s=self.task_timeout_s,
             retries=self.retries,
         )
+
+    def resolve_journal_dir(self) -> Path:
+        """Where job journals live (inside the result-cache root)."""
+        return Path(self.job_settings().resolve_cache_dir()) / "jobs"
 
 
 class FairQueue:
@@ -155,44 +190,116 @@ class Job:
     subscriber's :meth:`stream` replays the buffer from the start and
     then tails live events, so a coalesced client joining mid-run sees
     the identical sequence the first client saw.
+
+    Every published event gets a monotonically increasing ``seq`` and
+    the durable ``job`` id, and — when a journal is attached — is
+    fsynced to disk *before* any subscriber can observe it
+    (journal-before-emit), so a crash can lose at most events no
+    client ever saw.  ``base_seq`` continues the numbering of a job
+    recovered from its journal: replayed and re-run events never share
+    a seq.
     """
 
     def __init__(
-        self, key: str, request: protocol.SubmitRequest, loop: asyncio.AbstractEventLoop
+        self,
+        key: str,
+        request: protocol.SubmitRequest,
+        loop: asyncio.AbstractEventLoop,
+        job_id: Optional[str] = None,
+        journal: Optional[journal_mod.JobJournal] = None,
+        base_seq: int = 0,
     ) -> None:
         self.key = key
         self.request = request
         self.loop = loop
+        self.job_id = job_id if job_id is not None else key[:16]
+        self.journal = journal
+        self.seq = base_seq
         self.events: List[Dict[str, object]] = []
         self.done = False
         self.ok: Optional[bool] = None
+        self.recovered = False
         self.enqueued_at = time.monotonic()
         self.started_at: Optional[float] = None
         self.subscribers = 1
+        self.journal_errors = 0
+        self._seq_lock = threading.Lock()
         self._update = asyncio.Event()
 
     def publish(self, event: Dict[str, object], done: bool = False) -> None:
-        """Append one event (thread-safe; marks the job done if asked)."""
+        """Append one event (thread-safe; marks the job done if asked).
+
+        Stamps ``seq``/``job``, journals (fsync) the event, *then*
+        hands it to the event loop for fan-out.  A journal write
+        failure degrades to in-memory-only rather than failing the
+        job.
+        """
+        with self._seq_lock:
+            self.seq += 1
+            event = dict(event, job=self.job_id, seq=self.seq)
+            if self.journal is not None:
+                try:
+                    self.journal.append(
+                        {"type": "event", "seq": self.seq, "event": event}
+                    )
+                except (OSError, JournalError):
+                    self.journal_errors += 1
+        chaos.maybe_injure_serve(
+            f"serve.publish:{event.get('event')}", self.job_id, modes=("kill",)
+        )
 
         def _apply() -> None:
             self.events.append(event)
             if done:
                 self.done = True
+                self.ok = bool(event.get("ok")) if "ok" in event else None
             self._update.set()
 
         self.loop.call_soon_threadsafe(_apply)
 
-    async def stream(self):
-        """Yield every event from the beginning until the job is done."""
+    def close_journal(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+    @property
+    def status(self) -> str:
+        if self.done:
+            return "done"
+        return "running" if self.started_at is not None else "queued"
+
+    async def stream(
+        self, after_seq: int = 0, heartbeat_s: Optional[float] = None
+    ):
+        """Yield events with ``seq > after_seq`` until the job is done.
+
+        With ``heartbeat_s`` set, a synthetic ``heartbeat`` event
+        (never journaled, no seq of its own — it carries the latest
+        published seq informationally) is yielded whenever the stream
+        has been idle that long, keeping slow jobs' connections alive
+        through proxies and client read timeouts.
+        """
         index = 0
         while True:
             self._update.clear()
             while index < len(self.events):
-                yield self.events[index]
+                event = self.events[index]
                 index += 1
+                if int(event.get("seq", 0)) > after_seq:  # type: ignore[arg-type]
+                    yield event
             if self.done:
                 return
-            await self._update.wait()
+            if heartbeat_s is None or heartbeat_s <= 0:
+                await self._update.wait()
+                continue
+            try:
+                await asyncio.wait_for(self._update.wait(), timeout=heartbeat_s)
+            except asyncio.TimeoutError:
+                yield {
+                    "event": "heartbeat",
+                    "job": self.job_id,
+                    "last_seq": self.seq,
+                    "status": self.status,
+                }
 
 
 class SweepServer:
@@ -207,6 +314,14 @@ class SweepServer:
         )
         self.queue = FairQueue(config.tenant_weights)
         self.jobs_by_key: Dict[str, Job] = {}
+        self.jobs_by_id: Dict[str, Job] = {}
+        self._finished_ids: Deque[str] = deque()
+        self.journals: Optional[JournalStore] = (
+            JournalStore(config.resolve_journal_dir())
+            if config.use_journal
+            else None
+        )
+        self.recovered_jobs = 0
         self.active = 0
         self.draining = False
         self.executor = ThreadPoolExecutor(
@@ -229,11 +344,100 @@ class SweepServer:
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
         self._drained = asyncio.Event()
+        self.recovered_jobs = self._recover_jobs()
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port
         )
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
         return self.addresses()
+
+    def _recover_jobs(self) -> int:
+        """Re-enqueue every journaled job that never reached ``done``.
+
+        Runs before the listener opens, on the loop thread.  Safe to
+        repeat across restarts: re-running finished work hits the
+        content-addressed cache, and concurrent duplicates coalesce in
+        the single-flight tables.  When two incomplete journals share a
+        coalesce key (a job crashed, was resubmitted, crashed again)
+        the oldest wins and the others are closed out as superseded so
+        they become prunable.
+        """
+        if self.journals is None:
+            return 0
+        assert self._loop is not None and self._wake is not None
+        recovered = 0
+        for job_id, records in self.journals.scan():
+            summary = journal_mod.job_summary(records)
+            if summary["done"]:
+                continue
+            kind = summary["kind"]
+            spec = summary["spec"]
+            if (
+                kind not in protocol.VALID_KINDS
+                or kind == "resume"
+                or not isinstance(spec, dict)
+            ):
+                continue  # unusable journal; leave it for inspection
+            request = protocol.SubmitRequest(
+                kind=str(kind),
+                tenant=str(summary["tenant"] or "default"),
+                spec=spec,
+            )
+            key = str(summary["key"] or request.coalesce_key())
+            if key in self.jobs_by_key:
+                self._close_superseded(job_id, summary)
+                continue
+            try:
+                jnl, records = self.journals.open_existing(job_id)
+            except (OSError, JournalError):
+                continue
+            job = Job(
+                key,
+                request,
+                self._loop,
+                job_id=job_id,
+                journal=jnl,
+                base_seq=int(summary["seq"]),  # type: ignore[call-overload]
+            )
+            job.recovered = True
+            job.subscribers = 0
+            job.events = [
+                rec["event"]
+                for rec in records
+                if rec.get("type") == "event" and isinstance(rec.get("event"), dict)
+            ]
+            self.jobs_by_key[key] = job
+            self.jobs_by_id[job_id] = job
+            job.publish({"event": "recovered", "tenant": request.tenant})
+            self.queue.push(request.tenant, job)
+            self.serve_ns.counter("recovered_jobs").add()
+            recovered += 1
+        if recovered:
+            self._wake.set()
+        return recovered
+
+    def _close_superseded(self, job_id: str, summary: Dict[str, object]) -> None:
+        """Finish a duplicate incomplete journal so it becomes prunable."""
+        assert self.journals is not None
+        try:
+            jnl, _records = self.journals.open_existing(job_id)
+            seq = int(summary["seq"]) + 1  # type: ignore[call-overload]
+            jnl.append(
+                {
+                    "type": "event",
+                    "seq": seq,
+                    "event": {
+                        "event": "done",
+                        "ok": False,
+                        "superseded": True,
+                        "job": job_id,
+                        "seq": seq,
+                    },
+                }
+            )
+            jnl.close()
+        except (OSError, JournalError):
+            pass
 
     def addresses(self) -> List[Tuple[str, int]]:
         assert self._server is not None
@@ -303,6 +507,14 @@ class SweepServer:
             )
             job.publish({"event": "done", "ok": False}, done=True)
             self.serve_ns.counter("jobs_failed").add()
+        job.close_journal()
+        if job.journal_errors:
+            self.serve_ns.counter("journal_errors").add(job.journal_errors)
+        # Keep a bounded tail of finished jobs addressable for
+        # status/resume; older ones fall back to their disk journals.
+        self._finished_ids.append(job.job_id)
+        while len(self._finished_ids) > FINISHED_JOBS_RETAINED:
+            self.jobs_by_id.pop(self._finished_ids.popleft(), None)
         assert self._wake is not None
         self._wake.set()
 
@@ -312,9 +524,7 @@ class SweepServer:
     def _run_job_sync(self, job: Job) -> None:
         t0 = time.perf_counter()
         request = job.request
-        job.publish(
-            {"event": "started", "job": job.key[:16], "kind": request.kind}
-        )
+        job.publish({"event": "started", "kind": request.kind})
         completed = {"n": 0}
 
         def on_task(result) -> None:
@@ -484,6 +694,9 @@ class SweepServer:
                 self.config.job_settings().resolve_cache_dir()
             )
             writer.write(protocol.json_response(200, cache.stats()))
+        elif path.startswith("/jobs/"):
+            status, payload = self.job_status(path[len("/jobs/"):])
+            writer.write(protocol.json_response(status, payload))
         elif path == "/":
             writer.write(
                 protocol.json_response(
@@ -492,6 +705,7 @@ class SweepServer:
                         "service": "repro sweep server",
                         "endpoints": [
                             "POST /submit",
+                            "GET /jobs/<id>",
                             "GET /metrics",
                             "GET /cache/stats",
                             "GET /healthz",
@@ -503,6 +717,42 @@ class SweepServer:
         else:
             writer.write(protocol.json_response(404, {"error": f"no route {path}"}))
         await writer.drain()
+
+    def job_status(self, job_id: str) -> Tuple[int, Dict[str, object]]:
+        """Status for a job id — live from memory, else from its journal."""
+        if not journal_mod.valid_job_id(job_id):
+            return 400, {"error": f"malformed job id {job_id!r}"}
+        job = self.jobs_by_id.get(job_id)
+        if job is not None:
+            return 200, {
+                "job": job_id,
+                "key": job.key,
+                "kind": job.request.kind,
+                "tenant": job.request.tenant,
+                "status": job.status,
+                "ok": job.ok,
+                "seq": job.seq,
+                "events": len(job.events),
+                "subscribers": job.subscribers,
+                "recovered": job.recovered,
+                "live": True,
+            }
+        if self.journals is not None:
+            records = self.journals.read(job_id)
+            if records:
+                summary = journal_mod.job_summary(records)
+                return 200, {
+                    "job": job_id,
+                    "key": summary["key"],
+                    "kind": summary["kind"],
+                    "tenant": summary["tenant"],
+                    "status": "done" if summary["done"] else "recoverable",
+                    "ok": summary["ok"],
+                    "seq": summary["seq"],
+                    "events": summary["events"],
+                    "live": False,
+                }
+        return 404, {"error": f"unknown job {job_id}"}
 
     def metrics_snapshot(self) -> Dict[str, float]:
         """The registry with the point-in-time gauges refreshed."""
@@ -531,6 +781,11 @@ class SweepServer:
 
         self.serve_ns.counter("requests_total").add()
         self.serve_ns.counter(f"tenant.{request.tenant}.requests").add()
+        sse = "text/event-stream" in headers.get("accept", "")
+
+        if request.kind == "resume":
+            await self._handle_resume(request, sse, writer)
+            return
 
         if self.draining:
             writer.write(
@@ -561,31 +816,17 @@ class SweepServer:
                 )
                 await writer.drain()
                 return
-            assert self._loop is not None and self._wake is not None
-            job = Job(key, request, self._loop)
-            self.jobs_by_key[key] = job
-            self.queue.push(request.tenant, job)
-            self.serve_ns.counter("jobs_total").add()
-            job.publish(
-                {
-                    "event": "queued",
-                    "job": key[:16],
-                    "tenant": request.tenant,
-                    "queue_depth": len(self.queue),
-                }
-            )
-            self._wake.set()
+            job = self._admit_job(key, request)
         else:
             job.subscribers += 1
             self.serve_ns.counter("coalesce_hits").add()
 
-        sse = "text/event-stream" in headers.get("accept", "")
         writer.write(protocol.stream_head(sse))
         writer.write(
             protocol.encode_event(
                 {
                     "event": "accepted",
-                    "job": key[:16],
+                    "job": job.job_id,
                     "kind": request.kind,
                     "tenant": request.tenant,
                     "coalesced": coalesced,
@@ -594,9 +835,173 @@ class SweepServer:
             )
         )
         await writer.drain()
-        async for event in job.stream():
-            writer.write(protocol.encode_event(event, sse))
+        await self._stream_job(job, 0, sse, writer)
+
+    def _admit_job(self, key: str, request: protocol.SubmitRequest) -> Job:
+        """Create, journal, register, and enqueue a brand-new job."""
+        assert self._loop is not None and self._wake is not None
+        job_id = f"{key[:16]}-{os.urandom(4).hex()}"
+        jnl: Optional[journal_mod.JobJournal] = None
+        if self.journals is not None:
+            try:
+                while jnl is None:
+                    try:
+                        jnl = self.journals.create(job_id)
+                    except FileExistsError:
+                        job_id = f"{key[:16]}-{os.urandom(4).hex()}"
+                jnl.append(
+                    {
+                        "type": "request",
+                        "job": job_id,
+                        "key": key,
+                        "kind": request.kind,
+                        "tenant": request.tenant,
+                        "spec": request.spec,
+                        "created_at": time.time(),
+                    }
+                )
+            except (OSError, JournalError):
+                jnl = None  # degrade to in-memory-only; the job still runs
+                self.serve_ns.counter("journal_errors").add()
+        job = Job(key, request, self._loop, job_id=job_id, journal=jnl)
+        self.jobs_by_key[key] = job
+        self.jobs_by_id[job_id] = job
+        self.queue.push(request.tenant, job)
+        self.serve_ns.counter("jobs_total").add()
+        job.publish(
+            {
+                "event": "queued",
+                "tenant": request.tenant,
+                "queue_depth": len(self.queue),
+            }
+        )
+        self._wake.set()
+        return job
+
+    async def _handle_resume(
+        self,
+        request: protocol.SubmitRequest,
+        sse: bool,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Re-attach a client: replay ``seq > after_seq``, then tail live."""
+        job_id = str(request.spec["job"])
+        after_seq = int(request.spec["after_seq"])  # type: ignore[call-overload]
+        self.serve_ns.counter("resume_requests").add()
+
+        job = self.jobs_by_id.get(job_id)
+        if job is not None:
+            job.subscribers += 1
+            self.serve_ns.counter("resumed_total").add()
+            writer.write(protocol.stream_head(sse))
+            writer.write(
+                protocol.encode_event(
+                    {
+                        "event": "accepted",
+                        "job": job_id,
+                        "kind": job.request.kind,
+                        "tenant": job.request.tenant,
+                        "coalesced": True,
+                        "resumed": True,
+                        "after_seq": after_seq,
+                    },
+                    sse,
+                )
+            )
             await writer.drain()
+            await self._stream_job(job, after_seq, sse, writer)
+            return
+
+        # Not live: replay straight from the journal on disk.
+        records = self.journals.read(job_id) if self.journals is not None else []
+        if not records:
+            writer.write(
+                protocol.json_response(404, {"error": f"unknown job {job_id}"})
+            )
+            await writer.drain()
+            return
+        summary = journal_mod.job_summary(records)
+        self.serve_ns.counter("resumed_total").add()
+        writer.write(protocol.stream_head(sse))
+        writer.write(
+            protocol.encode_event(
+                {
+                    "event": "accepted",
+                    "job": job_id,
+                    "kind": summary["kind"],
+                    "tenant": summary["tenant"],
+                    "coalesced": False,
+                    "resumed": True,
+                    "after_seq": after_seq,
+                    "from_journal": True,
+                },
+                sse,
+            )
+        )
+        for record in records:
+            if record.get("type") != "event":
+                continue
+            event = record.get("event")
+            if not isinstance(event, dict):
+                continue
+            if int(record.get("seq", 0)) > after_seq:  # type: ignore[call-overload]
+                writer.write(protocol.encode_event(event, sse))
+        if not summary["done"]:
+            # Incomplete journal with no live job (e.g. journaling was
+            # re-enabled, or the job predates recovery): the stream
+            # cannot complete here — tell the client to resubmit.
+            writer.write(
+                protocol.encode_event(
+                    {
+                        "event": "error",
+                        "job": job_id,
+                        "error": "job is not running on this server; "
+                        "resubmit the original request",
+                    },
+                    sse,
+                )
+            )
+            writer.write(
+                protocol.encode_event(
+                    {"event": "done", "ok": False, "job": job_id}, sse
+                )
+            )
+        await writer.drain()
+
+    async def _stream_job(
+        self,
+        job: Job,
+        after_seq: int,
+        sse: bool,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Fan one subscriber's view of a job out over its connection.
+
+        Heartbeats keep idle streams alive; a subscriber that leaves
+        ``subscriber_stall_s`` of backpressure unread is disconnected
+        (the job keeps running — any client can resume later).
+        """
+        heartbeat_s = self.config.heartbeat_s
+        async for event in job.stream(
+            after_seq=after_seq,
+            heartbeat_s=heartbeat_s if heartbeat_s > 0 else None,
+        ):
+            chaos.maybe_injure_serve(
+                f"serve.emit:{event.get('event')}", job.job_id
+            )
+            if event.get("event") == "heartbeat":
+                self.serve_ns.counter("heartbeats").add()
+            writer.write(protocol.encode_event(event, sse))
+            try:
+                await asyncio.wait_for(
+                    writer.drain(), timeout=self.config.subscriber_stall_s
+                )
+            except asyncio.TimeoutError:
+                self.serve_ns.counter("slow_disconnects").add()
+                raise ConnectionResetError(
+                    f"subscriber stalled > {self.config.subscriber_stall_s}s; "
+                    "disconnected"
+                )
 
 
 # ----------------------------------------------------------------------
@@ -613,6 +1018,11 @@ async def amain(config: ServeConfig) -> int:
         f"max-queue={config.max_queue})",
         flush=True,
     )
+    if server.recovered_jobs:
+        print(
+            f"serve: recovered {server.recovered_jobs} journaled job(s)",
+            flush=True,
+        )
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGTERM, signal.SIGINT):
         try:
@@ -653,6 +1063,8 @@ def build_config(args: argparse.Namespace) -> ServeConfig:
         retries=args.retries if args.retries is not None else 2,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        heartbeat_s=args.heartbeat,
+        use_journal=not args.no_journal,
     )
 
 
@@ -681,6 +1093,14 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--retries", type=int, default=None, metavar="N")
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--cache-dir", metavar="DIR", default=None)
+    parser.add_argument(
+        "--heartbeat", type=float, default=10.0, metavar="S",
+        help="idle-stream heartbeat interval (<= 0 disables)",
+    )
+    parser.add_argument(
+        "--no-journal", action="store_true",
+        help="disable the durable job journal (no crash recovery/resume)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
