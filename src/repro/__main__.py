@@ -246,6 +246,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"pruned {jp['journals']} completed job journal(s) and "
                 f"{jp['tmp']} orphaned journal tmp file(s)"
             )
+        if jp.get("leased"):
+            print(
+                f"kept {jp['leased']} journal(s) owned by live or "
+                "mid-takeover cluster shards"
+            )
         return 0
     if action == "stats":
         stats = cache.stats()
@@ -277,11 +282,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    import asyncio
-
     from repro.serve import server as serve_mod
 
-    return asyncio.run(serve_mod.amain(serve_mod.build_config(args)))
+    return serve_mod.run_from_args(args)
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:

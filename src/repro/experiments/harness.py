@@ -451,7 +451,7 @@ class ResultCache:
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
-        self.last_journal_prune = {"journals": 0, "tmp": 0}
+        self.last_journal_prune = {"journals": 0, "tmp": 0, "leased": 0}
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -615,7 +615,8 @@ class ResultCache:
         }
 
     #: Journal counts removed by the most recent :meth:`prune` call
-    #: (``{"journals": n, "tmp": n}``) — surfaced by the cache CLI.
+    #: (``{"journals": n, "tmp": n, "leased": skipped}``) — surfaced by
+    #: the cache CLI.
     last_journal_prune: Dict[str, int]
 
     def prune(self, days: float) -> int:

@@ -1,0 +1,216 @@
+"""Serve cluster failover smoke: ``python -m repro.serve.cluster_smoke``.
+
+The end-to-end proof of the PR 10 failover invariant, against two real
+shard processes sharing one cache dir and a real ``SIGKILL``:
+
+1. boot shards A (``--shard-index 0``) and B (``--shard-index 1``)
+   with a shard-scoped chaos rule that SIGKILLs **shard A only** at
+   its first ``progress`` publish;
+2. a resilient client submits — to shard B — a request whose coalesce
+   key the ring assigns to shard A; B answers 307 and the client
+   follows the redirect;
+3. A journals the request, starts the sweep, and dies mid-publish;
+   the client's connection drops and it falls back to its origin (B);
+4. B redirects back to A while A's lease still looks alive; once the
+   lease expires, B fences slot 0 (epoch bump), adopts the journal
+   with ``base_seq`` continuation, and serves the resumed stream;
+5. the stitched stream is gapless (every seq exactly once, from 1)
+   and its result digest equals an uninterrupted run's.
+
+On failure the journal and cluster directories are copied to
+``./serve-cluster-journal`` so CI can upload them as an artifact.
+Exit status 0 on success.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List
+
+from repro.faults import chaos
+from repro.serve import client, protocol
+from repro.serve.cluster import HashRing, read_fence_epoch
+from repro.serve.journal import JournalStore, job_summary
+from repro.serve.resilience_smoke import pump_output, result_digest
+from repro.serve.smoke import BOOT_TIMEOUT_S, wait_for_listen
+
+STREAM_TIMEOUT_S = 300.0
+LEASE_TTL_S = 1.0
+ARTIFACT_DIR = "serve-cluster-journal"
+
+
+def request_owned_by_shard_0() -> Dict[str, object]:
+    """An app submit the two-shard ring assigns to shard 0."""
+    ring = HashRing(2)
+    for seed in range(256):
+        doc: Dict[str, object] = {
+            "kind": "app", "app": "array-insert", "mode": "speedup",
+            "pages": 2.0, "seed": seed, "tenant": "smoke",
+        }
+        if ring.owner(protocol.parse_submit(doc).coalesce_key()) == 0:
+            return doc
+    raise AssertionError("no seed hashed to shard 0")
+
+
+def start_shard(
+    cache_dir: str, index: int, chaos_spec: str, history_path: str
+) -> "subprocess.Popen[str]":
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = cache_dir
+    env["REPRO_HISTORY_PATH"] = history_path
+    env[chaos.CHAOS_ENV] = chaos_spec
+    env.setdefault("PYTHONUNBUFFERED", "1")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--shards", "2", "--shard-index", str(index),
+         "--port", "0", "--jobs", "1",
+         "--lease-ttl", str(LEASE_TTL_S)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="repro-serve-cluster-")
+    cache_dir = os.path.join(tmp, "cache")
+    cluster_dir = os.path.join(cache_dir, "cluster")
+    history_path = os.path.join(tmp, "history.jsonl")
+    chaos_spec = os.path.join(tmp, "chaos.json")
+    # Shard-scoped kill: only the process running --shard-index 0 dies.
+    chaos.write_spec(
+        chaos_spec,
+        os.path.join(tmp, "chaos-state"),
+        [{"match": "serve.publish:progress", "mode": "kill",
+          "times": 1, "shard": 0}],
+    )
+    request = request_owned_by_shard_0()
+    procs: List["subprocess.Popen[str]"] = []
+    try:
+        # --- two shards, one cache dir --------------------------------
+        proc_a = start_shard(cache_dir, 0, chaos_spec, history_path)
+        procs.append(proc_a)
+        base_a = wait_for_listen(proc_a)
+        pump_output(proc_a, [])
+        proc_b = start_shard(cache_dir, 1, chaos_spec, history_path)
+        procs.append(proc_b)
+        base_b = wait_for_listen(proc_b)
+        lines_b: List[str] = []
+        pump_output(proc_b, lines_b)
+        print(f"smoke: shard A at {base_a}, shard B at {base_b}", flush=True)
+
+        # --- client submits via the WRONG shard ------------------------
+        out: Dict[str, object] = {}
+
+        def run_client() -> None:
+            try:
+                out["events"] = list(
+                    client.stream_submit_resilient(
+                        base_b,
+                        dict(request),
+                        reconnects=12,
+                        backoff_s=0.5,
+                        timeout=STREAM_TIMEOUT_S,
+                        log=lambda msg: print(f"[client] {msg}", flush=True),
+                    )
+                )
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                out["error"] = exc
+
+        worker = threading.Thread(target=run_client, daemon=True)
+        worker.start()
+
+        # --- chaos fires: shard A dies by SIGKILL mid-publish ----------
+        rc_a = proc_a.wait(timeout=BOOT_TIMEOUT_S + STREAM_TIMEOUT_S)
+        assert rc_a == -signal.SIGKILL, (
+            f"shard A exited {rc_a}, expected SIGKILL ({-signal.SIGKILL})"
+        )
+        print(f"smoke: shard A killed by chaos (rc={rc_a})", flush=True)
+
+        # --- the client survives via B's fenced takeover ---------------
+        worker.join(timeout=STREAM_TIMEOUT_S)
+        assert not worker.is_alive(), "client did not finish in time"
+        if "error" in out:
+            raise AssertionError(f"client failed: {out['error']!r}")
+        events: List[Dict[str, object]] = out["events"]  # type: ignore[assignment]
+
+        kinds = [e.get("event") for e in events]
+        assert kinds[-1] == "done" and events[-1].get("ok") is True, events[-1]
+        assert kinds.count("accepted") >= 2, "client never resumed"
+        recovered = [e for e in events if e.get("event") == "recovered"]
+        assert recovered and recovered[0].get("takeover_from") == 0, (
+            f"no takeover recovery event: {kinds}"
+        )
+        seqs = [e["seq"] for e in events if "seq" in e]
+        assert seqs == list(range(1, len(seqs) + 1)), (
+            f"seqs not gapless/duplicate-free across shards: {seqs}"
+        )
+
+        # --- cluster state: fence bumped, takeover counted -------------
+        assert read_fence_epoch(cluster_dir, 0) >= 2, (
+            "slot 0's fence epoch was never bumped"
+        )
+        metrics = client.get_json(base_b, "/metrics")
+        assert metrics["cluster.takeovers_total"] == 1.0, metrics
+        assert metrics["cluster.takeover_jobs_adopted"] == 1.0, metrics
+        store = JournalStore(os.path.join(cache_dir, "jobs"))
+        done = [
+            job_id for job_id in store.job_ids()
+            if job_summary(store.read(job_id))["done"]
+        ]
+        assert done, "the adopted job's journal never reached done"
+
+        # --- identical results to an uninterrupted run ------------------
+        # Shard 0 is dead, so B now owns the whole ring and serves the
+        # same request locally (warm cache; values must be identical).
+        clean = list(
+            client.stream_submit(base_b, dict(request), timeout=STREAM_TIMEOUT_S)
+        )
+        assert clean[-1].get("ok") is True, clean[-1]
+        assert result_digest(events) == result_digest(clean), (
+            "failover results differ from a clean run"
+        )
+        print("smoke: failover digest == clean digest", flush=True)
+
+        # --- graceful drain writes the admission history ----------------
+        proc_b.send_signal(signal.SIGTERM)
+        rc_b = proc_b.wait(timeout=60)
+        assert rc_b == 0, f"shard B exited {rc_b} on SIGTERM"
+        with open(history_path) as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        serve_records = [r for r in records if r.get("kind") == "serve"]
+        assert serve_records, f"no serve history records in {records}"
+        tail = serve_records[-1]
+        assert tail["shard"] == 1 and "admission" in tail, tail
+        assert tail["cluster"]["takeovers_total"] == 1.0, tail
+
+        print("smoke: serve cluster failover smoke passed", flush=True)
+        return 0
+    except BaseException:
+        shutil.rmtree(ARTIFACT_DIR, ignore_errors=True)
+        os.makedirs(ARTIFACT_DIR, exist_ok=True)
+        for sub in ("jobs", "cluster"):
+            src = os.path.join(cache_dir, sub)
+            if os.path.isdir(src):
+                shutil.copytree(src, os.path.join(ARTIFACT_DIR, sub))
+        print(f"smoke: state preserved at ./{ARTIFACT_DIR}", flush=True)
+        raise
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

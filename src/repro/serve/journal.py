@@ -58,7 +58,7 @@ import threading
 import time
 import zlib
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 #: Journal file suffix (``<job_id>.wal``).
 JOURNAL_SUFFIX = ".wal"
@@ -77,6 +77,17 @@ JOB_ID_RE = re.compile(r"^[0-9a-f]{8,64}(-[0-9a-f]{1,16})?$")
 
 class JournalError(Exception):
     """A journal operation that could not be performed."""
+
+
+class FencedError(JournalError):
+    """A journal append rejected because the writer's epoch is stale.
+
+    Raised by a :attr:`JobJournal.fence` guard (installed by the serve
+    cluster layer) when the appending shard's slot has been taken over
+    at a newer epoch: the writer is a *zombie* — presumed dead, its
+    jobs already re-enqueued elsewhere — and must not interleave late
+    records with its successor's.
+    """
 
 
 def valid_job_id(job_id: str) -> bool:
@@ -142,9 +153,11 @@ def job_summary(records: List[Dict[str, object]]) -> Dict[str, object]:
 
     Shape (shared by ``GET /jobs/<id>`` and recovery):
     ``job``/``key``/``kind``/``tenant``/``spec``/``created_at`` from
-    the request record (absent fields are ``None``), plus ``seq`` (the
-    highest journaled sequence number), ``events`` (count), ``done``
-    and ``ok`` (from a journaled final ``done`` event, else
+    the request record (absent fields are ``None``), ``shard``/
+    ``epoch`` (the cluster slot and lease epoch that admitted the job;
+    ``None`` for single-process journals), plus ``seq`` (the highest
+    journaled sequence number), ``events`` (count), ``done`` and
+    ``ok`` (from a journaled final ``done`` event, else
     ``False``/``None``).
     """
     summary: Dict[str, object] = {
@@ -154,6 +167,8 @@ def job_summary(records: List[Dict[str, object]]) -> Dict[str, object]:
         "tenant": None,
         "spec": None,
         "created_at": None,
+        "shard": None,
+        "epoch": None,
         "seq": 0,
         "events": 0,
         "done": False,
@@ -162,7 +177,10 @@ def job_summary(records: List[Dict[str, object]]) -> Dict[str, object]:
     for record in records:
         rtype = record.get("type")
         if rtype == "request":
-            for name in ("job", "key", "kind", "tenant", "spec", "created_at"):
+            for name in (
+                "job", "key", "kind", "tenant", "spec", "created_at",
+                "shard", "epoch",
+            ):
                 summary[name] = record.get(name)
         elif rtype == "event":
             summary["events"] = int(summary["events"]) + 1
@@ -193,17 +211,30 @@ class JobJournal:
         self.path = Path(path)
         self._fd: Optional[int] = fd
         self._lock = threading.Lock()
+        #: Optional append guard installed by the cluster layer
+        #: (:meth:`repro.serve.cluster.ClusterMembership.check_fence`):
+        #: called before every write and expected to raise
+        #: :class:`FencedError` when this writer's shard epoch has been
+        #: superseded by a takeover.
+        self.fence: Optional[Callable[[], None]] = None
 
     @property
     def closed(self) -> bool:
         return self._fd is None
 
     def append(self, payload: Dict[str, object]) -> None:
-        """Append one framed record durably (no-op after close)."""
+        """Append one framed record durably (no-op after close).
+
+        With a :attr:`fence` guard installed, the epoch check runs
+        under the append lock *before* the write — a fenced (zombie)
+        writer gets :class:`FencedError` and the file is untouched.
+        """
         frame = encode_record(payload)
         with self._lock:
             if self._fd is None:
                 return
+            if self.fence is not None:
+                self.fence()
             os.write(self._fd, frame)
             os.fsync(self._fd)
 
@@ -327,23 +358,46 @@ class JournalStore:
             "journal_bytes": total_bytes,
         }
 
+    def _protected_shards(self) -> Set[int]:
+        """Cluster slots whose journals must not be pruned right now.
+
+        A shard holding a live lease — or one whose journals a peer is
+        mid-takeover on — may be about to append to or re-enqueue its
+        journals; pruning them out from under it would turn a routine
+        sweep into data loss.  The cluster dir is a sibling of the
+        journal dir (``<cache>/cluster/`` next to ``<cache>/jobs/``);
+        absent (the single-process case) nothing is protected.
+        """
+        from repro.serve.cluster import CLUSTER_DIRNAME, protected_shards
+
+        return protected_shards(self.root.parent / CLUSTER_DIRNAME)
+
     def prune(self, days: float) -> Dict[str, int]:
         """Sweep old *completed* journals and orphaned tmp litter.
 
         Incomplete journals are never pruned — they are recoverable
         work, and the server re-enqueues them on its next start.
-        Returns ``{"journals": removed, "tmp": removed}``.
+        Journals admitted by a cluster shard whose lease is live (or
+        mid-takeover) are skipped too, whatever their age: their owner
+        may append or recover them concurrently.  Returns
+        ``{"journals": removed, "tmp": removed, "leased": skipped}``.
         """
         if days < 0:
             raise ValueError("days cannot be negative")
         cutoff = time.time() - days * 86400.0
-        removed = {"journals": 0, "tmp": 0}
+        protected = self._protected_shards()
+        removed = {"journals": 0, "tmp": 0, "leased": 0}
         for job_id in self.job_ids():
             path = self.path_for(job_id)
             try:
                 if path.stat().st_mtime > cutoff:
                     continue
-                if not job_summary(self.read(job_id))["done"]:
+                summary = job_summary(self.read(job_id))
+                shard = summary.get("shard")
+                if isinstance(shard, int) and shard in protected:
+                    removed["leased"] += 1
+                    continue
+                if not summary["done"]:
                     continue
                 path.unlink()
                 removed["journals"] += 1

@@ -44,6 +44,22 @@ streams carry periodic ``heartbeat`` events, and a subscriber that
 stops reading for ``subscriber_stall_s`` is disconnected instead of
 wedging the fan-out.  ``GET /jobs/<id>`` reports any job's status —
 live or from its journal.
+
+**Clustering** (PR 10): with ``--shards N --shard-index I`` (or the
+``--cluster N`` launcher) several server processes share one cache
+dir.  Job keys are consistent-hashed onto shards
+(:class:`repro.serve.cluster.HashRing`); a submit landing on the
+wrong shard gets ``307 + Location`` pointing at the owner.  Each
+shard heartbeats a fsynced lease under ``<cache>/cluster/``; when a
+lease expires, one surviving peer wins an O_EXCL takeover claim,
+bumps the slot's *fence epoch* (so the dead shard — should it turn
+out to be a zombie — has its late journal appends rejected with
+:class:`~repro.serve.journal.FencedError`), and re-enqueues the dead
+shard's incomplete journals through the ordinary recovery path with
+``base_seq`` continuation: a client that resumes after the takeover
+stitches the stream gaplessly.  ``GET /cluster`` reports membership;
+``cluster.*`` counters land in ``/metrics``; a drain appends an
+admission/queue-wait summary to ``BENCH_history.jsonl``.
 """
 
 from __future__ import annotations
@@ -61,13 +77,15 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.experiments import harness
 from repro.faults import chaos
+from repro.serve import cluster as cluster_mod
 from repro.serve import journal as journal_mod
 from repro.serve import protocol
-from repro.serve.journal import JournalError, JournalStore
+from repro.serve.cluster import ClusterError, ClusterMembership, HashRing
+from repro.serve.journal import FencedError, JournalError, JournalStore
 from repro.serve.scheduler import SingleFlight
 from repro.trace.metrics import MetricsRegistry
 
@@ -106,6 +124,31 @@ class ServeConfig:
     subscriber_stall_s: float = 30.0
     #: write-ahead job journals under ``<cache>/jobs/``.
     use_journal: bool = True
+    #: cluster size this process is one shard of (1 = standalone).
+    shards: int = 1
+    #: this process's shard slot (``None`` outside cluster mode; with
+    #: ``shards > 1`` it defaults to 0).
+    shard_index: Optional[int] = None
+    #: heartbeat lease time-to-live; a peer whose lease is older is
+    #: presumed dead and its incomplete journals become claimable.
+    lease_ttl_s: float = cluster_mod.DEFAULT_LEASE_TTL_S
+    #: ``host:port`` peers should redirect clients to (defaults to the
+    #: actual listen address — override behind NAT/proxies).
+    advertise: Optional[str] = None
+
+    @property
+    def cluster_enabled(self) -> bool:
+        return self.shards > 1 or self.shard_index is not None
+
+    def resolved_shard_index(self) -> int:
+        return self.shard_index if self.shard_index is not None else 0
+
+    def resolve_cluster_dir(self) -> Path:
+        """Where lease/fence/takeover files live (sibling of jobs/)."""
+        return (
+            Path(self.job_settings().resolve_cache_dir())
+            / cluster_mod.CLUSTER_DIRNAME
+        )
 
     def job_settings(self) -> harness.HarnessSettings:
         """The harness policy each job thread scopes in."""
@@ -223,6 +266,15 @@ class Job:
         self.started_at: Optional[float] = None
         self.subscribers = 1
         self.journal_errors = 0
+        #: appends rejected by epoch fencing (this process is a zombie
+        #: whose slot was taken over) — a subset of journal_errors.
+        self.fenced_rejections = 0
+        #: server callback invoked (from the publishing thread) on a
+        #: fenced append, so the cluster counter updates immediately.
+        self.on_fenced: Optional[Callable[[], None]] = None
+        #: this server's shard index, threaded into chaos sites so
+        #: shard-scoped kill rules target exactly one process.
+        self.chaos_shard: Optional[int] = None
         self._seq_lock = threading.Lock()
         self._update = asyncio.Event()
 
@@ -242,10 +294,21 @@ class Job:
                     self.journal.append(
                         {"type": "event", "seq": self.seq, "event": event}
                     )
+                except FencedError:
+                    # This process is a zombie: its slot was taken over
+                    # and a peer owns the journal now.  The append was
+                    # rejected before touching the file; keep fanning
+                    # out in memory so local subscribers still unblock.
+                    self.journal_errors += 1
+                    self.fenced_rejections += 1
+                    callback = self.on_fenced
+                    if callback is not None:
+                        callback()
                 except (OSError, JournalError):
                     self.journal_errors += 1
         chaos.maybe_injure_serve(
-            f"serve.publish:{event.get('event')}", self.job_id, modes=("kill",)
+            f"serve.publish:{event.get('event')}", self.job_id,
+            modes=("kill",), shard=self.chaos_shard,
         )
 
         def _apply() -> None:
@@ -324,6 +387,24 @@ class SweepServer:
         self.recovered_jobs = 0
         self.active = 0
         self.draining = False
+        self.cluster: Optional[ClusterMembership] = None
+        self.ring: Optional[HashRing] = (
+            HashRing(config.shards) if config.cluster_enabled else None
+        )
+        self.cluster_ns = self.registry.namespace("cluster")
+        if config.cluster_enabled:
+            # Pre-create the headline counters so /metrics reports
+            # zeros rather than omitting them before the first event.
+            for name in (
+                "redirects_total", "takeovers_total",
+                "fenced_appends_rejected",
+            ):
+                self.cluster_ns.counter(name)
+        #: newest epoch per dead slot already swept for takeover —
+        #: avoids rescanning the journal dir every lease tick for a
+        #: peer that stays dead.
+        self._slot_epochs_handled: Dict[int, int] = {}
+        self._fence_reported = False
         self.executor = ThreadPoolExecutor(
             max_workers=max(1, config.concurrency),
             thread_name_prefix="repro-serve",
@@ -334,6 +415,7 @@ class SweepServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._dispatcher: Optional[asyncio.Future] = None
+        self._cluster_task: Optional[asyncio.Future] = None
         self._wake: Optional[asyncio.Event] = None
         self._drained: Optional[asyncio.Event] = None
 
@@ -344,83 +426,174 @@ class SweepServer:
         self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
         self._drained = asyncio.Event()
-        self.recovered_jobs = self._recover_jobs()
+        # Bind first: in cluster mode the lease advertises the *actual*
+        # listen address (--port 0 picks a free port).  Recovery still
+        # runs before any request is served — it is synchronous on the
+        # loop thread, so accepted connections queue behind it.
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port
         )
+        if self.config.cluster_enabled:
+            host, port = self.addresses()[0]
+            self.cluster = ClusterMembership(
+                self.config.resolve_cluster_dir(),
+                self.config.resolved_shard_index(),
+                self.config.shards,
+                addr=self.config.advertise or f"{host}:{port}",
+                ttl_s=self.config.lease_ttl_s,
+            )
+            try:
+                self.cluster.acquire()
+            except ClusterError:
+                self._server.close()
+                raise
+        self.recovered_jobs = self._recover_jobs()
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        if self.cluster is not None:
+            self._cluster_task = asyncio.ensure_future(self._cluster_loop())
         return self.addresses()
+
+    @staticmethod
+    def _recoverable_request(
+        summary: Dict[str, object]
+    ) -> Optional[Tuple[protocol.SubmitRequest, str]]:
+        """Rebuild ``(request, key)`` from a journal summary, if usable."""
+        kind = summary["kind"]
+        spec = summary["spec"]
+        if (
+            kind not in protocol.VALID_KINDS
+            or kind == "resume"
+            or not isinstance(spec, dict)
+        ):
+            return None  # unusable journal; leave it for inspection
+        request = protocol.SubmitRequest(
+            kind=str(kind),
+            tenant=str(summary["tenant"] or "default"),
+            spec=spec,
+        )
+        return request, str(summary["key"] or request.coalesce_key())
 
     def _recover_jobs(self) -> int:
         """Re-enqueue every journaled job that never reached ``done``.
 
-        Runs before the listener opens, on the loop thread.  Safe to
+        Runs before any request is served, on the loop thread.  Safe to
         repeat across restarts: re-running finished work hits the
         content-addressed cache, and concurrent duplicates coalesce in
         the single-flight tables.  When two incomplete journals share a
         coalesce key (a job crashed, was resubmitted, crashed again)
         the oldest wins and the others are closed out as superseded so
         they become prunable.
+
+        In cluster mode a cold-booting shard claims only journals its
+        previous incarnation admitted (``shard == me``), plus
+        pre-cluster journals whose key the ring assigns to it; another
+        shard's incomplete journals belong to that shard — or, once its
+        lease expires, to whichever peer wins the fenced takeover
+        (:meth:`_check_takeovers`).
         """
         if self.journals is None:
             return 0
         assert self._loop is not None and self._wake is not None
+        me = self.config.resolved_shard_index()
         recovered = 0
         for job_id, records in self.journals.scan():
             summary = journal_mod.job_summary(records)
             if summary["done"]:
                 continue
-            kind = summary["kind"]
-            spec = summary["spec"]
-            if (
-                kind not in protocol.VALID_KINDS
-                or kind == "resume"
-                or not isinstance(spec, dict)
-            ):
-                continue  # unusable journal; leave it for inspection
-            request = protocol.SubmitRequest(
-                kind=str(kind),
-                tenant=str(summary["tenant"] or "default"),
-                spec=spec,
-            )
-            key = str(summary["key"] or request.coalesce_key())
-            if key in self.jobs_by_key:
-                self._close_superseded(job_id, summary)
+            parsed = self._recoverable_request(summary)
+            if parsed is None:
                 continue
-            try:
-                jnl, records = self.journals.open_existing(job_id)
-            except (OSError, JournalError):
-                continue
-            job = Job(
-                key,
-                request,
-                self._loop,
-                job_id=job_id,
-                journal=jnl,
-                base_seq=int(summary["seq"]),  # type: ignore[call-overload]
-            )
-            job.recovered = True
-            job.subscribers = 0
-            job.events = [
-                rec["event"]
-                for rec in records
-                if rec.get("type") == "event" and isinstance(rec.get("event"), dict)
-            ]
-            self.jobs_by_key[key] = job
-            self.jobs_by_id[job_id] = job
-            job.publish({"event": "recovered", "tenant": request.tenant})
-            self.queue.push(request.tenant, job)
-            self.serve_ns.counter("recovered_jobs").add()
-            recovered += 1
+            request, key = parsed
+            if self.ring is not None:
+                shard = summary.get("shard")
+                if isinstance(shard, int):
+                    if shard != me:
+                        continue
+                elif self.ring.owner(key) != me:
+                    continue
+            if self._enqueue_recovered(job_id, summary, request, key):
+                recovered += 1
         if recovered:
             self._wake.set()
         return recovered
+
+    def _enqueue_recovered(
+        self,
+        job_id: str,
+        summary: Dict[str, object],
+        request: protocol.SubmitRequest,
+        key: str,
+        takeover_from: Optional[int] = None,
+    ) -> Optional[Job]:
+        """Re-open one incomplete journal as a live queued job.
+
+        Shared by startup recovery, the periodic dead-peer sweep, and
+        on-demand resume adoption.  ``base_seq`` continues the journal's
+        numbering so replayed and re-run events never share a seq.
+        Duplicate keys are closed out as superseded instead.
+        """
+        assert self.journals is not None
+        assert self._loop is not None and self._wake is not None
+        if job_id in self.jobs_by_id:
+            return None  # already live here
+        if key in self.jobs_by_key:
+            self._close_superseded(job_id, summary)
+            return None
+        try:
+            jnl, records = self.journals.open_existing(job_id)
+        except (OSError, JournalError):
+            return None
+        if self.cluster is not None:
+            jnl.fence = self.cluster.check_fence
+        job = Job(
+            key,
+            request,
+            self._loop,
+            job_id=job_id,
+            journal=jnl,
+            base_seq=int(summary["seq"]),  # type: ignore[call-overload]
+        )
+        job.recovered = True
+        job.subscribers = 0
+        self._wire_cluster_hooks(job)
+        job.events = [
+            rec["event"]
+            for rec in records
+            if rec.get("type") == "event" and isinstance(rec.get("event"), dict)
+        ]
+        self.jobs_by_key[key] = job
+        self.jobs_by_id[job_id] = job
+        recovered_event: Dict[str, object] = {
+            "event": "recovered", "tenant": request.tenant,
+        }
+        if takeover_from is not None:
+            recovered_event["takeover_from"] = takeover_from
+        job.publish(recovered_event)
+        self.queue.push(request.tenant, job)
+        self.serve_ns.counter("recovered_jobs").add()
+        self._wake.set()
+        return job
+
+    def _wire_cluster_hooks(self, job: Job) -> None:
+        """Point a job's fencing/chaos callbacks at this server."""
+        if self.config.cluster_enabled:
+            job.chaos_shard = self.config.resolved_shard_index()
+        if self.cluster is not None:
+            job.on_fenced = self._on_fenced_append
+
+    def _on_fenced_append(self) -> None:
+        # Called from publishing worker threads; Counter.add is a plain
+        # float += (GIL-atomic enough for a diagnostic counter).
+        self.cluster_ns.counter("fenced_appends_rejected").add()
+        self.serve_ns.counter("journal_errors").add()
 
     def _close_superseded(self, job_id: str, summary: Dict[str, object]) -> None:
         """Finish a duplicate incomplete journal so it becomes prunable."""
         assert self.journals is not None
         try:
             jnl, _records = self.journals.open_existing(job_id)
+            if self.cluster is not None:
+                jnl.fence = self.cluster.check_fence
             seq = int(summary["seq"]) + 1  # type: ignore[call-overload]
             jnl.append(
                 {
@@ -436,8 +609,95 @@ class SweepServer:
                 }
             )
             jnl.close()
+            self.serve_ns.counter("superseded_journals").add()
         except (OSError, JournalError):
             pass
+
+    # ------------------------------------------------------------------
+    # Cluster membership (event-loop thread)
+
+    async def _cluster_loop(self) -> None:
+        """Renew this shard's lease and sweep for dead peers."""
+        assert self.cluster is not None and self._drained is not None
+        interval = max(0.05, self.config.lease_ttl_s / 3.0)
+        while not self._drained.is_set():
+            try:
+                await asyncio.wait_for(self._drained.wait(), timeout=interval)
+                break  # drained: close() releases the lease
+            except asyncio.TimeoutError:
+                pass
+            if not self.cluster.renew():
+                if not self._fence_reported:
+                    self._fence_reported = True
+                    print(
+                        f"serve: shard {self.cluster.shard_index} fenced "
+                        f"(epoch {self.cluster.epoch} superseded by "
+                        f"{cluster_mod.read_fence_epoch(self.cluster.root, self.cluster.shard_index)}); "
+                        "draining",
+                        flush=True,
+                    )
+                    self.request_shutdown()
+                continue  # a zombie must not take over anything
+            self._check_takeovers()
+
+    def _check_takeovers(self) -> None:
+        """Fence dead peers and adopt their incomplete journals.
+
+        Journal scans only happen while a peer slot is dead *and* its
+        newest known epoch is one we have not swept yet — a peer that
+        stays dead (or never started) costs a few lease-file reads per
+        tick, not a directory walk.
+        """
+        if self.cluster is None or self.journals is None:
+            return
+        dead = self.cluster.dead_slots()
+        if not dead:
+            return
+        pending_by_slot: Optional[Dict[int, List[Tuple[str, Dict[str, object]]]]] = None
+        for slot in dead:
+            latest = self.cluster.latest_epoch(slot)
+            if self._slot_epochs_handled.get(slot, -1) >= latest:
+                continue
+            if pending_by_slot is None:
+                pending_by_slot = {}
+                for job_id, records in self.journals.scan():
+                    summary = journal_mod.job_summary(records)
+                    if summary["done"]:
+                        continue
+                    shard = summary.get("shard")
+                    if isinstance(shard, int):
+                        pending_by_slot.setdefault(shard, []).append(
+                            (job_id, summary)
+                        )
+            jobs = pending_by_slot.get(slot, [])
+            if not jobs:
+                # Nothing to adopt: no takeover needed (and no fence —
+                # a restarting peer should not find its epoch burned).
+                self._slot_epochs_handled[slot] = latest
+                continue
+            outcome, epoch = self.cluster.fence_slot(slot)
+            self._slot_epochs_handled[slot] = epoch
+            if outcome == "lost":
+                continue  # another peer owns this takeover
+            if outcome == "won":
+                self.cluster_ns.counter("takeovers_total").add()
+                print(
+                    f"serve: shard {self.cluster.shard_index} taking over "
+                    f"{len(jobs)} job(s) from dead shard {slot} "
+                    f"(fence epoch {epoch})",
+                    flush=True,
+                )
+            adopted = 0
+            for job_id, summary in jobs:
+                parsed = self._recoverable_request(summary)
+                if parsed is None:
+                    continue
+                request, key = parsed
+                if self._enqueue_recovered(
+                    job_id, summary, request, key, takeover_from=slot
+                ):
+                    adopted += 1
+            self.cluster_ns.counter("takeover_jobs_adopted").add(adopted)
 
     def addresses(self) -> List[Tuple[str, int]]:
         assert self._server is not None
@@ -456,6 +716,12 @@ class SweepServer:
         await self._drained.wait()
 
     async def close(self) -> None:
+        if self._cluster_task is not None:
+            self._cluster_task.cancel()
+            try:
+                await self._cluster_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -463,6 +729,11 @@ class SweepServer:
         # writers one scheduling round to flush and close.
         await asyncio.sleep(0.05)
         self.executor.shutdown(wait=True)
+        if self.cluster is not None:
+            # Lease released only after the drain: while jobs were
+            # still finishing, peers must not have considered this
+            # slot dead and fenced it mid-write.
+            self.cluster.release()
 
     # ------------------------------------------------------------------
     # Dispatch (event-loop thread only)
@@ -689,6 +960,8 @@ class SweepServer:
             )
         elif path == "/metrics":
             writer.write(protocol.json_response(200, self.metrics_snapshot()))
+        elif path == "/cluster":
+            writer.write(protocol.json_response(200, self.cluster_status()))
         elif path == "/cache/stats":
             cache = harness.ResultCache(
                 self.config.job_settings().resolve_cache_dir()
@@ -707,6 +980,7 @@ class SweepServer:
                             "POST /submit",
                             "GET /jobs/<id>",
                             "GET /metrics",
+                            "GET /cluster",
                             "GET /cache/stats",
                             "GET /healthz",
                         ],
@@ -761,7 +1035,48 @@ class SweepServer:
         self.serve_ns.counter("inflight_tasks").set(
             float(len(self.singleflight.inflight_keys()))
         )
+        if self.cluster is not None:
+            me = self.cluster.shard_index
+            self.cluster_ns.counter("shards_alive").set(
+                float(len(self.cluster.alive()))
+            )
+            self.cluster_ns.counter("epoch").set(float(self.cluster.epoch))
+            self.cluster_ns.counter("fenced").set(
+                1.0 if self.cluster.fenced else 0.0
+            )
+            self.cluster_ns.counter(f"shard.{me}.queue_depth").set(
+                float(len(self.queue))
+            )
+            self.cluster_ns.counter(f"shard.{me}.active_jobs").set(
+                float(self.active)
+            )
         return self.registry.as_dict()
+
+    def cluster_status(self) -> Dict[str, object]:
+        """The ``GET /cluster`` membership document."""
+        if self.cluster is None:
+            return {"cluster": False, "shards": 1}
+        now = time.time()
+        peers: Dict[str, object] = {}
+        for slot, lease in sorted(self.cluster.peers().items()):
+            peers[str(slot)] = {
+                "addr": lease.addr,
+                "epoch": lease.epoch,
+                "pid": lease.pid,
+                "alive": not lease.expired(now),
+                "expires_in_s": round(
+                    lease.ttl_s - (now - lease.renewed_at), 3
+                ),
+            }
+        return {
+            "cluster": True,
+            "shard": self.cluster.shard_index,
+            "shards": self.cluster.n_shards,
+            "epoch": self.cluster.epoch,
+            "fenced": self.cluster.fenced,
+            "alive": sorted(self.cluster.alive(now)),
+            "peers": peers,
+        }
 
     async def _handle_submit(
         self, headers: Dict[str, str], body: bytes, writer: asyncio.StreamWriter
@@ -801,6 +1116,25 @@ class SweepServer:
         key = request.coalesce_key()
         job = self.jobs_by_key.get(key)
         coalesced = job is not None
+        if job is None and self.cluster is not None:
+            # A job already live here (e.g. adopted in a takeover)
+            # coalesces locally; only *new* keys route by the ring.
+            redirect = self._redirect_for(key)
+            if redirect is not None:
+                owner, location = redirect
+                self.cluster_ns.counter("redirects_total").add()
+                writer.write(
+                    protocol.redirect_response(
+                        location,
+                        {
+                            "event": "redirect",
+                            "shard": owner,
+                            "location": location,
+                        },
+                    )
+                )
+                await writer.drain()
+                return
         if job is None:
             if len(self.queue) >= self.config.max_queue:
                 self.serve_ns.counter("rejected_total").add()
@@ -837,6 +1171,18 @@ class SweepServer:
         await writer.drain()
         await self._stream_job(job, 0, sse, writer)
 
+    def _redirect_for(self, key: str) -> Optional[Tuple[int, str]]:
+        """``(owner, submit URL)`` when another live shard owns ``key``."""
+        assert self.cluster is not None and self.ring is not None
+        alive = self.cluster.alive()
+        owner = self.ring.owner(key, alive)
+        if owner == self.cluster.shard_index:
+            return None
+        lease = self.cluster.peers().get(owner)
+        if lease is None or not lease.addr:
+            return None  # can't name a target; serve it here instead
+        return owner, f"http://{lease.addr}/submit"
+
     def _admit_job(self, key: str, request: protocol.SubmitRequest) -> Job:
         """Create, journal, register, and enqueue a brand-new job."""
         assert self._loop is not None and self._wake is not None
@@ -849,21 +1195,28 @@ class SweepServer:
                         jnl = self.journals.create(job_id)
                     except FileExistsError:
                         job_id = f"{key[:16]}-{os.urandom(4).hex()}"
-                jnl.append(
-                    {
-                        "type": "request",
-                        "job": job_id,
-                        "key": key,
-                        "kind": request.kind,
-                        "tenant": request.tenant,
-                        "spec": request.spec,
-                        "created_at": time.time(),
-                    }
-                )
+                if self.cluster is not None:
+                    jnl.fence = self.cluster.check_fence
+                record: Dict[str, object] = {
+                    "type": "request",
+                    "job": job_id,
+                    "key": key,
+                    "kind": request.kind,
+                    "tenant": request.tenant,
+                    "spec": request.spec,
+                    "created_at": time.time(),
+                }
+                if self.cluster is not None:
+                    # The admitting slot/epoch: the coordinates dead-peer
+                    # takeover and lease-aware prune key off.
+                    record["shard"] = self.cluster.shard_index
+                    record["epoch"] = self.cluster.epoch
+                jnl.append(record)
             except (OSError, JournalError):
                 jnl = None  # degrade to in-memory-only; the job still runs
                 self.serve_ns.counter("journal_errors").add()
         job = Job(key, request, self._loop, job_id=job_id, journal=jnl)
+        self._wire_cluster_hooks(job)
         self.jobs_by_key[key] = job
         self.jobs_by_id[job_id] = job
         self.queue.push(request.tenant, job)
@@ -921,6 +1274,17 @@ class SweepServer:
             await writer.drain()
             return
         summary = journal_mod.job_summary(records)
+        if not summary["done"] and self.cluster is not None:
+            # Incomplete and not live here.  Either the owner is a live
+            # peer (redirect the client there) or it is dead — adopt
+            # the job *now* rather than make the client wait for the
+            # periodic sweep: fence the dead slot, re-enqueue with
+            # base_seq continuation, and stream the stitched result.
+            routed = await self._resume_cluster(
+                job_id, summary, after_seq, sse, writer
+            )
+            if routed:
+                return
         self.serve_ns.counter("resumed_total").add()
         writer.write(protocol.stream_head(sse))
         writer.write(
@@ -968,6 +1332,97 @@ class SweepServer:
             )
         await writer.drain()
 
+    async def _resume_cluster(
+        self,
+        job_id: str,
+        summary: Dict[str, object],
+        after_seq: int,
+        sse: bool,
+        writer: asyncio.StreamWriter,
+    ) -> bool:
+        """Cluster routing for a resume of a non-live, incomplete job.
+
+        Returns ``True`` when a response was written (a redirect to the
+        live owner, or an adopted live stream); ``False`` to fall back
+        to the plain journal replay and its resubmit-error tail.
+        """
+        assert self.cluster is not None and self.ring is not None
+        me = self.cluster.shard_index
+        parsed = self._recoverable_request(summary)
+        key = parsed[1] if parsed is not None else str(summary["key"] or "")
+        if key:
+            alive = self.cluster.alive()
+            owner = self.ring.owner(key, alive)
+            if owner != me:
+                lease = self.cluster.peers().get(owner)
+                if lease is not None and lease.addr:
+                    location = f"http://{lease.addr}/submit"
+                    self.cluster_ns.counter("redirects_total").add()
+                    writer.write(
+                        protocol.redirect_response(
+                            location,
+                            {
+                                "event": "redirect",
+                                "shard": owner,
+                                "location": location,
+                                "job": job_id,
+                            },
+                        )
+                    )
+                    await writer.drain()
+                    return True
+        if parsed is None:
+            return False
+        shard = summary.get("shard")
+        takeover_from: Optional[int] = None
+        if isinstance(shard, int) and shard != me:
+            if shard in self.cluster.alive():
+                # The admitting shard is alive but no longer runs the
+                # job and the ring routes here: an edge the periodic
+                # machinery doesn't cover — let the client resubmit.
+                return False
+            outcome, epoch = self.cluster.fence_slot(shard)
+            if outcome == "lost":
+                return False  # a peer is mid-takeover; client retries
+            self._slot_epochs_handled[shard] = epoch
+            takeover_from = shard
+            if outcome == "won":
+                self.cluster_ns.counter("takeovers_total").add()
+                print(
+                    f"serve: shard {me} fenced dead shard {shard} "
+                    f"(epoch {epoch}) to adopt job {job_id}",
+                    flush=True,
+                )
+        request, key = parsed
+        job = self._enqueue_recovered(
+            job_id, summary, request, key, takeover_from=takeover_from
+        )
+        if job is None:
+            job = self.jobs_by_id.get(job_id)
+            if job is None:
+                return False
+        job.subscribers += 1
+        self.serve_ns.counter("resumed_total").add()
+        writer.write(protocol.stream_head(sse))
+        writer.write(
+            protocol.encode_event(
+                {
+                    "event": "accepted",
+                    "job": job_id,
+                    "kind": job.request.kind,
+                    "tenant": job.request.tenant,
+                    "coalesced": True,
+                    "resumed": True,
+                    "adopted": True,
+                    "after_seq": after_seq,
+                },
+                sse,
+            )
+        )
+        await writer.drain()
+        await self._stream_job(job, after_seq, sse, writer)
+        return True
+
     async def _stream_job(
         self,
         job: Job,
@@ -987,7 +1442,8 @@ class SweepServer:
             heartbeat_s=heartbeat_s if heartbeat_s > 0 else None,
         ):
             chaos.maybe_injure_serve(
-                f"serve.emit:{event.get('event')}", job.job_id
+                f"serve.emit:{event.get('event')}", job.job_id,
+                shard=job.chaos_shard,
             )
             if event.get("event") == "heartbeat":
                 self.serve_ns.counter("heartbeats").add()
@@ -1008,14 +1464,87 @@ class SweepServer:
 # Entry point
 
 
+#: Environment override for where drain-time admission summaries land
+#: (smokes and tests point it at a scratch file).
+HISTORY_ENV = "REPRO_HISTORY_PATH"
+
+
+def serve_history_record(server: SweepServer) -> Dict[str, object]:
+    """One append-only admission/queue-wait summary for BENCH_history.
+
+    The ROADMAP's statistical perf gates consume these as a series:
+    each drained serve run contributes its admission counters and the
+    queue-wait distribution (histogram buckets, count, mean).
+    """
+    import datetime
+    import platform
+
+    snapshot = server.metrics_snapshot()
+
+    def metric(name: str) -> float:
+        return float(snapshot.get(name, 0.0))
+
+    record: Dict[str, object] = {
+        "kind": "serve",
+        "when": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "host": platform.node(),
+        "admission": {
+            "requests_total": metric("serve.requests_total"),
+            "jobs_total": metric("serve.jobs_total"),
+            "rejected_total": metric("serve.rejected_total"),
+            "coalesce_hits": metric("serve.coalesce_hits"),
+            "recovered_jobs": metric("serve.recovered_jobs"),
+            "jobs_failed": metric("serve.jobs_failed"),
+            "resume_requests": metric("serve.resume_requests"),
+        },
+        "queue_wait_ms": {
+            key[len("serve.wait_ms."):]: value
+            for key, value in snapshot.items()
+            if key.startswith("serve.wait_ms.")
+        },
+    }
+    if server.cluster is not None:
+        record["shard"] = server.cluster.shard_index
+        record["cluster"] = {
+            "shards": server.cluster.n_shards,
+            "epoch": server.cluster.epoch,
+            "takeovers_total": metric("cluster.takeovers_total"),
+            "fenced_appends_rejected": metric(
+                "cluster.fenced_appends_rejected"
+            ),
+            "redirects_total": metric("cluster.redirects_total"),
+        }
+    return record
+
+
+def append_serve_history(server: SweepServer) -> Optional[Path]:
+    """Append the drain summary to BENCH_history.jsonl (best-effort)."""
+    from repro.experiments import simbench
+
+    path = Path(os.environ.get(HISTORY_ENV) or simbench.HISTORY_PATH)
+    try:
+        simbench.append_history(serve_history_record(server), path)
+    except OSError:
+        return None
+    return path
+
+
 async def amain(config: ServeConfig) -> int:
     server = SweepServer(config)
     await server.start()
     host, port = server.addresses()[0]
+    shard_note = ""
+    if server.cluster is not None:
+        shard_note = (
+            f", shard={server.cluster.shard_index}/{config.shards}"
+            f", epoch={server.cluster.epoch}"
+        )
     print(
         f"serve: listening on http://{host}:{port} "
         f"(concurrency={config.concurrency}, jobs={config.jobs}, "
-        f"max-queue={config.max_queue})",
+        f"max-queue={config.max_queue}{shard_note})",
         flush=True,
     )
     if server.recovered_jobs:
@@ -1031,6 +1560,9 @@ async def amain(config: ServeConfig) -> int:
             pass
     await server.wait_drained()
     await server.close()
+    history = append_serve_history(server)
+    if history is not None:
+        print(f"serve: appended admission summary to {history}", flush=True)
     print("serve: queue drained, shutting down", flush=True)
     return 0
 
@@ -1065,6 +1597,11 @@ def build_config(args: argparse.Namespace) -> ServeConfig:
         cache_dir=args.cache_dir,
         heartbeat_s=args.heartbeat,
         use_journal=not args.no_journal,
+        shards=getattr(args, "shards", 1) or 1,
+        shard_index=getattr(args, "shard_index", None),
+        lease_ttl_s=getattr(args, "lease_ttl", None)
+        or cluster_mod.DEFAULT_LEASE_TTL_S,
+        advertise=getattr(args, "advertise", None),
     )
 
 
@@ -1101,6 +1638,43 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-journal", action="store_true",
         help="disable the durable job journal (no crash recovery/resume)",
     )
+    parser.add_argument(
+        "--cluster", type=int, default=None, metavar="N",
+        help="launch N shard processes sharing this cache dir "
+        "(supervisor mode; each shard gets --shards N --shard-index I)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="total shard count in the cluster this server belongs to",
+    )
+    parser.add_argument(
+        "--shard-index", type=int, default=None, metavar="I",
+        help="this server's shard slot (0-based; implies cluster mode)",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="S",
+        help="shard heartbeat-lease TTL; a peer silent this long is "
+        f"declared dead (default {cluster_mod.DEFAULT_LEASE_TTL_S})",
+    )
+    parser.add_argument(
+        "--advertise", metavar="HOST:PORT", default=None,
+        help="address peers/clients should use to reach this shard "
+        "(defaults to the bound host:port)",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Dispatch parsed serve arguments: supervisor, shard, or standalone."""
+    if getattr(args, "cluster", None):
+        if args.cluster < 2:
+            print("serve: --cluster needs at least 2 shards", flush=True)
+            return 2
+        return cluster_mod.run_cluster(args)
+    try:
+        return asyncio.run(amain(build_config(args)))
+    except ClusterError as exc:
+        print(f"serve: {exc}", flush=True)
+        return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -1108,8 +1682,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro serve", description=__doc__
     )
     add_serve_arguments(parser)
-    args = parser.parse_args(argv)
-    return asyncio.run(amain(build_config(args)))
+    return run_from_args(parser.parse_args(argv))
 
 
 if __name__ == "__main__":

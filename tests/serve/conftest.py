@@ -45,7 +45,7 @@ class RunningServer:
         self.server = SweepServer(self.config)
         try:
             addresses = await self.server.start()
-        except OSError as exc:
+        except Exception as exc:  # surface boot failures (port, lease)
             self._boot_error = exc
             self._ready.set()
             return
